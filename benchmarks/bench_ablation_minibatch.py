@@ -1,0 +1,65 @@
+"""Ablation A1 — mini-batch FairKM (§6.1 future work) vs exact round-robin.
+
+The paper proposes deferring prototype/representation updates to once per
+mini-batch "to speed up FairKM for scalability". This bench quantifies
+the trade: wall-clock per fit vs objective/fairness quality across batch
+sizes, on an Adult subsample. Output: ``results/ablation_minibatch.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import FairKM, MiniBatchFairKM
+from repro.experiments.paper import dataset_lambda, write_result
+from repro.experiments.tables import format_table
+from repro.metrics import fairness_report
+
+from conftest import emit
+
+BATCH_SIZES = (32, 128, 512)
+
+
+def _fit_stats(dataset, model):
+    features = dataset.feature_matrix()
+    cats, nums = dataset.sensitive_specs()
+    start = time.perf_counter()
+    result = model.fit(features, categorical=cats, numeric=nums)
+    elapsed = time.perf_counter() - start
+    report = fairness_report(dataset.sensitive_categorical(), result.labels, result.k)
+    return elapsed, result, report
+
+
+def test_ablation_minibatch(benchmark, adult_dataset):
+    lam = dataset_lambda(adult_dataset.n)
+    rows = []
+
+    def exact_fit():
+        return _fit_stats(adult_dataset, FairKM(5, lambda_=lam, seed=0))
+
+    elapsed, result, report = benchmark.pedantic(exact_fit, rounds=1, iterations=1)
+    exact_objective = result.objective
+    rows.append(
+        ["exact (paper Alg. 1)", f"{elapsed:.2f}", f"{result.objective:.1f}",
+         f"{result.kmeans_term:.1f}", f"{report.mean.ae:.4f}"]
+    )
+
+    for batch in BATCH_SIZES:
+        elapsed, result, report = _fit_stats(
+            adult_dataset, MiniBatchFairKM(5, batch_size=batch, lambda_=lam, seed=0)
+        )
+        rows.append(
+            [f"mini-batch B={batch}", f"{elapsed:.2f}", f"{result.objective:.1f}",
+             f"{result.kmeans_term:.1f}", f"{report.mean.ae:.4f}"]
+        )
+        # Quality guardrail: the approximation must stay within 30 % of
+        # the exact objective.
+        assert result.objective <= exact_objective * 1.3
+
+    text = format_table(
+        ["Variant", "fit seconds", "objective", "KM term", "mean AE"],
+        rows,
+        title=f"Ablation A1: mini-batch FairKM on Adult (n={adult_dataset.n}, k=5)",
+    )
+    write_result("ablation_minibatch.txt", text)
+    emit("Ablation A1 (mini-batch)", text)

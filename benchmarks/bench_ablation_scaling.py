@@ -1,0 +1,98 @@
+"""Ablation A2 — scaling with sensitive-attribute count and cardinality.
+
+The paper's first future-work direction (§6.1): "performance trends of
+FairKM with increasing number of sensitive attributes as well as
+increasing number of values per sensitive attribute". This bench sweeps
+both axes on the synthetic generator and reports fit time and fairness.
+Output: ``results/ablation_scaling.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import FairKM
+from repro.data import make_fair_problem
+from repro.experiments.paper import write_result
+from repro.experiments.tables import format_table
+from repro.metrics import fairness_report
+
+from conftest import emit
+
+N = 1200
+K = 4
+
+
+def _run(categorical):
+    ds = make_fair_problem(
+        N, n_latent=K, separation=2.0, categorical=categorical, seed=0
+    )
+    features = ds.feature_matrix()
+    cats, nums = ds.sensitive_specs()
+    start = time.perf_counter()
+    result = FairKM(K, lambda_=(N / K) ** 2, seed=0).fit(
+        features, categorical=cats, numeric=nums
+    )
+    elapsed = time.perf_counter() - start
+    report = fairness_report(ds.sensitive_categorical(), result.labels, K)
+    return elapsed, result, report
+
+
+def test_ablation_attribute_count(benchmark):
+    rows = []
+    timings = {}
+
+    def sweep():
+        for count in (1, 2, 4, 8):
+            categorical = [(f"s{i}", 3, 0.8) for i in range(count)]
+            timings[count] = _run(categorical)
+        return timings
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for count, (elapsed, result, report) in sorted(timings.items()):
+        rows.append(
+            [str(count), f"{elapsed:.2f}", f"{result.n_iter}",
+             f"{report.mean.ae:.4f}", f"{result.kmeans_term:.1f}"]
+        )
+    text = format_table(
+        ["#S attributes", "fit seconds", "iters", "mean AE", "KM term"],
+        rows,
+        title=f"Ablation A2a: FairKM vs number of sensitive attributes (n={N})",
+    )
+    write_result("ablation_scaling_count.txt", text)
+    emit("Ablation A2a (attribute count)", text)
+    # Per-attribute fairness should not collapse as attributes are added.
+    final_ae = [v[2].mean.ae for v in timings.values()]
+    assert max(final_ae) < 0.25
+
+
+def test_ablation_cardinality(benchmark):
+    rows = []
+    timings = {}
+
+    def sweep():
+        for t in (2, 5, 10, 20, 40):
+            timings[t] = _run([("s", t, 0.8)])
+        return timings
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    baseline_ae = None
+    for t, (elapsed, result, report) in sorted(timings.items()):
+        ae = report.attribute("s").ae
+        baseline_ae = ae if baseline_ae is None else baseline_ae
+        rows.append(
+            [str(t), f"{elapsed:.2f}", f"{ae:.4f}", f"{report.attribute('s').me:.4f}"]
+        )
+    text = format_table(
+        ["|Values(S)|", "fit seconds", "AE", "ME"],
+        rows,
+        title=f"Ablation A2b: FairKM vs attribute cardinality (n={N})",
+    )
+    write_result("ablation_scaling_cardinality.txt", text)
+    emit("Ablation A2b (cardinality)", text)
+    # The paper observes degradation "at a much lower pace than ZGYA" for
+    # many-valued attributes; fit time must stay near-flat (O(1) deltas).
+    times = [v[0] for v in timings.values()]
+    assert max(times) < 4.0 * min(times) + 0.5

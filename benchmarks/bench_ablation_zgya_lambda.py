@@ -1,0 +1,63 @@
+"""Ablation A5 — the ZGYA λ cliff.
+
+The FairKM paper's Adult tables show ZGYA with ≈10× worse CO than
+K-Means(N) *and* worse fairness than the S-blind baseline — degenerate
+behaviour. Our reimplementation is healthy at moderate λ but enters
+exactly that regime once λ reaches ≈ n/2 (the multiplicative updates
+destabilize when the fairness gradient for rare attribute values
+dominates the distortion term). This bench maps that cliff on a
+multi-valued Adult attribute, justifying the calibration choices
+documented in EXPERIMENTS.md. Output: ``results/ablation_zgya_lambda.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import ZGYA
+from repro.cluster import KMeans
+from repro.experiments.paper import write_result
+from repro.experiments.tables import format_table
+from repro.metrics import categorical_fairness, clustering_objective
+
+from conftest import emit
+
+
+def test_ablation_zgya_lambda_cliff(benchmark, adult_dataset):
+    features = adult_dataset.feature_matrix()
+    col = adult_dataset.column("marital-status")
+    n = adult_dataset.n
+    blind = KMeans(5, seed=0, n_init=5).fit(features)
+    blind_ae = categorical_fairness(col.values, blind.labels, 5, col.n_values).ae
+    grid = [n / 128, n / 32, n / 8, n / 2, n]
+    outcomes = {}
+
+    def sweep():
+        for lam in grid:
+            res = ZGYA(5, lambda_=lam, seed=0).fit(
+                features, col.values, n_values=col.n_values
+            )
+            outcomes[lam] = res
+        return outcomes
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [["K-Means(N)", f"{blind.inertia:.0f}", f"{blind_ae:.4f}", "-"]]
+    aes = {}
+    for lam in grid:
+        res = outcomes[lam]
+        co = clustering_objective(features, res.labels, 5)
+        ae = categorical_fairness(col.values, res.labels, 5, col.n_values).ae
+        aes[lam] = (co, ae)
+        rows.append([f"ZGYA lam={lam:.0f}", f"{co:.0f}", f"{ae:.4f}", f"{res.n_iter}"])
+    text = format_table(
+        ["Method", "CO", "marital AE", "iters"],
+        rows,
+        title=f"Ablation A5: ZGYA lambda cliff on Adult marital-status (n={n})",
+    )
+    write_result("ablation_zgya_lambda.txt", text)
+    emit("Ablation A5 (ZGYA lambda cliff)", text)
+
+    # Healthy regime: moderate λ beats the blind baseline on fairness.
+    assert aes[n / 32][1] < blind_ae
+    # Cliff: by λ = n the method is worse than blind on fairness AND has
+    # paid a large coherence penalty — the paper's Adult portrayal.
+    assert aes[n][1] > blind_ae
+    assert aes[n][0] > blind.inertia * 1.2

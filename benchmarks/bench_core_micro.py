@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the core primitives (classic pytest-benchmark).
+
+These time the inner-loop operations whose complexity §4.3.1 analyses:
+the per-object move-delta evaluation (the optimizer's hot path), the
+vectorized batch variant, a cache resync, and a full K-Means fit for
+reference. Useful for catching performance regressions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import KMeans
+from repro.core import CategoricalSpec, NumericSpec
+from repro.core.state import ClusterState
+
+N, DIM, K = 4000, 12, 8
+
+
+@pytest.fixture(scope="module")
+def state() -> ClusterState:
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(N, DIM))
+    cats = [
+        CategoricalSpec("a", rng.integers(0, 7, N), n_values=7),
+        CategoricalSpec("b", rng.integers(0, 2, N), n_values=2),
+        CategoricalSpec("c", rng.integers(0, 41, N), n_values=41),
+    ]
+    nums = [NumericSpec("z", rng.normal(size=N))]
+    return ClusterState(points, rng.integers(0, K, N), K, cats, nums)
+
+
+def test_move_deltas_single(benchmark, state):
+    """Hot path: one object's objective delta against all k clusters."""
+    benchmark(state.move_deltas, 123, 1e6)
+
+
+def test_move_deltas_batch(benchmark, state):
+    """Vectorized deltas for 512 objects (mini-batch primitive)."""
+    indices = np.arange(512)
+    benchmark(state.batch_move_deltas, indices, 1e6)
+
+
+def test_apply_move_roundtrip(benchmark, state):
+    """Apply + undo one move (keeps the state unchanged across rounds)."""
+    original = int(state.labels[7])
+    target = (original + 1) % K
+
+    def roundtrip():
+        state.apply_move(7, target)
+        state.apply_move(7, original)
+
+    benchmark(roundtrip)
+
+
+def test_resync(benchmark, state):
+    """Full cache rebuild from labels (once per iteration in FairKM)."""
+    benchmark(state.resync)
+
+
+def test_kmeans_reference_fit(benchmark):
+    """Reference point: one Lloyd's fit on the same problem size."""
+    rng = np.random.default_rng(1)
+    points = rng.normal(size=(N, DIM))
+
+    benchmark(lambda: KMeans(K, seed=0).fit(points))

@@ -1,0 +1,50 @@
+"""Figures 1 & 2 — Adult AW/MW: ZGYA(S) vs FairKM(All) vs FairKM(S), k=5.
+
+The level-setting comparison of §5.6: per attribute, the single-attribute
+FairKM(S) against the single-attribute ZGYA(S), with FairKM(All) between.
+Output: printed (with -s) and
+``results/fig1_2_adult_single_attribute.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.charts import bar_chart
+from repro.experiments.paper import dataset_lambda, write_result, zgya_paper_lambda
+from repro.experiments.runner import SuiteConfig, run_suite
+from repro.experiments.tables import render_single_attribute_figure
+
+from conftest import emit
+
+
+def test_fig1_2_adult_single_attribute(benchmark, adult_dataset, seeds):
+    def pipeline():
+        config = SuiteConfig(
+            k=5,
+            seeds=tuple(range(seeds)),
+            fairkm_lambda=dataset_lambda(adult_dataset.n),
+            zgya_lambda=zgya_paper_lambda(adult_dataset.n),
+            scale_features=True,
+            per_attribute_fairkm=True,
+        )
+        return run_suite(adult_dataset, config)
+
+    suite = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    outputs = []
+    for fig, metric in (("Figure 1", "AW"), ("Figure 2", "MW")):
+        table, series = render_single_attribute_figure(
+            suite, metric, title=f"{fig}: Adult {metric} comparison (k=5)"
+        )
+        outputs.append(table + "\n\n" + bar_chart(series, title=f"{fig} ({metric})"))
+    text = "\n\n".join(outputs)
+    write_result("fig1_2_adult_single_attribute.txt", text)
+    emit("Figures 1-2", text)
+
+    # Paper shape: FairKM (either variant) beats ZGYA(S) on AW for most
+    # attributes (the paper's Figure 1 shows it for all but race-like
+    # skews); require a majority here.
+    _, series = render_single_attribute_figure(suite, "AW", title="check")
+    wins = sum(
+        min(vals["FairKM(All)"], vals["FairKM(S)"]) < vals["ZGYA(S)"]
+        for vals in series.values()
+    )
+    assert wins >= (len(series) + 1) // 2

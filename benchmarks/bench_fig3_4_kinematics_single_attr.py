@@ -1,0 +1,48 @@
+"""Figures 3 & 4 — Kinematics AW/MW: ZGYA(S) vs FairKM(All) vs FairKM(S).
+
+Output: printed (with -s) and
+``results/fig3_4_kinematics_single_attribute.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.charts import bar_chart
+from repro.experiments.paper import dataset_lambda, write_result, zgya_paper_lambda
+from repro.experiments.runner import SuiteConfig, run_suite
+from repro.experiments.tables import render_single_attribute_figure
+
+from conftest import emit
+
+
+def test_fig3_4_kinematics_single_attribute(benchmark, kinematics_dataset, seeds):
+    def pipeline():
+        config = SuiteConfig(
+            k=5,
+            seeds=tuple(range(seeds)),
+            fairkm_lambda=dataset_lambda(kinematics_dataset.n),
+            zgya_lambda=zgya_paper_lambda(kinematics_dataset.n),
+            scale_features=False,
+            silhouette_sample=None,
+            per_attribute_fairkm=True,
+        )
+        return run_suite(kinematics_dataset, config)
+
+    suite = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    outputs = []
+    for fig, metric in (("Figure 3", "AW"), ("Figure 4", "MW")):
+        table, series = render_single_attribute_figure(
+            suite, metric, title=f"{fig}: Kinematics {metric} comparison (k=5)"
+        )
+        outputs.append(table + "\n\n" + bar_chart(series, title=f"{fig} ({metric})"))
+    text = "\n\n".join(outputs)
+    write_result("fig3_4_kinematics_single_attribute.txt", text)
+    emit("Figures 3-4", text)
+
+    # Both FairKM variants must stay comparable-or-better than ZGYA(S) on
+    # AW for a majority of the five type attributes.
+    _, series = render_single_attribute_figure(suite, "AW", title="check")
+    wins = sum(
+        min(vals["FairKM(All)"], vals["FairKM(S)"]) <= vals["ZGYA(S)"] * 1.05
+        for vals in series.values()
+    )
+    assert wins >= 3

@@ -1,0 +1,46 @@
+"""Table 5 — Adult clustering quality (CO / SH / DevC / DevO, k = 5 and 15).
+
+Regenerates the paper's Table 5 rows for K-Means(N), Avg. ZGYA and FairKM
+and times the full pipeline. Output: printed (with -s) and
+``results/table5_adult_quality.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper import dataset_lambda, write_result, zgya_paper_lambda
+from repro.experiments.runner import SuiteConfig, run_suite
+from repro.experiments.tables import render_quality_table
+
+from conftest import emit
+
+
+def test_table5_adult_quality(benchmark, adult_dataset, seeds):
+    def pipeline():
+        suites = {}
+        for k in (5, 15):
+            config = SuiteConfig(
+                k=k,
+                seeds=tuple(range(seeds)),
+                fairkm_lambda=dataset_lambda(adult_dataset.n),
+                zgya_lambda=zgya_paper_lambda(adult_dataset.n),
+                scale_features=True,
+            )
+            suites[k] = run_suite(adult_dataset, config)
+        return suites
+
+    suites = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    text = render_quality_table(
+        suites,
+        title=f"Table 5: clustering quality on Adult "
+        f"(n={adult_dataset.n}, {seeds} seeds)",
+    )
+    write_result("table5_adult_quality.txt", text)
+    emit("Table 5", text)
+
+    # Shape assertions from the paper: K-Means(N) wins CO and SH, ZGYA is
+    # the worst on both, FairKM sits between.
+    for k in (5, 15):
+        suite = suites[k]
+        assert suite.kmeans.co <= suite.fairkm.co + 1e-6
+        assert suite.fairkm.co <= suite.zgya_avg_quality.co
+        assert suite.fairkm.sh >= suite.zgya_avg_quality.sh

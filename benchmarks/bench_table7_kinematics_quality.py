@@ -1,0 +1,38 @@
+"""Table 7 — Kinematics clustering quality (k = 5).
+
+Output: printed (with -s) and ``results/table7_kinematics_quality.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper import dataset_lambda, write_result, zgya_paper_lambda
+from repro.experiments.runner import SuiteConfig, run_suite
+from repro.experiments.tables import render_quality_table
+
+from conftest import emit
+
+
+def test_table7_kinematics_quality(benchmark, kinematics_dataset, seeds):
+    def pipeline():
+        config = SuiteConfig(
+            k=5,
+            seeds=tuple(range(seeds)),
+            fairkm_lambda=dataset_lambda(kinematics_dataset.n),
+            zgya_lambda=zgya_paper_lambda(kinematics_dataset.n),
+            scale_features=False,
+            silhouette_sample=None,
+        )
+        return run_suite(kinematics_dataset, config)
+
+    suite = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    text = render_quality_table(
+        {5: suite}, title=f"Table 7: clustering quality on Kinematics ({seeds} seeds)"
+    )
+    write_result("table7_kinematics_quality.txt", text)
+    emit("Table 7", text)
+
+    # Paper shape: K-Means(N) best CO/SH; FairKM close behind; ZGYA worst;
+    # FairKM's DevC comparable to ZGYA's (1.12 vs 1.18 in the paper).
+    assert suite.kmeans.co <= suite.fairkm.co + 1e-6
+    assert suite.fairkm.co < suite.zgya_avg_quality.co
+    assert suite.kmeans.sh >= suite.fairkm.sh >= suite.zgya_avg_quality.sh

@@ -1,0 +1,43 @@
+"""Table 8 — Kinematics fairness per problem-type attribute (k = 5).
+
+Output: printed (with -s) and ``results/table8_kinematics_fairness.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper import dataset_lambda, write_result, zgya_paper_lambda
+from repro.experiments.runner import SuiteConfig, run_suite
+from repro.experiments.tables import render_fairness_table
+
+from conftest import emit
+
+
+def test_table8_kinematics_fairness(benchmark, kinematics_dataset, seeds):
+    def pipeline():
+        config = SuiteConfig(
+            k=5,
+            seeds=tuple(range(seeds)),
+            fairkm_lambda=dataset_lambda(kinematics_dataset.n),
+            zgya_lambda=zgya_paper_lambda(kinematics_dataset.n),
+            scale_features=False,
+            silhouette_sample=None,
+        )
+        return run_suite(kinematics_dataset, config)
+
+    suite = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    text = render_fairness_table(
+        {5: suite}, title=f"Table 8: fairness on Kinematics ({seeds} seeds)"
+    )
+    write_result("table8_kinematics_fairness.txt", text)
+    emit("Table 8", text)
+
+    # Paper shape: FairKM strongly fairer than both baselines on the mean
+    # block (paper: ≈85 % over the next-best; we assert a wide margin).
+    assert suite.improvement_pct("mean", "AE") > 40.0
+    assert suite.fairkm.fairness.mean.ae < suite.kmeans.fairness.mean.ae
+    assert suite.fairkm.fairness.mean.mw < suite.kmeans.fairness.mean.mw
+    # And it must win on every single type attribute for AE.
+    for attr in suite.attribute_names:
+        fair = suite.fairkm.fairness.attribute(attr).ae
+        blind = suite.kmeans.fairness.attribute(attr).ae
+        assert fair < blind

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale knobs (also honoured by the CLI):
+
+* ``REPRO_BENCH_SEEDS``   — seeds per configuration (default 3).
+* ``REPRO_BENCH_ADULT_N`` — Adult rows before parity undersampling
+  (default 6000).
+* ``REPRO_BENCH_FULL=1``  — paper scale (100 seeds, 32 561 rows). Expect
+  hours, not minutes.
+
+Every bench prints its regenerated table/figure (visible with ``-s``) and
+writes it under ``results/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.paper import bench_scale, build_adult, build_kinematics
+
+
+@pytest.fixture(scope="session")
+def scale() -> tuple[int, int]:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def adult_dataset(scale):
+    _, adult_n = scale
+    return build_adult(adult_n)
+
+
+@pytest.fixture(scope="session")
+def kinematics_dataset():
+    return build_kinematics()
+
+
+@pytest.fixture(scope="session")
+def seeds(scale) -> int:
+    return scale[0]
+
+
+def emit(title: str, text: str) -> None:
+    """Print a labelled block (shown with pytest -s)."""
+    print(f"\n{'#' * 70}\n# {title}\n{'#' * 70}\n{text}\n")

@@ -1,0 +1,48 @@
+"""The λ dial: trading cluster coherence for fairness (§5.7).
+
+Sweeps FairKM's only hyper-parameter on the Kinematics dataset and prints
+the quality/fairness frontier plus ASCII renditions of the paper's
+Figures 5–7. Demonstrates the paper's claim that FairKM "moves steadily
+but gradually towards fairness with increasing λ".
+
+Run:  python examples/lambda_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro.data import generate_kinematics
+from repro.experiments import lambda_sweep, line_chart
+from repro.experiments.tables import format_table
+
+
+def main() -> None:
+    print("Building the Kinematics dataset...")
+    dataset = generate_kinematics(0, dim=100, epochs=40)
+    grid = [0.0, 250.0, 1000.0, 2500.0, 5000.0, 10000.0]
+    print(f"Sweeping lambda over {grid} (3 seeds each)...\n")
+    sweep = lambda_sweep(
+        dataset, grid, k=5, seeds=(0, 1, 2), scale_features=False,
+        silhouette_sample=None,
+    )
+
+    rows = [
+        [f"{row['lambda']:.0f}"] + [f"{row[m]:.4f}" for m in ("CO", "SH", "AE", "MW")]
+        for row in sweep.as_rows()
+    ]
+    print(format_table(["lambda", "CO v", "SH ^", "AE v", "MW v"], rows,
+                       title="Coherence-fairness frontier"))
+    print()
+    print(line_chart(
+        sweep.lambdas,
+        {"CO": sweep.series("CO"), "AE": sweep.series("AE")},
+        title="CO rises as AE falls (each series min-max normalized)",
+    ))
+    print(
+        "\nThe paper's heuristic lambda = (n/k)^2 = "
+        f"{(dataset.n / 5) ** 2:.0f} sits where fairness has largely "
+        "converged while coherence loss is still modest."
+    )
+
+
+if __name__ == "__main__":
+    main()

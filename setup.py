@@ -1,0 +1,7 @@
+"""Legacy shim: this offline environment lacks the `wheel` package, so
+`pip install -e .` (PEP 660) cannot build; `python setup.py develop`
+performs the equivalent editable install. All metadata lives in
+pyproject.toml."""
+from setuptools import setup
+
+setup()

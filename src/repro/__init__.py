@@ -1,0 +1,72 @@
+"""repro — production-quality reproduction of FairKM (EDBT 2020).
+
+"Fairness in Clustering with Multiple Sensitive Attributes",
+S. S. Abraham, Deepak P, S. S. Sundaram.
+
+Quickstart::
+
+    import numpy as np
+    from repro import FairKM, CategoricalSpec
+
+    x = np.random.default_rng(0).normal(size=(200, 4))
+    gender = CategoricalSpec("gender", np.random.default_rng(1).integers(0, 2, 200))
+    result = FairKM(k=4, seed=0).fit(x, categorical=[gender])
+    print(result.labels, result.fairness_term)
+
+Subpackages:
+
+* ``repro.core``        — FairKM itself (+ mini-batch extension).
+* ``repro.cluster``     — from-scratch K-Means substrate.
+* ``repro.baselines``   — ZGYA, fairlets, Bera-LP fair clustering.
+* ``repro.metrics``     — CO/SH/DevC/DevO and AE/AW/ME/MW.
+* ``repro.data``        — schema/dataset layer, Adult & Kinematics generators.
+* ``repro.text``        — tokenizer, Doc2Vec (PV-DBOW), LSA.
+* ``repro.experiments`` — multi-seed harness regenerating every paper table/figure.
+"""
+
+from .cluster import KMeans, KMeansResult, kmeans_fit
+from .core import (
+    CategoricalSpec,
+    ClusterState,
+    FairKM,
+    FairKMConfig,
+    FairKMResult,
+    MiniBatchFairKM,
+    NumericSpec,
+    default_lambda,
+    fairkm_fit,
+)
+from .metrics import (
+    FairnessReport,
+    balance,
+    centroid_deviation,
+    clustering_objective,
+    fairness_report,
+    object_pair_deviation,
+    silhouette_score,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CategoricalSpec",
+    "ClusterState",
+    "FairKM",
+    "FairKMConfig",
+    "FairKMResult",
+    "FairnessReport",
+    "KMeans",
+    "KMeansResult",
+    "MiniBatchFairKM",
+    "NumericSpec",
+    "balance",
+    "centroid_deviation",
+    "clustering_objective",
+    "default_lambda",
+    "fairkm_fit",
+    "fairness_report",
+    "kmeans_fit",
+    "object_pair_deviation",
+    "silhouette_score",
+    "__version__",
+]

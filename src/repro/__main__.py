@@ -1,0 +1,8 @@
+"""Allow ``python -m repro <experiment-id>`` (same as the ``repro`` script)."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

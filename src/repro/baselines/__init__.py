@@ -1,0 +1,38 @@
+"""Fair-clustering baselines from the paper's related-work families.
+
+* :class:`ZGYA` — the primary experimental baseline [22] (§2.2 family).
+* :class:`FairletClustering` — Chierichetti et al. fairlets [6] (§2.1).
+* :class:`BeraFairAssignment` — Bera et al. LP assignment [4] (§2.3).
+* :class:`FairKCenter` — Kleindessner et al. fair summaries [13] (§2.3).
+"""
+
+from .bera import BeraFairAssignment, BeraResult
+from .fair_kcenter import (
+    FairKCenter,
+    FairKCenterResult,
+    greedy_kcenter,
+    proportional_quota,
+)
+from .fairlets import (
+    FairletClustering,
+    FairletClusteringResult,
+    FairletDecomposition,
+    fairlet_decompose,
+)
+from .zgya import ZGYA, ZGYAResult, zgya_fit
+
+__all__ = [
+    "BeraFairAssignment",
+    "BeraResult",
+    "FairKCenter",
+    "FairKCenterResult",
+    "FairletClustering",
+    "FairletClusteringResult",
+    "FairletDecomposition",
+    "ZGYA",
+    "ZGYAResult",
+    "fairlet_decompose",
+    "greedy_kcenter",
+    "proportional_quota",
+    "zgya_fit",
+]

@@ -1,0 +1,79 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    repro list                      # show available experiments
+    repro table5                    # regenerate Table 5 (scaled-down)
+    repro table6 --seeds 5 --adult-n 4000
+    repro all                       # every table and figure
+    REPRO_BENCH_FULL=1 repro table6 # paper-scale run
+
+Output is printed and also written under ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from .experiments.paper import EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures from 'Fairness in Clustering "
+        "with Multiple Sensitive Attributes' (EDBT 2020).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all", "list"],
+        help="experiment id (tableN / figN-M), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help="random restarts per configuration (default: env REPRO_BENCH_SEEDS or 3)",
+    )
+    parser.add_argument(
+        "--adult-n",
+        type=int,
+        default=None,
+        help="Adult rows before parity undersampling (default: env REPRO_BENCH_ADULT_N or 6000)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale settings (100 seeds, 32561 Adult rows)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name:10s} {description}")
+        return 0
+    if args.full:
+        os.environ["REPRO_BENCH_FULL"] = "1"
+    if args.seeds is not None:
+        os.environ["REPRO_BENCH_SEEDS"] = str(args.seeds)
+    if args.adult_n is not None:
+        os.environ["REPRO_BENCH_ADULT_N"] = str(args.adult_n)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        fn, description = EXPERIMENTS[name]
+        print(f"== {name}: {description} ==")
+        start = time.time()
+        print(fn())
+        print(f"[{name} done in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

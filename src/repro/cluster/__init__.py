@@ -1,0 +1,46 @@
+"""From-scratch clustering substrate: distances, initializers, K-Means.
+
+This package provides the pieces the paper's baselines and FairKM itself
+stand on. Nothing here knows about fairness; it is plain geometry.
+"""
+
+from .distance import (
+    inertia,
+    nearest_center,
+    pairwise_euclidean,
+    pairwise_sq_euclidean,
+    squared_norms,
+)
+from .init import (
+    INIT_STRATEGIES,
+    centroids_from_labels,
+    initial_centers,
+    initial_labels,
+    kmeans_plus_plus,
+    random_assignment,
+    random_points,
+)
+from .kmeans import KMeans, KMeansResult, kmeans_fit
+from .utils import cluster_sizes, contingency_matrix, relabel_by_size, validate_labels
+
+__all__ = [
+    "INIT_STRATEGIES",
+    "KMeans",
+    "KMeansResult",
+    "centroids_from_labels",
+    "cluster_sizes",
+    "contingency_matrix",
+    "inertia",
+    "initial_centers",
+    "initial_labels",
+    "kmeans_fit",
+    "kmeans_plus_plus",
+    "nearest_center",
+    "pairwise_euclidean",
+    "pairwise_sq_euclidean",
+    "random_assignment",
+    "random_points",
+    "relabel_by_size",
+    "squared_norms",
+    "validate_labels",
+]

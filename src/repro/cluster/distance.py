@@ -1,0 +1,64 @@
+"""Vectorized distance computations used across the clustering substrate.
+
+Everything operates on 2-D ``numpy`` arrays of shape ``(n, d)`` (rows are
+objects). Squared Euclidean distance is the workhorse: both K-Means and
+FairKM measure cluster coherence with it, matching the paper's
+``dist_N(X, C)`` term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def squared_norms(points: np.ndarray) -> np.ndarray:
+    """Return ``‖x‖²`` for each row of *points* as a 1-D array."""
+    points = np.asarray(points, dtype=np.float64)
+    return np.einsum("ij,ij->i", points, points)
+
+
+def pairwise_sq_euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All-pairs squared Euclidean distances between rows of *a* and *b*.
+
+    Uses the expansion ``‖a−b‖² = ‖a‖² − 2 a·b + ‖b‖²`` and clips tiny
+    negative values produced by floating-point cancellation to zero.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: a has {a.shape[1]} columns, b has {b.shape[1]}"
+        )
+    cross = a @ b.T
+    d2 = squared_norms(a)[:, None] - 2.0 * cross + squared_norms(b)[None, :]
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def pairwise_euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All-pairs Euclidean distances between rows of *a* and *b*."""
+    return np.sqrt(pairwise_sq_euclidean(a, b))
+
+
+def nearest_center(points: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Assign each row of *points* to its nearest row of *centers*.
+
+    Returns ``(labels, sq_distances)`` where ``labels[i]`` is the index of
+    the closest center and ``sq_distances[i]`` the squared distance to it.
+    """
+    d2 = pairwise_sq_euclidean(points, centers)
+    labels = np.argmin(d2, axis=1)
+    return labels, d2[np.arange(d2.shape[0]), labels]
+
+
+def inertia(points: np.ndarray, centers: np.ndarray, labels: np.ndarray) -> float:
+    """Sum of squared distances of each point to its assigned center.
+
+    This is the paper's Clustering Objective (CO, Eq. 24) when *centers*
+    are the cluster means over the non-sensitive attributes.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    labels = np.asarray(labels)
+    diffs = points - centers[labels]
+    return float(np.einsum("ij,ij->", diffs, diffs))

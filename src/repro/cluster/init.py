@@ -1,0 +1,134 @@
+"""Cluster initialization strategies.
+
+Two families are provided:
+
+* ``random_assignment`` — every object is assigned to a uniformly random
+  cluster. This is the paper's Step 1 ("Initialize k clusters randomly")
+  and the default for FairKM.
+* ``kmeans_plus_plus`` — D²-weighted seeding (Arthur & Vassilvitskii 2007);
+  the standard strong initializer for Lloyd's K-Means.
+* ``random_points`` — k distinct objects chosen uniformly as seeds.
+
+All functions accept a ``numpy.random.Generator`` so experiments are
+reproducible seed-for-seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distance import pairwise_sq_euclidean
+
+#: Names accepted by :func:`initial_labels` / :func:`initial_centers`.
+INIT_STRATEGIES = ("random", "random_points", "kmeans++")
+
+
+def random_assignment(n: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniformly random labels in ``[0, k)``, re-drawn until every cluster
+    is non-empty (guaranteed possible when ``n >= k``)."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if n < k:
+        raise ValueError(f"cannot split {n} objects into {k} non-empty clusters")
+    labels = rng.integers(0, k, size=n)
+    # Repair: give each empty cluster one object stolen from the largest
+    # cluster, so the initial state always has k non-empty clusters.
+    counts = np.bincount(labels, minlength=k)
+    for empty in np.flatnonzero(counts == 0):
+        donor = int(np.argmax(counts))
+        victims = np.flatnonzero(labels == donor)
+        victim = victims[rng.integers(0, victims.size)]
+        labels[victim] = empty
+        counts[donor] -= 1
+        counts[empty] += 1
+    return labels
+
+
+def random_points(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Choose *k* distinct rows of *points* as initial centers."""
+    n = points.shape[0]
+    if n < k:
+        raise ValueError(f"cannot pick {k} centers from {n} points")
+    idx = rng.choice(n, size=k, replace=False)
+    return np.array(points[idx], dtype=np.float64)
+
+
+def kmeans_plus_plus(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ (D²) seeding.
+
+    The first center is uniform; each subsequent center is drawn with
+    probability proportional to the squared distance to the nearest center
+    chosen so far.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n < k:
+        raise ValueError(f"cannot pick {k} centers from {n} points")
+    centers = np.empty((k, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(0, n))
+    centers[0] = points[first]
+    d2 = pairwise_sq_euclidean(points, centers[0:1])[:, 0]
+    for i in range(1, k):
+        total = d2.sum()
+        if total <= 0.0:
+            # All remaining points coincide with existing centers; any
+            # choice is equivalent.
+            choice = int(rng.integers(0, n))
+        else:
+            choice = int(rng.choice(n, p=d2 / total))
+        centers[i] = points[choice]
+        new_d2 = pairwise_sq_euclidean(points, centers[i : i + 1])[:, 0]
+        np.minimum(d2, new_d2, out=d2)
+    return centers
+
+
+def initial_centers(
+    points: np.ndarray, k: int, strategy: str, rng: np.random.Generator
+) -> np.ndarray:
+    """Return initial centers for the requested *strategy*.
+
+    ``"random"`` draws random labels and returns the implied centroids, so
+    every strategy yields a ``(k, d)`` center matrix.
+    """
+    if strategy == "kmeans++":
+        return kmeans_plus_plus(points, k, rng)
+    if strategy == "random_points":
+        return random_points(points, k, rng)
+    if strategy == "random":
+        labels = random_assignment(points.shape[0], k, rng)
+        return centroids_from_labels(points, labels, k)
+    raise ValueError(f"unknown init strategy {strategy!r}; expected one of {INIT_STRATEGIES}")
+
+
+def initial_labels(
+    points: np.ndarray, k: int, strategy: str, rng: np.random.Generator
+) -> np.ndarray:
+    """Return an initial label vector for the requested *strategy*.
+
+    Center-based strategies assign each point to its nearest seed.
+    """
+    if strategy == "random":
+        return random_assignment(points.shape[0], k, rng)
+    centers = initial_centers(points, k, strategy, rng)
+    d2 = pairwise_sq_euclidean(points, centers)
+    return np.argmin(d2, axis=1)
+
+
+def centroids_from_labels(points: np.ndarray, labels: np.ndarray, k: int) -> np.ndarray:
+    """Mean of each cluster; empty clusters get the global mean.
+
+    Using the global mean (rather than zeros) keeps empty-cluster centroids
+    inside the data's bounding box, which matters for DevC-style metrics.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    d = points.shape[1]
+    sums = np.zeros((k, d), dtype=np.float64)
+    np.add.at(sums, labels, points)
+    counts = np.bincount(labels, minlength=k).astype(np.float64)
+    centers = np.empty_like(sums)
+    nonempty = counts > 0
+    centers[nonempty] = sums[nonempty] / counts[nonempty, None]
+    if not nonempty.all():
+        centers[~nonempty] = points.mean(axis=0)
+    return centers

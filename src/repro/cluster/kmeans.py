@@ -1,0 +1,193 @@
+"""Lloyd's K-Means, implemented from scratch.
+
+This is both the paper's ``K-Means(N)`` baseline (S-blind clustering over
+the non-sensitive attributes) and the coherence substrate FairKM builds on.
+
+The implementation follows the classic alternating scheme:
+
+1. assign every point to its nearest centroid (squared Euclidean);
+2. recompute centroids as cluster means;
+3. stop when assignments no longer change, the inertia improvement falls
+   below ``tol``, or ``max_iter`` is reached.
+
+Empty clusters are repaired by re-seeding them at the point farthest from
+its current centroid, which keeps k clusters alive — the conventional
+engineering fix (scikit-learn uses the same idea).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .distance import inertia, pairwise_sq_euclidean
+from .init import INIT_STRATEGIES, centroids_from_labels, initial_centers
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a K-Means run.
+
+    Attributes:
+        labels: cluster index per object, shape ``(n,)``.
+        centers: final centroids, shape ``(k, d)``.
+        inertia: sum of squared distances to assigned centroids (the
+            paper's CO measure, Eq. 24).
+        n_iter: iterations executed.
+        converged: True when assignments stabilized before ``max_iter``.
+        inertia_history: inertia after each assignment step.
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    n_iter: int
+    converged: bool
+    inertia_history: list[float] = field(default_factory=list)
+
+    @property
+    def k(self) -> int:
+        return self.centers.shape[0]
+
+    def assign(self, points: np.ndarray) -> np.ndarray:
+        """Assign new objects to their nearest fitted centroid."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self.centers.shape[1]:
+            raise ValueError(
+                f"expected {self.centers.shape[1]} features, got {points.shape[1]}"
+            )
+        d2 = pairwise_sq_euclidean(points, self.centers)
+        return np.argmin(d2, axis=1)
+
+
+class KMeans:
+    """From-scratch Lloyd's K-Means.
+
+    Args:
+        k: number of clusters.
+        init: one of ``"kmeans++"`` (default), ``"random_points"``,
+            ``"random"`` (random assignment, the paper's FairKM init).
+        max_iter: iteration cap.
+        tol: relative inertia-improvement threshold for convergence.
+        n_init: number of restarts; the run with the lowest inertia wins.
+        seed: RNG seed (int) or a ``numpy.random.Generator``.
+
+    Example:
+        >>> import numpy as np
+        >>> pts = np.vstack([np.zeros((5, 2)), np.ones((5, 2)) * 9])
+        >>> res = KMeans(k=2, seed=0).fit(pts)
+        >>> sorted(np.bincount(res.labels).tolist())
+        [5, 5]
+    """
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        init: str = "kmeans++",
+        max_iter: int = 300,
+        tol: float = 1e-7,
+        n_init: int = 1,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if init not in INIT_STRATEGIES:
+            raise ValueError(f"init must be one of {INIT_STRATEGIES}, got {init!r}")
+        if max_iter <= 0:
+            raise ValueError(f"max_iter must be positive, got {max_iter}")
+        if n_init <= 0:
+            raise ValueError(f"n_init must be positive, got {n_init}")
+        self.k = k
+        self.init = init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.n_init = n_init
+        self._rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    def fit(self, points: np.ndarray) -> KMeansResult:
+        """Cluster *points* (shape ``(n, d)``) and return the best restart."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {points.shape}")
+        if points.shape[0] < self.k:
+            raise ValueError(
+                f"need at least k={self.k} points, got {points.shape[0]}"
+            )
+        best: KMeansResult | None = None
+        for _ in range(self.n_init):
+            result = self._fit_once(points)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        return best
+
+    def _fit_once(self, points: np.ndarray) -> KMeansResult:
+        centers = initial_centers(points, self.k, self.init, self._rng)
+        labels = np.full(points.shape[0], -1, dtype=np.int64)
+        history: list[float] = []
+        converged = False
+        n_iter = 0
+        prev_inertia = np.inf
+        for n_iter in range(1, self.max_iter + 1):
+            d2 = pairwise_sq_euclidean(points, centers)
+            new_labels = np.argmin(d2, axis=1)
+            new_labels = self._repair_empty(points, new_labels, d2)
+            cur_inertia = inertia(points, centroids_from_labels(points, new_labels, self.k), new_labels)
+            history.append(cur_inertia)
+            if np.array_equal(new_labels, labels):
+                converged = True
+                break
+            labels = new_labels
+            centers = centroids_from_labels(points, labels, self.k)
+            if np.isfinite(prev_inertia) and (
+                prev_inertia - cur_inertia <= self.tol * max(prev_inertia, 1.0)
+            ):
+                converged = True
+                break
+            prev_inertia = cur_inertia
+        centers = centroids_from_labels(points, labels, self.k)
+        return KMeansResult(
+            labels=labels,
+            centers=centers,
+            inertia=inertia(points, centers, labels),
+            n_iter=n_iter,
+            converged=converged,
+            inertia_history=history,
+        )
+
+    def _repair_empty(
+        self, points: np.ndarray, labels: np.ndarray, d2: np.ndarray
+    ) -> np.ndarray:
+        """Reseed each empty cluster with the point worst-served by its
+        current assignment (largest distance to its own centroid)."""
+        counts = np.bincount(labels, minlength=self.k)
+        empties = np.flatnonzero(counts == 0)
+        if empties.size == 0:
+            return labels
+        labels = labels.copy()
+        assigned_d2 = d2[np.arange(d2.shape[0]), labels]
+        for empty in empties:
+            # Don't steal from singleton clusters — that would just move
+            # the hole around.
+            counts = np.bincount(labels, minlength=self.k)
+            eligible = counts[labels] > 1
+            if not eligible.any():
+                break
+            candidate_d2 = np.where(eligible, assigned_d2, -np.inf)
+            worst = int(np.argmax(candidate_d2))
+            labels[worst] = empty
+            assigned_d2[worst] = 0.0
+        return labels
+
+
+def kmeans_fit(
+    points: np.ndarray,
+    k: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    **kwargs,
+) -> KMeansResult:
+    """Convenience wrapper: ``KMeans(k, seed=seed, **kwargs).fit(points)``."""
+    return KMeans(k, seed=seed, **kwargs).fit(points)

@@ -1,0 +1,54 @@
+"""Small shared helpers for working with label vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def validate_labels(labels: np.ndarray, k: int, n: int | None = None) -> np.ndarray:
+    """Validate and canonicalize a label vector.
+
+    Ensures labels are integral, 1-D, within ``[0, k)`` and (optionally) of
+    length *n*. Returns an ``int64`` copy.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if n is not None and labels.shape[0] != n:
+        raise ValueError(f"expected {n} labels, got {labels.shape[0]}")
+    if not np.issubdtype(labels.dtype, np.integer):
+        if not np.all(labels == np.floor(labels)):
+            raise ValueError("labels must be integers")
+    labels = labels.astype(np.int64)
+    if labels.size and (labels.min() < 0 or labels.max() >= k):
+        raise ValueError(
+            f"labels must lie in [0, {k}), got range [{labels.min()}, {labels.max()}]"
+        )
+    return labels
+
+
+def cluster_sizes(labels: np.ndarray, k: int) -> np.ndarray:
+    """Cluster cardinalities ``|C|`` as an int64 array of length k."""
+    return np.bincount(validate_labels(labels, k), minlength=k)
+
+
+def relabel_by_size(labels: np.ndarray, k: int) -> np.ndarray:
+    """Renumber clusters so cluster 0 is the largest — handy for stable
+    cross-run comparisons in tests and reports."""
+    labels = validate_labels(labels, k)
+    order = np.argsort(-np.bincount(labels, minlength=k), kind="stable")
+    mapping = np.empty(k, dtype=np.int64)
+    mapping[order] = np.arange(k)
+    return mapping[labels]
+
+
+def contingency_matrix(labels_a: np.ndarray, labels_b: np.ndarray, ka: int, kb: int) -> np.ndarray:
+    """Contingency counts ``M[i, j] = |{x : a(x)=i, b(x)=j}|``.
+
+    Substrate for pair-counting comparison measures (the paper's DevO).
+    """
+    labels_a = validate_labels(labels_a, ka)
+    labels_b = validate_labels(labels_b, kb, n=labels_a.shape[0])
+    m = np.zeros((ka, kb), dtype=np.int64)
+    np.add.at(m, (labels_a, labels_b), 1)
+    return m

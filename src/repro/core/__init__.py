@@ -1,0 +1,47 @@
+"""FairKM core: the paper's contribution.
+
+Public surface:
+
+* :class:`FairKM` / :func:`fairkm_fit` — the algorithm (Alg. 1).
+* :class:`MiniBatchFairKM` — the §6.1 mini-batch extension.
+* :class:`CategoricalSpec` / :class:`NumericSpec` — sensitive attributes,
+  with per-attribute fairness weights (Eq. 23).
+* :func:`default_lambda` — the §5.4 ``(n/k)²`` heuristic.
+* :class:`ClusterState` — incremental objective engine (exposed for power
+  users and tests).
+* :mod:`repro.core.objective` — direct, non-incremental objective
+  evaluation (ground truth).
+"""
+
+from .attributes import CategoricalSpec, NumericSpec, validate_specs
+from .config import FairKMConfig, FairKMResult
+from .fairkm import FairKM, fairkm_fit
+from .lambda_heuristic import default_lambda, resolve_lambda
+from .minibatch import MiniBatchFairKM
+from .objective import (
+    categorical_deviation,
+    fairkm_objective,
+    fairness_term,
+    kmeans_term,
+    numeric_deviation,
+)
+from .state import ClusterState
+
+__all__ = [
+    "CategoricalSpec",
+    "ClusterState",
+    "FairKM",
+    "FairKMConfig",
+    "FairKMResult",
+    "MiniBatchFairKM",
+    "NumericSpec",
+    "categorical_deviation",
+    "default_lambda",
+    "fairkm_fit",
+    "fairkm_objective",
+    "fairness_term",
+    "kmeans_term",
+    "numeric_deviation",
+    "resolve_lambda",
+    "validate_specs",
+]

@@ -1,0 +1,130 @@
+"""Sensitive-attribute descriptors consumed by FairKM.
+
+The core is deliberately independent of the data layer: callers hand it the
+non-sensitive matrix ``X`` plus a list of sensitive-attribute specs. The
+data layer (``repro.data``) knows how to build these from a ``Dataset``.
+
+Two kinds (§4.1 and §4.4.1 of the paper):
+
+* :class:`CategoricalSpec` — a multi-valued (or binary) attribute, given as
+  integer codes in ``[0, n_values)``.
+* :class:`NumericSpec` — a numeric attribute (e.g. age), compared through
+  cluster means (Eq. 22).
+
+Both carry a fairness ``weight`` (Eq. 23, default 1.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CategoricalSpec:
+    """A categorical sensitive attribute.
+
+    Attributes:
+        name: attribute name (used in reports and errors).
+        codes: integer value codes per object, shape ``(n,)``.
+        n_values: domain cardinality ``|Values(S)|``; inferred as
+            ``codes.max() + 1`` when omitted. Values never observed still
+            count toward the cardinality normalization if declared here.
+        weight: fairness weight ``w_S`` (Eq. 23).
+    """
+
+    name: str
+    codes: np.ndarray = field(hash=False)
+    n_values: int = 0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        codes = np.asarray(self.codes)
+        if codes.ndim != 1:
+            raise ValueError(f"{self.name}: codes must be 1-D, got {codes.shape}")
+        if codes.size == 0:
+            raise ValueError(f"{self.name}: codes must be non-empty")
+        if not np.issubdtype(codes.dtype, np.integer):
+            raise ValueError(f"{self.name}: codes must be integers, got {codes.dtype}")
+        object.__setattr__(self, "codes", codes.astype(np.int64))
+        inferred = int(codes.max()) + 1
+        n_values = self.n_values or inferred
+        if n_values < inferred:
+            raise ValueError(
+                f"{self.name}: n_values={n_values} but codes reach {inferred - 1}"
+            )
+        if codes.min() < 0:
+            raise ValueError(f"{self.name}: codes must be non-negative")
+        object.__setattr__(self, "n_values", n_values)
+        if self.weight < 0:
+            raise ValueError(f"{self.name}: weight must be non-negative")
+
+    @property
+    def dataset_distribution(self) -> np.ndarray:
+        """Fractional representation of each value in the dataset, Fr_X(s)."""
+        counts = np.bincount(self.codes, minlength=self.n_values)
+        return counts / counts.sum()
+
+
+@dataclass(frozen=True)
+class NumericSpec:
+    """A numeric sensitive attribute (Eq. 22 extension).
+
+    Attributes:
+        name: attribute name.
+        values: float values per object, shape ``(n,)``.
+        weight: fairness weight ``w_S``.
+        standardize: when True (default) the values are internally scaled
+            to unit variance so that several numeric sensitive attributes
+            contribute comparably to the deviation term.
+    """
+
+    name: str
+    values: np.ndarray = field(hash=False)
+    weight: float = 1.0
+    standardize: bool = True
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError(f"{self.name}: values must be 1-D, got {values.shape}")
+        if values.size == 0:
+            raise ValueError(f"{self.name}: values must be non-empty")
+        if not np.all(np.isfinite(values)):
+            raise ValueError(f"{self.name}: values must be finite")
+        if self.standardize:
+            scale = values.std()
+            if scale > 0:
+                values = values / scale
+        object.__setattr__(self, "values", values)
+        if self.weight < 0:
+            raise ValueError(f"{self.name}: weight must be non-negative")
+
+    @property
+    def dataset_mean(self) -> float:
+        """The dataset-level average X̄.S that clusters are pulled toward."""
+        return float(self.values.mean())
+
+
+def validate_specs(
+    n: int,
+    categorical: list[CategoricalSpec],
+    numeric: list[NumericSpec],
+) -> None:
+    """Cross-check that all specs describe the same n objects."""
+    names: set[str] = set()
+    for spec in [*categorical, *numeric]:
+        length = spec.codes.shape[0] if isinstance(spec, CategoricalSpec) else spec.values.shape[0]
+        if length != n:
+            raise ValueError(
+                f"sensitive attribute {spec.name!r} has {length} entries, expected {n}"
+            )
+        if spec.name in names:
+            raise ValueError(f"duplicate sensitive attribute name {spec.name!r}")
+        names.add(spec.name)
+    if not categorical and not numeric:
+        raise ValueError(
+            "FairKM needs at least one sensitive attribute; "
+            "for plain clustering use repro.cluster.KMeans"
+        )

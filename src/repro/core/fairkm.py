@@ -1,0 +1,182 @@
+"""FairKM — Fair K-Means with multiple sensitive attributes (Alg. 1).
+
+The optimizer follows the paper exactly:
+
+1. initialize k clusters (random assignment by default, Step 1–2);
+2. repeat until convergence or ``max_iter``: visit every object in
+   round-robin fashion, re-assigning it to the cluster that most decreases
+   the objective (Step 5, Eqs. 9–19), updating prototypes (Step 6) and
+   fractional representations (Step 7) after each move;
+3. return the assignment (Step 8).
+
+Move deltas come from :class:`~repro.core.state.ClusterState`, which keeps
+sufficient statistics so each candidate evaluation is O(|N| + |S|) instead
+of a full objective recomputation.
+
+Example:
+    >>> import numpy as np
+    >>> from repro.core import FairKM, CategoricalSpec
+    >>> rng = np.random.default_rng(0)
+    >>> x = np.vstack([rng.normal(0, 1, (50, 2)), rng.normal(6, 1, (50, 2))])
+    >>> gender = CategoricalSpec("gender", rng.integers(0, 2, 100))
+    >>> result = FairKM(k=2, seed=0).fit(x, categorical=[gender])
+    >>> result.labels.shape
+    (100,)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.init import initial_labels
+from .attributes import CategoricalSpec, NumericSpec
+from .config import FairKMConfig, FairKMResult
+from .lambda_heuristic import resolve_lambda
+from .state import ClusterState
+
+
+class FairKM:
+    """Fair K-Means clustering over multiple sensitive attributes.
+
+    Args:
+        k: number of clusters.
+        lambda_: fairness weight; ``"auto"`` (default) applies the paper's
+            ``(n/k)²`` heuristic at fit time.
+        max_iter: round-robin iteration cap (paper: 30).
+        tol: minimum strict improvement for a move to be accepted.
+        init: ``"random"`` | ``"kmeans++"`` | ``"random_points"``.
+        allow_empty: permit moves that empty a cluster (paper-faithful).
+        shuffle: randomize visiting order each iteration.
+        resync_every: rebuild caches every N iterations (0 = never).
+        seed: RNG seed or generator for initialization and shuffling.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        lambda_: float | str = "auto",
+        max_iter: int = 30,
+        tol: float = 1e-9,
+        init: str = "random",
+        allow_empty: bool = True,
+        shuffle: bool = True,
+        resync_every: int = 1,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.config = FairKMConfig(
+            k=k,
+            lambda_=lambda_,
+            max_iter=max_iter,
+            tol=tol,
+            init=init,
+            allow_empty=allow_empty,
+            shuffle=shuffle,
+            resync_every=resync_every,
+        )
+        self._rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    def fit(
+        self,
+        points: np.ndarray,
+        categorical: list[CategoricalSpec] | None = None,
+        numeric: list[NumericSpec] | None = None,
+        initial: np.ndarray | None = None,
+    ) -> FairKMResult:
+        """Cluster *points* fairly with respect to the sensitive specs.
+
+        Args:
+            points: non-sensitive feature matrix ``(n, d_N)``.
+            categorical: categorical sensitive attributes.
+            numeric: numeric sensitive attributes (Eq. 22 extension).
+            initial: optional explicit initial label vector (overrides
+                ``init``); useful for warm starts and controlled studies.
+
+        Returns:
+            A :class:`FairKMResult`.
+        """
+        cfg = self.config
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {points.shape}")
+        n = points.shape[0]
+        if n < cfg.k:
+            raise ValueError(f"need at least k={cfg.k} objects, got {n}")
+        lam = resolve_lambda(cfg.lambda_, n, cfg.k)
+
+        if initial is not None:
+            labels = np.asarray(initial, dtype=np.int64).copy()
+            if labels.shape != (n,):
+                raise ValueError(f"initial labels must have shape ({n},)")
+        else:
+            labels = initial_labels(points, cfg.k, cfg.init, self._rng)
+
+        state = ClusterState(points, labels, cfg.k, categorical, numeric)
+        moves_per_iter: list[int] = []
+        objective_history: list[float] = []
+        converged = False
+        n_iter = 0
+        for n_iter in range(1, cfg.max_iter + 1):
+            order = self._rng.permutation(n) if cfg.shuffle else np.arange(n)
+            moves = self._sweep(state, order, lam)
+            moves_per_iter.append(moves)
+            objective_history.append(state.objective(lam))
+            if cfg.resync_every and n_iter % cfg.resync_every == 0:
+                state.resync()
+            if moves == 0:
+                converged = True
+                break
+        return self._build_result(state, lam, n_iter, converged, moves_per_iter, objective_history)
+
+    def _sweep(self, state: ClusterState, order: np.ndarray, lam: float) -> int:
+        """One round-robin pass (paper Steps 4–7). Returns accepted moves."""
+        cfg = self.config
+        moves = 0
+        for i in order:
+            i = int(i)
+            if not cfg.allow_empty and state.sizes[state.labels[i]] == 1:
+                continue
+            deltas = state.move_deltas(i, lam)
+            target = int(np.argmin(deltas))
+            if target != state.labels[i] and deltas[target] < -cfg.tol:
+                state.apply_move(i, target)
+                moves += 1
+        return moves
+
+    @staticmethod
+    def _build_result(
+        state: ClusterState,
+        lam: float,
+        n_iter: int,
+        converged: bool,
+        moves_per_iter: list[int],
+        objective_history: list[float],
+    ) -> FairKMResult:
+        km = state.kmeans_term()
+        fair = state.fairness_term()
+        return FairKMResult(
+            labels=state.labels.copy(),
+            centers=state.centroids(),
+            objective=km + lam * fair,
+            kmeans_term=km,
+            fairness_term=fair,
+            lambda_=lam,
+            n_iter=n_iter,
+            converged=converged,
+            moves_per_iter=moves_per_iter,
+            objective_history=objective_history,
+            fractional_representations=state.fractional_representations(),
+        )
+
+
+def fairkm_fit(
+    points: np.ndarray,
+    k: int,
+    categorical: list[CategoricalSpec] | None = None,
+    numeric: list[NumericSpec] | None = None,
+    *,
+    seed: int | np.random.Generator | None = None,
+    **kwargs,
+) -> FairKMResult:
+    """Convenience wrapper: ``FairKM(k, seed=seed, **kwargs).fit(...)``."""
+    return FairKM(k, seed=seed, **kwargs).fit(points, categorical, numeric)

@@ -1,0 +1,34 @@
+"""The λ heuristic of §5.4.
+
+The K-Means term sums one contribution per object while the fairness term
+sums one (cluster-level) contribution per cluster, each only 1/(|X|/k)
+influenceable by a single object. Balancing the two therefore suggests
+
+    λ = (|X| / k)²
+
+which reproduces the paper's settings: ≈10⁶ for Adult (n = 15 682, k = 5)
+and ≈10³ for Kinematics (n = 161, k = 5).
+"""
+
+from __future__ import annotations
+
+
+def default_lambda(n: int, k: int) -> float:
+    """Return the paper's recommended fairness weight ``(n/k)²``."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    return (n / k) ** 2
+
+
+def resolve_lambda(lambda_: float | str, n: int, k: int) -> float:
+    """Resolve a user-provided λ: a number, or the string ``"auto"``."""
+    if isinstance(lambda_, str):
+        if lambda_ != "auto":
+            raise ValueError(f'lambda_ must be a number or "auto", got {lambda_!r}')
+        return default_lambda(n, k)
+    value = float(lambda_)
+    if value < 0:
+        raise ValueError(f"lambda_ must be non-negative, got {value}")
+    return value

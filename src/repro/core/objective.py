@@ -1,0 +1,93 @@
+"""Direct (non-incremental) evaluation of the FairKM objective.
+
+These functions compute Eq. 1 / Eq. 7 / Eq. 22 / Eq. 23 straight from a
+label vector, with no cached statistics. They are the ground truth the
+incremental engine in :mod:`repro.core.state` is tested against, and they
+are cheap enough to call once per fit for reporting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.init import centroids_from_labels
+from ..cluster.utils import cluster_sizes, validate_labels
+from .attributes import CategoricalSpec, NumericSpec
+
+
+def kmeans_term(points: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Σ_C Σ_{X∈C} ‖X − mean(C)‖² over the non-sensitive attributes."""
+    points = np.asarray(points, dtype=np.float64)
+    labels = validate_labels(labels, k, n=points.shape[0])
+    centers = centroids_from_labels(points, labels, k)
+    diffs = points - centers[labels]
+    return float(np.einsum("ij,ij->", diffs, diffs))
+
+
+def categorical_deviation(spec: CategoricalSpec, labels: np.ndarray, k: int) -> float:
+    """Eq. 7's inner sum for one categorical attribute, over all clusters:
+
+        Σ_C (|C|/n)² · Σ_s (Fr_C(s) − Fr_X(s))² / |Values(S)|
+
+    Empty clusters contribute 0 (Eq. 3).
+    """
+    labels = validate_labels(labels, k, n=spec.codes.shape[0])
+    n = labels.shape[0]
+    sizes = cluster_sizes(labels, k).astype(np.float64)
+    dataset = spec.dataset_distribution
+    total = 0.0
+    for c in range(k):
+        if sizes[c] == 0:
+            continue
+        counts = np.bincount(spec.codes[labels == c], minlength=spec.n_values)
+        frac = counts / sizes[c]
+        dev = float(np.sum((frac - dataset) ** 2)) / spec.n_values
+        total += (sizes[c] / n) ** 2 * dev
+    return total
+
+
+def numeric_deviation(spec: NumericSpec, labels: np.ndarray, k: int) -> float:
+    """Eq. 22's inner sum for one numeric attribute:
+
+        Σ_C (|C|/n)² · (mean_C(S) − mean_X(S))²
+    """
+    labels = validate_labels(labels, k, n=spec.values.shape[0])
+    n = labels.shape[0]
+    sizes = cluster_sizes(labels, k).astype(np.float64)
+    overall = spec.dataset_mean
+    total = 0.0
+    for c in range(k):
+        if sizes[c] == 0:
+            continue
+        gap = float(spec.values[labels == c].mean()) - overall
+        total += (sizes[c] / n) ** 2 * gap * gap
+    return total
+
+
+def fairness_term(
+    categorical: list[CategoricalSpec],
+    numeric: list[NumericSpec],
+    labels: np.ndarray,
+    k: int,
+) -> float:
+    """deviation_S(C, X): the weighted sum of Eq. 7 and Eq. 22 terms (Eq. 23)."""
+    total = 0.0
+    for spec in categorical:
+        total += spec.weight * categorical_deviation(spec, labels, k)
+    for spec in numeric:
+        total += spec.weight * numeric_deviation(spec, labels, k)
+    return total
+
+
+def fairkm_objective(
+    points: np.ndarray,
+    categorical: list[CategoricalSpec],
+    numeric: list[NumericSpec],
+    labels: np.ndarray,
+    k: int,
+    lambda_: float,
+) -> float:
+    """The full FairKM objective O (Eq. 1)."""
+    return kmeans_term(points, labels, k) + lambda_ * fairness_term(
+        categorical, numeric, labels, k
+    )

@@ -1,0 +1,382 @@
+"""Incremental sufficient statistics for the FairKM objective.
+
+This module is the computational heart of the reproduction. It maintains,
+per cluster, exactly the quantities needed to evaluate the *change* in the
+FairKM objective (Eq. 9/10) for moving one object between clusters in
+O(|N| + |S|) — the optimized form of the paper's Eqs. 11–19.
+
+K-Means term. For cluster C keep ``m = |C|``, ``S = Σ x``, ``Q = Σ ‖x‖²``;
+then ``SSE(C) = Q − ‖S‖²/m`` and point insertion/removal deltas are closed
+forms in ``(m, S·x, ‖S‖², ‖x‖²)``. These are algebraically identical to the
+paper's Eqs. 11–15 (prototype re-normalization folded in).
+
+Categorical fairness term. Eq. 7 for one cluster/attribute equals
+``(1/n²) · f / |V(S)|`` with ``f = Σ_s (c_s − m·p_s)²`` (c_s = cluster value
+count, p_s = dataset fraction). Because ``Σ_s c_s = m`` and ``Σ_s p_s = 1``,
+moving an object whose value is j changes f by
+
+    Δf(±) = ±2·[(c_j − m·p_j) − (h − m·P2)] + (1 − 2·p_j + P2)
+
+where ``h = Σ_s p_s·c_s`` and ``P2 = Σ_s p_s²`` — both maintained
+incrementally. This is the same quantity as the paper's Eqs. 16–18 with the
+indicator bookkeeping folded into two cached scalars per cluster.
+
+Numeric fairness term (Eq. 22). Keep ``d = Σ_{x∈C} x_S − m·mean_X(S)`` per
+cluster/attribute; the cluster's term is ``(1/n²)·d²`` and the delta of
+moving a point with centered value y is ``±y·(2d ± y)``.
+
+Floating-point hygiene: thousands of incremental updates accumulate error,
+so :meth:`ClusterState.resync` recomputes every cache from the raw label
+vector (the optimizer calls it once per outer iteration) and
+:meth:`ClusterState.consistency_error` exposes the drift for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.utils import validate_labels
+from .attributes import CategoricalSpec, NumericSpec, validate_specs
+
+
+@dataclass
+class _CategoricalState:
+    """Caches for one categorical sensitive attribute."""
+
+    spec: CategoricalSpec
+    p: np.ndarray  # dataset distribution, shape (v,)
+    p2: float  # Σ p_s²
+    counts: np.ndarray  # (k, v) cluster value counts
+    f: np.ndarray  # (k,) Σ_s (c_s − m p_s)²
+    h: np.ndarray  # (k,) Σ_s p_s c_s
+    norm: float  # weight / |Values(S)|
+
+
+@dataclass
+class _NumericState:
+    """Caches for one numeric sensitive attribute."""
+
+    spec: NumericSpec
+    centered: np.ndarray  # (n,) values − dataset mean
+    d: np.ndarray  # (k,) Σ_{x∈C} centered(x)
+    weight: float
+
+
+class ClusterState:
+    """Mutable clustering state with O(1)-amortized move deltas.
+
+    Args:
+        points: non-sensitive feature matrix, shape ``(n, d_N)``.
+        labels: initial cluster assignment, shape ``(n,)``.
+        k: number of clusters.
+        categorical: categorical sensitive attribute specs.
+        numeric: numeric sensitive attribute specs.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        labels: np.ndarray,
+        k: int,
+        categorical: list[CategoricalSpec] | None = None,
+        numeric: list[NumericSpec] | None = None,
+    ) -> None:
+        self.points = np.ascontiguousarray(points, dtype=np.float64)
+        if self.points.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {self.points.shape}")
+        self.n, self.dim = self.points.shape
+        self.k = int(k)
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.labels = validate_labels(labels, self.k, n=self.n).copy()
+        self.categorical_specs = list(categorical or [])
+        self.numeric_specs = list(numeric or [])
+        validate_specs(self.n, self.categorical_specs, self.numeric_specs)
+        self.point_sqnorm = np.einsum("ij,ij->i", self.points, self.points)
+
+        # Allocated once; filled by resync().
+        self.sizes = np.zeros(self.k, dtype=np.int64)
+        self.sums = np.zeros((self.k, self.dim), dtype=np.float64)
+        self.sum_sqnorm = np.zeros(self.k, dtype=np.float64)  # ‖S_C‖²
+        self.sq_total = np.zeros(self.k, dtype=np.float64)  # Q_C = Σ ‖x‖²
+        self._cat: list[_CategoricalState] = []
+        for spec in self.categorical_specs:
+            p = spec.dataset_distribution
+            self._cat.append(
+                _CategoricalState(
+                    spec=spec,
+                    p=p,
+                    p2=float(np.sum(p * p)),
+                    counts=np.zeros((self.k, spec.n_values), dtype=np.float64),
+                    f=np.zeros(self.k, dtype=np.float64),
+                    h=np.zeros(self.k, dtype=np.float64),
+                    norm=spec.weight / spec.n_values,
+                )
+            )
+        self._num: list[_NumericState] = []
+        for spec in self.numeric_specs:
+            centered = spec.values - spec.dataset_mean
+            self._num.append(
+                _NumericState(
+                    spec=spec,
+                    centered=centered,
+                    d=np.zeros(self.k, dtype=np.float64),
+                    weight=spec.weight,
+                )
+            )
+        self.resync()
+
+    # ------------------------------------------------------------------ #
+    # Cache (re)construction                                              #
+    # ------------------------------------------------------------------ #
+
+    def resync(self) -> None:
+        """Recompute every cache from ``self.labels`` (clears float drift)."""
+        labels = self.labels
+        self.sizes = np.bincount(labels, minlength=self.k)
+        self.sums.fill(0.0)
+        np.add.at(self.sums, labels, self.points)
+        self.sum_sqnorm = np.einsum("ij,ij->i", self.sums, self.sums)
+        self.sq_total.fill(0.0)
+        np.add.at(self.sq_total, labels, self.point_sqnorm)
+        m = self.sizes.astype(np.float64)
+        for cat in self._cat:
+            cat.counts.fill(0.0)
+            np.add.at(cat.counts, (labels, cat.spec.codes), 1.0)
+            resid = cat.counts - m[:, None] * cat.p[None, :]
+            cat.f = np.einsum("ij,ij->i", resid, resid)
+            cat.h = cat.counts @ cat.p
+        for num in self._num:
+            num.d.fill(0.0)
+            np.add.at(num.d, labels, num.centered)
+
+    def consistency_error(self) -> float:
+        """Max absolute difference between live caches and a fresh rebuild."""
+        snapshot = ClusterState(
+            self.points, self.labels, self.k, self.categorical_specs, self.numeric_specs
+        )
+        err = float(np.max(np.abs(self.sums - snapshot.sums), initial=0.0))
+        err = max(err, float(np.max(np.abs(self.sum_sqnorm - snapshot.sum_sqnorm), initial=0.0)))
+        err = max(err, float(np.max(np.abs(self.sq_total - snapshot.sq_total), initial=0.0)))
+        err = max(err, float(np.max(np.abs(self.sizes - snapshot.sizes), initial=0)))
+        for mine, theirs in zip(self._cat, snapshot._cat):
+            err = max(err, float(np.max(np.abs(mine.counts - theirs.counts), initial=0.0)))
+            err = max(err, float(np.max(np.abs(mine.f - theirs.f), initial=0.0)))
+            err = max(err, float(np.max(np.abs(mine.h - theirs.h), initial=0.0)))
+        for mine, theirs in zip(self._num, snapshot._num):
+            err = max(err, float(np.max(np.abs(mine.d - theirs.d), initial=0.0)))
+        return err
+
+    # ------------------------------------------------------------------ #
+    # Objective evaluation from caches                                    #
+    # ------------------------------------------------------------------ #
+
+    def kmeans_term(self) -> float:
+        """Current K-Means loss Σ_C (Q_C − ‖S_C‖²/|C|)."""
+        m = self.sizes.astype(np.float64)
+        nonempty = m > 0
+        sse = self.sq_total[nonempty] - self.sum_sqnorm[nonempty] / m[nonempty]
+        return float(np.maximum(sse, 0.0).sum())
+
+    def fairness_term(self) -> float:
+        """Current deviation_S(C, X) per Eqs. 7 / 22 / 23."""
+        inv_n2 = 1.0 / (self.n * self.n)
+        total = 0.0
+        for cat in self._cat:
+            total += cat.norm * float(cat.f.sum())
+        for num in self._num:
+            total += num.weight * float(np.sum(num.d * num.d))
+        return inv_n2 * total
+
+    def objective(self, lambda_: float) -> float:
+        """O = K-Means term + λ · fairness term (Eq. 1)."""
+        return self.kmeans_term() + lambda_ * self.fairness_term()
+
+    def centroids(self) -> np.ndarray:
+        """Cluster prototypes (means); empty clusters get the global mean."""
+        m = self.sizes.astype(np.float64)
+        centers = np.empty_like(self.sums)
+        nonempty = m > 0
+        centers[nonempty] = self.sums[nonempty] / m[nonempty, None]
+        if not nonempty.all():
+            centers[~nonempty] = self.points.mean(axis=0)
+        return centers
+
+    # ------------------------------------------------------------------ #
+    # Move deltas and application                                         #
+    # ------------------------------------------------------------------ #
+
+    def move_deltas(self, i: int, lambda_: float) -> np.ndarray:
+        """Objective change for moving object *i* to each cluster.
+
+        Returns a length-k vector whose entry c is
+        ``O(labels with i→c) − O(labels)``; the entry for i's current
+        cluster is exactly 0. This is Eq. 10 evaluated for all candidate
+        clusters at once.
+        """
+        cur = int(self.labels[i])
+        x = self.points[i]
+        x2 = float(self.point_sqnorm[i])
+        m = self.sizes.astype(np.float64)
+
+        # --- K-Means term ------------------------------------------------
+        dots = self.sums @ x  # S_C · x for every C
+        with np.errstate(divide="ignore", invalid="ignore"):
+            delta_in = x2 + self.sum_sqnorm / np.where(m > 0, m, 1.0) - (
+                self.sum_sqnorm + 2.0 * dots + x2
+            ) / (m + 1.0)
+        delta_in = np.where(m > 0, delta_in, 0.0)
+
+        m_cur = float(m[cur])
+        if m_cur <= 1.0:
+            delta_out = 0.0
+        else:
+            s2_minus = self.sum_sqnorm[cur] - 2.0 * dots[cur] + x2
+            delta_out = -x2 - s2_minus / (m_cur - 1.0) + self.sum_sqnorm[cur] / m_cur
+        deltas = delta_in + delta_out
+
+        # --- Fairness term ------------------------------------------------
+        fair_in = np.zeros(self.k, dtype=np.float64)
+        fair_out = 0.0
+        for cat in self._cat:
+            j = int(cat.spec.codes[i])
+            p_j = float(cat.p[j])
+            self_term = 1.0 - 2.0 * p_j + cat.p2
+            gap = (cat.counts[:, j] - m * p_j) - (cat.h - m * cat.p2)
+            fair_in += cat.norm * (2.0 * gap + self_term)
+            fair_out += cat.norm * (-2.0 * float(gap[cur]) + self_term)
+        for num in self._num:
+            y = float(num.centered[i])
+            fair_in += num.weight * (y * (2.0 * num.d + y))
+            fair_out += num.weight * (-y * (2.0 * float(num.d[cur]) - y))
+        deltas += (lambda_ / (self.n * self.n)) * (fair_in + fair_out)
+
+        deltas[cur] = 0.0
+        return deltas
+
+    def batch_move_deltas(self, indices: np.ndarray, lambda_: float) -> np.ndarray:
+        """Vectorized :meth:`move_deltas` for many objects at once.
+
+        Returns a ``(len(indices), k)`` matrix of objective deltas, each
+        row evaluated against the *current frozen* statistics — i.e., the
+        rows do not see each other's hypothetical moves. This is the
+        computational primitive of the mini-batch extension (§6.1): within
+        a batch, decisions are made against a stale snapshot and applied
+        together.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        xb = self.points[indices]  # (b, d)
+        x2 = self.point_sqnorm[indices]  # (b,)
+        cur = self.labels[indices]  # (b,)
+        b = indices.shape[0]
+        rows = np.arange(b)
+        m = self.sizes.astype(np.float64)
+
+        dots = xb @ self.sums.T  # (b, k)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            delta_in = (
+                x2[:, None]
+                + (self.sum_sqnorm / np.where(m > 0, m, 1.0))[None, :]
+                - (self.sum_sqnorm[None, :] + 2.0 * dots + x2[:, None]) / (m + 1.0)[None, :]
+            )
+        delta_in = np.where(m[None, :] > 0, delta_in, 0.0)
+
+        m_cur = m[cur]
+        dots_cur = dots[rows, cur]
+        s2_minus = self.sum_sqnorm[cur] - 2.0 * dots_cur + x2
+        with np.errstate(divide="ignore", invalid="ignore"):
+            delta_out = np.where(
+                m_cur <= 1.0,
+                0.0,
+                -x2 - s2_minus / np.maximum(m_cur - 1.0, 1.0) + self.sum_sqnorm[cur] / np.maximum(m_cur, 1.0),
+            )
+
+        fair_in = np.zeros((b, self.k), dtype=np.float64)
+        fair_out = np.zeros(b, dtype=np.float64)
+        for cat in self._cat:
+            j = cat.spec.codes[indices]  # (b,)
+            p_j = cat.p[j]  # (b,)
+            self_term = 1.0 - 2.0 * p_j + cat.p2  # (b,)
+            # gap[r, c] = (counts[c, j_r] − m_c p_{j_r}) − (h_c − m_c P2)
+            gap = cat.counts[:, j].T - m[None, :] * p_j[:, None] - (
+                cat.h[None, :] - m[None, :] * cat.p2
+            )
+            fair_in += cat.norm * (2.0 * gap + self_term[:, None])
+            fair_out += cat.norm * (-2.0 * gap[rows, cur] + self_term)
+        for num in self._num:
+            y = num.centered[indices]  # (b,)
+            fair_in += num.weight * (y[:, None] * (2.0 * num.d[None, :] + y[:, None]))
+            fair_out += num.weight * (-y * (2.0 * num.d[cur] - y))
+
+        deltas = delta_in + delta_out[:, None]
+        deltas += (lambda_ / (self.n * self.n)) * (fair_in + fair_out[:, None])
+        deltas[rows, cur] = 0.0
+        return deltas
+
+    def apply_move(self, i: int, target: int) -> None:
+        """Move object *i* to cluster *target*, updating all caches.
+
+        Implements the paper's Steps 6–7 (prototype and fractional-
+        representation updates, Eqs. 11/13/20/21) via the sufficient
+        statistics.
+        """
+        cur = int(self.labels[i])
+        if target == cur:
+            return
+        if not 0 <= target < self.k:
+            raise ValueError(f"target cluster {target} out of range [0, {self.k})")
+        x = self.points[i]
+        x2 = float(self.point_sqnorm[i])
+        m = self.sizes.astype(np.float64)
+
+        for cat in self._cat:
+            j = int(cat.spec.codes[i])
+            p_j = float(cat.p[j])
+            self_term = 1.0 - 2.0 * p_j + cat.p2
+            # Removal from cur (counts still include i).
+            gap_cur = (cat.counts[cur, j] - m[cur] * p_j) - (cat.h[cur] - m[cur] * cat.p2)
+            cat.f[cur] += -2.0 * gap_cur + self_term
+            cat.h[cur] -= p_j
+            cat.counts[cur, j] -= 1.0
+            # Insertion into target (counts exclude i).
+            gap_tgt = (cat.counts[target, j] - m[target] * p_j) - (
+                cat.h[target] - m[target] * cat.p2
+            )
+            cat.f[target] += 2.0 * gap_tgt + self_term
+            cat.h[target] += p_j
+            cat.counts[target, j] += 1.0
+
+        for num in self._num:
+            y = float(num.centered[i])
+            num.d[cur] -= y
+            num.d[target] += y
+
+        self.sums[cur] -= x
+        self.sums[target] += x
+        self.sq_total[cur] -= x2
+        self.sq_total[target] += x2
+        self.sum_sqnorm[cur] = float(self.sums[cur] @ self.sums[cur])
+        self.sum_sqnorm[target] = float(self.sums[target] @ self.sums[target])
+        self.sizes[cur] -= 1
+        self.sizes[target] += 1
+        self.labels[i] = target
+
+    # ------------------------------------------------------------------ #
+    # Reporting helpers                                                   #
+    # ------------------------------------------------------------------ #
+
+    def fractional_representations(self) -> dict[str, np.ndarray]:
+        """Fr_C(s) matrices per categorical attribute, shape (k, n_values).
+
+        Rows of empty clusters are all-NaN.
+        """
+        out: dict[str, np.ndarray] = {}
+        m = self.sizes.astype(np.float64)
+        for cat in self._cat:
+            frac = np.full_like(cat.counts, np.nan)
+            nonempty = m > 0
+            frac[nonempty] = cat.counts[nonempty] / m[nonempty, None]
+            out[cat.spec.name] = frac
+        return out

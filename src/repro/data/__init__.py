@@ -1,0 +1,50 @@
+"""Data layer: schema, datasets, generators, sampling.
+
+* :class:`Dataset` / :class:`Column` — the columnar container joining raw
+  data to FairKM specs and fairness metrics.
+* :func:`generate_adult` / :func:`load_adult_csv` — the Adult (Census
+  Income) workload (§5.1).
+* :func:`generate_kinematics` / :func:`generate_problems` — the kinematics
+  word-problem workload (§5.1).
+* :func:`make_fair_problem` — generic synthetic problems for ablations.
+* :func:`undersample_to_parity` / :func:`subsample` — sampling utilities.
+"""
+
+from .adult import generate_adult, load_adult_csv
+from .dataset import Dataset
+from .encoders import encode_strings, one_hot, ordinal_scaled, standardize
+from .kinematics import (
+    TYPE_COUNTS,
+    TYPE_DESCRIPTIONS,
+    WordProblem,
+    generate_kinematics,
+    generate_problems,
+    problems_to_dataset,
+)
+from .sampling import parity_indices, subsample, undersample_to_parity
+from .schema import Column, Kind, Role, SchemaSummary
+from .synthetic import make_fair_problem
+
+__all__ = [
+    "Column",
+    "Dataset",
+    "Kind",
+    "Role",
+    "SchemaSummary",
+    "TYPE_COUNTS",
+    "TYPE_DESCRIPTIONS",
+    "WordProblem",
+    "encode_strings",
+    "generate_adult",
+    "generate_kinematics",
+    "generate_problems",
+    "load_adult_csv",
+    "make_fair_problem",
+    "one_hot",
+    "ordinal_scaled",
+    "parity_indices",
+    "problems_to_dataset",
+    "standardize",
+    "subsample",
+    "undersample_to_parity",
+]

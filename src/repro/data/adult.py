@@ -1,0 +1,451 @@
+"""Synthetic Adult (Census-Income) dataset generator, plus a CSV loader.
+
+The paper evaluates on the UCI Adult dataset (32 561 rows), undersampled
+to income parity (15 682 rows), with five sensitive attributes
+(marital-status:7, relationship:6, race:5, sex:2, native-country:41) and
+eight non-sensitive features. That file is not redistributable here, so
+:func:`generate_adult` synthesizes a dataset with the same schema and the
+two properties the experiments depend on:
+
+1. **Realistic marginals** — including the heavy skews the paper calls out
+   (race ≈ 85 % one value; native-country ≈ 90 % one value; sex ≈ 2:1).
+2. **Sensitive ↔ non-sensitive correlation** — a latent *profile* mixture
+   ties sex/marital/race/country to occupation, education, hours and
+   capital income, so an S-blind K-Means over N produces clusters skewed
+   on S. That is the phenomenon FairKM exists to repair (§3: "some
+   attributes in N could implicitly encode gender information").
+
+Users with the real ``adult.data`` can call :func:`load_adult_csv` and run
+every experiment unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import Dataset
+from .schema import Column, Kind, Role
+
+# --------------------------------------------------------------------- #
+# Value domains (verbatim from the UCI Adult codebook)                    #
+# --------------------------------------------------------------------- #
+
+MARITAL_VALUES = (
+    "Married-civ-spouse",
+    "Never-married",
+    "Divorced",
+    "Separated",
+    "Widowed",
+    "Married-spouse-absent",
+    "Married-AF-spouse",
+)
+
+RELATIONSHIP_VALUES = (
+    "Husband",
+    "Not-in-family",
+    "Own-child",
+    "Unmarried",
+    "Wife",
+    "Other-relative",
+)
+
+RACE_VALUES = (
+    "White",
+    "Black",
+    "Asian-Pac-Islander",
+    "Amer-Indian-Eskimo",
+    "Other",
+)
+
+SEX_VALUES = ("Male", "Female")
+
+COUNTRY_VALUES = (
+    "United-States",
+    "Mexico",
+    "Philippines",
+    "Germany",
+    "Canada",
+    "Puerto-Rico",
+    "El-Salvador",
+    "India",
+    "Cuba",
+    "England",
+    "Jamaica",
+    "South",
+    "China",
+    "Italy",
+    "Dominican-Republic",
+    "Vietnam",
+    "Guatemala",
+    "Japan",
+    "Poland",
+    "Columbia",
+    "Taiwan",
+    "Haiti",
+    "Iran",
+    "Portugal",
+    "Nicaragua",
+    "Peru",
+    "Greece",
+    "France",
+    "Ecuador",
+    "Ireland",
+    "Hong",
+    "Trinadad&Tobago",
+    "Cambodia",
+    "Thailand",
+    "Laos",
+    "Yugoslavia",
+    "Outlying-US(Guam-USVI-etc)",
+    "Hungary",
+    "Honduras",
+    "Scotland",
+    "Holand-Netherlands",
+)
+
+OCCUPATION_VALUES = (
+    "Prof-specialty",
+    "Craft-repair",
+    "Exec-managerial",
+    "Adm-clerical",
+    "Sales",
+    "Other-service",
+    "Machine-op-inspct",
+    "Transport-moving",
+    "Handlers-cleaners",
+    "Farming-fishing",
+    "Tech-support",
+    "Protective-serv",
+    "Priv-house-serv",
+    "Armed-Forces",
+)
+
+WORKCLASS_VALUES = (
+    "Private",
+    "Self-emp-not-inc",
+    "Local-gov",
+    "State-gov",
+    "Self-emp-inc",
+    "Federal-gov",
+    "Without-pay",
+    "Never-worked",
+)
+
+INCOME_VALUES = ("<=50K", ">50K")
+
+#: Region buckets used to draw non-US countries; weights form a long tail
+#: that reproduces Adult's 41-value, ~90 %-US native-country skew.
+_NON_US_COUNTRY_WEIGHTS = np.array(
+    [6.4, 2.0, 1.4, 1.2, 1.1, 1.1, 1.0, 1.0, 0.9, 0.9, 0.8, 0.8, 0.7, 0.7, 0.7,
+     0.6, 0.6, 0.6, 0.6, 0.6, 0.5, 0.4, 0.4, 0.3, 0.3, 0.3, 0.3, 0.3, 0.2, 0.2,
+     0.2, 0.2, 0.2, 0.2, 0.2, 0.1, 0.1, 0.1, 0.1, 0.05]
+)
+
+_LATIN = {"Mexico", "Puerto-Rico", "El-Salvador", "Cuba", "Dominican-Republic",
+          "Guatemala", "Columbia", "Haiti", "Nicaragua", "Peru", "Ecuador",
+          "Honduras", "Trinadad&Tobago", "Jamaica"}
+_ASIAN = {"Philippines", "India", "China", "Vietnam", "Japan", "Taiwan",
+          "Hong", "Cambodia", "Thailand", "Laos", "South", "Iran"}
+
+
+@dataclass(frozen=True)
+class _Profile:
+    """A latent socioeconomic profile tying S and N attributes together."""
+
+    name: str
+    weight: float
+    p_male: float
+    age_mean: float
+    age_sd: float
+    marital: tuple[float, ...]  # over MARITAL_VALUES
+    p_foreign: float
+    education_mean: float
+    education_sd: float
+    occupation: tuple[float, ...]  # over OCCUPATION_VALUES
+    workclass: tuple[float, ...]  # over WORKCLASS_VALUES
+    hours_mean: float
+    hours_sd: float
+    p_capital_gain: float
+    income_bias: float  # added to the income logit
+
+
+def _norm(weights: tuple[float, ...]) -> np.ndarray:
+    arr = np.array(weights, dtype=np.float64)
+    return arr / arr.sum()
+
+
+#                 Prof Craft Exec  Adm  Sales Oserv Mach Trans Handl Farm Tech Prot Priv Armed
+_PROFILES = (
+    _Profile(  # married male professionals / managers
+        "married-professional", 0.22, 0.88, 44, 9,
+        (0.86, 0.02, 0.06, 0.01, 0.02, 0.02, 0.01), 0.06, 12.5, 2.2,
+        (0.28, 0.08, 0.30, 0.04, 0.12, 0.02, 0.02, 0.03, 0.01, 0.02, 0.05, 0.02, 0.0, 0.01),
+        (0.62, 0.10, 0.07, 0.06, 0.08, 0.07, 0.0, 0.0),
+        46, 8, 0.16, 2.2,
+    ),
+    _Profile(  # blue-collar married men
+        "blue-collar", 0.20, 0.93, 40, 10,
+        (0.70, 0.10, 0.12, 0.03, 0.02, 0.03, 0.0), 0.08, 9.3, 1.8,
+        (0.01, 0.38, 0.03, 0.02, 0.04, 0.04, 0.16, 0.16, 0.10, 0.04, 0.005, 0.015, 0.0, 0.0),
+        (0.78, 0.09, 0.04, 0.03, 0.02, 0.04, 0.0, 0.0),
+        43, 7, 0.05, -0.4,
+    ),
+    _Profile(  # clerical / service women
+        "clerical-service", 0.22, 0.08, 38, 11,
+        (0.28, 0.30, 0.24, 0.07, 0.07, 0.04, 0.0), 0.07, 10.2, 1.9,
+        (0.07, 0.005, 0.06, 0.40, 0.10, 0.25, 0.03, 0.005, 0.01, 0.005, 0.05, 0.005, 0.03, 0.0),
+        (0.74, 0.04, 0.09, 0.06, 0.02, 0.05, 0.0, 0.0),
+        36, 9, 0.04, -1.0,
+    ),
+    _Profile(  # young never-married entrants
+        "young-entrant", 0.18, 0.55, 25, 5,
+        (0.06, 0.84, 0.04, 0.02, 0.0, 0.04, 0.0), 0.09, 10.0, 1.7,
+        (0.06, 0.08, 0.04, 0.12, 0.16, 0.24, 0.08, 0.05, 0.10, 0.03, 0.03, 0.01, 0.0, 0.0),
+        (0.86, 0.03, 0.04, 0.04, 0.01, 0.02, 0.0, 0.0),
+        33, 10, 0.01, -2.2,
+    ),
+    _Profile(  # immigrant labor (dominates the non-US country mass)
+        "immigrant-labor", 0.08, 0.68, 37, 10,
+        (0.55, 0.25, 0.08, 0.05, 0.02, 0.05, 0.0), 0.78, 8.0, 2.6,
+        (0.05, 0.16, 0.03, 0.05, 0.07, 0.22, 0.16, 0.07, 0.11, 0.06, 0.01, 0.01, 0.0, 0.0),
+        (0.84, 0.07, 0.02, 0.02, 0.02, 0.03, 0.0, 0.0),
+        41, 9, 0.02, -1.5,
+    ),
+    _Profile(  # senior / widowed, reduced hours
+        "senior", 0.10, 0.45, 61, 7,
+        (0.45, 0.04, 0.18, 0.03, 0.26, 0.04, 0.0), 0.07, 9.8, 2.3,
+        (0.12, 0.10, 0.12, 0.12, 0.10, 0.14, 0.07, 0.06, 0.04, 0.05, 0.03, 0.02, 0.03, 0.0),
+        (0.58, 0.18, 0.08, 0.06, 0.06, 0.04, 0.0, 0.0),
+        34, 12, 0.10, -0.3,
+    ),
+)
+
+
+def _relationship_from(
+    rng: np.random.Generator, marital: np.ndarray, sex: np.ndarray, age: np.ndarray
+) -> np.ndarray:
+    """Derive relationship codes from marital status, sex and age.
+
+    Mirrors the near-deterministic coupling in the real data: married men
+    are Husbands, married women Wives, young never-married people are
+    predominantly Own-child, etc.
+    """
+    n = marital.shape[0]
+    rel = np.empty(n, dtype=np.int64)
+    u = rng.random(n)
+    married = np.isin(marital, [0, 6])  # civ-spouse or AF-spouse
+    male = sex == 0
+    rel[married & male] = np.where(u[married & male] < 0.97, 0, 5)  # Husband
+    rel[married & ~male] = np.where(u[married & ~male] < 0.93, 4, 5)  # Wife
+    never = marital == 1
+    young = age < 30
+    rel[never & young] = np.where(
+        u[never & young] < 0.62, 2, np.where(u[never & young] < 0.92, 1, 3)
+    )  # Own-child / Not-in-family / Unmarried
+    rel[never & ~young] = np.where(u[never & ~young] < 0.72, 1, 3)
+    other = ~(married | never)
+    rel[other] = np.where(
+        u[other] < 0.52, 1, np.where(u[other] < 0.92, 3, 5)
+    )  # Not-in-family / Unmarried / Other-relative
+    return rel
+
+
+def _race_from(rng: np.random.Generator, country: np.ndarray) -> np.ndarray:
+    """Race conditioned on native country (US: Adult-like marginals;
+    Latin/Asian origin shifts mass accordingly)."""
+    n = country.shape[0]
+    race = np.empty(n, dtype=np.int64)
+    us = country == 0
+    race[us] = rng.choice(5, size=int(us.sum()), p=_norm((0.874, 0.093, 0.013, 0.012, 0.008)))
+    names = np.array(COUNTRY_VALUES, dtype=object)[country]
+    latin = np.array([c in _LATIN for c in names]) & ~us
+    asian = np.array([c in _ASIAN for c in names]) & ~us
+    europe = ~us & ~latin & ~asian
+    race[latin] = rng.choice(5, size=int(latin.sum()), p=_norm((0.52, 0.16, 0.02, 0.02, 0.28)))
+    race[asian] = rng.choice(5, size=int(asian.sum()), p=_norm((0.06, 0.02, 0.88, 0.01, 0.03)))
+    race[europe] = rng.choice(5, size=int(europe.sum()), p=_norm((0.92, 0.04, 0.02, 0.01, 0.01)))
+    return race
+
+
+def generate_adult(
+    n: int = 32561, seed: int | np.random.Generator | None = 0
+) -> Dataset:
+    """Generate a synthetic Adult-like dataset of *n* rows.
+
+    Schema (matching §5.1): sensitive S = {marital-status, relationship,
+    race, sex, native-country}; features N = {age, fnlwgt, education-num,
+    occupation, workclass, capital-gain, capital-loss, hours-per-week};
+    meta = {income} (used only for parity undersampling).
+
+    Args:
+        n: number of rows (paper: 32 561 before undersampling).
+        seed: RNG seed or generator.
+
+    Returns:
+        A :class:`~repro.data.dataset.Dataset` named ``"adult-synthetic"``.
+    """
+    if n < len(_PROFILES):
+        raise ValueError(f"n must be at least {len(_PROFILES)}, got {n}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    weights = _norm(tuple(p.weight for p in _PROFILES))
+    profile_of = rng.choice(len(_PROFILES), size=n, p=weights)
+
+    age = np.empty(n)
+    sex = np.empty(n, dtype=np.int64)
+    marital = np.empty(n, dtype=np.int64)
+    country = np.zeros(n, dtype=np.int64)
+    education = np.empty(n)
+    occupation = np.empty(n, dtype=np.int64)
+    workclass = np.empty(n, dtype=np.int64)
+    hours = np.empty(n)
+    gain = np.zeros(n)
+    loss = np.zeros(n)
+    income_logit = np.empty(n)
+
+    non_us = _norm(tuple(_NON_US_COUNTRY_WEIGHTS))
+    for idx, prof in enumerate(_PROFILES):
+        rows = np.flatnonzero(profile_of == idx)
+        m = rows.size
+        if m == 0:
+            continue
+        age[rows] = np.clip(rng.normal(prof.age_mean, prof.age_sd, m), 17, 90)
+        sex[rows] = (rng.random(m) >= prof.p_male).astype(np.int64)
+        marital[rows] = rng.choice(7, size=m, p=_norm(prof.marital))
+        foreign = rng.random(m) < prof.p_foreign
+        country[rows[foreign]] = 1 + rng.choice(40, size=int(foreign.sum()), p=non_us)
+        education[rows] = np.clip(
+            np.round(rng.normal(prof.education_mean, prof.education_sd, m)), 1, 16
+        )
+        occupation[rows] = rng.choice(14, size=m, p=_norm(prof.occupation))
+        workclass[rows] = rng.choice(8, size=m, p=_norm(prof.workclass))
+        hours[rows] = np.clip(np.round(rng.normal(prof.hours_mean, prof.hours_sd, m)), 1, 99)
+        gainers = rng.random(m) < prof.p_capital_gain
+        gain[rows[gainers]] = np.round(rng.lognormal(8.4, 1.1, int(gainers.sum())))
+        losers = rng.random(m) < 0.047
+        loss[rows[losers]] = np.round(rng.normal(1900, 350, int(losers.sum())).clip(100, 4000))
+        income_logit[rows] = prof.income_bias
+
+    relationship = _relationship_from(rng, marital, sex, age)
+    race = _race_from(rng, country)
+
+    # Income: logistic in education, age, hours + profile bias; mirrors the
+    # Adult dataset's well-known dependencies (and lets the paper's parity
+    # undersampling step select a realistic subpopulation).
+    logit = (
+        income_logit
+        + 0.38 * (education - 10.0)
+        + 0.045 * (age - 38.0)
+        + 0.035 * (hours - 40.0)
+        + 0.9 * (gain > 0)
+        - 1.1
+    )
+    income = (rng.random(n) < 1.0 / (1.0 + np.exp(-logit))).astype(np.int64)
+    fnlwgt = np.round(rng.lognormal(12.0, 0.45, n)).clip(1e4, 1.5e6)
+
+    def cat(name: str, codes: np.ndarray, values: tuple[str, ...], role: Role) -> Column:
+        return Column(name=name, role=role, kind=Kind.CATEGORICAL, values=codes, categories=values)
+
+    def num(name: str, values: np.ndarray) -> Column:
+        return Column(name=name, role=Role.FEATURE, kind=Kind.NUMERIC, values=values)
+
+    return Dataset(
+        [
+            num("age", age),
+            num("fnlwgt", fnlwgt),
+            num("education-num", education),
+            cat("occupation", occupation, OCCUPATION_VALUES, Role.FEATURE),
+            cat("workclass", workclass, WORKCLASS_VALUES, Role.FEATURE),
+            num("capital-gain", gain),
+            num("capital-loss", loss),
+            num("hours-per-week", hours),
+            cat("marital-status", marital, MARITAL_VALUES, Role.SENSITIVE),
+            cat("relationship", relationship, RELATIONSHIP_VALUES, Role.SENSITIVE),
+            cat("race", race, RACE_VALUES, Role.SENSITIVE),
+            cat("sex", sex, SEX_VALUES, Role.SENSITIVE),
+            cat("native-country", country, COUNTRY_VALUES, Role.SENSITIVE),
+            cat("income", income, INCOME_VALUES, Role.META),
+        ],
+        name="adult-synthetic",
+    )
+
+
+#: Column order of the UCI ``adult.data`` file.
+_CSV_FIELDS = (
+    "age", "workclass", "fnlwgt", "education", "education-num",
+    "marital-status", "occupation", "relationship", "race", "sex",
+    "capital-gain", "capital-loss", "hours-per-week", "native-country",
+    "income",
+)
+
+
+def load_adult_csv(path: str, drop_missing: bool = True) -> Dataset:
+    """Load the real UCI ``adult.data`` file into the same schema.
+
+    Args:
+        path: path to the comma-separated UCI file (no header).
+        drop_missing: drop rows containing '?' fields (standard cleaning,
+            default). With ``drop_missing=False``, '?' entries are imputed
+            with the column's modal UCI value (Private / Prof-specialty /
+            United-States) so cardinalities stay exactly the paper's.
+
+    Returns:
+        A :class:`Dataset` named ``"adult-uci"`` with the identical
+        role/kind layout as :func:`generate_adult`, so every experiment
+        runs unchanged against the genuine data.
+    """
+    rows: list[list[str]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip().rstrip(".")
+            if not line:
+                continue
+            parts = [p.strip() for p in line.split(",")]
+            if len(parts) != len(_CSV_FIELDS):
+                continue
+            if drop_missing and "?" in parts:
+                continue
+            rows.append(parts)
+    if not rows:
+        raise ValueError(f"no usable rows in {path!r}")
+    by_field = {f: [r[i] for r in rows] for i, f in enumerate(_CSV_FIELDS)}
+
+    def codes_for(field: str, values: tuple[str, ...]) -> np.ndarray:
+        index = {v: i for i, v in enumerate(values)}
+        index["?"] = 0  # modal-value imputation when drop_missing=False
+        try:
+            return np.array([index[v] for v in by_field[field]], dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(f"unexpected {field} value {exc}") from exc
+
+    def floats_for(field: str) -> np.ndarray:
+        return np.array([float(v) for v in by_field[field]], dtype=np.float64)
+
+    income_norm = [v if v.startswith("<") or v.startswith(">") else v for v in by_field["income"]]
+    income = np.array([0 if v == "<=50K" else 1 for v in income_norm], dtype=np.int64)
+
+    def cat(name: str, values: tuple[str, ...], role: Role) -> Column:
+        return Column(name=name, role=role, kind=Kind.CATEGORICAL,
+                      values=codes_for(name, values), categories=values)
+
+    return Dataset(
+        [
+            Column("age", Role.FEATURE, Kind.NUMERIC, floats_for("age")),
+            Column("fnlwgt", Role.FEATURE, Kind.NUMERIC, floats_for("fnlwgt")),
+            Column("education-num", Role.FEATURE, Kind.NUMERIC, floats_for("education-num")),
+            cat("occupation", OCCUPATION_VALUES, Role.FEATURE),
+            cat("workclass", WORKCLASS_VALUES, Role.FEATURE),
+            Column("capital-gain", Role.FEATURE, Kind.NUMERIC, floats_for("capital-gain")),
+            Column("capital-loss", Role.FEATURE, Kind.NUMERIC, floats_for("capital-loss")),
+            Column("hours-per-week", Role.FEATURE, Kind.NUMERIC, floats_for("hours-per-week")),
+            cat("marital-status", MARITAL_VALUES, Role.SENSITIVE),
+            cat("relationship", RELATIONSHIP_VALUES, Role.SENSITIVE),
+            cat("race", RACE_VALUES, Role.SENSITIVE),
+            cat("sex", SEX_VALUES, Role.SENSITIVE),
+            cat("native-country", COUNTRY_VALUES, Role.SENSITIVE),
+            Column("income", Role.META, Kind.CATEGORICAL, income, INCOME_VALUES),
+        ],
+        name="adult-uci",
+    )

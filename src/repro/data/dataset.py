@@ -1,0 +1,200 @@
+"""The columnar :class:`Dataset` joining the data layer to the algorithms.
+
+A dataset is a bag of named :class:`~repro.data.schema.Column` objects.
+From it one can ask for:
+
+* :meth:`Dataset.feature_matrix` — the non-sensitive matrix used by the
+  K-Means term (numeric features standardized, categorical features
+  one-hot or ordinal encoded);
+* :meth:`Dataset.sensitive_specs` — FairKM's sensitive-attribute specs;
+* :meth:`Dataset.sensitive_categorical` — the ``name -> (codes, t)``
+  mapping consumed by the fairness metrics.
+
+Subsetting (:meth:`Dataset.subset`) and parity undersampling (in
+``repro.data.sampling``) return new datasets and never mutate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.attributes import CategoricalSpec, NumericSpec
+from .encoders import one_hot, ordinal_scaled, standardize
+from .schema import Column, Kind, Role, SchemaSummary
+
+
+class Dataset:
+    """An immutable-ish collection of aligned columns.
+
+    Args:
+        columns: the dataset's columns; all must share one length.
+        name: dataset name for reports.
+    """
+
+    def __init__(self, columns: list[Column], name: str = "dataset") -> None:
+        if not columns:
+            raise ValueError("a dataset needs at least one column")
+        lengths = {c.n for c in columns}
+        if len(lengths) != 1:
+            raise ValueError(f"column lengths differ: {sorted(lengths)}")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate column names")
+        self.name = name
+        self._columns: dict[str, Column] = {c.name: c for c in columns}
+        self.n = columns[0].n
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> Column:
+        if name not in self._columns:
+            raise KeyError(f"no column {name!r} in dataset {self.name!r}")
+        return self._columns[name]
+
+    def columns(self, role: Role | None = None) -> list[Column]:
+        """All columns, optionally filtered by role, in insertion order."""
+        cols = list(self._columns.values())
+        if role is None:
+            return cols
+        return [c for c in cols if c.role is role]
+
+    @property
+    def feature_names(self) -> list[str]:
+        return [c.name for c in self.columns(Role.FEATURE)]
+
+    @property
+    def sensitive_names(self) -> list[str]:
+        return [c.name for c in self.columns(Role.SENSITIVE)]
+
+    def summary(self) -> SchemaSummary:
+        return SchemaSummary(
+            n=self.n,
+            feature_names=self.feature_names,
+            sensitive_names=self.sensitive_names,
+            meta_names=[c.name for c in self.columns(Role.META)],
+            cardinalities={
+                c.name: c.n_values
+                for c in self.columns()
+                if c.kind is Kind.CATEGORICAL
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Algorithm-facing views                                              #
+    # ------------------------------------------------------------------ #
+
+    def feature_matrix(
+        self, *, scale: bool = True, categorical_encoding: str = "onehot"
+    ) -> np.ndarray:
+        """Assemble the non-sensitive matrix N.
+
+        Args:
+            scale: z-score numeric features (after assembly of the numeric
+                block; one-hot columns are left as 0/1).
+            categorical_encoding: ``"onehot"`` (default) or ``"ordinal"``
+                for categorical FEATURE columns.
+
+        Returns:
+            Float matrix of shape ``(n, d_N)``.
+        """
+        blocks: list[np.ndarray] = []
+        numeric_block: list[np.ndarray] = []
+        for col in self.columns(Role.FEATURE):
+            if col.kind is Kind.NUMERIC:
+                numeric_block.append(col.values[:, None])
+            elif categorical_encoding == "onehot":
+                blocks.append(one_hot(col.values, col.n_values))
+            elif categorical_encoding == "ordinal":
+                numeric_block.append(ordinal_scaled(col.values, col.n_values)[:, None])
+            else:
+                raise ValueError(
+                    f"categorical_encoding must be 'onehot' or 'ordinal', "
+                    f"got {categorical_encoding!r}"
+                )
+        if not numeric_block and not blocks:
+            raise ValueError("dataset has no FEATURE columns")
+        parts: list[np.ndarray] = []
+        if numeric_block:
+            numeric = np.hstack(numeric_block)
+            parts.append(standardize(numeric) if scale else numeric)
+        parts.extend(blocks)
+        return np.hstack(parts)
+
+    def sensitive_specs(
+        self,
+        names: list[str] | None = None,
+        weights: dict[str, float] | None = None,
+    ) -> tuple[list[CategoricalSpec], list[NumericSpec]]:
+        """Build FairKM specs from the SENSITIVE columns.
+
+        Args:
+            names: restrict to these sensitive attributes (the paper's
+                single-attribute FairKM(S) runs); default all.
+            weights: optional per-attribute fairness weights (Eq. 23).
+
+        Returns:
+            ``(categorical_specs, numeric_specs)``.
+        """
+        weights = weights or {}
+        selected = self.columns(Role.SENSITIVE)
+        if names is not None:
+            available = {c.name for c in selected}
+            missing = set(names) - available
+            if missing:
+                raise KeyError(f"not sensitive columns: {sorted(missing)}")
+            selected = [c for c in selected if c.name in names]
+        cats: list[CategoricalSpec] = []
+        nums: list[NumericSpec] = []
+        for col in selected:
+            w = float(weights.get(col.name, 1.0))
+            if col.kind is Kind.CATEGORICAL:
+                cats.append(
+                    CategoricalSpec(col.name, col.values, n_values=col.n_values, weight=w)
+                )
+            else:
+                nums.append(NumericSpec(col.name, col.values, weight=w))
+        return cats, nums
+
+    def sensitive_categorical(self) -> dict[str, tuple[np.ndarray, int]]:
+        """``name -> (codes, n_values)`` for the fairness metrics."""
+        return {
+            c.name: (c.values, c.n_values)
+            for c in self.columns(Role.SENSITIVE)
+            if c.kind is Kind.CATEGORICAL
+        }
+
+    def sensitive_numeric(self) -> dict[str, np.ndarray]:
+        """``name -> values`` for numeric sensitive attributes."""
+        return {
+            c.name: c.values
+            for c in self.columns(Role.SENSITIVE)
+            if c.kind is Kind.NUMERIC
+        }
+
+    # ------------------------------------------------------------------ #
+    # Transformation                                                      #
+    # ------------------------------------------------------------------ #
+
+    def subset(self, indices: np.ndarray, name: str | None = None) -> "Dataset":
+        """Row subset as a new dataset."""
+        indices = np.asarray(indices)
+        return Dataset(
+            [c.take(indices) for c in self.columns()],
+            name=name or f"{self.name}[{indices.shape[0]}]",
+        )
+
+    def with_column(self, column: Column) -> "Dataset":
+        """New dataset with *column* appended (or replaced by name)."""
+        if column.n != self.n:
+            raise ValueError(f"column {column.name!r} has {column.n} rows, expected {self.n}")
+        cols = [c for c in self.columns() if c.name != column.name]
+        cols.append(column)
+        return Dataset(cols, name=self.name)

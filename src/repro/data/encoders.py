@@ -1,0 +1,68 @@
+"""Feature encoders for turning columns into clustering-ready matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def standardize(matrix: np.ndarray) -> np.ndarray:
+    """Column-wise z-scoring; constant columns become all-zero.
+
+    K-Means-style objectives are scale-sensitive, so the non-sensitive
+    matrix is standardized before clustering (standard practice for the
+    Adult dataset's wildly different feature ranges).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    # Columns whose spread is at floating-point noise level relative to
+    # their magnitude are effectively constant; z-scoring them would
+    # amplify rounding garbage, so they are zeroed instead.
+    constant = std <= 1e-12 * np.maximum(np.abs(mean), 1.0)
+    safe = np.where(constant, 1.0, std)
+    out = (matrix - mean) / safe
+    out[:, constant] = 0.0
+    return out
+
+
+def one_hot(codes: np.ndarray, n_values: int) -> np.ndarray:
+    """One-hot encode integer codes into an ``(n, n_values)`` float matrix."""
+    codes = np.asarray(codes)
+    if codes.ndim != 1:
+        raise ValueError("codes must be 1-D")
+    if codes.size and (codes.min() < 0 or codes.max() >= n_values):
+        raise ValueError(f"codes must lie in [0, {n_values})")
+    out = np.zeros((codes.shape[0], n_values), dtype=np.float64)
+    out[np.arange(codes.shape[0]), codes] = 1.0
+    return out
+
+
+def encode_strings(values: list[str]) -> tuple[np.ndarray, tuple[str, ...]]:
+    """Label-encode strings into codes plus the ordered category tuple.
+
+    Categories are ordered by first appearance, which keeps encodings
+    stable for streaming CSV loads.
+    """
+    categories: list[str] = []
+    index: dict[str, int] = {}
+    codes = np.empty(len(values), dtype=np.int64)
+    for i, value in enumerate(values):
+        if value not in index:
+            index[value] = len(categories)
+            categories.append(value)
+        codes[i] = index[value]
+    return codes, tuple(categories)
+
+
+def ordinal_scaled(codes: np.ndarray, n_values: int) -> np.ndarray:
+    """Map codes to the unit interval: ``code / (n_values − 1)``.
+
+    A compact numeric encoding for low-cardinality categorical features
+    when one-hot blow-up is unwanted. Single-valued domains map to 0.
+    """
+    codes = np.asarray(codes, dtype=np.float64)
+    if n_values <= 1:
+        return np.zeros_like(codes)
+    return codes / (n_values - 1)

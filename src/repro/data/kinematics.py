@@ -1,0 +1,305 @@
+"""Kinematics word-problem dataset: template NLG + embedding (§5.1).
+
+The paper's second dataset is 161 kinematics word problems hand-labelled
+into five types (Table 2), embedded as 100-dim Doc2Vec vectors; the five
+type indicators form five *binary* sensitive attributes. The corpus is not
+public, so :func:`generate_problems` writes genuine kinematics problems
+from parameterized templates with the paper's exact type counts
+(Table 4: 60/36/15/31/19).
+
+Templates deliberately share vocabulary across types (balls are thrown
+horizontally and vertically; heights and velocities appear everywhere), so
+an embedding clusters by lexical theme — partially but not perfectly
+aligned with type. That is the regime real Doc2Vec on real problems
+produces, and what makes the fair-clustering task non-trivial: an S-blind
+clustering concentrates problem types in clusters, and FairKM must spread
+them to build balanced questionnaires.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..text.doc2vec import Doc2Vec
+from ..text.lsa import LSAEmbedder
+from .dataset import Dataset
+from .schema import Column, Kind, Role
+
+#: Table 4 of the paper: problems per type.
+TYPE_COUNTS = {1: 60, 2: 36, 3: 15, 4: 31, 5: 19}
+
+#: Table 2 of the paper.
+TYPE_DESCRIPTIONS = {
+    1: "Horizontal motion",
+    2: "Vertical motion with an initial velocity",
+    3: "Free fall",
+    4: "Horizontally projected",
+    5: "Two-dimensional projectile",
+}
+
+
+@dataclass(frozen=True)
+class WordProblem:
+    """One generated word problem."""
+
+    text: str
+    problem_type: int  # 1..5
+
+    def __post_init__(self) -> None:
+        if self.problem_type not in TYPE_COUNTS:
+            raise ValueError(f"problem_type must be 1..5, got {self.problem_type}")
+
+
+_VEHICLES = ("car", "train", "bus", "truck", "motorcycle", "cyclist", "runner", "boat")
+_SMALL_OBJECTS = ("ball", "stone", "marble", "coin", "parcel", "rock", "cricket ball", "key")
+_PROJECTILES = ("ball", "stone", "arrow", "projectile", "cannonball", "javelin", "football")
+_STRUCTURES = ("tower", "cliff", "bridge", "building", "balcony", "window ledge", "rooftop")
+_CLOSERS = (
+    "Take g = 9.8 m/s^2.",
+    "Assume g = 10 m/s^2 and neglect air resistance.",
+    "Neglect air resistance.",
+    "",
+)
+
+
+def _pick(rng: np.random.Generator, options: tuple[str, ...]) -> str:
+    return options[int(rng.integers(0, len(options)))]
+
+
+_ARTICLE_RE = re.compile(r"\b([Aa]) ([aeiouAEIOU])")
+
+
+def _fix_articles(text: str) -> str:
+    """Repair indefinite articles after template substitution (a → an)."""
+    return _ARTICLE_RE.sub(lambda m: f"{m.group(1)}n {m.group(2)}", text)
+
+
+def _type1(rng: np.random.Generator) -> str:
+    """Horizontal straight-line motion (uniform acceleration on a road/track)."""
+    who = _pick(rng, _VEHICLES)
+    v0 = int(rng.integers(5, 30))
+    v1 = v0 + int(rng.integers(5, 30))
+    a = round(float(rng.uniform(0.5, 4.0)), 1)
+    t = int(rng.integers(4, 25))
+    d = int(rng.integers(50, 600))
+    variants = (
+        f"A {who} starts from rest and accelerates uniformly at {a} m/s^2 along a "
+        f"straight road for {t} seconds. What distance does it cover in this time?",
+        f"A {who} moving at {v0} m/s accelerates uniformly to {v1} m/s over a distance "
+        f"of {d} m. Calculate the acceleration and the time taken.",
+        f"A {who} travelling at a constant velocity of {v1} m/s covers a certain "
+        f"distance in {t} seconds. How far does the {who} travel?",
+        f"The driver of a {who} moving at {v1} m/s applies the brakes, producing a "
+        f"uniform deceleration of {a} m/s^2. How far does the {who} travel before "
+        f"coming to rest?",
+        f"A {who} accelerates from {v0} m/s at {a} m/s^2 along a straight track. "
+        f"What is its velocity after {t} seconds, and what distance has it covered?",
+        f"Two marks on a straight road are {d} m apart. A {who} passes the first mark "
+        f"at {v0} m/s and the second at {v1} m/s. Find its uniform acceleration.",
+    )
+    return _pick(rng, variants)
+
+
+def _type2(rng: np.random.Generator) -> str:
+    """Vertical motion with an initial velocity (thrown up or down)."""
+    what = _pick(rng, _SMALL_OBJECTS)
+    v = int(rng.integers(8, 45))
+    h = int(rng.integers(10, 120))
+    t = int(rng.integers(2, 8))
+    where = _pick(rng, _STRUCTURES)
+    variants = (
+        f"A {what} is thrown vertically upward with a velocity of {v} m/s. "
+        f"How high does it rise before it begins to fall? {_pick(rng, _CLOSERS)}",
+        f"A {what} is thrown vertically upward at {v} m/s. How long does it take to "
+        f"return to the point of projection? {_pick(rng, _CLOSERS)}",
+        f"A {what} is thrown straight down from the top of a {h} m tall {where} with "
+        f"an initial velocity of {v} m/s. With what velocity does it strike the ground?",
+        f"A {what} is projected vertically upward with a velocity of {v} m/s from the "
+        f"ground. Find its velocity and height after {t} seconds.",
+        f"A {what} thrown vertically upward passes a point {h} m above the ground "
+        f"moving at {v} m/s. Find the maximum height reached above the ground.",
+        f"From the edge of a {where}, a {what} is thrown vertically upward at {v} m/s. "
+        f"It misses the edge on the way down and hits the ground {t} seconds after "
+        f"being thrown. Find the height of the {where}.",
+    )
+    return _pick(rng, variants)
+
+
+def _type3(rng: np.random.Generator) -> str:
+    """Free fall (dropped from rest)."""
+    what = _pick(rng, _SMALL_OBJECTS)
+    where = _pick(rng, _STRUCTURES)
+    h = int(rng.integers(15, 200))
+    t = int(rng.integers(2, 7))
+    variants = (
+        f"A {what} is dropped from the top of a {h} m tall {where}. How long does it "
+        f"take to reach the ground? {_pick(rng, _CLOSERS)}",
+        f"A {what} is released from rest from a {where} and falls freely. What is its "
+        f"velocity after {t} seconds, and how far has it fallen?",
+        f"A {what} falls freely from rest from the top of a {where}. It reaches the "
+        f"ground in {t} seconds. Find the height of the {where}.",
+        f"A {what} is dropped from a {where} {h} m above the ground. With what "
+        f"velocity does it hit the ground? {_pick(rng, _CLOSERS)}",
+        f"A {what} dropped from a {where} falls the last {h // 2} m of its descent in "
+        f"{max(1, t // 2)} seconds. Find the total height of the fall.",
+    )
+    return _pick(rng, variants)
+
+
+def _type4(rng: np.random.Generator) -> str:
+    """Horizontal projection from a height."""
+    what = _pick(rng, _PROJECTILES)
+    where = _pick(rng, _STRUCTURES)
+    v = int(rng.integers(5, 35))
+    h = int(rng.integers(20, 150))
+    variants = (
+        f"A {what} is thrown horizontally from the top of a {h} m tall {where} with a "
+        f"speed of {v} m/s. How far from the base of the {where} does it land?",
+        f"A {what} is projected horizontally at {v} m/s from a {where} {h} m above "
+        f"level ground. How long is it in the air, and what horizontal distance does "
+        f"it cover? {_pick(rng, _CLOSERS)}",
+        f"From the top of a {where}, a {what} is thrown horizontally with a velocity "
+        f"of {v} m/s and strikes the ground {h} m from the base. Find the height of "
+        f"the {where}.",
+        f"An aircraft flying horizontally at {v * 10} m/s at a height of {h * 10} m "
+        f"releases a {what}. At what horizontal distance from the release point does "
+        f"it hit the ground? {_pick(rng, _CLOSERS)}",
+        f"A {what} rolls off the edge of a horizontal table {round(h / 100, 1)} m "
+        f"high with a speed of {v / 10} m/s. How far from the foot of the table does "
+        f"it land?",
+    )
+    return _pick(rng, variants)
+
+
+def _type5(rng: np.random.Generator) -> str:
+    """Two-dimensional projectile at an angle."""
+    what = _pick(rng, _PROJECTILES)
+    v = int(rng.integers(15, 80))
+    angle = int(rng.choice([15, 25, 30, 37, 40, 45, 53, 60, 70, 75]))
+    variants = (
+        f"A {what} is projected with a velocity of {v} m/s at an angle of {angle} "
+        f"degrees to the horizontal. Find the maximum height reached and the total "
+        f"time of flight. {_pick(rng, _CLOSERS)}",
+        f"A {what} is fired from level ground with a speed of {v} m/s at {angle} "
+        f"degrees above the horizontal. Calculate its horizontal range.",
+        f"A {what} is launched at {v} m/s at an angle of {angle} degrees to the "
+        f"horizontal. What are the horizontal and vertical components of its initial "
+        f"velocity, and when does it reach the highest point of its path?",
+        f"A footballer kicks a {what} with a velocity of {v} m/s at {angle} degrees "
+        f"to the ground. How far away should a teammate stand to receive it at the "
+        f"same level? {_pick(rng, _CLOSERS)}",
+        f"A {what} projected at an angle of {angle} degrees attains a horizontal "
+        f"range of {v * 3} m. Find the velocity of projection. {_pick(rng, _CLOSERS)}",
+    )
+    return _pick(rng, variants)
+
+
+_GENERATORS = {1: _type1, 2: _type2, 3: _type3, 4: _type4, 5: _type5}
+
+
+def generate_problems(
+    seed: int | np.random.Generator | None = 0,
+    counts: dict[int, int] | None = None,
+) -> list[WordProblem]:
+    """Generate word problems with the paper's per-type counts (Table 4).
+
+    Problems are returned shuffled, so type does not correlate with
+    position.
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    counts = dict(TYPE_COUNTS if counts is None else counts)
+    unknown = set(counts) - set(TYPE_COUNTS)
+    if unknown:
+        raise ValueError(f"unknown problem types: {sorted(unknown)}")
+    problems = [
+        WordProblem(text=_fix_articles(_GENERATORS[ptype](rng)), problem_type=ptype)
+        for ptype, how_many in sorted(counts.items())
+        for _ in range(how_many)
+    ]
+    rng.shuffle(problems)  # type: ignore[arg-type]
+    return problems
+
+
+def problems_to_dataset(
+    problems: list[WordProblem],
+    *,
+    dim: int = 100,
+    embedder: str = "doc2vec",
+    seed: int | np.random.Generator | None = 0,
+    epochs: int = 40,
+    normalize: bool = True,
+) -> Dataset:
+    """Embed problems and assemble the paper's fair-clustering dataset.
+
+    N = the embedding dimensions (numeric). S = five *binary* attributes
+    ``type-1`` … ``type-5`` (is / is-not that type), exactly the paper's
+    construction. A META column ``type`` keeps the multi-valued label for
+    inspection.
+
+    Args:
+        problems: the corpus.
+        dim: embedding dimensionality (paper: 100).
+        embedder: ``"doc2vec"`` (PV-DBOW, default) or ``"lsa"``.
+        seed: RNG seed for Doc2Vec training.
+        epochs: Doc2Vec training epochs.
+        normalize: L2-normalize document vectors (default True). The
+            paper's K-Means objective on Kinematics is ≈0.9 per point —
+            the scale of unit vectors — and normalization is the standard
+            way to cluster Doc2Vec output by cosine similarity.
+    """
+    if not problems:
+        raise ValueError("problems must be non-empty")
+    texts = [p.text for p in problems]
+    if embedder == "doc2vec":
+        matrix = Doc2Vec(dim=dim, epochs=epochs, seed=seed).fit_transform(texts)
+    elif embedder == "lsa":
+        matrix = LSAEmbedder(dim=dim).fit_transform(texts)
+    else:
+        raise ValueError(f'embedder must be "doc2vec" or "lsa", got {embedder!r}')
+    if normalize:
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        matrix = matrix / np.maximum(norms, 1e-12)
+
+    types = np.array([p.problem_type for p in problems], dtype=np.int64)
+    columns = [
+        Column(f"emb-{j:03d}", Role.FEATURE, Kind.NUMERIC, matrix[:, j])
+        for j in range(matrix.shape[1])
+    ]
+    for ptype in sorted(TYPE_COUNTS):
+        indicator = (types == ptype).astype(np.int64)
+        columns.append(
+            Column(
+                f"type-{ptype}",
+                Role.SENSITIVE,
+                Kind.CATEGORICAL,
+                indicator,
+                categories=("no", "yes"),
+            )
+        )
+    columns.append(
+        Column(
+            "type",
+            Role.META,
+            Kind.CATEGORICAL,
+            types - 1,
+            categories=tuple(TYPE_DESCRIPTIONS[t] for t in sorted(TYPE_DESCRIPTIONS)),
+        )
+    )
+    return Dataset(columns, name="kinematics-synthetic")
+
+
+def generate_kinematics(
+    seed: int | np.random.Generator | None = 0,
+    *,
+    dim: int = 100,
+    embedder: str = "doc2vec",
+    epochs: int = 40,
+    counts: dict[int, int] | None = None,
+) -> Dataset:
+    """One-call path: generate problems, embed, return the Dataset."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    problems = generate_problems(rng, counts=counts)
+    return problems_to_dataset(problems, dim=dim, embedder=embedder, seed=rng, epochs=epochs)

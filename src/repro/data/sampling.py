@@ -1,0 +1,68 @@
+"""Sampling utilities for experiment preparation.
+
+The paper's Adult preparation (§5.1) undersamples to parity on the income
+class before clustering ("We first undersample the dataset to ensure
+parity across this income class attribute"); :func:`undersample_to_parity`
+reproduces that step for any categorical column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import Dataset
+from .schema import Kind
+
+
+def parity_indices(
+    codes: np.ndarray, rng: np.random.Generator, n_values: int | None = None
+) -> np.ndarray:
+    """Indices of a maximal subsample with equal counts per value.
+
+    Every value present in *codes* contributes ``min(count_v)`` uniformly
+    chosen rows; the result is shuffled.
+    """
+    codes = np.asarray(codes)
+    if codes.ndim != 1 or codes.size == 0:
+        raise ValueError("codes must be a non-empty 1-D array")
+    if n_values is None:
+        n_values = int(codes.max()) + 1
+    counts = np.bincount(codes, minlength=n_values)
+    present = np.flatnonzero(counts > 0)
+    if present.size < 2:
+        raise ValueError("parity undersampling needs at least two classes present")
+    quota = int(counts[present].min())
+    picks = []
+    for value in present:
+        members = np.flatnonzero(codes == value)
+        picks.append(rng.choice(members, size=quota, replace=False))
+    indices = np.concatenate(picks)
+    rng.shuffle(indices)
+    return indices
+
+
+def undersample_to_parity(
+    dataset: Dataset, on: str, rng: np.random.Generator | int | None = None
+) -> Dataset:
+    """Undersample *dataset* so column *on* has equal class counts."""
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    col = dataset.column(on)
+    if col.kind is not Kind.CATEGORICAL:
+        raise TypeError(f"column {on!r} is numeric; parity needs a categorical column")
+    indices = parity_indices(col.values, rng, n_values=col.n_values)
+    return dataset.subset(indices, name=f"{dataset.name}~parity({on})")
+
+
+def subsample(
+    dataset: Dataset, n: int, rng: np.random.Generator | int | None = None
+) -> Dataset:
+    """Uniform subsample of *n* rows (or the full dataset when n >= len)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    if n >= dataset.n:
+        return dataset
+    indices = rng.choice(dataset.n, size=n, replace=False)
+    return dataset.subset(indices)

@@ -1,0 +1,125 @@
+"""Column-level schema for the dataset layer.
+
+A :class:`Column` is one attribute of a dataset with a *kind* (numeric or
+categorical) and a *role* in the fair-clustering problem definition (§3):
+
+* ``FEATURE``   — a non-sensitive attribute in N (drives coherence);
+* ``SENSITIVE`` — an attribute in S (drives fairness);
+* ``META``      — carried along but used by neither term (e.g. the Adult
+  income label, which the paper uses only for parity undersampling).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class Role(enum.Enum):
+    """Role of a column in the fair clustering problem (§3)."""
+
+    FEATURE = "feature"
+    SENSITIVE = "sensitive"
+    META = "meta"
+
+
+class Kind(enum.Enum):
+    """Data kind of a column."""
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+
+@dataclass
+class Column:
+    """One dataset attribute.
+
+    Attributes:
+        name: unique column name.
+        role: :class:`Role` within the clustering problem.
+        kind: :class:`Kind` of the payload.
+        values: numeric payload (float64) or categorical codes (int64).
+        categories: for categorical columns, the human-readable value
+            names; ``categories[code]`` is the label of ``code``.
+    """
+
+    name: str
+    role: Role
+    kind: Kind
+    values: np.ndarray
+    categories: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values)
+        if values.ndim != 1:
+            raise ValueError(f"column {self.name!r}: values must be 1-D")
+        if self.kind is Kind.CATEGORICAL:
+            if self.categories is None:
+                raise ValueError(f"column {self.name!r}: categorical needs categories")
+            if not np.issubdtype(values.dtype, np.integer):
+                raise ValueError(f"column {self.name!r}: categorical codes must be ints")
+            values = values.astype(np.int64)
+            if values.size and (values.min() < 0 or values.max() >= len(self.categories)):
+                raise ValueError(
+                    f"column {self.name!r}: codes out of range for "
+                    f"{len(self.categories)} categories"
+                )
+        else:
+            if self.categories is not None:
+                raise ValueError(f"column {self.name!r}: numeric column has categories")
+            values = values.astype(np.float64)
+            if values.size and not np.all(np.isfinite(values)):
+                raise ValueError(f"column {self.name!r}: numeric values must be finite")
+        self.values = values
+
+    @property
+    def n_values(self) -> int:
+        """Domain cardinality |Values(S)| (categorical only)."""
+        if self.kind is not Kind.CATEGORICAL:
+            raise TypeError(f"column {self.name!r} is numeric; no discrete domain")
+        assert self.categories is not None
+        return len(self.categories)
+
+    @property
+    def n(self) -> int:
+        return self.values.shape[0]
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Row subset of this column (used by ``Dataset.subset``)."""
+        return Column(
+            name=self.name,
+            role=self.role,
+            kind=self.kind,
+            values=self.values[indices],
+            categories=self.categories,
+        )
+
+    def distribution(self) -> np.ndarray:
+        """Value frequencies (categorical only)."""
+        counts = np.bincount(self.values, minlength=self.n_values)
+        return counts / counts.sum()
+
+
+@dataclass
+class SchemaSummary:
+    """Lightweight description of a dataset's structure for reports."""
+
+    n: int
+    feature_names: list[str] = field(default_factory=list)
+    sensitive_names: list[str] = field(default_factory=list)
+    meta_names: list[str] = field(default_factory=list)
+    cardinalities: dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        lines = [f"n = {self.n}"]
+        lines.append(f"features ({len(self.feature_names)}): {', '.join(self.feature_names)}")
+        sens = [
+            f"{name}({self.cardinalities[name]})" if name in self.cardinalities else name
+            for name in self.sensitive_names
+        ]
+        lines.append(f"sensitive ({len(self.sensitive_names)}): {', '.join(sens)}")
+        if self.meta_names:
+            lines.append(f"meta: {', '.join(self.meta_names)}")
+        return "\n".join(lines)

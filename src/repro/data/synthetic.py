@@ -1,0 +1,101 @@
+"""Generic synthetic fair-clustering problems.
+
+Used by tests and by the scaling ablation (the paper's §6.1 future-work
+direction: "performance trends of FairKM with increasing number of
+sensitive attributes as well as increasing number of values per sensitive
+attribute"). The generator plants latent Gaussian groups in N and couples
+each sensitive attribute to the latent group with a controllable
+correlation, so S-blind clustering is skewed by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import Dataset
+from .schema import Column, Kind, Role
+
+
+def make_fair_problem(
+    n: int = 600,
+    *,
+    n_latent: int = 3,
+    n_features: int = 6,
+    separation: float = 2.0,
+    categorical: list[tuple[str, int, float]] | None = None,
+    numeric_sensitive: list[tuple[str, float]] | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> Dataset:
+    """Build a synthetic dataset with planted S ↔ N correlation.
+
+    Args:
+        n: number of objects.
+        n_latent: number of latent Gaussian groups in feature space.
+        n_features: numeric feature dimensionality.
+        separation: distance between adjacent latent group centers, in
+            units of the within-group standard deviation.
+        categorical: list of ``(name, n_values, correlation)`` sensitive
+            attributes. ``correlation`` ∈ [0, 1]: 0 means independent of
+            the latent group, 1 means fully determined by it (each latent
+            group prefers one attribute value).
+        numeric_sensitive: list of ``(name, correlation)`` numeric
+            sensitive attributes whose mean shifts with the latent group.
+        seed: RNG seed or generator.
+
+    Returns:
+        Dataset with FEATURE columns ``f-*``, the requested SENSITIVE
+        columns and a META column ``latent`` with the true group.
+    """
+    if n <= 0 or n_latent <= 0 or n_features <= 0:
+        raise ValueError("n, n_latent and n_features must be positive")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if categorical is None and numeric_sensitive is None:
+        categorical = [("group", 2, 0.8)]
+    categorical = categorical or []
+    numeric_sensitive = numeric_sensitive or []
+
+    latent = rng.integers(0, n_latent, size=n)
+    directions = rng.normal(size=(n_latent, n_features))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    centers = directions * separation * np.arange(n_latent)[:, None]
+    features = centers[latent] + rng.normal(size=(n, n_features))
+
+    columns = [
+        Column(f"f-{j}", Role.FEATURE, Kind.NUMERIC, features[:, j])
+        for j in range(n_features)
+    ]
+    for name, n_values, corr in categorical:
+        if not 0.0 <= corr <= 1.0:
+            raise ValueError(f"{name}: correlation must be in [0, 1], got {corr}")
+        if n_values < 2:
+            raise ValueError(f"{name}: n_values must be >= 2")
+        # Each latent group prefers value (group mod n_values) w.p. corr +
+        # uniform share; the rest spread uniformly.
+        preferred = latent % n_values
+        uniform = rng.integers(0, n_values, size=n)
+        use_preferred = rng.random(n) < corr
+        codes = np.where(use_preferred, preferred, uniform)
+        columns.append(
+            Column(
+                name,
+                Role.SENSITIVE,
+                Kind.CATEGORICAL,
+                codes,
+                categories=tuple(f"v{i}" for i in range(n_values)),
+            )
+        )
+    for name, corr in numeric_sensitive:
+        if not 0.0 <= corr <= 1.0:
+            raise ValueError(f"{name}: correlation must be in [0, 1], got {corr}")
+        values = corr * latent.astype(np.float64) + rng.normal(size=n)
+        columns.append(Column(name, Role.SENSITIVE, Kind.NUMERIC, values))
+    columns.append(
+        Column(
+            "latent",
+            Role.META,
+            Kind.CATEGORICAL,
+            latent,
+            categories=tuple(f"g{i}" for i in range(n_latent)),
+        )
+    )
+    return Dataset(columns, name="synthetic-fair")

@@ -1,0 +1,64 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .charts import bar_chart, csv_lines, line_chart
+from .evaluation import (
+    QUALITY_METRIC_KEYS,
+    ClusteringEval,
+    evaluate_clustering,
+    mean_evals,
+)
+from .paper import (
+    EXPERIMENTS,
+    LAMBDA_GRID,
+    bench_scale,
+    build_adult,
+    build_kinematics,
+    figures_1_2,
+    figures_3_4,
+    figures_5_6_7,
+    table5,
+    table6,
+    table7,
+    table8,
+    write_result,
+)
+from .runner import SuiteConfig, SuiteResult, run_suite
+from .sweep import LambdaSweepResult, lambda_sweep
+from .tables import (
+    format_table,
+    render_fairness_table,
+    render_quality_table,
+    render_single_attribute_figure,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "LAMBDA_GRID",
+    "QUALITY_METRIC_KEYS",
+    "ClusteringEval",
+    "LambdaSweepResult",
+    "SuiteConfig",
+    "SuiteResult",
+    "bar_chart",
+    "bench_scale",
+    "build_adult",
+    "build_kinematics",
+    "csv_lines",
+    "evaluate_clustering",
+    "figures_1_2",
+    "figures_3_4",
+    "figures_5_6_7",
+    "format_table",
+    "lambda_sweep",
+    "line_chart",
+    "mean_evals",
+    "render_fairness_table",
+    "render_quality_table",
+    "render_single_attribute_figure",
+    "run_suite",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "write_result",
+]

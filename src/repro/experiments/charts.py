@@ -1,0 +1,105 @@
+"""ASCII chart renderers for the paper's figures.
+
+The paper's Figures 1–4 are grouped bar charts and Figures 5–7 line
+charts; these renderers produce terminal-friendly equivalents so benches
+can show the *shape* of each figure inline, alongside the CSV series they
+write to ``results/``.
+"""
+
+from __future__ import annotations
+
+
+def bar_chart(
+    series: dict[str, dict[str, float]],
+    *,
+    title: str = "",
+    width: int = 46,
+) -> str:
+    """Grouped horizontal bar chart.
+
+    Args:
+        series: ``group -> {label: value}`` (e.g. attribute → method →
+            deviation).
+        title: chart caption.
+        width: bar area width in characters.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    peak = max(
+        (value for group in series.values() for value in group.values()), default=0.0
+    )
+    peak = peak or 1.0
+    label_width = max(
+        len(label) for group in series.values() for label in group
+    )
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for group, values in series.items():
+        lines.append(f"{group}:")
+        for label, value in values.items():
+            bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+            lines.append(f"  {label.ljust(label_width)} |{bar} {value:.4f}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    x: list[float],
+    series: dict[str, list[float]],
+    *,
+    title: str = "",
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Multi-series ASCII line chart (each series normalized to its own
+    min–max range, mirroring the paper's dual-axis presentation).
+
+    Args:
+        x: shared x positions.
+        series: ``label -> y values`` (each same length as x).
+        title: chart caption.
+        height: plot rows.
+        width: plot columns.
+    """
+    if not x or not series:
+        raise ValueError("x and series must be non-empty")
+    for label, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {label!r} length mismatch")
+    markers = "*o+x@%&$"
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = min(x), max(x)
+    x_span = (x_hi - x_lo) or 1.0
+    for s_idx, (label, ys) in enumerate(series.items()):
+        y_lo, y_hi = min(ys), max(ys)
+        y_span = (y_hi - y_lo) or 1.0
+        marker = markers[s_idx % len(markers)]
+        for xv, yv in zip(x, ys):
+            col = round((xv - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((yv - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {x_lo:g} .. {x_hi:g}")
+    for s_idx, (label, ys) in enumerate(series.items()):
+        marker = markers[s_idx % len(markers)]
+        lines.append(
+            f" {marker} {label}: {min(ys):.4f} .. {max(ys):.4f} (normalized per series)"
+        )
+    return "\n".join(lines)
+
+
+def csv_lines(rows: list[dict[str, float]]) -> str:
+    """Serialize homogeneous dict rows as CSV text (for results/ files)."""
+    if not rows:
+        raise ValueError("rows must be non-empty")
+    keys = list(rows[0])
+    lines = [",".join(keys)]
+    for row in rows:
+        lines.append(",".join(f"{row[key]:.6g}" for key in keys))
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Evaluate one clustering against the paper's full measure set (§5.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.init import centroids_from_labels
+from ..data.dataset import Dataset
+from ..metrics.deviation import centroid_deviation, object_pair_deviation
+from ..metrics.fairness import FairnessReport, fairness_report
+from ..metrics.quality import clustering_objective, silhouette_score
+
+#: Quality metric keys in the order Tables 5 and 7 list them.
+QUALITY_METRIC_KEYS = ("CO", "SH", "DevC", "DevO")
+
+
+@dataclass
+class ClusteringEval:
+    """All §5.2 measures for one clustering.
+
+    Attributes:
+        co: clustering objective (lower better).
+        sh: silhouette score (higher better).
+        dev_c: centroid deviation vs the S-blind reference (lower better).
+        dev_o: object-pair deviation vs the S-blind reference (lower
+            better).
+        fairness: per-attribute AE/AW/ME/MW report (lower better).
+    """
+
+    co: float
+    sh: float
+    dev_c: float
+    dev_o: float
+    fairness: FairnessReport = field(repr=False, default=None)
+
+    def quality_dict(self) -> dict[str, float]:
+        return {"CO": self.co, "SH": self.sh, "DevC": self.dev_c, "DevO": self.dev_o}
+
+
+def evaluate_clustering(
+    features: np.ndarray,
+    dataset: Dataset,
+    labels: np.ndarray,
+    k: int,
+    *,
+    reference_labels: np.ndarray | None = None,
+    silhouette_sample: int | None = 4000,
+    seed: int = 0,
+) -> ClusteringEval:
+    """Score *labels* on quality (over N) and fairness (over S).
+
+    Args:
+        features: the non-sensitive matrix the clustering ran on.
+        dataset: source dataset (supplies the sensitive attributes).
+        labels: clustering to evaluate.
+        k: number of clusters.
+        reference_labels: S-blind reference clustering for DevC/DevO; when
+            omitted both deviations are reported as 0 (the reference
+            scoring itself).
+        silhouette_sample: subsample bound for silhouette on large n.
+        seed: RNG seed for the silhouette subsample.
+    """
+    labels = np.asarray(labels)
+    co = clustering_objective(features, labels, k)
+    sh = silhouette_score(
+        features,
+        labels,
+        k,
+        sample_size=silhouette_sample,
+        rng=np.random.default_rng(seed),
+    )
+    if reference_labels is None:
+        dev_c, dev_o = 0.0, 0.0
+    else:
+        reference_labels = np.asarray(reference_labels)
+        dev_c = centroid_deviation(
+            centroids_from_labels(features, labels, k),
+            centroids_from_labels(features, reference_labels, k),
+        )
+        dev_o = object_pair_deviation(labels, reference_labels, k, k)
+    fairness = fairness_report(
+        dataset.sensitive_categorical(),
+        labels,
+        k,
+        numeric=dataset.sensitive_numeric() or None,
+    )
+    return ClusteringEval(co=co, sh=sh, dev_c=dev_c, dev_o=dev_o, fairness=fairness)
+
+
+def mean_evals(evals: list[ClusteringEval]) -> ClusteringEval:
+    """Average a list of evaluations (the paper's mean across 100 seeds).
+
+    Fairness reports are averaged attribute-wise; all evals must cover the
+    same attribute set.
+    """
+    if not evals:
+        raise ValueError("cannot average zero evaluations")
+    from ..metrics.fairness import AttributeFairness
+
+    names = [a.name for a in evals[0].fairness.attributes]
+    attrs = []
+    for name in names:
+        per = [e.fairness.attribute(name) for e in evals]
+        attrs.append(
+            AttributeFairness(
+                name=name,
+                ae=float(np.mean([p.ae for p in per])),
+                aw=float(np.mean([p.aw for p in per])),
+                me=float(np.mean([p.me for p in per])),
+                mw=float(np.mean([p.mw for p in per])),
+            )
+        )
+    return ClusteringEval(
+        co=float(np.mean([e.co for e in evals])),
+        sh=float(np.mean([e.sh for e in evals])),
+        dev_c=float(np.mean([e.dev_c for e in evals])),
+        dev_o=float(np.mean([e.dev_o for e in evals])),
+        fairness=FairnessReport(attributes=attrs),
+    )

@@ -1,0 +1,154 @@
+"""Text renderers regenerating the paper's result tables.
+
+* :func:`render_quality_table` — Tables 5 and 7 (CO/SH/DevC/DevO for
+  K-Means(N), Avg. ZGYA, FairKM, per k).
+* :func:`render_fairness_table` — Tables 6 and 8 (AE/AW/ME/MW per
+  sensitive attribute plus the mean block, with FairKM's % improvement
+  over the best baseline).
+
+All renderers return plain strings (monospace tables) so benches can both
+print them and write them under ``results/``.
+"""
+
+from __future__ import annotations
+
+from ..metrics.fairness import FAIRNESS_METRIC_KEYS
+from .evaluation import QUALITY_METRIC_KEYS
+from .runner import SuiteResult
+
+#: Direction arrows, as printed in the paper's tables.
+_QUALITY_ARROWS = {"CO": "v", "SH": "^", "DevC": "v", "DevO": "v"}
+
+
+def format_table(header: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Render a monospace table with column alignment."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(header))
+    lines.append(sep)
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _num(x: float) -> str:
+    return f"{x:.4f}"
+
+
+def render_quality_table(
+    suites: dict[int, SuiteResult], title: str = "Clustering quality"
+) -> str:
+    """Tables 5 / 7: quality per method, one column block per k.
+
+    Args:
+        suites: ``k -> SuiteResult`` (Table 5 uses k ∈ {5, 15}; Table 7
+            a single k=5 entry).
+    """
+    header = ["Measure"]
+    for k in sorted(suites):
+        header += [f"K-Means(N) k={k}", f"Avg. ZGYA k={k}", f"FairKM k={k}"]
+    rows = []
+    for metric in QUALITY_METRIC_KEYS:
+        row = [f"{metric} {_QUALITY_ARROWS[metric]}"]
+        for k in sorted(suites):
+            suite = suites[k]
+            values = {
+                "K-Means(N)": suite.kmeans.quality_dict()[metric],
+                "Avg. ZGYA": suite.zgya_avg_quality.quality_dict()[metric],
+                "FairKM": suite.fairkm.quality_dict()[metric],
+            }
+            row += [_num(v) for v in values.values()]
+        rows.append(row)
+    return format_table(header, rows, title=title)
+
+
+def render_fairness_table(
+    suites: dict[int, SuiteResult], title: str = "Fairness evaluation"
+) -> str:
+    """Tables 6 / 8: per-attribute AE/AW/ME/MW blocks with Impr(%).
+
+    Layout mirrors the paper: a "Mean across S" block first, then one
+    block per sensitive attribute; within a block one row per measure and,
+    for each k, columns K-Means(N) | ZGYA(S) | FairKM | Impr(%).
+    """
+    ks = sorted(suites)
+    any_suite = suites[ks[0]]
+    header = ["Attribute", "Measure"]
+    for k in ks:
+        header += [f"KM(N) k={k}", f"ZGYA(S) k={k}", f"FairKM k={k}", f"Impr% k={k}"]
+
+    def block(attr: str, label: str) -> list[list[str]]:
+        rows = []
+        for metric in FAIRNESS_METRIC_KEYS:
+            row = [label if metric == "AE" else "", metric]
+            for k in ks:
+                suite = suites[k]
+                if attr == "mean":
+                    km = suite.kmeans.fairness.mean[metric]
+                    zg_vals = [
+                        e.fairness.attribute(a)[metric]
+                        for a, e in suite.zgya_per_attribute.items()
+                    ]
+                    zg = sum(zg_vals) / len(zg_vals)
+                    fair = suite.fairkm.fairness.mean[metric]
+                else:
+                    km = suite.kmeans.fairness.attribute(attr)[metric]
+                    zg = suite.zgya_per_attribute[attr].fairness.attribute(attr)[metric]
+                    fair = suite.fairkm.fairness.attribute(attr)[metric]
+                impr = suite.improvement_pct(attr, metric)
+                row += [_num(km), _num(zg), _num(fair), f"{impr:+.2f}"]
+            rows.append(row)
+        return rows
+
+    rows = block("mean", "Mean across S")
+    for attr in any_suite.attribute_names:
+        rows.append(["-" * 12, ""] + [""] * (4 * len(ks)))
+        rows.extend(block(attr, attr))
+    return format_table(header, rows, title=title)
+
+
+def render_single_attribute_figure(
+    suite: SuiteResult, metric: str, title: str
+) -> tuple[str, dict[str, dict[str, float]]]:
+    """Figures 1–4: per-attribute ZGYA(S) vs FairKM(All) vs FairKM(S).
+
+    Returns ``(rendered_table, series)`` where ``series[attr]`` maps the
+    three method labels to their metric values — the exact bars of the
+    paper's charts.
+
+    Requires the suite to have been run with ``per_attribute_fairkm=True``.
+    """
+    if not suite.fairkm_per_attribute:
+        raise ValueError(
+            "suite lacks per-attribute FairKM runs; "
+            "re-run with SuiteConfig(per_attribute_fairkm=True)"
+        )
+    metric = metric.upper()
+    if metric not in FAIRNESS_METRIC_KEYS:
+        raise ValueError(f"metric must be one of {FAIRNESS_METRIC_KEYS}, got {metric}")
+    series: dict[str, dict[str, float]] = {}
+    rows = []
+    for attr in suite.attribute_names:
+        zg = suite.zgya_per_attribute[attr].fairness.attribute(attr)[metric]
+        fair_all = suite.fairkm.fairness.attribute(attr)[metric]
+        fair_single = suite.fairkm_per_attribute[attr].fairness.attribute(attr)[metric]
+        series[attr] = {
+            "ZGYA(S)": zg,
+            "FairKM(All)": fair_all,
+            "FairKM(S)": fair_single,
+        }
+        rows.append([attr, _num(zg), _num(fair_all), _num(fair_single)])
+    table = format_table(
+        ["Attribute", "ZGYA(S)", "FairKM(All)", "FairKM(S)"], rows, title=title
+    )
+    return table, series

@@ -1,0 +1,40 @@
+"""Evaluation measures from §5.2 of the paper.
+
+Quality (over non-sensitive attributes): CO, SH, DevC, DevO.
+Fairness (over sensitive attributes): AE, AW, ME, MW, plus balance.
+"""
+
+from .deviation import centroid_deviation, object_pair_deviation, rand_index
+from .fairness import (
+    FAIRNESS_METRIC_KEYS,
+    AttributeFairness,
+    FairnessReport,
+    balance,
+    categorical_fairness,
+    cluster_value_counts,
+    fairness_report,
+    group_distribution,
+    numeric_fairness,
+)
+from .quality import clustering_objective, silhouette_samples, silhouette_score
+from .wasserstein import wasserstein_discrete, wasserstein_from_counts
+
+__all__ = [
+    "FAIRNESS_METRIC_KEYS",
+    "AttributeFairness",
+    "FairnessReport",
+    "balance",
+    "categorical_fairness",
+    "centroid_deviation",
+    "cluster_value_counts",
+    "clustering_objective",
+    "fairness_report",
+    "group_distribution",
+    "numeric_fairness",
+    "object_pair_deviation",
+    "rand_index",
+    "silhouette_samples",
+    "silhouette_score",
+    "wasserstein_discrete",
+    "wasserstein_from_counts",
+]

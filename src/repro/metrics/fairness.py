@@ -1,0 +1,253 @@
+"""Fairness measures over the sensitive attributes (§5.2.2).
+
+For one categorical sensitive attribute ``S`` with ``t`` values, the
+dataset induces a t-length probability vector ``X_S`` and every cluster a
+vector ``C_S``. The paper aggregates the per-cluster deviations
+``dev(C_S, X_S)`` four ways:
+
+* **AE** — cluster-cardinality-weighted average Euclidean distance (Eq. 25);
+* **AW** — the same with a discrete Wasserstein distance (after [21]);
+* **ME** — maximum Euclidean deviation over non-empty clusters;
+* **MW** — maximum Wasserstein deviation over non-empty clusters.
+
+All four are deviations: lower is better, 0 is exact statistical parity.
+With multiple sensitive attributes, the per-attribute values are averaged
+into the "mean across S attributes" row of Tables 6 and 8.
+
+Numeric sensitive attributes (Eq. 22's regime) get the natural analogues:
+the per-cluster deviation is ``|mean_C(S) − mean_X(S)|`` (in units of the
+dataset's standard deviation, so attributes are comparable), aggregated by
+the same weighted-average / max schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.utils import cluster_sizes, validate_labels
+from .wasserstein import wasserstein_discrete
+
+#: Canonical metric keys, in the order the paper's tables list them.
+FAIRNESS_METRIC_KEYS = ("AE", "AW", "ME", "MW")
+
+
+def group_distribution(codes: np.ndarray, n_values: int) -> np.ndarray:
+    """Probability vector of value frequencies for one categorical attribute."""
+    codes = np.asarray(codes)
+    if codes.size == 0:
+        raise ValueError("cannot compute a distribution over zero objects")
+    counts = np.bincount(codes, minlength=n_values).astype(np.float64)
+    return counts / counts.sum()
+
+
+def cluster_value_counts(
+    codes: np.ndarray, labels: np.ndarray, k: int, n_values: int
+) -> np.ndarray:
+    """Count matrix ``M[c, v] = |{x ∈ cluster c : x.S = v}|`` of shape (k, t)."""
+    labels = validate_labels(labels, k)
+    codes = np.asarray(codes)
+    if codes.shape[0] != labels.shape[0]:
+        raise ValueError("codes and labels must align")
+    if codes.size and (codes.min() < 0 or codes.max() >= n_values):
+        raise ValueError(f"codes must lie in [0, {n_values})")
+    m = np.zeros((k, n_values), dtype=np.int64)
+    np.add.at(m, (labels, codes), 1)
+    return m
+
+
+@dataclass
+class AttributeFairness:
+    """AE/AW/ME/MW for a single sensitive attribute.
+
+    Attributes:
+        name: attribute name (for reports).
+        ae, aw, me, mw: the four deviations (lower = fairer).
+        per_cluster_euclidean: Euclidean deviation per cluster (NaN for
+            empty clusters).
+        per_cluster_wasserstein: Wasserstein deviation per cluster.
+    """
+
+    name: str
+    ae: float
+    aw: float
+    me: float
+    mw: float
+    per_cluster_euclidean: np.ndarray = field(repr=False, default=None)
+    per_cluster_wasserstein: np.ndarray = field(repr=False, default=None)
+
+    def as_dict(self) -> dict[str, float]:
+        return {"AE": self.ae, "AW": self.aw, "ME": self.me, "MW": self.mw}
+
+    def __getitem__(self, key: str) -> float:
+        return self.as_dict()[key]
+
+
+def categorical_fairness(
+    codes: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    n_values: int,
+    *,
+    name: str = "S",
+) -> AttributeFairness:
+    """AE/AW/ME/MW of one categorical sensitive attribute for a clustering.
+
+    Empty clusters are excluded: they carry zero weight in the averages and
+    are skipped by the max measures (there is no distribution to compare).
+    """
+    labels = validate_labels(labels, k)
+    counts = cluster_value_counts(codes, labels, k, n_values)
+    sizes = cluster_sizes(labels, k).astype(np.float64)
+    dataset = group_distribution(codes, n_values)
+
+    eucl = np.full(k, np.nan)
+    wass = np.full(k, np.nan)
+    for c in range(k):
+        if sizes[c] == 0:
+            continue
+        dist_c = counts[c] / sizes[c]
+        eucl[c] = float(np.linalg.norm(dist_c - dataset))
+        wass[c] = wasserstein_discrete(dist_c, dataset)
+
+    weights = sizes / sizes.sum()
+    nonempty = sizes > 0
+    ae = float(np.sum(weights[nonempty] * eucl[nonempty]))
+    aw = float(np.sum(weights[nonempty] * wass[nonempty]))
+    me = float(np.nanmax(eucl))
+    mw = float(np.nanmax(wass))
+    return AttributeFairness(
+        name=name,
+        ae=ae,
+        aw=aw,
+        me=me,
+        mw=mw,
+        per_cluster_euclidean=eucl,
+        per_cluster_wasserstein=wass,
+    )
+
+
+def numeric_fairness(
+    values: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    *,
+    name: str = "S",
+) -> AttributeFairness:
+    """Fairness deviations for a numeric sensitive attribute.
+
+    The per-cluster deviation is ``|mean_C − mean_X| / std_X`` (std-scaled
+    so different numeric attributes share a scale). The Euclidean and
+    Wasserstein variants coincide for a scalar mean gap, so AE == AW and
+    ME == MW here; both are still reported for uniform downstream handling.
+    """
+    labels = validate_labels(labels, k)
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape[0] != labels.shape[0]:
+        raise ValueError("values and labels must align")
+    sizes = cluster_sizes(labels, k).astype(np.float64)
+    overall_mean = float(values.mean())
+    scale = float(values.std())
+    if scale == 0.0:
+        scale = 1.0
+    dev = np.full(k, np.nan)
+    for c in range(k):
+        if sizes[c] == 0:
+            continue
+        dev[c] = abs(float(values[labels == c].mean()) - overall_mean) / scale
+    weights = sizes / sizes.sum()
+    nonempty = sizes > 0
+    avg = float(np.sum(weights[nonempty] * dev[nonempty]))
+    worst = float(np.nanmax(dev))
+    return AttributeFairness(
+        name=name,
+        ae=avg,
+        aw=avg,
+        me=worst,
+        mw=worst,
+        per_cluster_euclidean=dev,
+        per_cluster_wasserstein=dev.copy(),
+    )
+
+
+@dataclass
+class FairnessReport:
+    """Per-attribute fairness plus the mean-across-attributes block.
+
+    Mirrors the layout of the paper's Tables 6 and 8: a "Mean across S
+    attributes" block followed by one block per sensitive attribute.
+    """
+
+    attributes: list[AttributeFairness]
+
+    @property
+    def mean(self) -> AttributeFairness:
+        """Average of each measure across sensitive attributes."""
+        if not self.attributes:
+            raise ValueError("report has no attributes")
+        return AttributeFairness(
+            name="mean",
+            ae=float(np.mean([a.ae for a in self.attributes])),
+            aw=float(np.mean([a.aw for a in self.attributes])),
+            me=float(np.mean([a.me for a in self.attributes])),
+            mw=float(np.mean([a.mw for a in self.attributes])),
+        )
+
+    def attribute(self, name: str) -> AttributeFairness:
+        for a in self.attributes:
+            if a.name == name:
+                return a
+        raise KeyError(f"no fairness entry for attribute {name!r}")
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        out = {"mean": self.mean.as_dict()}
+        for a in self.attributes:
+            out[a.name] = a.as_dict()
+        return out
+
+
+def fairness_report(
+    categorical: dict[str, tuple[np.ndarray, int]],
+    labels: np.ndarray,
+    k: int,
+    numeric: dict[str, np.ndarray] | None = None,
+) -> FairnessReport:
+    """Build a :class:`FairnessReport` over many sensitive attributes.
+
+    Args:
+        categorical: mapping ``name -> (codes, n_values)``.
+        labels: cluster assignment per object.
+        k: number of clusters.
+        numeric: optional mapping ``name -> values`` for numeric sensitive
+            attributes.
+    """
+    attrs = [
+        categorical_fairness(codes, labels, k, n_values, name=name)
+        for name, (codes, n_values) in categorical.items()
+    ]
+    for name, values in (numeric or {}).items():
+        attrs.append(numeric_fairness(values, labels, k, name=name))
+    return FairnessReport(attributes=attrs)
+
+
+def balance(codes: np.ndarray, labels: np.ndarray, k: int, n_values: int) -> float:
+    """Chierichetti et al. [6] balance, generalized to multi-valued attributes.
+
+    For each non-empty cluster, balance is
+    ``min_v (Fr_C(v) / Fr_X(v))`` over values present in the dataset; the
+    clustering's balance is the minimum over clusters. 1.0 means every
+    cluster reproduces the dataset's proportions at least as well as the
+    dataset itself (perfect); 0 means some cluster entirely misses a group.
+    """
+    counts = cluster_value_counts(codes, labels, k, n_values)
+    sizes = counts.sum(axis=1).astype(np.float64)
+    dataset = group_distribution(codes, n_values)
+    present = dataset > 0
+    worst = 1.0
+    for c in range(k):
+        if sizes[c] == 0:
+            continue
+        frac = counts[c, present] / sizes[c]
+        worst = min(worst, float(np.min(frac / dataset[present])))
+    return worst

@@ -1,0 +1,108 @@
+"""Clustering-quality measures over the non-sensitive attributes (§5.2.1).
+
+* ``clustering_objective`` — the K-Means loss (CO, Eq. 24), lower is better.
+* ``silhouette_score`` — mean silhouette (SH, Rousseeuw 1987), higher is
+  better, range [−1, 1]. Implemented with row-blocking so memory stays at
+  ``O(block · n)`` instead of the naive ``O(n²)`` distance matrix; an
+  optional subsample bound keeps the paper-scale Adult runs tractable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.distance import inertia, pairwise_euclidean
+from ..cluster.init import centroids_from_labels
+from ..cluster.utils import cluster_sizes, validate_labels
+
+
+def clustering_objective(
+    points: np.ndarray, labels: np.ndarray, k: int, centers: np.ndarray | None = None
+) -> float:
+    """The paper's CO measure: Σ_C Σ_{X∈C} ‖X − centroid(C)‖² over N attrs.
+
+    When *centers* is omitted, centroids are the cluster means (the
+    prototype definition used throughout the paper).
+    """
+    labels = validate_labels(labels, k, n=points.shape[0])
+    if centers is None:
+        centers = centroids_from_labels(points, labels, k)
+    return inertia(points, centers, labels)
+
+
+def silhouette_samples(
+    points: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    *,
+    block_size: int = 1024,
+) -> np.ndarray:
+    """Per-object silhouette values ``s(i) = (b_i − a_i) / max(a_i, b_i)``.
+
+    ``a_i`` is the mean distance to other members of i's cluster, ``b_i``
+    the smallest mean distance to another (non-empty) cluster. Objects in
+    singleton clusters score 0 by convention (matching scikit-learn).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = validate_labels(labels, k, n=points.shape[0])
+    n = points.shape[0]
+    sizes = cluster_sizes(labels, k).astype(np.float64)
+    nonempty = sizes > 0
+    if int(nonempty.sum()) < 2:
+        raise ValueError("silhouette requires at least 2 non-empty clusters")
+
+    scores = np.zeros(n, dtype=np.float64)
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        dists = pairwise_euclidean(points[start:stop], points)  # (b, n)
+        # Sum of distances from each row-object to every cluster.
+        sums = np.zeros((stop - start, k), dtype=np.float64)
+        for c in range(k):
+            members = labels == c
+            if members.any():
+                sums[:, c] = dists[:, members].sum(axis=1)
+        own = labels[start:stop]
+        own_size = sizes[own]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            # a: exclude self-distance (0) and self from the denominator.
+            a = (sums[np.arange(stop - start), own]) / np.maximum(own_size - 1.0, 1.0)
+            mean_to_cluster = sums / np.maximum(sizes[None, :], 1.0)
+        mean_to_cluster[:, ~nonempty] = np.inf
+        mean_to_cluster[np.arange(stop - start), own] = np.inf
+        b = mean_to_cluster.min(axis=1)
+        denom = np.maximum(a, b)
+        block_scores = np.where(denom > 0, (b - a) / np.where(denom > 0, denom, 1.0), 0.0)
+        block_scores[own_size <= 1.0] = 0.0
+        scores[start:stop] = block_scores
+    return scores
+
+
+def silhouette_score(
+    points: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    *,
+    block_size: int = 1024,
+    sample_size: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Mean silhouette over all objects (the paper's SH measure).
+
+    Args:
+        sample_size: if given and smaller than n, silhouette is computed on
+            a uniform subsample (distances still measured against the full
+            dataset would change semantics, so the subsample is
+            self-contained — standard practice for large n).
+        rng: generator used for subsampling.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = validate_labels(labels, k, n=points.shape[0])
+    n = points.shape[0]
+    if sample_size is not None and sample_size < n:
+        rng = rng or np.random.default_rng(0)
+        idx = rng.choice(n, size=sample_size, replace=False)
+        points, labels = points[idx], labels[idx]
+        present = np.unique(labels)
+        if present.size < 2:
+            return 0.0
+    return float(np.mean(silhouette_samples(points, labels, k, block_size=block_size)))

@@ -1,0 +1,80 @@
+"""Discrete 1-D Wasserstein (earth mover's) distance.
+
+Substrate for the paper's AW / MW fairness measures (§5.2.2), which follow
+Wang & Davidson [21] in comparing the per-cluster distribution of a
+sensitive attribute against the dataset-level distribution with a
+Wasserstein distance.
+
+For a categorical attribute there is no intrinsic geometry between values,
+so — as is conventional (and as ``scipy.stats.wasserstein_distance`` does
+when handed value indices) — values are placed at the integer points
+``0, 1, …, t−1`` of the real line in a canonical order (the dataset's value
+order). The W₁ distance between two probability vectors ``p`` and ``q`` on
+that support is then the L1 distance between their CDFs:
+
+    W₁(p, q) = Σ_i |P_i − Q_i|,   P_i = p_0 + … + p_i.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate_distribution(p: np.ndarray, name: str) -> np.ndarray:
+    p = np.asarray(p, dtype=np.float64)
+    if p.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {p.shape}")
+    if p.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if np.any(p < -1e-12):
+        raise ValueError(f"{name} has negative entries")
+    total = p.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"{name} must sum to 1, sums to {total}")
+    return np.clip(p, 0.0, None)
+
+
+def wasserstein_discrete(
+    p: np.ndarray, q: np.ndarray, positions: np.ndarray | None = None
+) -> float:
+    """W₁ distance between distributions *p* and *q* over a shared support.
+
+    Args:
+        p, q: probability vectors of equal length (must each sum to 1).
+        positions: optional strictly increasing support positions. Defaults
+            to ``0..t−1`` (unit spacing), the convention used for
+            categorical attribute values.
+
+    Returns:
+        The earth mover's distance, ``Σ |CDF_p − CDF_q| · Δposition``.
+    """
+    p = _validate_distribution(p, "p")
+    q = _validate_distribution(q, "q")
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    if positions is None:
+        gaps = np.ones(p.size - 1, dtype=np.float64)
+    else:
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.shape != p.shape:
+            raise ValueError("positions must align with the distributions")
+        gaps = np.diff(positions)
+        if np.any(gaps <= 0):
+            raise ValueError("positions must be strictly increasing")
+    if p.size == 1:
+        return 0.0
+    cdf_gap = np.cumsum(p - q)[:-1]
+    return float(np.sum(np.abs(cdf_gap) * gaps))
+
+
+def wasserstein_from_counts(
+    counts_p: np.ndarray, counts_q: np.ndarray, positions: np.ndarray | None = None
+) -> float:
+    """W₁ distance between the distributions implied by two count vectors."""
+    counts_p = np.asarray(counts_p, dtype=np.float64)
+    counts_q = np.asarray(counts_q, dtype=np.float64)
+    if counts_p.sum() <= 0 or counts_q.sum() <= 0:
+        raise ValueError("count vectors must have positive totals")
+    return wasserstein_discrete(
+        counts_p / counts_p.sum(), counts_q / counts_q.sum(), positions
+    )

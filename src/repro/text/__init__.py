@@ -1,0 +1,16 @@
+"""Text substrate: tokenizer, vocabulary, Doc2Vec (PV-DBOW), LSA."""
+
+from .doc2vec import Doc2Vec
+from .lsa import LSAEmbedder, tf_idf_matrix
+from .tokenize import NUMBER_TOKEN, tokenize, tokenize_corpus
+from .vocab import Vocabulary
+
+__all__ = [
+    "Doc2Vec",
+    "LSAEmbedder",
+    "NUMBER_TOKEN",
+    "Vocabulary",
+    "tf_idf_matrix",
+    "tokenize",
+    "tokenize_corpus",
+]

@@ -1,0 +1,66 @@
+"""TF-IDF + truncated SVD (latent semantic analysis) document embedder.
+
+A deterministic, optimization-free alternative to :class:`Doc2Vec` for the
+Kinematics experiment. Useful both as a faster embedding path and as a
+cross-check that experimental conclusions do not hinge on embedding
+training noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tokenize import tokenize_corpus
+from .vocab import Vocabulary
+
+
+def tf_idf_matrix(texts: list[str], min_count: int = 1) -> tuple[np.ndarray, Vocabulary]:
+    """Dense TF-IDF matrix of shape ``(n_docs, |vocab|)``.
+
+    TF is raw count normalized by document length; IDF is the smoothed
+    ``log((1 + n) / (1 + df)) + 1`` variant.
+    """
+    if not texts:
+        raise ValueError("texts must be non-empty")
+    documents = tokenize_corpus(texts)
+    vocab = Vocabulary(documents, min_count=min_count)
+    n_docs = len(texts)
+    counts = np.zeros((n_docs, len(vocab)))
+    for i, doc in enumerate(documents):
+        ids = vocab.encode(doc)
+        if ids.size:
+            np.add.at(counts[i], ids, 1.0)
+    lengths = counts.sum(axis=1, keepdims=True)
+    tf = counts / np.maximum(lengths, 1.0)
+    df = (counts > 0).sum(axis=0)
+    idf = np.log((1.0 + n_docs) / (1.0 + df)) + 1.0
+    return tf * idf[None, :], vocab
+
+
+class LSAEmbedder:
+    """Embed documents by truncated SVD of their TF-IDF matrix.
+
+    Args:
+        dim: target dimensionality (clipped to the matrix rank).
+        min_count: vocabulary frequency floor.
+    """
+
+    def __init__(self, dim: int = 100, min_count: int = 1) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = dim
+        self.min_count = min_count
+        self.vocabulary: Vocabulary | None = None
+        self.singular_values: np.ndarray | None = None
+
+    def fit_transform(self, texts: list[str]) -> np.ndarray:
+        """Return an ``(n_docs, min(dim, rank))`` embedding matrix."""
+        tfidf, vocab = tf_idf_matrix(texts, min_count=self.min_count)
+        self.vocabulary = vocab
+        u, s, _ = np.linalg.svd(tfidf, full_matrices=False)
+        rank = int(np.sum(s > 1e-12))
+        keep = min(self.dim, rank)
+        if keep == 0:
+            raise ValueError("TF-IDF matrix has rank zero")
+        self.singular_values = s[:keep]
+        return u[:, :keep] * s[:keep][None, :]

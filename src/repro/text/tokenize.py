@@ -1,0 +1,32 @@
+"""Minimal word tokenizer for the kinematics word-problem corpus."""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[a-zA-Z]+|\d+(?:\.\d+)?")
+
+#: Numbers are collapsed to this token: for clustering word problems, the
+#: fact that a quantity appears matters, the digits do not.
+NUMBER_TOKEN = "<num>"
+
+
+def tokenize(text: str, collapse_numbers: bool = True) -> list[str]:
+    """Lowercase word tokens; numeric literals collapse to ``<num>``.
+
+    >>> tokenize("A ball is thrown at 25 m/s.")
+    ['a', 'ball', 'is', 'thrown', 'at', '<num>', 'm', 's']
+    """
+    tokens = []
+    for match in _TOKEN_RE.finditer(text):
+        tok = match.group(0)
+        if tok[0].isdigit():
+            tokens.append(NUMBER_TOKEN if collapse_numbers else tok)
+        else:
+            tokens.append(tok.lower())
+    return tokens
+
+
+def tokenize_corpus(texts: list[str], collapse_numbers: bool = True) -> list[list[str]]:
+    """Tokenize every document in *texts*."""
+    return [tokenize(t, collapse_numbers) for t in texts]

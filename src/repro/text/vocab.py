@@ -1,0 +1,48 @@
+"""Vocabulary with frequency bookkeeping for embedding training."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+
+class Vocabulary:
+    """Token ↔ id mapping with counts.
+
+    Args:
+        documents: tokenized corpus.
+        min_count: tokens rarer than this are dropped (they carry noise,
+            not signal, for embedding training).
+    """
+
+    def __init__(self, documents: list[list[str]], min_count: int = 1) -> None:
+        if min_count < 1:
+            raise ValueError(f"min_count must be >= 1, got {min_count}")
+        counts = Counter(tok for doc in documents for tok in doc)
+        kept = sorted(t for t, c in counts.items() if c >= min_count)
+        if not kept:
+            raise ValueError("vocabulary is empty after min_count filtering")
+        self.tokens: list[str] = kept
+        self.index: dict[str, int] = {t: i for i, t in enumerate(kept)}
+        self.counts = np.array([counts[t] for t in kept], dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.index
+
+    def encode(self, document: list[str]) -> np.ndarray:
+        """Token ids of *document*, silently skipping out-of-vocab tokens."""
+        return np.array(
+            [self.index[t] for t in document if t in self.index], dtype=np.int64
+        )
+
+    def encode_corpus(self, documents: list[list[str]]) -> list[np.ndarray]:
+        return [self.encode(d) for d in documents]
+
+    def unigram_table(self, power: float = 0.75) -> np.ndarray:
+        """Negative-sampling distribution ∝ count^power (word2vec default)."""
+        probs = self.counts**power
+        return probs / probs.sum()

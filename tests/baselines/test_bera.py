@@ -1,0 +1,106 @@
+"""Tests for the Bera et al. LP fair assignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bera import BeraFairAssignment
+from repro.cluster import KMeans
+from repro.metrics import categorical_fairness
+from tests.conftest import correlated_attribute, make_blobs
+
+
+@pytest.fixture
+def data(rng):
+    points, truth = make_blobs(rng, [80, 80], [[0, 0], [3, 3]])
+    return points, correlated_attribute(rng, truth, 0.8)
+
+
+def test_fractional_solution_is_stochastic(data):
+    points, codes = data
+    res = BeraFairAssignment(2, delta=0.3, seed=0).fit(points, {"g": (codes, 2)})
+    np.testing.assert_allclose(res.fractional.sum(axis=1), 1.0, atol=1e-6)
+    assert (res.fractional >= -1e-9).all()
+
+
+def test_lp_bounds_hold_fractionally(data):
+    """The LP optimum must satisfy the two-sided representation bounds."""
+    points, codes = data
+    delta = 0.3
+    res = BeraFairAssignment(2, delta=delta, seed=0).fit(points, {"g": (codes, 2)})
+    x = res.fractional
+    for g_value in range(2):
+        members = codes == g_value
+        p_g = members.mean()
+        for c in range(2):
+            cluster_mass = x[:, c].sum()
+            group_mass = x[members, c].sum()
+            assert group_mass <= (1 + delta) * p_g * cluster_mass + 1e-6
+            assert group_mass >= (1 - delta) * p_g * cluster_mass - 1e-6
+
+
+def test_improves_fairness_over_blind(data):
+    points, codes = data
+    blind = KMeans(2, seed=0).fit(points)
+    fair = BeraFairAssignment(2, delta=0.15, seed=0).fit(points, {"g": (codes, 2)})
+    ae_blind = categorical_fairness(codes, blind.labels, 2, 2).ae
+    ae_fair = categorical_fairness(codes, fair.labels, 2, 2).ae
+    assert ae_fair < ae_blind
+    assert res_small_violation(fair.max_violation)
+
+
+def res_small_violation(v: float) -> bool:
+    # Rounding may violate bounds additively; it must stay small.
+    return v < 0.25
+
+
+def test_tighter_delta_is_fairer(data):
+    points, codes = data
+    loose = BeraFairAssignment(2, delta=0.8, seed=0).fit(points, {"g": (codes, 2)})
+    tight = BeraFairAssignment(2, delta=0.05, seed=0).fit(points, {"g": (codes, 2)})
+    ae_loose = categorical_fairness(codes, loose.labels, 2, 2).ae
+    ae_tight = categorical_fairness(codes, tight.labels, 2, 2).ae
+    assert ae_tight <= ae_loose + 1e-9
+    assert tight.lp_cost >= loose.lp_cost - 1e-6  # fairness costs distortion
+
+
+def test_multiple_attributes(data):
+    points, codes = data
+    rng = np.random.default_rng(1)
+    other = rng.integers(0, 3, points.shape[0])
+    res = BeraFairAssignment(2, delta=0.5, seed=0).fit(
+        points, {"g": (codes, 2), "h": (other, 3)}
+    )
+    assert res.labels.shape == (points.shape[0],)
+
+
+def test_precomputed_centers(data):
+    points, codes = data
+    centers = np.array([[0.0, 0.0], [3.0, 3.0]])
+    res = BeraFairAssignment(2, delta=0.4, seed=0).fit(
+        points, {"g": (codes, 2)}, centers=centers
+    )
+    np.testing.assert_allclose(res.centers, centers)
+
+
+def test_rounded_cost_at_least_lp_cost(data):
+    points, codes = data
+    res = BeraFairAssignment(2, delta=0.3, seed=0).fit(points, {"g": (codes, 2)})
+    assert res.rounded_cost >= res.lp_cost - 1e-6
+
+
+def test_validation(data):
+    points, codes = data
+    with pytest.raises(ValueError, match="k must be positive"):
+        BeraFairAssignment(0)
+    with pytest.raises(ValueError, match="delta"):
+        BeraFairAssignment(2, delta=1.5)
+    with pytest.raises(ValueError, match="non-empty"):
+        BeraFairAssignment(2).fit(points, {})
+    with pytest.raises(ValueError, match="align"):
+        BeraFairAssignment(2).fit(points, {"g": (codes[:-1], 2)})
+    with pytest.raises(ValueError, match="2-D"):
+        BeraFairAssignment(2).fit(points[:, 0], {"g": (codes, 2)})
+    with pytest.raises(ValueError, match="expected 2 centers"):
+        BeraFairAssignment(2).fit(points, {"g": (codes, 2)}, centers=np.zeros((3, 2)))

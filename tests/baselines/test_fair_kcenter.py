@@ -1,0 +1,114 @@
+"""Tests for fair k-center summarization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fair_kcenter import (
+    FairKCenter,
+    greedy_kcenter,
+    proportional_quota,
+)
+from tests.conftest import make_blobs
+
+
+def test_proportional_quota_basic():
+    codes = np.array([0] * 70 + [1] * 30)
+    np.testing.assert_array_equal(proportional_quota(codes, 2, 10), [7, 3])
+
+
+def test_proportional_quota_largest_remainder():
+    codes = np.array([0] * 50 + [1] * 30 + [2] * 20)
+    quota = proportional_quota(codes, 3, 7)
+    assert quota.sum() == 7
+    # 3.5 / 2.1 / 1.4 -> 3/2/1 + one remainder to group 0.
+    np.testing.assert_array_equal(quota, [4, 2, 1])
+
+
+def test_proportional_quota_respects_population():
+    codes = np.array([0] * 2 + [1] * 98)
+    quota = proportional_quota(codes, 2, 10)
+    assert quota[0] <= 2
+    assert quota.sum() == 10
+
+
+@pytest.fixture
+def grouped_points(rng):
+    points, truth = make_blobs(rng, [60, 60, 60], [[0, 0], [6, 0], [0, 6]])
+    codes = (rng.random(180) < 0.3).astype(np.int64)  # 70:30-ish groups
+    return points, codes
+
+
+def test_summary_matches_quota(grouped_points):
+    points, codes = grouped_points
+    res = FairKCenter(10, seed=0).fit(points, codes)
+    expected = proportional_quota(codes, 2, 10)
+    np.testing.assert_array_equal(res.group_counts, expected)
+    assert res.centers_idx.shape == (10,)
+    assert len(set(res.centers_idx.tolist())) == 10
+
+
+def test_radius_definition(grouped_points):
+    points, codes = grouped_points
+    res = FairKCenter(8, seed=0).fit(points, codes)
+    dists = np.sqrt(
+        ((points[:, None, :] - points[res.centers_idx][None, :, :]) ** 2).sum(-1)
+    )
+    assert res.radius == pytest.approx(dists.min(axis=1).max())
+    np.testing.assert_array_equal(res.labels, np.argmin(dists, axis=1))
+
+
+def test_fairness_price_is_bounded(grouped_points):
+    """The constrained radius should stay within a small factor of the
+    unconstrained greedy radius (the 'price of fairness' of [13])."""
+    points, codes = grouped_points
+    fair = FairKCenter(9, seed=0).fit(points, codes)
+    _, free_radius = greedy_kcenter(points, 9, seed=0)
+    assert fair.radius <= 3.0 * free_radius + 1e-9
+
+
+def test_explicit_quota(grouped_points):
+    points, codes = grouped_points
+    res = FairKCenter(4, quota=np.array([2, 2]), seed=1).fit(points, codes)
+    np.testing.assert_array_equal(res.group_counts, [2, 2])
+
+
+def test_validation(grouped_points):
+    points, codes = grouped_points
+    with pytest.raises(ValueError, match="k must be positive"):
+        FairKCenter(0)
+    with pytest.raises(ValueError, match="align"):
+        FairKCenter(3).fit(points, codes[:-1])
+    with pytest.raises(ValueError, match="sums to"):
+        FairKCenter(3, quota=np.array([1, 1])).fit(points, codes)
+    with pytest.raises(ValueError, match="population"):
+        tiny_group = np.array([1, 1] + [0] * (points.shape[0] - 2))
+        FairKCenter(3, quota=np.array([0, 3])).fit(points, tiny_group)
+    with pytest.raises(ValueError, match="need at least"):
+        FairKCenter(500).fit(points, codes)
+    with pytest.raises(ValueError, match="2-D"):
+        FairKCenter(2).fit(points[:, 0], codes)
+
+
+def test_deterministic(grouped_points):
+    points, codes = grouped_points
+    a = FairKCenter(6, seed=42).fit(points, codes)
+    b = FairKCenter(6, seed=42).fit(points, codes)
+    np.testing.assert_array_equal(a.centers_idx, b.centers_idx)
+
+
+def test_greedy_kcenter_reference(grouped_points):
+    points, _ = grouped_points
+    idx, radius = greedy_kcenter(points, 3, seed=0)
+    assert idx.shape == (3,)
+    assert radius > 0
+    with pytest.raises(ValueError, match="need at least"):
+        greedy_kcenter(points, 500)
+
+
+def test_multigroup_quota(rng):
+    points = rng.normal(size=(120, 3))
+    codes = rng.integers(0, 4, 120)
+    res = FairKCenter(8, seed=0).fit(points, codes, n_values=4)
+    assert res.group_counts.sum() == 8

@@ -1,0 +1,125 @@
+"""Tests for fairlet decomposition and fairlet clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fairlets import FairletClustering, fairlet_decompose
+from repro.cluster import KMeans
+from repro.metrics import balance
+from tests.conftest import make_blobs
+
+
+@pytest.fixture
+def data(rng):
+    points, truth = make_blobs(rng, [90, 90], [[0, 0], [3, 3]])
+    colors = np.where(
+        rng.random(180) < np.where(truth == 0, 0.75, 0.25), 1, 0
+    ).astype(np.int64)
+    return points, colors
+
+
+def test_every_point_in_exactly_one_fairlet(data):
+    points, colors = data
+    dec = fairlet_decompose(points, colors)
+    assert dec.fairlet_of.shape == (180,)
+    assert dec.fairlet_of.min() >= 0
+    assert dec.fairlet_of.max() == dec.n_fairlets - 1
+
+
+def test_each_fairlet_has_exactly_one_minority(data):
+    points, colors = data
+    dec = fairlet_decompose(points, colors)
+    minority_value = 0 if np.sum(colors == 0) <= np.sum(colors == 1) else 1
+    for f in range(dec.n_fairlets):
+        members = colors[dec.fairlet_of == f]
+        assert np.sum(members == minority_value) == 1
+
+
+def test_balance_guarantee(data):
+    """Every fairlet's balance must be ≥ 1/ceil(R/B)."""
+    points, colors = data
+    n_min = min(np.sum(colors == 0), np.sum(colors == 1))
+    n_maj = colors.size - n_min
+    t = -(-n_maj // n_min)
+    dec = fairlet_decompose(points, colors)
+    assert dec.min_balance >= 1.0 / t - 1e-12
+
+
+def test_quota_distribution_even(data):
+    points, colors = data
+    dec = fairlet_decompose(points, colors)
+    sizes = np.bincount(dec.fairlet_of)
+    assert sizes.max() - sizes.min() <= 1
+
+
+def test_mcf_no_worse_than_greedy(data):
+    points, colors = data
+    mcf = fairlet_decompose(points, colors, method="mcf")
+    greedy = fairlet_decompose(points, colors, method="greedy", seed=0)
+    assert mcf.cost <= greedy.cost + 1e-6
+
+
+def test_explicit_t_loosens_quota(data):
+    points, colors = data
+    loose = fairlet_decompose(points, colors, t=50)
+    assert loose.n_fairlets == min(np.sum(colors == 0), np.sum(colors == 1))
+
+
+def test_infeasible_t_raises(data):
+    points, colors = data
+    with pytest.raises(ValueError, match="infeasible"):
+        fairlet_decompose(points, colors, t=1)
+
+
+def test_requires_binary_attribute(rng):
+    points = rng.normal(size=(30, 2))
+    with pytest.raises(ValueError, match="binary"):
+        fairlet_decompose(points, rng.integers(0, 3, 30))
+    with pytest.raises(ValueError, match="binary"):
+        fairlet_decompose(points, np.zeros(30, dtype=int))
+
+
+def test_validation(rng):
+    points = rng.normal(size=(10, 2))
+    colors = np.array([0, 1] * 5)
+    with pytest.raises(ValueError, match="2-D"):
+        fairlet_decompose(points[:, 0], colors)
+    with pytest.raises(ValueError, match="align"):
+        fairlet_decompose(points, colors[:-1])
+    with pytest.raises(ValueError, match="t must be"):
+        fairlet_decompose(points, colors, t=0)
+    with pytest.raises(ValueError, match="method"):
+        fairlet_decompose(points, colors, method="magic")
+
+
+def test_clustering_inherits_balance(data):
+    """The headline guarantee: cluster balance ≥ fairlet balance, and far
+    above blind K-Means balance on correlated data."""
+    points, colors = data
+    fc = FairletClustering(3, seed=0).fit(points, colors)
+    cluster_balance = balance(colors, fc.labels, 3, 2)
+    assert cluster_balance >= fc.decomposition.min_balance - 1e-12
+    blind_balance = balance(colors, KMeans(3, seed=0).fit(points).labels, 3, 2)
+    assert cluster_balance > blind_balance
+
+
+def test_clustering_fairlets_move_as_units(data):
+    points, colors = data
+    fc = FairletClustering(4, seed=1).fit(points, colors)
+    for f in range(fc.decomposition.n_fairlets):
+        members = fc.labels[fc.decomposition.fairlet_of == f]
+        assert len(set(members.tolist())) == 1
+
+
+def test_clustering_k_bound(data):
+    points, colors = data
+    n_min = min(np.sum(colors == 0), np.sum(colors == 1))
+    with pytest.raises(ValueError, match="fairlets for k"):
+        FairletClustering(int(n_min) + 1, seed=0).fit(points, colors)
+
+
+def test_clustering_validation():
+    with pytest.raises(ValueError, match="k must be positive"):
+        FairletClustering(0)

@@ -1,0 +1,104 @@
+"""Unit and property tests for repro.cluster.distance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cluster.distance import (
+    inertia,
+    nearest_center,
+    pairwise_euclidean,
+    pairwise_sq_euclidean,
+    squared_norms,
+)
+
+matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 8), st.integers(1, 5)),
+    elements=st.floats(-50, 50, allow_nan=False),
+)
+
+
+def test_squared_norms_basic():
+    pts = np.array([[3.0, 4.0], [0.0, 0.0], [1.0, 1.0]])
+    np.testing.assert_allclose(squared_norms(pts), [25.0, 0.0, 2.0])
+
+
+def test_pairwise_sq_euclidean_known_values():
+    a = np.array([[0.0, 0.0], [1.0, 0.0]])
+    b = np.array([[0.0, 0.0], [0.0, 2.0]])
+    expected = np.array([[0.0, 4.0], [1.0, 5.0]])
+    np.testing.assert_allclose(pairwise_sq_euclidean(a, b), expected)
+
+
+def test_pairwise_dimension_mismatch_raises():
+    with pytest.raises(ValueError, match="dimension mismatch"):
+        pairwise_sq_euclidean(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+def test_pairwise_self_distance_zero_diagonal():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(20, 6))
+    d2 = pairwise_sq_euclidean(a, a)
+    np.testing.assert_allclose(np.diag(d2), 0.0, atol=1e-9)
+
+
+@given(matrices)
+@settings(max_examples=50, deadline=None)
+def test_pairwise_nonnegative_and_symmetric(a):
+    d2 = pairwise_sq_euclidean(a, a)
+    assert (d2 >= 0).all()
+    np.testing.assert_allclose(d2, d2.T, atol=1e-6)
+
+
+@given(matrices, matrices)
+@settings(max_examples=50, deadline=None)
+def test_pairwise_matches_naive(a, b):
+    if a.shape[1] != b.shape[1]:
+        b = np.resize(b, (b.shape[0], a.shape[1]))
+    naive = np.array([[np.sum((x - y) ** 2) for y in b] for x in a])
+    np.testing.assert_allclose(pairwise_sq_euclidean(a, b), naive, atol=1e-6)
+
+
+def test_euclidean_is_sqrt_of_squared():
+    rng = np.random.default_rng(1)
+    a, b = rng.normal(size=(4, 3)), rng.normal(size=(5, 3))
+    np.testing.assert_allclose(
+        pairwise_euclidean(a, b) ** 2, pairwise_sq_euclidean(a, b), atol=1e-9
+    )
+
+
+def test_nearest_center_picks_closest():
+    pts = np.array([[0.0], [0.9], [10.0]])
+    centers = np.array([[0.0], [10.0]])
+    labels, d2 = nearest_center(pts, centers)
+    np.testing.assert_array_equal(labels, [0, 0, 1])
+    np.testing.assert_allclose(d2, [0.0, 0.81, 0.0])
+
+
+def test_inertia_zero_when_points_are_centers():
+    pts = np.array([[1.0, 2.0], [3.0, 4.0]])
+    assert inertia(pts, pts, np.array([0, 1])) == 0.0
+
+
+def test_inertia_known_value():
+    pts = np.array([[0.0], [2.0], [10.0]])
+    centers = np.array([[1.0], [10.0]])
+    labels = np.array([0, 0, 1])
+    assert inertia(pts, centers, labels) == pytest.approx(2.0)
+
+
+def test_inertia_additive_over_clusters():
+    rng = np.random.default_rng(2)
+    pts = rng.normal(size=(30, 4))
+    labels = rng.integers(0, 3, 30)
+    centers = rng.normal(size=(3, 4))
+    total = inertia(pts, centers, labels)
+    parts = sum(
+        inertia(pts[labels == c], centers, labels[labels == c]) for c in range(3)
+    )
+    assert total == pytest.approx(parts)

@@ -1,0 +1,105 @@
+"""Tests for cluster initialization strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.init import (
+    INIT_STRATEGIES,
+    centroids_from_labels,
+    initial_centers,
+    initial_labels,
+    kmeans_plus_plus,
+    random_assignment,
+    random_points,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def test_random_assignment_covers_all_clusters(rng):
+    for _ in range(20):
+        labels = random_assignment(50, 7, rng)
+        assert labels.shape == (50,)
+        assert set(np.unique(labels)) == set(range(7))
+
+
+def test_random_assignment_exact_fit(rng):
+    # n == k must produce a permutation-like full coverage.
+    labels = random_assignment(5, 5, rng)
+    assert sorted(labels.tolist()) == [0, 1, 2, 3, 4]
+
+
+def test_random_assignment_rejects_small_n(rng):
+    with pytest.raises(ValueError, match="non-empty clusters"):
+        random_assignment(3, 5, rng)
+
+
+def test_random_assignment_rejects_bad_k(rng):
+    with pytest.raises(ValueError, match="positive"):
+        random_assignment(3, 0, rng)
+
+
+def test_random_points_distinct(rng):
+    pts = np.arange(20, dtype=float).reshape(10, 2)
+    centers = random_points(pts, 4, rng)
+    assert centers.shape == (4, 2)
+    assert len({tuple(c) for c in centers}) == 4
+
+
+def test_kmeans_plus_plus_prefers_spread(rng):
+    # Two tight groups far apart: the two seeds should land one per group.
+    pts = np.vstack([np.zeros((20, 2)), np.full((20, 2), 100.0)])
+    hits = 0
+    for _ in range(25):
+        centers = kmeans_plus_plus(pts, 2, rng)
+        norms = np.linalg.norm(centers, axis=1)
+        if (norms < 1).any() and (norms > 99).any():
+            hits += 1
+    assert hits == 25  # D² weighting makes cross-group seeding certain here
+
+
+def test_kmeans_plus_plus_handles_duplicates(rng):
+    pts = np.ones((10, 3))
+    centers = kmeans_plus_plus(pts, 3, rng)
+    np.testing.assert_allclose(centers, 1.0)
+
+
+def test_initial_centers_all_strategies(rng):
+    pts = rng.normal(size=(30, 4))
+    for strategy in INIT_STRATEGIES:
+        centers = initial_centers(pts, 3, strategy, rng)
+        assert centers.shape == (3, 4)
+        assert np.isfinite(centers).all()
+
+
+def test_initial_centers_unknown_strategy(rng):
+    with pytest.raises(ValueError, match="unknown init strategy"):
+        initial_centers(np.zeros((5, 2)), 2, "bogus", rng)
+
+
+def test_initial_labels_all_strategies(rng):
+    pts = rng.normal(size=(30, 4))
+    for strategy in INIT_STRATEGIES:
+        labels = initial_labels(pts, 3, strategy, rng)
+        assert labels.shape == (30,)
+        assert labels.min() >= 0 and labels.max() < 3
+
+
+def test_centroids_from_labels_means(rng):
+    pts = np.array([[0.0, 0.0], [2.0, 2.0], [10.0, 0.0]])
+    labels = np.array([0, 0, 1])
+    centers = centroids_from_labels(pts, labels, 2)
+    np.testing.assert_allclose(centers[0], [1.0, 1.0])
+    np.testing.assert_allclose(centers[1], [10.0, 0.0])
+
+
+def test_centroids_empty_cluster_gets_global_mean():
+    pts = np.array([[0.0], [4.0]])
+    centers = centroids_from_labels(pts, np.array([0, 0]), 3)
+    np.testing.assert_allclose(centers[1], [2.0])
+    np.testing.assert_allclose(centers[2], [2.0])

@@ -1,0 +1,119 @@
+"""Tests for the from-scratch K-Means."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import KMeans, kmeans_fit
+from tests.conftest import make_blobs
+
+
+def test_separates_obvious_blobs(rng):
+    pts, truth = make_blobs(rng, [40, 40], [[0, 0], [50, 50]], scale=0.5)
+    res = KMeans(k=2, seed=0).fit(pts)
+    # Clusters must align exactly with the blobs (up to relabeling).
+    first = res.labels[truth == 0]
+    second = res.labels[truth == 1]
+    assert len(set(first)) == 1
+    assert len(set(second)) == 1
+    assert first[0] != second[0]
+
+
+def test_inertia_history_monotone_nonincreasing(rng):
+    pts = rng.normal(size=(200, 5))
+    res = KMeans(k=4, seed=1).fit(pts)
+    hist = np.array(res.inertia_history)
+    assert (np.diff(hist) <= 1e-7 * np.maximum(hist[:-1], 1.0)).all()
+
+
+def test_converges_and_reports(rng):
+    pts = rng.normal(size=(100, 3))
+    res = KMeans(k=3, seed=2, max_iter=200).fit(pts)
+    assert res.converged
+    assert res.n_iter <= 200
+    assert res.inertia >= 0
+
+
+def test_actually_iterates_past_first_step(rng):
+    """Regression: an inf initial prev_inertia must not satisfy the
+    relative-improvement stop after the very first Lloyd step."""
+    pts = rng.normal(size=(500, 8))
+    res = KMeans(k=6, seed=0, init="random_points").fit(pts)
+    assert res.n_iter > 2
+    # And the result should be near the quality of a generous restart run.
+    strong = KMeans(k=6, seed=1, init="random_points", n_init=8).fit(pts)
+    assert res.inertia <= strong.inertia * 1.15
+
+
+def test_all_clusters_nonempty_after_repair(rng):
+    # Pathological init probability: many clusters on tiny data.
+    pts = rng.normal(size=(12, 2))
+    res = KMeans(k=6, seed=3).fit(pts)
+    assert set(np.unique(res.labels)) == set(range(6))
+
+
+def test_n_init_picks_best(rng):
+    pts, _ = make_blobs(rng, [30, 30, 30], [[0, 0], [10, 0], [0, 10]])
+    single = KMeans(k=3, seed=4, init="random_points", n_init=1).fit(pts)
+    multi = KMeans(k=3, seed=4, init="random_points", n_init=10).fit(pts)
+    assert multi.inertia <= single.inertia + 1e-9
+
+
+def test_deterministic_given_seed(rng):
+    pts = rng.normal(size=(80, 4))
+    a = KMeans(k=3, seed=42).fit(pts)
+    b = KMeans(k=3, seed=42).fit(pts)
+    np.testing.assert_array_equal(a.labels, b.labels)
+
+
+def test_inertia_matches_definition(rng):
+    pts = rng.normal(size=(60, 3))
+    res = KMeans(k=4, seed=5).fit(pts)
+    manual = 0.0
+    for c in range(4):
+        members = pts[res.labels == c]
+        if len(members):
+            manual += np.sum((members - members.mean(axis=0)) ** 2)
+    assert res.inertia == pytest.approx(manual, rel=1e-9)
+
+
+def test_k_one_returns_single_cluster(rng):
+    pts = rng.normal(size=(10, 2))
+    res = KMeans(k=1, seed=0).fit(pts)
+    assert set(res.labels) == {0}
+    np.testing.assert_allclose(res.centers[0], pts.mean(axis=0))
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError, match="k must be positive"):
+        KMeans(k=0)
+    with pytest.raises(ValueError, match="init must be one of"):
+        KMeans(k=2, init="bogus")
+    with pytest.raises(ValueError, match="max_iter"):
+        KMeans(k=2, max_iter=0)
+    with pytest.raises(ValueError, match="n_init"):
+        KMeans(k=2, n_init=0)
+
+
+def test_rejects_fewer_points_than_k(rng):
+    with pytest.raises(ValueError, match="need at least"):
+        KMeans(k=5).fit(rng.normal(size=(3, 2)))
+
+
+def test_rejects_non_2d(rng):
+    with pytest.raises(ValueError, match="2-D"):
+        KMeans(k=2).fit(rng.normal(size=10))
+
+
+def test_kmeans_fit_wrapper(rng):
+    pts = rng.normal(size=(40, 2))
+    res = kmeans_fit(pts, 2, seed=0)
+    assert res.k == 2
+    assert res.labels.shape == (40,)
+
+
+def test_random_init_strategy_runs(rng):
+    pts = rng.normal(size=(50, 3))
+    res = KMeans(k=3, seed=0, init="random").fit(pts)
+    assert res.labels.shape == (50,)

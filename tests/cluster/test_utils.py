@@ -1,0 +1,73 @@
+"""Tests for label utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.utils import (
+    cluster_sizes,
+    contingency_matrix,
+    relabel_by_size,
+    validate_labels,
+)
+
+
+def test_validate_labels_roundtrip():
+    labels = validate_labels(np.array([0, 1, 2, 1]), 3)
+    assert labels.dtype == np.int64
+    np.testing.assert_array_equal(labels, [0, 1, 2, 1])
+
+
+def test_validate_labels_accepts_integral_floats():
+    np.testing.assert_array_equal(validate_labels(np.array([0.0, 1.0]), 2), [0, 1])
+
+
+def test_validate_labels_rejects_fractional():
+    with pytest.raises(ValueError, match="integers"):
+        validate_labels(np.array([0.5, 1.0]), 2)
+
+
+def test_validate_labels_rejects_out_of_range():
+    with pytest.raises(ValueError, match="lie in"):
+        validate_labels(np.array([0, 3]), 3)
+    with pytest.raises(ValueError, match="lie in"):
+        validate_labels(np.array([-1, 0]), 3)
+
+
+def test_validate_labels_rejects_wrong_length():
+    with pytest.raises(ValueError, match="expected 3 labels"):
+        validate_labels(np.array([0, 1]), 2, n=3)
+
+
+def test_validate_labels_rejects_2d():
+    with pytest.raises(ValueError, match="1-D"):
+        validate_labels(np.zeros((2, 2), dtype=int), 2)
+
+
+def test_cluster_sizes():
+    np.testing.assert_array_equal(
+        cluster_sizes(np.array([0, 0, 2, 2, 2]), 4), [2, 0, 3, 0]
+    )
+
+
+def test_relabel_by_size_orders_descending():
+    labels = np.array([2, 2, 2, 0, 0, 1])
+    out = relabel_by_size(labels, 3)
+    sizes = np.bincount(out, minlength=3)
+    assert sizes[0] >= sizes[1] >= sizes[2]
+    # Same partition, new names.
+    assert len(set(zip(labels.tolist(), out.tolist()))) == 3
+
+
+def test_contingency_matrix_counts():
+    a = np.array([0, 0, 1, 1])
+    b = np.array([0, 1, 1, 1])
+    m = contingency_matrix(a, b, 2, 2)
+    np.testing.assert_array_equal(m, [[1, 1], [0, 2]])
+    assert m.sum() == 4
+
+
+def test_contingency_matrix_alignment_check():
+    with pytest.raises(ValueError, match="expected 2 labels"):
+        contingency_matrix(np.array([0, 1]), np.array([0, 1, 0]), 2, 2)

@@ -1,0 +1,64 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CategoricalSpec, NumericSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_blobs(
+    rng: np.random.Generator,
+    sizes: list[int],
+    centers: list[list[float]],
+    scale: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian blobs; returns (points, true_labels)."""
+    points = []
+    labels = []
+    for idx, (size, center) in enumerate(zip(sizes, centers)):
+        points.append(rng.normal(loc=center, scale=scale, size=(size, len(center))))
+        labels.append(np.full(size, idx))
+    return np.vstack(points), np.concatenate(labels)
+
+
+def correlated_attribute(
+    rng: np.random.Generator, true_labels: np.ndarray, skew: float = 0.85
+) -> np.ndarray:
+    """Binary attribute correlated with blob membership: blob 0 objects take
+    value 1 with probability `skew`, others with probability `1 − skew`."""
+    probs = np.where(true_labels == 0, skew, 1.0 - skew)
+    return (rng.random(true_labels.shape[0]) < probs).astype(np.int64)
+
+
+@pytest.fixture
+def two_blobs(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Overlapping blobs + a correlated binary sensitive attribute."""
+    points, truth = make_blobs(rng, [120, 120], [[0, 0, 0], [2.5, 2.5, 2.5]])
+    sensitive = correlated_attribute(rng, truth)
+    return points, truth, sensitive
+
+
+def random_specs(
+    rng: np.random.Generator,
+    n: int,
+    n_categorical: int = 2,
+    max_values: int = 5,
+    n_numeric: int = 1,
+) -> tuple[list[CategoricalSpec], list[NumericSpec]]:
+    """Random sensitive-attribute specs for property tests."""
+    cats = []
+    for a in range(n_categorical):
+        v = int(rng.integers(2, max_values + 1))
+        cats.append(CategoricalSpec(f"cat{a}", rng.integers(0, v, n), n_values=v))
+    nums = [
+        NumericSpec(f"num{a}", rng.normal(size=n).astype(np.float64))
+        for a in range(n_numeric)
+    ]
+    return cats, nums

@@ -1,0 +1,54 @@
+"""Tests for the deployment-time assign() helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import KMeans
+from repro.core import CategoricalSpec, FairKM
+from tests.conftest import correlated_attribute, make_blobs
+
+
+@pytest.fixture
+def fitted(rng):
+    points, truth = make_blobs(rng, [100, 100], [[0, 0], [5, 5]])
+    sensitive = correlated_attribute(rng, truth)
+    fair = FairKM(2, seed=0).fit(points, categorical=[CategoricalSpec("s", sensitive)])
+    blind = KMeans(2, seed=0).fit(points)
+    return points, fair, blind
+
+
+def test_assign_training_points_mostly_consistent(fitted):
+    """Training points land on their own prototype in the vast majority
+    of cases (fairness moves a few boundary points off-nearest)."""
+    points, fair, _ = fitted
+    reassigned = fair.assign(points)
+    agreement = float(np.mean(reassigned == fair.labels))
+    assert agreement > 0.9
+
+
+def test_assign_new_points_near_centers(fitted):
+    points, fair, _ = fitted
+    new = fair.centers + 0.01
+    np.testing.assert_array_equal(fair.assign(new), np.arange(fair.k))
+
+
+def test_assign_single_point(fitted):
+    _, fair, _ = fitted
+    label = fair.assign(fair.centers[1])
+    assert label.shape == (1,)
+    assert label[0] == 1
+
+
+def test_assign_validates_dimension(fitted):
+    _, fair, blind = fitted
+    with pytest.raises(ValueError, match="expected 2 features"):
+        fair.assign(np.zeros((3, 5)))
+    with pytest.raises(ValueError, match="expected 2 features"):
+        blind.assign(np.zeros((3, 5)))
+
+
+def test_kmeans_assign_is_nearest(fitted):
+    points, _, blind = fitted
+    np.testing.assert_array_equal(blind.assign(points), blind.labels)

@@ -1,0 +1,90 @@
+"""Tests for sensitive-attribute specs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attributes import CategoricalSpec, NumericSpec, validate_specs
+
+
+def test_categorical_infers_cardinality():
+    spec = CategoricalSpec("s", np.array([0, 2, 1]))
+    assert spec.n_values == 3
+
+
+def test_categorical_respects_declared_cardinality():
+    spec = CategoricalSpec("s", np.array([0, 1]), n_values=5)
+    assert spec.n_values == 5
+    np.testing.assert_allclose(spec.dataset_distribution, [0.5, 0.5, 0, 0, 0])
+
+
+def test_categorical_distribution_sums_to_one():
+    rng = np.random.default_rng(0)
+    spec = CategoricalSpec("s", rng.integers(0, 7, 100))
+    assert spec.dataset_distribution.sum() == pytest.approx(1.0)
+
+
+def test_categorical_rejects_too_small_cardinality():
+    with pytest.raises(ValueError, match="codes reach"):
+        CategoricalSpec("s", np.array([0, 4]), n_values=3)
+
+
+def test_categorical_rejects_negative_codes():
+    with pytest.raises(ValueError, match="non-negative"):
+        CategoricalSpec("s", np.array([-1, 0]))
+
+
+def test_categorical_rejects_floats():
+    with pytest.raises(ValueError, match="integers"):
+        CategoricalSpec("s", np.array([0.5, 1.0]))
+
+
+def test_categorical_rejects_empty_and_2d():
+    with pytest.raises(ValueError, match="non-empty"):
+        CategoricalSpec("s", np.array([], dtype=int))
+    with pytest.raises(ValueError, match="1-D"):
+        CategoricalSpec("s", np.zeros((2, 2), dtype=int))
+
+
+def test_categorical_rejects_negative_weight():
+    with pytest.raises(ValueError, match="weight"):
+        CategoricalSpec("s", np.array([0, 1]), weight=-1.0)
+
+
+def test_numeric_standardizes_by_default():
+    spec = NumericSpec("age", np.array([0.0, 10.0]))
+    assert spec.values.std() == pytest.approx(1.0)
+
+
+def test_numeric_no_standardize():
+    spec = NumericSpec("age", np.array([0.0, 10.0]), standardize=False)
+    assert spec.values.std() == pytest.approx(5.0)
+    assert spec.dataset_mean == pytest.approx(5.0)
+
+
+def test_numeric_constant_column_survives():
+    spec = NumericSpec("age", np.full(5, 3.0))
+    np.testing.assert_allclose(spec.values, 3.0)
+
+
+def test_numeric_rejects_nan():
+    with pytest.raises(ValueError, match="finite"):
+        NumericSpec("age", np.array([1.0, np.nan]))
+
+
+def test_validate_specs_requires_some_attribute():
+    with pytest.raises(ValueError, match="at least one sensitive"):
+        validate_specs(5, [], [])
+
+
+def test_validate_specs_checks_lengths():
+    cat = CategoricalSpec("a", np.array([0, 1, 0]))
+    with pytest.raises(ValueError, match="entries, expected"):
+        validate_specs(5, [cat], [])
+
+
+def test_validate_specs_accepts_consistent():
+    cat = CategoricalSpec("a", np.array([0, 1, 0]))
+    num = NumericSpec("b", np.array([1.0, 2.0, 3.0]))
+    validate_specs(3, [cat], [num])  # no raise

@@ -1,0 +1,64 @@
+"""Tests for FairKMConfig / FairKMResult containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CategoricalSpec, FairKM, FairKMConfig
+
+
+def test_config_defaults_are_paper_settings():
+    cfg = FairKMConfig(k=5)
+    assert cfg.lambda_ == "auto"
+    assert cfg.max_iter == 30  # the paper's cap (§5.4)
+    assert cfg.init == "random"  # Alg. 1 Step 1
+    assert cfg.allow_empty is True  # Eq. 3 permits empty clusters
+
+
+def test_config_frozen():
+    cfg = FairKMConfig(k=3)
+    with pytest.raises(AttributeError):
+        cfg.k = 5
+
+
+def test_config_validation_matrix():
+    with pytest.raises(ValueError, match="max_iter"):
+        FairKMConfig(k=2, max_iter=0)
+    with pytest.raises(ValueError, match="tol"):
+        FairKMConfig(k=2, tol=-1.0)
+    with pytest.raises(ValueError, match="resync_every"):
+        FairKMConfig(k=2, resync_every=-1)
+
+
+def test_result_properties(rng):
+    points = rng.normal(size=(60, 3))
+    spec = CategoricalSpec("s", rng.integers(0, 2, 60))
+    res = FairKM(4, seed=0).fit(points, categorical=[spec])
+    assert res.k == 4
+    assert 1 <= res.n_nonempty <= 4
+    assert len(res.objective_history) == res.n_iter
+    assert len(res.moves_per_iter) == res.n_iter
+    if res.converged:
+        assert res.moves_per_iter[-1] == 0
+
+
+def test_result_fractional_representations_sum_to_one(rng):
+    points = rng.normal(size=(80, 2))
+    spec = CategoricalSpec("s", rng.integers(0, 3, 80), n_values=3)
+    res = FairKM(3, seed=1).fit(points, categorical=[spec])
+    frac = res.fractional_representations["s"]
+    occupied = ~np.isnan(frac[:, 0])
+    np.testing.assert_allclose(frac[occupied].sum(axis=1), 1.0, atol=1e-9)
+
+
+def test_resync_disabled_still_correct(rng):
+    """resync_every=0 never rebuilds caches; results must still match the
+    direct objective (incremental updates are exact)."""
+    from repro.core.objective import fairkm_objective
+
+    points = rng.normal(size=(70, 3))
+    spec = CategoricalSpec("s", rng.integers(0, 2, 70))
+    res = FairKM(3, seed=2, resync_every=0).fit(points, categorical=[spec])
+    direct = fairkm_objective(points, [spec], [], res.labels, 3, res.lambda_)
+    assert res.objective == pytest.approx(direct, rel=1e-6)

@@ -1,0 +1,69 @@
+"""Hypothesis property tests over whole FairKM fits.
+
+These complement tests/core/test_state.py (which checks the incremental
+engine): here the *algorithm* is the unit under test, across random
+datasets, cluster counts and λ values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CategoricalSpec, FairKM, NumericSpec
+from repro.core.objective import fairkm_objective
+
+
+@st.composite
+def fairkm_problems(draw):
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(12, 60))
+    dim = draw(st.integers(1, 4))
+    k = draw(st.integers(2, 4))
+    n_values = draw(st.integers(2, 6))
+    lam = draw(st.sampled_from([0.0, 1.0, 100.0, "auto"]))
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, dim))
+    cats = [CategoricalSpec("c", rng.integers(0, n_values, n), n_values=n_values)]
+    nums = [NumericSpec("z", rng.normal(size=n))]
+    return points, cats, nums, k, lam, seed
+
+
+@given(fairkm_problems())
+@settings(max_examples=25, deadline=None)
+def test_objective_never_increases_across_iterations(problem):
+    points, cats, nums, k, lam, seed = problem
+    res = FairKM(k, lambda_=lam, seed=seed).fit(points, categorical=cats, numeric=nums)
+    hist = np.array(res.objective_history)
+    assert (np.diff(hist) <= 1e-6 * np.maximum(np.abs(hist[:-1]), 1.0)).all()
+
+
+@given(fairkm_problems())
+@settings(max_examples=25, deadline=None)
+def test_reported_objective_is_exact(problem):
+    points, cats, nums, k, lam, seed = problem
+    res = FairKM(k, lambda_=lam, seed=seed).fit(points, categorical=cats, numeric=nums)
+    direct = fairkm_objective(points, cats, nums, res.labels, k, res.lambda_)
+    assert res.objective == pytest.approx(direct, rel=1e-7, abs=1e-8)
+
+
+@given(fairkm_problems())
+@settings(max_examples=15, deadline=None)
+def test_labels_valid_and_deterministic(problem):
+    points, cats, nums, k, lam, seed = problem
+    a = FairKM(k, lambda_=lam, seed=seed).fit(points, categorical=cats, numeric=nums)
+    b = FairKM(k, lambda_=lam, seed=seed).fit(points, categorical=cats, numeric=nums)
+    assert a.labels.shape == (points.shape[0],)
+    assert a.labels.min() >= 0 and a.labels.max() < k
+    np.testing.assert_array_equal(a.labels, b.labels)
+
+
+@given(fairkm_problems())
+@settings(max_examples=15, deadline=None)
+def test_terms_are_nonnegative(problem):
+    points, cats, nums, k, lam, seed = problem
+    res = FairKM(k, lambda_=lam, seed=seed).fit(points, categorical=cats, numeric=nums)
+    assert res.kmeans_term >= -1e-9
+    assert res.fairness_term >= -1e-12

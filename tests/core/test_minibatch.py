@@ -1,0 +1,74 @@
+"""Tests for the mini-batch FairKM extension (§6.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CategoricalSpec, FairKM, MiniBatchFairKM
+from repro.core.objective import fairkm_objective
+from repro.metrics import categorical_fairness
+from tests.conftest import correlated_attribute, make_blobs
+
+
+@pytest.fixture
+def data(rng):
+    points, truth = make_blobs(rng, [120, 120], [[0, 0], [2.2, 2.2]])
+    return points, correlated_attribute(rng, truth, 0.85)
+
+
+def test_runs_and_reports_consistent_objective(data):
+    points, sensitive = data
+    spec = CategoricalSpec("s", sensitive)
+    res = MiniBatchFairKM(k=2, batch_size=32, seed=0).fit(points, categorical=[spec])
+    direct = fairkm_objective(points, [spec], [], res.labels, 2, res.lambda_)
+    assert res.objective == pytest.approx(direct, rel=1e-9)
+
+
+def test_batch_size_one_close_to_exact(data):
+    """batch_size=1 is exact FairKM; from the same seed the trajectories
+    coincide."""
+    points, sensitive = data
+    spec = CategoricalSpec("s", sensitive)
+    exact = FairKM(k=2, seed=5).fit(points, categorical=[spec])
+    mb = MiniBatchFairKM(k=2, batch_size=1, seed=5).fit(points, categorical=[spec])
+    np.testing.assert_array_equal(exact.labels, mb.labels)
+    assert exact.objective == pytest.approx(mb.objective)
+
+
+def test_large_batches_still_improve_fairness(data):
+    points, sensitive = data
+    spec = CategoricalSpec("s", sensitive)
+    from repro.cluster import KMeans
+
+    blind = KMeans(k=2, seed=0).fit(points)
+    mb = MiniBatchFairKM(k=2, batch_size=64, seed=0, lambda_=1e5).fit(
+        points, categorical=[spec]
+    )
+    ae_blind = categorical_fairness(sensitive, blind.labels, 2, 2).ae
+    ae_mb = categorical_fairness(sensitive, mb.labels, 2, 2).ae
+    assert ae_mb < ae_blind
+
+
+def test_objective_quality_close_to_exact(data):
+    points, sensitive = data
+    spec = CategoricalSpec("s", sensitive)
+    exact = FairKM(k=2, seed=1, max_iter=50).fit(points, categorical=[spec])
+    mb = MiniBatchFairKM(k=2, batch_size=48, seed=1, max_iter=50).fit(
+        points, categorical=[spec]
+    )
+    # Mini-batch is an approximation; allow slack but catch regressions.
+    assert mb.objective <= exact.objective * 1.25 + 1e-9
+
+
+def test_rejects_bad_batch_size():
+    with pytest.raises(ValueError, match="batch_size"):
+        MiniBatchFairKM(k=2, batch_size=0)
+
+
+def test_deterministic(data):
+    points, sensitive = data
+    spec = CategoricalSpec("s", sensitive)
+    a = MiniBatchFairKM(k=2, batch_size=16, seed=3).fit(points, categorical=[spec])
+    b = MiniBatchFairKM(k=2, batch_size=16, seed=3).fit(points, categorical=[spec])
+    np.testing.assert_array_equal(a.labels, b.labels)

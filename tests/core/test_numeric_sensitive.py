@@ -1,0 +1,85 @@
+"""Behavioural tests for the numeric sensitive attribute extension (Eq. 22)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import KMeans
+from repro.core import FairKM, NumericSpec
+from repro.metrics import numeric_fairness
+from tests.conftest import make_blobs
+
+
+@pytest.fixture
+def age_skewed(rng):
+    """Blobs whose membership correlates with a numeric 'age' attribute."""
+    points, truth = make_blobs(rng, [150, 150], [[0, 0, 0], [2.2, 2.2, 2.2]])
+    age = np.where(truth == 0, rng.normal(30, 5, 300), rng.normal(50, 5, 300))
+    return points, age
+
+
+def test_fairkm_equalizes_cluster_means(age_skewed):
+    points, age = age_skewed
+    blind = KMeans(2, seed=0, n_init=5).fit(points)
+    fair = FairKM(2, seed=0, lambda_=1e6).fit(
+        points, numeric=[NumericSpec("age", age)]
+    )
+    blind_dev = numeric_fairness(age, blind.labels, 2).ae
+    fair_dev = numeric_fairness(age, fair.labels, 2).ae
+    assert fair_dev < blind_dev * 0.3
+
+
+def test_lambda_controls_numeric_tradeoff(age_skewed):
+    points, age = age_skewed
+    spec = [NumericSpec("age", age)]
+    weak = FairKM(2, seed=1, lambda_=1.0).fit(points, numeric=spec)
+    strong = FairKM(2, seed=1, lambda_=1e6).fit(points, numeric=spec)
+    assert strong.fairness_term <= weak.fairness_term + 1e-12
+    assert strong.kmeans_term >= weak.kmeans_term - 1e-9
+
+
+def test_mixed_categorical_and_numeric(age_skewed, rng):
+    points, age = age_skewed
+    from repro.core import CategoricalSpec
+
+    cat = CategoricalSpec("g", rng.integers(0, 2, points.shape[0]))
+    res = FairKM(3, seed=0).fit(points, categorical=[cat], numeric=[NumericSpec("age", age)])
+    assert res.labels.shape == (points.shape[0],)
+    assert res.fairness_term >= 0.0
+    # Fractional representations only exist for categorical attributes.
+    assert set(res.fractional_representations) == {"g"}
+
+
+def test_standardization_makes_attributes_commensurate(rng):
+    """Two numeric attributes on wildly different scales must both get
+    attention; standardize=True (default) ensures neither dominates."""
+    points, truth = make_blobs(rng, [200, 200], [[0, 0], [2, 2]])
+    small = truth * 1.0 + rng.normal(0, 0.3, 400)  # O(1) scale
+    big = truth * 1e4 + rng.normal(0, 3e3, 400)  # O(10^4) scale
+    res = FairKM(2, seed=0, lambda_=1e6).fit(
+        points,
+        numeric=[NumericSpec("small", small), NumericSpec("big", big)],
+    )
+    dev_small = numeric_fairness(small, res.labels, 2).ae
+    dev_big = numeric_fairness(big, res.labels, 2).ae
+    # Both should be repaired to a similar degree (same std-scaled units).
+    assert abs(dev_small - dev_big) < 0.25
+
+
+def test_weighting_numeric_attributes(rng):
+    """Eq. 23 weighting applies to numeric attributes too."""
+    points, truth = make_blobs(rng, [200, 200], [[0, 0], [1.8, 1.8]])
+    a = truth + rng.normal(0, 0.4, 400)
+    b = (1 - truth) + rng.normal(0, 0.4, 400)
+    lam = 2e4
+    plain = FairKM(2, seed=0, lambda_=lam).fit(
+        points, numeric=[NumericSpec("a", a), NumericSpec("b", b)]
+    )
+    boosted = FairKM(2, seed=0, lambda_=lam).fit(
+        points,
+        numeric=[NumericSpec("a", a, weight=10.0), NumericSpec("b", b, weight=0.1)],
+    )
+    dev_plain = numeric_fairness(a, plain.labels, 2).ae
+    dev_boosted = numeric_fairness(a, boosted.labels, 2).ae
+    assert dev_boosted <= dev_plain + 1e-9

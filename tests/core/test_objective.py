@@ -1,0 +1,110 @@
+"""Tests for the direct (non-incremental) objective functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CategoricalSpec, NumericSpec
+from repro.core.objective import (
+    categorical_deviation,
+    fairkm_objective,
+    fairness_term,
+    kmeans_term,
+    numeric_deviation,
+)
+
+
+def test_kmeans_term_zero_for_singletons():
+    pts = np.array([[0.0, 0.0], [5.0, 5.0]])
+    assert kmeans_term(pts, np.array([0, 1]), 2) == 0.0
+
+
+def test_kmeans_term_known_value():
+    pts = np.array([[0.0], [2.0]])
+    assert kmeans_term(pts, np.array([0, 0]), 1) == pytest.approx(2.0)
+
+
+def test_categorical_deviation_fair_split_zero():
+    spec = CategoricalSpec("s", np.array([0, 1, 0, 1]))
+    labels = np.array([0, 0, 1, 1])
+    assert categorical_deviation(spec, labels, 2) == pytest.approx(0.0, abs=1e-15)
+
+
+def test_categorical_deviation_segregated_known_value():
+    # Two clusters of 2, each pure; dataset is 50/50; t = 2.
+    # Per cluster: (|C|/n)² Σ_s (Fr−.5)²/2 = (1/4)·(0.25+0.25)/2 = 1/16.
+    spec = CategoricalSpec("s", np.array([0, 0, 1, 1]))
+    labels = np.array([0, 0, 1, 1])
+    assert categorical_deviation(spec, labels, 2) == pytest.approx(2 / 16)
+
+
+def test_categorical_deviation_single_cluster():
+    # One cluster holding everything matches the dataset by definition.
+    spec = CategoricalSpec("s", np.array([0, 1, 1, 0]))
+    labels = np.zeros(4, dtype=int)
+    assert categorical_deviation(spec, labels, 3) == pytest.approx(0.0, abs=1e-15)
+
+
+def test_cardinality_normalization():
+    """An attribute with t values divides its deviation by t (Eq. 4)."""
+    codes = np.array([0, 1, 0, 1])
+    labels = np.array([0, 0, 1, 1])
+    t2 = CategoricalSpec("a", codes, n_values=2)
+    t4 = CategoricalSpec("b", codes, n_values=4)
+    labels_bad = np.array([0, 1, 0, 1])  # some deviation
+    d2 = categorical_deviation(t2, labels_bad, 2)
+    d4 = categorical_deviation(t4, labels_bad, 2)
+    assert d4 == pytest.approx(d2 / 2)  # same counts, double the divisor
+
+
+def test_numeric_deviation_zero_when_balanced():
+    spec = NumericSpec("age", np.array([1.0, 3.0, 1.0, 3.0]), standardize=False)
+    labels = np.array([0, 0, 1, 1])
+    assert numeric_deviation(spec, labels, 2) == pytest.approx(0.0, abs=1e-15)
+
+
+def test_numeric_deviation_known_value():
+    spec = NumericSpec("age", np.array([0.0, 0.0, 2.0, 2.0]), standardize=False)
+    labels = np.array([0, 0, 1, 1])
+    # Each cluster: (0.5)² · (1)² = 0.25 → total 0.5.
+    assert numeric_deviation(spec, labels, 2) == pytest.approx(0.5)
+
+
+def test_fairness_term_weights_attributes():
+    codes = np.array([0, 0, 1, 1])
+    labels = np.array([0, 0, 1, 1])
+    plain = CategoricalSpec("a", codes)
+    double = CategoricalSpec("b", codes, weight=2.0)
+    assert fairness_term([double], [], labels, 2) == pytest.approx(
+        2 * fairness_term([plain], [], labels, 2)
+    )
+
+
+def test_fairness_term_sums_kinds():
+    rng = np.random.default_rng(0)
+    labels = rng.integers(0, 3, 30)
+    cat = CategoricalSpec("a", rng.integers(0, 4, 30))
+    num = NumericSpec("b", rng.normal(size=30))
+    total = fairness_term([cat], [num], labels, 3)
+    assert total == pytest.approx(
+        categorical_deviation(cat, labels, 3) + numeric_deviation(num, labels, 3)
+    )
+
+
+def test_fairkm_objective_lambda_zero_is_kmeans():
+    rng = np.random.default_rng(1)
+    pts = rng.normal(size=(20, 2))
+    labels = rng.integers(0, 2, 20)
+    cat = CategoricalSpec("a", rng.integers(0, 2, 20))
+    assert fairkm_objective(pts, [cat], [], labels, 2, 0.0) == pytest.approx(
+        kmeans_term(pts, labels, 2)
+    )
+
+
+def test_empty_cluster_contributes_zero():
+    spec = CategoricalSpec("s", np.array([0, 1, 0, 1]))
+    labels = np.zeros(4, dtype=int)
+    with_empty = categorical_deviation(spec, labels, 5)
+    without = categorical_deviation(spec, labels, 1)
+    assert with_empty == pytest.approx(without)

@@ -1,0 +1,176 @@
+"""Tests for the synthetic Adult generator and the CSV loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.adult import (
+    COUNTRY_VALUES,
+    MARITAL_VALUES,
+    RACE_VALUES,
+    RELATIONSHIP_VALUES,
+    SEX_VALUES,
+    generate_adult,
+    load_adult_csv,
+)
+from repro.data.schema import Kind, Role
+from repro.data.sampling import undersample_to_parity
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return generate_adult(8000, seed=0)
+
+
+def test_paper_schema(adult):
+    """§5.1: five sensitive attributes with cardinalities 7/6/5/2/41,
+    eight non-sensitive features, income as meta."""
+    assert adult.sensitive_names == [
+        "marital-status",
+        "relationship",
+        "race",
+        "sex",
+        "native-country",
+    ]
+    cards = [adult.column(s).n_values for s in adult.sensitive_names]
+    assert cards == [7, 6, 5, 2, 41]
+    assert len(adult.feature_names) == 8
+    assert adult.column("income").role is Role.META
+
+
+def test_value_domains_match_uci():
+    assert len(MARITAL_VALUES) == 7
+    assert len(RELATIONSHIP_VALUES) == 6
+    assert len(RACE_VALUES) == 5
+    assert len(SEX_VALUES) == 2
+    assert len(COUNTRY_VALUES) == 41
+    assert COUNTRY_VALUES[0] == "United-States"
+
+
+def test_marginals_are_adult_like(adult):
+    """The experiments rely on heavy skew in race and native-country."""
+    race = adult.column("race").distribution()
+    assert race[0] > 0.75  # White dominates
+    country = adult.column("native-country").distribution()
+    assert country[0] > 0.82  # United-States dominates
+    sex = adult.column("sex").distribution()
+    assert 0.5 < sex[0] < 0.75  # male majority but both present
+    marital = adult.column("marital-status").distribution()
+    assert marital.argmax() in (0, 1)  # married or never-married biggest
+
+
+def test_all_sensitive_values_reachable():
+    ds = generate_adult(30000, seed=1)
+    for name in ("marital-status", "relationship", "race", "sex"):
+        counts = np.bincount(ds.column(name).values, minlength=ds.column(name).n_values)
+        assert (counts > 0).sum() >= ds.column(name).n_values - 1
+
+
+def test_marital_relationship_coupling(adult):
+    """Married men must be overwhelmingly Husbands (as in real Adult)."""
+    marital = adult.column("marital-status").values
+    rel = adult.column("relationship").values
+    sex = adult.column("sex").values
+    married_men = (marital == 0) & (sex == 0)
+    assert (rel[married_men] == 0).mean() > 0.9
+    married_women = (marital == 0) & (sex == 1)
+    assert (rel[married_women] == 4).mean() > 0.85
+
+
+def test_sex_occupation_correlation(adult):
+    """N must implicitly encode S — the premise of the paper's §3."""
+    occ = adult.column("occupation").values
+    sex = adult.column("sex").values
+    male_dist = np.bincount(occ[sex == 0], minlength=14) / (sex == 0).sum()
+    female_dist = np.bincount(occ[sex == 1], minlength=14) / (sex == 1).sum()
+    total_variation = 0.5 * np.abs(male_dist - female_dist).sum()
+    assert total_variation > 0.3
+
+
+def test_race_country_correlation(adult):
+    race = adult.column("race").values
+    country = adult.column("native-country").values
+    api_rate_us = (race[country == 0] == 2).mean()
+    foreign = country != 0
+    api_rate_foreign = (race[foreign] == 2).mean()
+    assert api_rate_foreign > api_rate_us * 3
+
+
+def test_income_parity_undersampling_works(adult):
+    par = undersample_to_parity(adult, "income", 0)
+    np.testing.assert_allclose(par.column("income").distribution(), [0.5, 0.5])
+    # The paper's pipeline target: both classes non-trivially populated.
+    assert par.n > adult.n * 0.2
+
+
+def test_numeric_ranges(adult):
+    age = adult.column("age").values
+    assert age.min() >= 17 and age.max() <= 90
+    hours = adult.column("hours-per-week").values
+    assert hours.min() >= 1 and hours.max() <= 99
+    edu = adult.column("education-num").values
+    assert edu.min() >= 1 and edu.max() <= 16
+    assert (adult.column("capital-gain").values >= 0).all()
+
+
+def test_deterministic_by_seed():
+    a = generate_adult(500, seed=9)
+    b = generate_adult(500, seed=9)
+    np.testing.assert_array_equal(a.column("race").values, b.column("race").values)
+    np.testing.assert_allclose(a.column("age").values, b.column("age").values)
+
+
+def test_rejects_tiny_n():
+    with pytest.raises(ValueError, match="at least"):
+        generate_adult(2)
+
+
+def test_load_adult_csv_roundtrip(tmp_path):
+    """The loader must parse UCI-format rows into the identical schema."""
+    rows = [
+        "39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical, "
+        "Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K",
+        "50, Self-emp-not-inc, 83311, Bachelors, 13, Married-civ-spouse, "
+        "Exec-managerial, Husband, White, Male, 0, 0, 13, United-States, <=50K",
+        "38, Private, 215646, HS-grad, 9, Divorced, Handlers-cleaners, "
+        "Not-in-family, White, Male, 0, 0, 40, United-States, >50K",
+        "28, Private, 338409, Bachelors, 13, Married-civ-spouse, Prof-specialty, "
+        "Wife, Black, Female, 0, 0, 40, Cuba, <=50K",
+        "37, Private, 284582, Masters, 14, Married-civ-spouse, Exec-managerial, "
+        "Wife, White, Female, 0, 0, 40, United-States, <=50K",
+    ]
+    path = tmp_path / "adult.data"
+    path.write_text("\n".join(rows) + "\n")
+    ds = load_adult_csv(str(path))
+    assert ds.n == 5
+    assert ds.sensitive_names == [
+        "marital-status",
+        "relationship",
+        "race",
+        "sex",
+        "native-country",
+    ]
+    assert ds.column("sex").values.tolist() == [0, 0, 0, 1, 1]
+    assert ds.column("income").values.tolist() == [0, 0, 1, 0, 0]
+    assert ds.column("native-country").categories[ds.column("native-country").values[3]] == "Cuba"
+
+
+def test_load_adult_csv_drops_missing(tmp_path):
+    rows = [
+        "39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical, "
+        "Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K",
+        "40, ?, 1000, HS-grad, 9, Divorced, Sales, Unmarried, White, Female, "
+        "0, 0, 38, United-States, <=50K",
+    ]
+    path = tmp_path / "adult.data"
+    path.write_text("\n".join(rows) + "\n")
+    assert load_adult_csv(str(path), drop_missing=True).n == 1
+    assert load_adult_csv(str(path), drop_missing=False).n == 2
+
+
+def test_load_adult_csv_empty_raises(tmp_path):
+    path = tmp_path / "adult.data"
+    path.write_text("\n")
+    with pytest.raises(ValueError, match="no usable rows"):
+        load_adult_csv(str(path))

@@ -1,0 +1,146 @@
+"""Tests for the Dataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Column, Kind, Role
+
+
+def build_dataset(n: int = 10) -> Dataset:
+    rng = np.random.default_rng(0)
+    return Dataset(
+        [
+            Column("x", Role.FEATURE, Kind.NUMERIC, rng.normal(size=n)),
+            Column("y", Role.FEATURE, Kind.NUMERIC, rng.normal(10, 5, n)),
+            Column(
+                "job",
+                Role.FEATURE,
+                Kind.CATEGORICAL,
+                rng.integers(0, 3, n),
+                ("a", "b", "c"),
+            ),
+            Column(
+                "sex", Role.SENSITIVE, Kind.CATEGORICAL, rng.integers(0, 2, n), ("M", "F")
+            ),
+            Column("age", Role.SENSITIVE, Kind.NUMERIC, rng.normal(40, 10, n)),
+            Column(
+                "label", Role.META, Kind.CATEGORICAL, rng.integers(0, 2, n), ("lo", "hi")
+            ),
+        ],
+        name="toy",
+    )
+
+
+def test_basic_introspection():
+    ds = build_dataset()
+    assert len(ds) == 10
+    assert "x" in ds and "nope" not in ds
+    assert ds.feature_names == ["x", "y", "job"]
+    assert ds.sensitive_names == ["sex", "age"]
+    with pytest.raises(KeyError, match="no column"):
+        ds.column("nope")
+
+
+def test_summary_renders():
+    text = str(build_dataset().summary())
+    assert "n = 10" in text
+    assert "sex(2)" in text
+    assert "meta: label" in text
+
+
+def test_feature_matrix_onehot_shape():
+    ds = build_dataset()
+    x = ds.feature_matrix()
+    assert x.shape == (10, 2 + 3)  # 2 numeric + 3 one-hot
+    # Standardized numeric block.
+    np.testing.assert_allclose(x[:, :2].mean(axis=0), 0.0, atol=1e-9)
+
+
+def test_feature_matrix_ordinal_shape():
+    ds = build_dataset()
+    x = ds.feature_matrix(categorical_encoding="ordinal")
+    assert x.shape == (10, 3)
+
+
+def test_feature_matrix_unscaled():
+    ds = build_dataset()
+    x = ds.feature_matrix(scale=False)
+    assert abs(x[:, 1].mean() - ds.column("y").values.mean()) < 1e-12
+
+
+def test_feature_matrix_rejects_bad_encoding():
+    with pytest.raises(ValueError, match="categorical_encoding"):
+        build_dataset().feature_matrix(categorical_encoding="bogus")
+
+
+def test_sensitive_specs_default_all():
+    cats, nums = build_dataset().sensitive_specs()
+    assert [c.name for c in cats] == ["sex"]
+    assert [n.name for n in nums] == ["age"]
+
+
+def test_sensitive_specs_subset_and_weights():
+    cats, nums = build_dataset().sensitive_specs(names=["sex"], weights={"sex": 3.0})
+    assert len(cats) == 1 and not nums
+    assert cats[0].weight == 3.0
+
+
+def test_sensitive_specs_rejects_unknown():
+    with pytest.raises(KeyError, match="not sensitive"):
+        build_dataset().sensitive_specs(names=["job"])
+
+
+def test_sensitive_categorical_mapping():
+    mapping = build_dataset().sensitive_categorical()
+    assert set(mapping) == {"sex"}
+    codes, t = mapping["sex"]
+    assert t == 2 and codes.shape == (10,)
+
+
+def test_sensitive_numeric_mapping():
+    mapping = build_dataset().sensitive_numeric()
+    assert set(mapping) == {"age"}
+
+
+def test_subset_preserves_schema():
+    ds = build_dataset()
+    sub = ds.subset(np.array([0, 3, 5]))
+    assert len(sub) == 3
+    assert sub.feature_names == ds.feature_names
+    assert sub.column("sex").values.shape == (3,)
+
+
+def test_with_column_replaces():
+    ds = build_dataset()
+    new = Column("x", Role.META, Kind.NUMERIC, np.zeros(10))
+    ds2 = ds.with_column(new)
+    assert ds2.column("x").role is Role.META
+    assert ds.column("x").role is Role.FEATURE  # original untouched
+
+
+def test_with_column_length_checked():
+    ds = build_dataset()
+    with pytest.raises(ValueError, match="rows"):
+        ds.with_column(Column("z", Role.META, Kind.NUMERIC, np.zeros(5)))
+
+
+def test_constructor_validations():
+    with pytest.raises(ValueError, match="at least one column"):
+        Dataset([])
+    c1 = Column("x", Role.FEATURE, Kind.NUMERIC, np.zeros(3))
+    c2 = Column("y", Role.FEATURE, Kind.NUMERIC, np.zeros(4))
+    with pytest.raises(ValueError, match="lengths differ"):
+        Dataset([c1, c2])
+    with pytest.raises(ValueError, match="duplicate"):
+        Dataset([c1, c1])
+
+
+def test_feature_matrix_requires_features():
+    only_sensitive = Dataset(
+        [Column("s", Role.SENSITIVE, Kind.CATEGORICAL, np.zeros(3, dtype=int), ("a",))]
+    )
+    with pytest.raises(ValueError, match="no FEATURE columns"):
+        only_sensitive.feature_matrix()

@@ -1,0 +1,84 @@
+"""Tests for feature encoders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.encoders import encode_strings, one_hot, ordinal_scaled, standardize
+
+
+def test_standardize_zero_mean_unit_var():
+    rng = np.random.default_rng(0)
+    x = rng.normal(5, 3, size=(100, 4))
+    z = standardize(x)
+    np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-9)
+    np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+
+def test_standardize_constant_column_zeroed():
+    x = np.column_stack([np.full(5, 7.0), np.arange(5, dtype=float)])
+    z = standardize(x)
+    np.testing.assert_allclose(z[:, 0], 0.0)
+
+
+def test_standardize_rejects_1d():
+    with pytest.raises(ValueError, match="2-D"):
+        standardize(np.arange(5.0))
+
+
+@given(
+    hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(2, 20), st.integers(1, 5)),
+        elements=st.floats(-100, 100, allow_nan=False),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_standardize_idempotent_on_output(x):
+    z = standardize(x)
+    z2 = standardize(z)
+    np.testing.assert_allclose(z, z2, atol=1e-9)
+
+
+def test_one_hot_basic():
+    out = one_hot(np.array([0, 2, 1]), 3)
+    np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+
+def test_one_hot_rows_sum_to_one():
+    rng = np.random.default_rng(1)
+    codes = rng.integers(0, 7, 50)
+    out = one_hot(codes, 7)
+    np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+
+def test_one_hot_validates():
+    with pytest.raises(ValueError, match="1-D"):
+        one_hot(np.zeros((2, 2), dtype=int), 2)
+    with pytest.raises(ValueError, match="lie in"):
+        one_hot(np.array([0, 5]), 3)
+
+
+def test_encode_strings_stable_order():
+    codes, cats = encode_strings(["b", "a", "b", "c"])
+    assert cats == ("b", "a", "c")
+    np.testing.assert_array_equal(codes, [0, 1, 0, 2])
+
+
+def test_encode_strings_roundtrip():
+    values = ["x", "y", "z", "x", "y"]
+    codes, cats = encode_strings(values)
+    assert [cats[c] for c in codes] == values
+
+
+def test_ordinal_scaled_range():
+    out = ordinal_scaled(np.array([0, 1, 2, 3]), 4)
+    np.testing.assert_allclose(out, [0.0, 1 / 3, 2 / 3, 1.0])
+
+
+def test_ordinal_scaled_degenerate_domain():
+    np.testing.assert_allclose(ordinal_scaled(np.array([0, 0]), 1), [0.0, 0.0])

@@ -1,0 +1,137 @@
+"""Tests for the kinematics word-problem generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.kinematics import (
+    TYPE_COUNTS,
+    TYPE_DESCRIPTIONS,
+    WordProblem,
+    generate_kinematics,
+    generate_problems,
+    problems_to_dataset,
+)
+from repro.data.schema import Role
+
+
+def test_paper_counts_by_default():
+    """Table 4: 60/36/15/31/19 problems, 161 total."""
+    problems = generate_problems(0)
+    assert len(problems) == 161
+    counts = np.bincount([p.problem_type for p in problems], minlength=6)
+    assert counts[1:].tolist() == [60, 36, 15, 31, 19]
+
+
+def test_problems_are_shuffled():
+    types = [p.problem_type for p in generate_problems(0)]
+    assert types != sorted(types)
+
+
+def test_custom_counts():
+    problems = generate_problems(0, counts={1: 3, 5: 2})
+    assert len(problems) == 5
+
+
+def test_rejects_unknown_types():
+    with pytest.raises(ValueError, match="unknown problem types"):
+        generate_problems(0, counts={7: 3})
+
+
+def test_texts_look_like_physics():
+    problems = generate_problems(0)
+    joined = " ".join(p.text.lower() for p in problems)
+    for word in ("velocity", "m/s", "ground", "seconds"):
+        assert word in joined
+
+
+def test_type_specific_vocabulary():
+    problems = generate_problems(3)
+    by_type = {t: " ".join(p.text.lower() for p in problems if p.problem_type == t) for t in range(1, 6)}
+    assert "road" in by_type[1] or "track" in by_type[1]
+    assert "vertically" in by_type[2]
+    assert "dropped" in by_type[3] or "falls freely" in by_type[3]
+    assert "horizontally" in by_type[4]
+    assert "angle" in by_type[5]
+
+
+def test_articles_are_grammatical():
+    problems = generate_problems(11)
+    for p in problems:
+        assert " a arrow" not in f" {p.text}".lower()
+        assert " a aircraft" not in f" {p.text}".lower()
+
+
+def test_wordproblem_validates_type():
+    with pytest.raises(ValueError, match="1..5"):
+        WordProblem("text", 9)
+
+
+def test_deterministic_by_seed():
+    a = [p.text for p in generate_problems(5)]
+    b = [p.text for p in generate_problems(5)]
+    assert a == b
+
+
+def test_descriptions_cover_all_types():
+    assert set(TYPE_DESCRIPTIONS) == set(TYPE_COUNTS) == {1, 2, 3, 4, 5}
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    problems = generate_problems(0, counts={1: 12, 2: 8, 3: 5, 4: 7, 5: 5})
+    return problems_to_dataset(problems, dim=24, epochs=10, seed=0)
+
+
+def test_dataset_schema(small_dataset):
+    ds = small_dataset
+    assert ds.n == 37
+    assert len(ds.feature_names) == 24
+    assert ds.sensitive_names == [f"type-{t}" for t in range(1, 6)]
+    for name in ds.sensitive_names:
+        assert ds.column(name).n_values == 2  # binary, per the paper
+    assert ds.column("type").role is Role.META
+
+
+def test_type_indicators_consistent(small_dataset):
+    ds = small_dataset
+    multi = ds.column("type").values  # 0-based
+    for t in range(1, 6):
+        indicator = ds.column(f"type-{t}").values
+        np.testing.assert_array_equal(indicator, (multi == t - 1).astype(np.int64))
+
+
+def test_embeddings_have_signal(small_dataset):
+    """Same-type problems should be more similar than cross-type ones."""
+    x = small_dataset.feature_matrix(scale=False)
+    types = small_dataset.column("type").values
+    unit = x / np.maximum(np.linalg.norm(x, axis=1, keepdims=True), 1e-12)
+    sims = unit @ unit.T
+    same = sims[types[:, None] == types[None, :]]
+    diff = sims[types[:, None] != types[None, :]]
+    assert same.mean() > diff.mean()
+
+
+def test_lsa_embedder_path():
+    problems = generate_problems(0, counts={1: 6, 3: 4})
+    ds = problems_to_dataset(problems, dim=8, embedder="lsa")
+    assert len(ds.feature_names) <= 8
+    assert ds.n == 10
+
+
+def test_rejects_bad_embedder():
+    problems = generate_problems(0, counts={1: 3, 2: 3})
+    with pytest.raises(ValueError, match="embedder"):
+        problems_to_dataset(problems, embedder="bert")
+
+
+def test_rejects_empty_problems():
+    with pytest.raises(ValueError, match="non-empty"):
+        problems_to_dataset([])
+
+
+def test_generate_kinematics_end_to_end():
+    ds = generate_kinematics(0, dim=16, epochs=5, counts={1: 8, 2: 6, 4: 4})
+    assert ds.n == 18
+    assert len(ds.feature_names) == 16

@@ -1,0 +1,94 @@
+"""Tests for parity undersampling and subsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.sampling import parity_indices, subsample, undersample_to_parity
+from repro.data.schema import Column, Kind, Role
+from repro.data.dataset import Dataset
+
+
+def toy_dataset(n: int = 100, p_hi: float = 0.3) -> Dataset:
+    rng = np.random.default_rng(0)
+    return Dataset(
+        [
+            Column("x", Role.FEATURE, Kind.NUMERIC, rng.normal(size=n)),
+            Column(
+                "income",
+                Role.META,
+                Kind.CATEGORICAL,
+                (rng.random(n) < p_hi).astype(np.int64),
+                ("lo", "hi"),
+            ),
+        ]
+    )
+
+
+def test_parity_indices_equal_counts():
+    rng = np.random.default_rng(1)
+    codes = np.array([0] * 70 + [1] * 30)
+    idx = parity_indices(codes, rng)
+    counts = np.bincount(codes[idx])
+    assert counts[0] == counts[1] == 30
+
+
+def test_parity_indices_three_classes():
+    rng = np.random.default_rng(2)
+    codes = np.array([0] * 50 + [1] * 20 + [2] * 10)
+    idx = parity_indices(codes, rng)
+    assert (np.bincount(codes[idx]) == 10).all()
+
+
+def test_parity_indices_no_duplicates():
+    rng = np.random.default_rng(3)
+    codes = np.array([0, 0, 0, 1, 1, 1])
+    idx = parity_indices(codes, rng)
+    assert len(set(idx.tolist())) == len(idx)
+
+
+def test_parity_indices_requires_two_classes():
+    with pytest.raises(ValueError, match="two classes"):
+        parity_indices(np.zeros(10, dtype=int), np.random.default_rng(0))
+
+
+def test_parity_indices_rejects_empty():
+    with pytest.raises(ValueError, match="non-empty"):
+        parity_indices(np.array([], dtype=int), np.random.default_rng(0))
+
+
+def test_undersample_to_parity_dataset():
+    ds = toy_dataset()
+    out = undersample_to_parity(ds, "income", 0)
+    dist = out.column("income").distribution()
+    np.testing.assert_allclose(dist, [0.5, 0.5])
+    assert out.n < ds.n
+
+
+def test_undersample_rejects_numeric_column():
+    ds = toy_dataset()
+    with pytest.raises(TypeError, match="categorical"):
+        undersample_to_parity(ds, "x", 0)
+
+
+def test_undersample_deterministic_by_seed():
+    ds = toy_dataset()
+    a = undersample_to_parity(ds, "income", 42)
+    b = undersample_to_parity(ds, "income", 42)
+    np.testing.assert_allclose(a.column("x").values, b.column("x").values)
+
+
+def test_subsample_size():
+    ds = toy_dataset()
+    assert subsample(ds, 10, 0).n == 10
+
+
+def test_subsample_noop_when_large():
+    ds = toy_dataset()
+    assert subsample(ds, 1000, 0) is ds
+
+
+def test_subsample_rejects_nonpositive():
+    with pytest.raises(ValueError, match="positive"):
+        subsample(toy_dataset(), 0, 0)

@@ -1,0 +1,65 @@
+"""Tests for Column / schema validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Column, Kind, Role
+
+
+def test_numeric_column_roundtrip():
+    col = Column("age", Role.FEATURE, Kind.NUMERIC, np.array([1, 2, 3]))
+    assert col.values.dtype == np.float64
+    assert col.n == 3
+
+
+def test_categorical_column_roundtrip():
+    col = Column(
+        "sex", Role.SENSITIVE, Kind.CATEGORICAL, np.array([0, 1, 0]), ("M", "F")
+    )
+    assert col.n_values == 2
+    np.testing.assert_allclose(col.distribution(), [2 / 3, 1 / 3])
+
+
+def test_categorical_requires_categories():
+    with pytest.raises(ValueError, match="needs categories"):
+        Column("s", Role.SENSITIVE, Kind.CATEGORICAL, np.array([0, 1]))
+
+
+def test_categorical_rejects_out_of_range_codes():
+    with pytest.raises(ValueError, match="out of range"):
+        Column("s", Role.SENSITIVE, Kind.CATEGORICAL, np.array([0, 2]), ("a", "b"))
+
+
+def test_categorical_rejects_float_codes():
+    with pytest.raises(ValueError, match="must be ints"):
+        Column("s", Role.SENSITIVE, Kind.CATEGORICAL, np.array([0.0, 1.0]), ("a", "b"))
+
+
+def test_numeric_rejects_categories():
+    with pytest.raises(ValueError, match="has categories"):
+        Column("x", Role.FEATURE, Kind.NUMERIC, np.array([1.0]), ("a",))
+
+
+def test_numeric_rejects_nan():
+    with pytest.raises(ValueError, match="finite"):
+        Column("x", Role.FEATURE, Kind.NUMERIC, np.array([1.0, np.nan]))
+
+
+def test_rejects_2d():
+    with pytest.raises(ValueError, match="1-D"):
+        Column("x", Role.FEATURE, Kind.NUMERIC, np.zeros((2, 2)))
+
+
+def test_numeric_has_no_domain():
+    col = Column("x", Role.FEATURE, Kind.NUMERIC, np.array([1.0]))
+    with pytest.raises(TypeError, match="no discrete domain"):
+        _ = col.n_values
+
+
+def test_take_subsets_rows():
+    col = Column("x", Role.FEATURE, Kind.NUMERIC, np.array([1.0, 2.0, 3.0]))
+    sub = col.take(np.array([2, 0]))
+    np.testing.assert_allclose(sub.values, [3.0, 1.0])
+    assert sub.name == "x" and sub.role is Role.FEATURE

@@ -1,0 +1,71 @@
+"""Tests for the generic synthetic fair-clustering generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_fair_problem
+from repro.metrics import categorical_fairness
+from repro.cluster import KMeans
+
+
+def test_default_shape():
+    ds = make_fair_problem(200, seed=0)
+    assert ds.n == 200
+    assert ds.sensitive_names == ["group"]
+    assert "latent" not in ds.sensitive_names
+
+
+def test_requested_attributes_created():
+    ds = make_fair_problem(
+        150,
+        categorical=[("a", 3, 0.9), ("b", 5, 0.2)],
+        numeric_sensitive=[("age", 0.7)],
+        seed=1,
+    )
+    assert ds.sensitive_names == ["a", "b", "age"]
+    assert ds.column("a").n_values == 3
+    assert ds.column("b").n_values == 5
+
+
+def test_correlation_controls_skew():
+    """High-correlation attributes must be more skewed under S-blind
+    clustering than low-correlation ones."""
+    ds = make_fair_problem(
+        900,
+        n_latent=3,
+        separation=3.0,
+        categorical=[("hi", 3, 0.95), ("lo", 3, 0.05)],
+        seed=2,
+    )
+    km = KMeans(k=3, seed=0, n_init=3).fit(ds.feature_matrix())
+    hi = categorical_fairness(ds.column("hi").values, km.labels, 3, 3).ae
+    lo = categorical_fairness(ds.column("lo").values, km.labels, 3, 3).ae
+    assert hi > 3 * lo
+
+
+def test_numeric_sensitive_shifts_with_latent():
+    ds = make_fair_problem(
+        600, n_latent=2, numeric_sensitive=[("z", 1.0)], categorical=[], seed=3
+    )
+    latent = ds.column("latent").values
+    z = ds.column("z").values
+    assert z[latent == 1].mean() - z[latent == 0].mean() > 0.5
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="positive"):
+        make_fair_problem(0)
+    with pytest.raises(ValueError, match="correlation"):
+        make_fair_problem(50, categorical=[("a", 2, 1.5)])
+    with pytest.raises(ValueError, match="n_values"):
+        make_fair_problem(50, categorical=[("a", 1, 0.5)])
+
+
+def test_deterministic():
+    a = make_fair_problem(100, seed=7)
+    b = make_fair_problem(100, seed=7)
+    np.testing.assert_allclose(
+        a.feature_matrix(scale=False), b.feature_matrix(scale=False)
+    )

@@ -1,0 +1,74 @@
+"""Tests for the clustering evaluation bundle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_fair_problem
+from repro.experiments.evaluation import evaluate_clustering, mean_evals
+
+
+@pytest.fixture(scope="module")
+def setting():
+    ds = make_fair_problem(120, categorical=[("a", 2, 0.8)], seed=0)
+    features = ds.feature_matrix()
+    rng = np.random.default_rng(0)
+    labels = rng.integers(0, 3, 120)
+    reference = rng.integers(0, 3, 120)
+    return ds, features, labels, reference
+
+
+def test_reference_free_eval_zero_deviations(setting):
+    ds, features, labels, _ = setting
+    ev = evaluate_clustering(features, ds, labels, 3)
+    assert ev.dev_c == 0.0 and ev.dev_o == 0.0
+    assert ev.co > 0
+    assert -1 <= ev.sh <= 1
+    assert ev.fairness.attribute("a").ae >= 0
+
+
+def test_reference_eval_nonzero_deviations(setting):
+    ds, features, labels, reference = setting
+    ev = evaluate_clustering(features, ds, labels, 3, reference_labels=reference)
+    assert ev.dev_c > 0
+    assert 0 < ev.dev_o <= 1
+
+
+def test_self_reference_is_zero(setting):
+    ds, features, labels, _ = setting
+    ev = evaluate_clustering(features, ds, labels, 3, reference_labels=labels)
+    assert ev.dev_c == pytest.approx(0.0, abs=1e-9)
+    assert ev.dev_o == 0.0
+
+
+def test_quality_dict_keys(setting):
+    ds, features, labels, _ = setting
+    ev = evaluate_clustering(features, ds, labels, 3)
+    assert set(ev.quality_dict()) == {"CO", "SH", "DevC", "DevO"}
+
+
+def test_mean_evals_averages(setting):
+    ds, features, labels, reference = setting
+    a = evaluate_clustering(features, ds, labels, 3, reference_labels=reference)
+    b = evaluate_clustering(features, ds, reference, 3, reference_labels=reference)
+    avg = mean_evals([a, b])
+    assert avg.co == pytest.approx((a.co + b.co) / 2)
+    assert avg.fairness.attribute("a").ae == pytest.approx(
+        (a.fairness.attribute("a").ae + b.fairness.attribute("a").ae) / 2
+    )
+
+
+def test_mean_evals_rejects_empty():
+    with pytest.raises(ValueError, match="zero evaluations"):
+        mean_evals([])
+
+
+def test_numeric_sensitive_included():
+    ds = make_fair_problem(
+        90, categorical=[("a", 2, 0.5)], numeric_sensitive=[("z", 0.5)], seed=1
+    )
+    features = ds.feature_matrix()
+    labels = np.random.default_rng(0).integers(0, 2, 90)
+    ev = evaluate_clustering(features, ds, labels, 2)
+    assert {x.name for x in ev.fairness.attributes} == {"a", "z"}

@@ -1,0 +1,95 @@
+"""Tests for the paper experiment entry points and the CLI (micro scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.experiments.paper import (
+    EXPERIMENTS,
+    bench_scale,
+    build_adult,
+    build_kinematics,
+    dataset_lambda,
+    write_result,
+)
+
+
+def test_bench_scale_defaults(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+    monkeypatch.delenv("REPRO_BENCH_SEEDS", raising=False)
+    monkeypatch.delenv("REPRO_BENCH_ADULT_N", raising=False)
+    assert bench_scale() == (3, 6000)
+
+
+def test_bench_scale_env_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SEEDS", "7")
+    monkeypatch.setenv("REPRO_BENCH_ADULT_N", "1234")
+    assert bench_scale() == (7, 1234)
+
+
+def test_bench_scale_full(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+    assert bench_scale() == (100, 32561)
+
+
+def test_dataset_lambda_matches_paper_kinematics():
+    # n = 161 → (161/5)² ≈ 1037 ≈ the paper's 10³ setting.
+    assert dataset_lambda(161) == pytest.approx(1036.84, abs=0.01)
+
+
+def test_build_adult_parity(monkeypatch):
+    ds = build_adult(1500)
+    np.testing.assert_allclose(ds.column("income").distribution(), [0.5, 0.5])
+    assert ds.sensitive_names[-1] == "native-country"
+
+
+def test_build_kinematics_shape():
+    ds = build_kinematics(epochs=3)
+    assert ds.n == 161
+    assert len(ds.feature_names) == 100
+
+
+def test_write_result(tmp_path, monkeypatch):
+    import repro.experiments.paper as paper
+
+    monkeypatch.setattr(paper, "RESULTS_DIR", tmp_path / "results")
+    path = write_result("x.txt", "hello")
+    assert path.read_text() == "hello\n"
+
+
+def test_registry_complete():
+    assert set(EXPERIMENTS) == {
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "fig1-2",
+        "fig3-4",
+        "fig5-7",
+    }
+    for fn, description in EXPERIMENTS.values():
+        assert callable(fn) and description
+
+
+def test_cli_list(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table5" in out and "fig5-7" in out
+
+
+def test_cli_parser_rejects_unknown():
+    with pytest.raises(SystemExit):
+        cli.build_parser().parse_args(["bogus"])
+
+
+def test_cli_runs_kinematics_table(capsys, monkeypatch, tmp_path):
+    import repro.experiments.paper as paper
+
+    monkeypatch.setattr(paper, "RESULTS_DIR", tmp_path / "results")
+    monkeypatch.setenv("REPRO_BENCH_SEEDS", "1")
+    assert cli.main(["table7"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 7" in out
+    assert (tmp_path / "results" / "table7_kinematics_quality.txt").exists()

@@ -1,0 +1,85 @@
+"""Integration tests for the multi-seed suite runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import make_fair_problem
+from repro.experiments import SuiteConfig, run_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    ds = make_fair_problem(
+        240,
+        n_latent=3,
+        separation=2.5,
+        categorical=[("a", 2, 0.85), ("b", 3, 0.6)],
+        seed=0,
+    )
+    config = SuiteConfig(
+        k=3,
+        seeds=(0, 1),
+        silhouette_sample=None,
+        per_attribute_fairkm=True,
+    )
+    return run_suite(ds, config)
+
+
+def test_all_methods_present(suite):
+    assert suite.kmeans is not None
+    assert suite.fairkm is not None
+    assert suite.zgya_avg_quality is not None
+    assert set(suite.zgya_per_attribute) == {"a", "b"}
+    assert set(suite.fairkm_per_attribute) == {"a", "b"}
+    assert suite.attribute_names == ["a", "b"]
+
+
+def test_kmeans_reference_deviations_zero(suite):
+    assert suite.kmeans.dev_c == 0.0
+    assert suite.kmeans.dev_o == 0.0
+
+
+def test_fair_methods_deviate_from_reference(suite):
+    assert suite.fairkm.dev_o > 0.0
+    assert suite.zgya_avg_quality.dev_o > 0.0
+
+
+def test_kmeans_wins_its_own_game(suite):
+    """K-Means(N) optimizes CO alone; with restarts it must have the best
+    (lowest) CO among the three methods — the Table 5/7 ordering."""
+    assert suite.kmeans.co <= suite.fairkm.co + 1e-6
+    assert suite.kmeans.co <= suite.zgya_avg_quality.co + 1e-6
+
+
+def test_fairkm_is_fairer_than_blind(suite):
+    assert suite.fairkm.fairness.mean.ae < suite.kmeans.fairness.mean.ae
+
+
+def test_improvement_pct_signs(suite):
+    """Impr% must be positive exactly when FairKM beats the best baseline."""
+    for attr in ["mean", "a", "b"]:
+        impr = suite.improvement_pct(attr, "AE")
+        fair = (
+            suite.fairkm.fairness.mean.ae
+            if attr == "mean"
+            else suite.fairkm.fairness.attribute(attr).ae
+        )
+        if attr == "mean":
+            km = suite.kmeans.fairness.mean.ae
+            zg_vals = [
+                e.fairness.attribute(a).ae
+                for a, e in suite.zgya_per_attribute.items()
+            ]
+            zg = sum(zg_vals) / len(zg_vals)
+        else:
+            km = suite.kmeans.fairness.attribute(attr).ae
+            zg = suite.zgya_per_attribute[attr].fairness.attribute(attr).ae
+        assert (impr > 0) == (fair < min(km, zg))
+
+
+def test_seed_averaging_changes_nothing_for_single_seed():
+    ds = make_fair_problem(100, categorical=[("a", 2, 0.7)], seed=3)
+    one = run_suite(ds, SuiteConfig(k=2, seeds=(5,), silhouette_sample=None))
+    again = run_suite(ds, SuiteConfig(k=2, seeds=(5,), silhouette_sample=None))
+    assert one.fairkm.co == again.fairkm.co  # deterministic per seed

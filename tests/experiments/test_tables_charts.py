@@ -1,0 +1,118 @@
+"""Tests for table renderers, charts and the λ sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_fair_problem
+from repro.experiments import (
+    SuiteConfig,
+    format_table,
+    lambda_sweep,
+    render_fairness_table,
+    render_quality_table,
+    render_single_attribute_figure,
+    run_suite,
+)
+from repro.experiments.charts import bar_chart, csv_lines, line_chart
+
+
+@pytest.fixture(scope="module")
+def suite():
+    ds = make_fair_problem(150, categorical=[("a", 2, 0.85)], seed=0)
+    return run_suite(
+        ds,
+        SuiteConfig(k=2, seeds=(0,), silhouette_sample=None, per_attribute_fairkm=True),
+    )
+
+
+def test_format_table_alignment():
+    out = format_table(["col", "x"], [["a", "1"], ["bb", "22"]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "col" in lines[2] and "x" in lines[2]
+    assert len(lines) == 6
+
+
+def test_quality_table_contains_all_metrics(suite):
+    text = render_quality_table({2: suite})
+    for token in ("CO", "SH", "DevC", "DevO", "K-Means(N)", "Avg. ZGYA", "FairKM"):
+        assert token in text
+
+
+def test_fairness_table_contains_blocks(suite):
+    text = render_fairness_table({2: suite})
+    assert "Mean across S" in text
+    assert "a" in text
+    assert "Impr%" in text
+
+
+def test_single_attribute_figure(suite):
+    table, series = render_single_attribute_figure(suite, "AW", title="fig")
+    assert set(series) == {"a"}
+    assert set(series["a"]) == {"ZGYA(S)", "FairKM(All)", "FairKM(S)"}
+    assert "ZGYA(S)" in table
+
+
+def test_single_attribute_figure_requires_runs():
+    ds = make_fair_problem(80, categorical=[("a", 2, 0.6)], seed=1)
+    bare = run_suite(ds, SuiteConfig(k=2, seeds=(0,), silhouette_sample=None))
+    with pytest.raises(ValueError, match="per-attribute"):
+        render_single_attribute_figure(bare, "AW", title="fig")
+
+
+def test_single_attribute_figure_metric_validated(suite):
+    with pytest.raises(ValueError, match="metric"):
+        render_single_attribute_figure(suite, "XX", title="fig")
+
+
+def test_bar_chart_renders():
+    out = bar_chart({"g": {"m1": 0.5, "m2": 0.25}}, title="t")
+    assert "m1" in out and "#" in out
+    with pytest.raises(ValueError, match="non-empty"):
+        bar_chart({})
+
+
+def test_bar_chart_zero_values():
+    out = bar_chart({"g": {"m": 0.0}})
+    assert "0.0000" in out
+
+
+def test_line_chart_renders():
+    out = line_chart([1, 2, 3], {"y": [1.0, 4.0, 2.0]}, title="t")
+    assert "x: 1 .. 3" in out
+    assert "*" in out
+    with pytest.raises(ValueError, match="non-empty"):
+        line_chart([], {})
+    with pytest.raises(ValueError, match="mismatch"):
+        line_chart([1, 2], {"y": [1.0]})
+
+
+def test_csv_lines():
+    out = csv_lines([{"a": 1.0, "b": 2.5}, {"a": 3.0, "b": 4.0}])
+    assert out.splitlines()[0] == "a,b"
+    assert out.splitlines()[1] == "1,2.5"
+    with pytest.raises(ValueError, match="non-empty"):
+        csv_lines([])
+
+
+def test_lambda_sweep_end_to_end():
+    ds = make_fair_problem(120, categorical=[("a", 2, 0.85)], seed=2)
+    sweep = lambda_sweep(
+        ds, [10.0, 1e5], k=2, seeds=(0,), scale_features=True, silhouette_sample=None
+    )
+    assert sweep.lambdas == [10.0, 1e5]
+    assert len(sweep.evals) == 2
+    # Strong λ must be at least as fair as weak λ.
+    ae = sweep.series("AE")
+    assert ae[1] <= ae[0] + 1e-9
+    rows = sweep.as_rows()
+    assert rows[0]["lambda"] == 10.0
+    assert {"CO", "SH", "AE", "MW"} <= set(rows[0])
+
+
+def test_lambda_sweep_rejects_empty_grid():
+    ds = make_fair_problem(50, categorical=[("a", 2, 0.5)], seed=0)
+    with pytest.raises(ValueError, match="non-empty"):
+        lambda_sweep(ds, [])

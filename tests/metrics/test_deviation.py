@@ -1,0 +1,112 @@
+"""Tests for DevC / DevO deviation measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.deviation import centroid_deviation, object_pair_deviation, rand_index
+
+label_pairs = st.integers(2, 5).flatmap(
+    lambda k: st.tuples(
+        st.just(k),
+        st.lists(st.integers(0, k - 1), min_size=4, max_size=40),
+        st.lists(st.integers(0, k - 1), min_size=4, max_size=40),
+    )
+)
+
+
+def test_devc_zero_for_identical_sets():
+    centers = np.array([[1.0, 2.0], [3.0, 4.0]])
+    assert centroid_deviation(centers, centers) == 0.0
+
+
+def test_devc_zero_for_permuted_sets():
+    a = np.array([[1.0, 2.0], [3.0, 4.0]])
+    assert centroid_deviation(a, a[::-1]) == 0.0
+
+
+def test_devc_known_value():
+    a = np.array([[0.0, 0.0], [10.0, 0.0]])
+    b = np.array([[1.0, 0.0], [10.0, 0.0]])
+    assert centroid_deviation(a, b) == pytest.approx(1.0)
+
+
+def test_devc_symmetric():
+    rng = np.random.default_rng(0)
+    a, b = rng.normal(size=(4, 3)), rng.normal(size=(4, 3))
+    assert centroid_deviation(a, b) == pytest.approx(centroid_deviation(b, a))
+
+
+def test_devc_uses_optimal_matching():
+    # Greedy row-wise matching would pay more here; Hungarian must find 0.
+    a = np.array([[0.0], [1.0], [2.0]])
+    b = np.array([[2.0], [0.0], [1.0]])
+    assert centroid_deviation(a, b) == 0.0
+
+
+def test_devc_shape_mismatch():
+    with pytest.raises(ValueError, match="must match in shape"):
+        centroid_deviation(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+def test_devo_identical_partitions_zero():
+    labels = np.array([0, 0, 1, 1, 2])
+    assert object_pair_deviation(labels, labels, 3, 3) == 0.0
+
+
+def test_devo_invariant_to_relabeling():
+    a = np.array([0, 0, 1, 1])
+    b = np.array([1, 1, 0, 0])
+    assert object_pair_deviation(a, b, 2, 2) == 0.0
+
+
+def test_devo_known_value():
+    # a: {01}{23}; b: {0}{123}. Pairs: (0,1) together in a, apart in b →
+    # disagree; (2,3) together in both; (1,2),(1,3) apart in a, together
+    # in b → disagree; (0,2),(0,3) apart in both. 3 of 6 disagree.
+    a = np.array([0, 0, 1, 1])
+    b = np.array([0, 1, 1, 1])
+    assert object_pair_deviation(a, b, 2, 2) == pytest.approx(0.5)
+
+
+def test_devo_matches_naive_pair_count(rng):
+    n = 30
+    a = rng.integers(0, 3, n)
+    b = rng.integers(0, 4, n)
+    disagree = 0
+    total = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            total += 1
+            if (a[i] == a[j]) != (b[i] == b[j]):
+                disagree += 1
+    assert object_pair_deviation(a, b, 3, 4) == pytest.approx(disagree / total)
+
+
+@given(label_pairs)
+@settings(max_examples=60, deadline=None)
+def test_devo_properties(data):
+    k, la, lb = data
+    size = min(len(la), len(lb))
+    a = np.array(la[:size])
+    b = np.array(lb[:size])
+    d_ab = object_pair_deviation(a, b, k, k)
+    d_ba = object_pair_deviation(b, a, k, k)
+    assert 0.0 <= d_ab <= 1.0
+    assert d_ab == pytest.approx(d_ba)  # symmetry
+    assert object_pair_deviation(a, a, k, k) == 0.0
+
+
+def test_rand_index_complement(rng):
+    a = rng.integers(0, 3, 25)
+    b = rng.integers(0, 3, 25)
+    assert rand_index(a, b, 3, 3) == pytest.approx(
+        1.0 - object_pair_deviation(a, b, 3, 3)
+    )
+
+
+def test_devo_tiny_inputs():
+    assert object_pair_deviation(np.array([0]), np.array([0]), 1, 1) == 0.0

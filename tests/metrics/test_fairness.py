@@ -1,0 +1,183 @@
+"""Tests for the AE/AW/ME/MW fairness measures and balance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.fairness import (
+    balance,
+    categorical_fairness,
+    cluster_value_counts,
+    fairness_report,
+    group_distribution,
+    numeric_fairness,
+)
+
+
+def test_group_distribution():
+    codes = np.array([0, 0, 1, 2])
+    np.testing.assert_allclose(group_distribution(codes, 3), [0.5, 0.25, 0.25])
+
+
+def test_group_distribution_declares_unseen_values():
+    np.testing.assert_allclose(group_distribution(np.array([0, 0]), 3), [1.0, 0.0, 0.0])
+
+
+def test_group_distribution_empty_raises():
+    with pytest.raises(ValueError, match="zero objects"):
+        group_distribution(np.array([], dtype=int), 2)
+
+
+def test_cluster_value_counts():
+    codes = np.array([0, 1, 0, 1])
+    labels = np.array([0, 0, 1, 1])
+    m = cluster_value_counts(codes, labels, 2, 2)
+    np.testing.assert_array_equal(m, [[1, 1], [1, 1]])
+
+
+def test_cluster_value_counts_validates():
+    with pytest.raises(ValueError, match="align"):
+        cluster_value_counts(np.array([0, 1]), np.array([0]), 1, 2)
+    with pytest.raises(ValueError, match="codes must lie"):
+        cluster_value_counts(np.array([0, 5]), np.array([0, 0]), 1, 2)
+
+
+def test_perfectly_fair_clustering_scores_zero():
+    # Each cluster mirrors the dataset's 50/50 split exactly.
+    codes = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+    labels = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+    fair = categorical_fairness(codes, labels, 2, 2)
+    assert fair.ae == pytest.approx(0.0, abs=1e-12)
+    assert fair.aw == pytest.approx(0.0, abs=1e-12)
+    assert fair.me == pytest.approx(0.0, abs=1e-12)
+    assert fair.mw == pytest.approx(0.0, abs=1e-12)
+
+
+def test_fully_segregated_clustering_scores_high():
+    codes = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+    labels = codes.copy()
+    fair = categorical_fairness(codes, labels, 2, 2)
+    # Each cluster's distribution is (1,0) or (0,1) vs dataset (.5,.5):
+    # Euclidean = sqrt(0.5) per cluster; Wasserstein = 0.5.
+    assert fair.ae == pytest.approx(np.sqrt(0.5))
+    assert fair.aw == pytest.approx(0.5)
+    assert fair.me == pytest.approx(np.sqrt(0.5))
+    assert fair.mw == pytest.approx(0.5)
+
+
+def test_binary_aw_is_ae_over_sqrt2():
+    rng = np.random.default_rng(0)
+    codes = rng.integers(0, 2, 100)
+    labels = rng.integers(0, 4, 100)
+    fair = categorical_fairness(codes, labels, 4, 2)
+    assert fair.aw == pytest.approx(fair.ae / np.sqrt(2), rel=1e-9)
+    assert fair.mw == pytest.approx(fair.me / np.sqrt(2), rel=1e-9)
+
+
+def test_max_at_least_weighted_average():
+    rng = np.random.default_rng(1)
+    codes = rng.integers(0, 3, 200)
+    labels = rng.integers(0, 5, 200)
+    fair = categorical_fairness(codes, labels, 5, 3)
+    assert fair.me >= fair.ae - 1e-12
+    assert fair.mw >= fair.aw - 1e-12
+
+
+def test_empty_clusters_are_skipped():
+    codes = np.array([0, 1, 0, 1])
+    labels = np.array([0, 0, 0, 0])  # clusters 1,2 empty
+    fair = categorical_fairness(codes, labels, 3, 2)
+    assert fair.ae == pytest.approx(0.0, abs=1e-12)
+    assert np.isnan(fair.per_cluster_euclidean[1])
+    assert np.isnan(fair.per_cluster_euclidean[2])
+
+
+def test_singleton_cluster_dominates_max():
+    # 49/51 split overall; one singleton cluster is maximally skewed.
+    codes = np.array([0] * 50 + [1] * 50)
+    labels = np.zeros(100, dtype=int)
+    labels[0] = 1
+    fair = categorical_fairness(codes, labels, 2, 2)
+    assert fair.me > fair.ae
+    assert fair.me == pytest.approx(np.sqrt(2 * 0.5**2), rel=1e-6)
+
+
+@given(
+    st.integers(2, 4),
+    st.integers(2, 5),
+    st.lists(st.integers(0, 100), min_size=10, max_size=60),
+)
+@settings(max_examples=60, deadline=None)
+def test_fairness_bounds(k, t, raw):
+    rng = np.random.default_rng(sum(raw))
+    n = len(raw)
+    codes = np.array(raw) % t
+    labels = rng.integers(0, k, n)
+    fair = categorical_fairness(codes, labels, k, t)
+    assert 0.0 <= fair.ae <= np.sqrt(2) + 1e-9
+    assert 0.0 <= fair.aw <= t - 1 + 1e-9
+    assert fair.me >= fair.ae - 1e-9
+    assert fair.mw >= fair.aw - 1e-9
+
+
+def test_numeric_fairness_zero_when_means_match():
+    values = np.array([1.0, 2.0, 1.0, 2.0])
+    labels = np.array([0, 0, 1, 1])
+    fair = numeric_fairness(values, labels, 2)
+    assert fair.ae == pytest.approx(0.0, abs=1e-12)
+    assert fair.me == pytest.approx(0.0, abs=1e-12)
+
+
+def test_numeric_fairness_scales_by_std():
+    values = np.array([0.0, 0.0, 10.0, 10.0])
+    labels = np.array([0, 0, 1, 1])
+    fair = numeric_fairness(values, labels, 2)
+    # Cluster means 0 and 10 vs overall 5 → |gap|/std = 5/5 = 1.
+    assert fair.ae == pytest.approx(1.0)
+    assert fair.me == pytest.approx(1.0)
+    assert fair.aw == fair.ae and fair.mw == fair.me
+
+
+def test_fairness_report_mean_and_lookup():
+    rng = np.random.default_rng(2)
+    labels = rng.integers(0, 3, 90)
+    report = fairness_report(
+        categorical={
+            "a": (rng.integers(0, 2, 90), 2),
+            "b": (rng.integers(0, 4, 90), 4),
+        },
+        labels=labels,
+        k=3,
+        numeric={"age": rng.normal(40, 10, 90)},
+    )
+    assert len(report.attributes) == 3
+    mean = report.mean
+    assert mean.ae == pytest.approx(np.mean([a.ae for a in report.attributes]))
+    assert report.attribute("age").name == "age"
+    with pytest.raises(KeyError):
+        report.attribute("missing")
+    d = report.as_dict()
+    assert set(d) == {"mean", "a", "b", "age"}
+
+
+def test_balance_perfect():
+    codes = np.array([0, 1] * 10)
+    labels = np.array([0] * 10 + [1] * 10)
+    assert balance(codes, labels, 2, 2) == pytest.approx(1.0)
+
+
+def test_balance_zero_when_group_missing():
+    codes = np.array([0] * 10 + [1] * 10)
+    labels = codes.copy()
+    assert balance(codes, labels, 2, 2) == 0.0
+
+
+def test_balance_intermediate():
+    # Cluster 0: 3 of value0, 1 of value1; dataset 50/50.
+    codes = np.array([0, 0, 0, 1, 1, 1, 0, 1])
+    labels = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+    b = balance(codes, labels, 2, 2)
+    assert b == pytest.approx((1 / 4) / (1 / 2))

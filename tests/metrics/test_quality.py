@@ -1,0 +1,103 @@
+"""Tests for clustering-quality measures (CO, silhouette)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.quality import clustering_objective, silhouette_samples, silhouette_score
+from tests.conftest import make_blobs
+
+
+def test_clustering_objective_zero_for_point_clusters():
+    pts = np.array([[0.0, 0.0], [5.0, 5.0]])
+    assert clustering_objective(pts, np.array([0, 1]), 2) == 0.0
+
+
+def test_clustering_objective_known_value():
+    pts = np.array([[0.0], [2.0], [4.0], [6.0]])
+    labels = np.array([0, 0, 1, 1])
+    # Cluster means 1 and 5; each point deviates by 1 → total 4.
+    assert clustering_objective(pts, labels, 2) == pytest.approx(4.0)
+
+
+def test_clustering_objective_with_explicit_centers():
+    pts = np.array([[0.0], [2.0]])
+    labels = np.array([0, 0])
+    assert clustering_objective(pts, labels, 1, centers=np.array([[0.0]])) == pytest.approx(4.0)
+
+
+def test_silhouette_well_separated_near_one(rng):
+    pts, truth = make_blobs(rng, [40, 40], [[0, 0], [100, 100]], scale=0.5)
+    assert silhouette_score(pts, truth, 2) > 0.95
+
+
+def test_silhouette_random_labels_near_zero(rng):
+    pts = rng.normal(size=(200, 3))
+    labels = rng.integers(0, 2, 200)
+    assert abs(silhouette_score(pts, labels, 2)) < 0.1
+
+
+def test_silhouette_range(rng):
+    pts = rng.normal(size=(100, 4))
+    labels = rng.integers(0, 5, 100)
+    s = silhouette_samples(pts, labels, 5)
+    assert (s >= -1 - 1e-12).all() and (s <= 1 + 1e-12).all()
+
+
+def test_silhouette_singleton_scores_zero(rng):
+    pts = np.vstack([rng.normal(0, 1, (10, 2)), [[100.0, 100.0]]])
+    labels = np.array([0] * 10 + [1])
+    s = silhouette_samples(pts, labels, 2)
+    assert s[-1] == 0.0
+
+
+def test_silhouette_requires_two_clusters(rng):
+    pts = rng.normal(size=(10, 2))
+    with pytest.raises(ValueError, match="at least 2"):
+        silhouette_samples(pts, np.zeros(10, dtype=int), 1)
+
+
+def test_silhouette_block_size_invariance(rng):
+    pts = rng.normal(size=(73, 3))
+    labels = rng.integers(0, 3, 73)
+    full = silhouette_score(pts, labels, 3, block_size=73)
+    small = silhouette_score(pts, labels, 3, block_size=7)
+    assert full == pytest.approx(small, abs=1e-12)
+
+
+def test_silhouette_subsample_close_to_full(rng):
+    pts, truth = make_blobs(rng, [150, 150], [[0, 0], [8, 8]])
+    full = silhouette_score(pts, truth, 2)
+    sampled = silhouette_score(pts, truth, 2, sample_size=120, rng=np.random.default_rng(0))
+    assert sampled == pytest.approx(full, abs=0.1)
+
+
+def test_silhouette_ignores_empty_cluster_ids(rng):
+    # Labels only use clusters {0, 2} out of k=3.
+    pts, truth = make_blobs(rng, [30, 30], [[0, 0], [10, 10]])
+    labels = np.where(truth == 1, 2, 0)
+    s = silhouette_score(pts, labels, 3)
+    assert s > 0.8
+
+
+def test_silhouette_matches_naive(rng):
+    pts = rng.normal(size=(40, 2))
+    labels = rng.integers(0, 3, 40)
+    ours = silhouette_samples(pts, labels, 3)
+    # Naive O(n²) reference implementation.
+    n = len(pts)
+    dist = np.sqrt(((pts[:, None, :] - pts[None, :, :]) ** 2).sum(-1))
+    expected = np.zeros(n)
+    for i in range(n):
+        own = labels == labels[i]
+        if own.sum() <= 1:
+            continue
+        a = dist[i, own].sum() / (own.sum() - 1)
+        b = min(
+            dist[i, labels == c].mean()
+            for c in range(3)
+            if c != labels[i] and (labels == c).any()
+        )
+        expected[i] = (b - a) / max(a, b)
+    np.testing.assert_allclose(ours, expected, atol=1e-9)

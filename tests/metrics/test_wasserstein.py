@@ -1,0 +1,108 @@
+"""Tests for the discrete Wasserstein distance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.wasserstein import wasserstein_discrete, wasserstein_from_counts
+
+
+def _random_dist(draw_floats):
+    weights = np.array(draw_floats, dtype=np.float64) + 1e-9
+    return weights / weights.sum()
+
+
+distributions = st.lists(st.floats(0.0, 10.0), min_size=2, max_size=8).map(_random_dist)
+
+
+def test_identical_distributions_zero():
+    p = np.array([0.25, 0.25, 0.5])
+    assert wasserstein_discrete(p, p) == 0.0
+
+
+def test_binary_distance_is_prob_gap():
+    # Support {0, 1}: moving mass d across distance 1 costs d.
+    p = np.array([0.8, 0.2])
+    q = np.array([0.5, 0.5])
+    assert wasserstein_discrete(p, q) == pytest.approx(0.3)
+
+
+def test_full_shift_across_support():
+    p = np.array([1.0, 0.0, 0.0])
+    q = np.array([0.0, 0.0, 1.0])
+    assert wasserstein_discrete(p, q) == pytest.approx(2.0)
+
+
+def test_custom_positions_scale_cost():
+    p = np.array([1.0, 0.0])
+    q = np.array([0.0, 1.0])
+    assert wasserstein_discrete(p, q, positions=np.array([0.0, 5.0])) == pytest.approx(5.0)
+
+
+def test_single_value_support():
+    assert wasserstein_discrete(np.array([1.0]), np.array([1.0])) == 0.0
+
+
+def test_matches_scipy():
+    scipy_stats = pytest.importorskip("scipy.stats")
+    rng = np.random.default_rng(3)
+    for _ in range(20):
+        t = int(rng.integers(2, 9))
+        p = rng.dirichlet(np.ones(t))
+        q = rng.dirichlet(np.ones(t))
+        ours = wasserstein_discrete(p, q)
+        theirs = scipy_stats.wasserstein_distance(np.arange(t), np.arange(t), p, q)
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+
+@given(distributions, distributions)
+@settings(max_examples=60, deadline=None)
+def test_metric_properties(p, q):
+    if p.shape != q.shape:
+        q = np.resize(q, p.shape)
+        q = q / q.sum()
+    d_pq = wasserstein_discrete(p, q)
+    d_qp = wasserstein_discrete(q, p)
+    assert d_pq >= 0.0
+    assert d_pq == pytest.approx(d_qp, abs=1e-9)  # symmetry
+    # Bounded by the support diameter.
+    assert d_pq <= p.size - 1 + 1e-9
+
+
+@given(distributions, distributions, distributions)
+@settings(max_examples=40, deadline=None)
+def test_triangle_inequality(p, q, r):
+    size = min(p.size, q.size, r.size)
+
+    def trim(x):
+        x = x[:size]
+        return x / x.sum()
+
+    p, q, r = trim(p), trim(q), trim(r)
+    assert wasserstein_discrete(p, r) <= (
+        wasserstein_discrete(p, q) + wasserstein_discrete(q, r) + 1e-9
+    )
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="sum to 1"):
+        wasserstein_discrete(np.array([0.5, 0.2]), np.array([0.5, 0.5]))
+    with pytest.raises(ValueError, match="negative"):
+        wasserstein_discrete(np.array([-0.5, 1.5]), np.array([0.5, 0.5]))
+    with pytest.raises(ValueError, match="shape mismatch"):
+        wasserstein_discrete(np.array([1.0]), np.array([0.5, 0.5]))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        wasserstein_discrete(
+            np.array([0.5, 0.5]), np.array([0.5, 0.5]), positions=np.array([1.0, 1.0])
+        )
+    with pytest.raises(ValueError, match="1-D"):
+        wasserstein_discrete(np.ones((2, 2)) / 4, np.ones((2, 2)) / 4)
+
+
+def test_from_counts():
+    assert wasserstein_from_counts(np.array([8, 2]), np.array([5, 5])) == pytest.approx(0.3)
+    with pytest.raises(ValueError, match="positive totals"):
+        wasserstein_from_counts(np.array([0, 0]), np.array([1, 1]))

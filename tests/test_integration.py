@@ -1,0 +1,100 @@
+"""End-to-end integration tests: the full paper pipeline at micro scale.
+
+These exercise the same code paths as the benches — dataset generation,
+parity undersampling, feature assembly, all three methods, every metric,
+table rendering — in seconds instead of minutes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import generate_adult, generate_kinematics, undersample_to_parity
+from repro.experiments import (
+    SuiteConfig,
+    lambda_sweep,
+    render_fairness_table,
+    render_quality_table,
+    run_suite,
+)
+from repro.experiments.paper import dataset_lambda, zgya_paper_lambda
+
+
+@pytest.fixture(scope="module")
+def adult_suite():
+    dataset = undersample_to_parity(generate_adult(1200, seed=0), "income", 0)
+    config = SuiteConfig(
+        k=3,
+        seeds=(0,),
+        fairkm_lambda=dataset_lambda(dataset.n),
+        zgya_lambda=zgya_paper_lambda(dataset.n),
+        silhouette_sample=400,
+    )
+    return dataset, run_suite(dataset, config)
+
+
+def test_adult_micro_pipeline_shape(adult_suite):
+    """The paper's core claims, end to end on a micro Adult."""
+    _, suite = adult_suite
+    # FairKM fairer than blind K-Means across all five attributes (mean).
+    assert suite.fairkm.fairness.mean.ae < suite.kmeans.fairness.mean.ae
+    # K-Means(N) keeps the best clustering objective.
+    assert suite.kmeans.co <= suite.fairkm.co + 1e-6
+    # ZGYA in the pinned paper regime pays heavily on quality.
+    assert suite.zgya_avg_quality.co > suite.fairkm.co
+
+
+def test_adult_micro_tables_render(adult_suite):
+    _, suite = adult_suite
+    quality = render_quality_table({3: suite})
+    fairness = render_fairness_table({3: suite})
+    assert "FairKM" in quality
+    for attr in ("marital-status", "relationship", "race", "sex", "native-country"):
+        assert attr in fairness
+
+
+def test_adult_micro_all_attributes_evaluated(adult_suite):
+    _, suite = adult_suite
+    assert suite.attribute_names == [
+        "marital-status",
+        "relationship",
+        "race",
+        "sex",
+        "native-country",
+    ]
+    assert set(suite.zgya_per_attribute) == set(suite.attribute_names)
+
+
+def test_kinematics_micro_sweep():
+    """A 2-point λ sweep on a reduced kinematics corpus: fairness must
+    respond to λ in the right direction."""
+    dataset = generate_kinematics(
+        0, dim=24, epochs=8, counts={1: 16, 2: 10, 3: 6, 4: 8, 5: 6}
+    )
+    sweep = lambda_sweep(
+        dataset,
+        [10.0, (dataset.n / 3) ** 2 * 10],
+        k=3,
+        seeds=(0,),
+        scale_features=False,
+        silhouette_sample=None,
+    )
+    ae = sweep.series("AE")
+    assert ae[1] <= ae[0] + 1e-9
+
+
+def test_assign_roundtrip_through_pipeline(adult_suite):
+    """Deployment path: a fitted FairKM routes held-out Adult rows."""
+    dataset, _ = adult_suite
+    from repro.core import FairKM
+
+    features = dataset.feature_matrix()
+    cats, nums = dataset.sensitive_specs()
+    fitted = FairKM(3, lambda_=dataset_lambda(dataset.n), seed=0).fit(
+        features, categorical=cats, numeric=nums
+    )
+    held_out = features[: 25]
+    labels = fitted.assign(held_out)
+    assert labels.shape == (25,)
+    assert set(np.unique(labels)) <= set(range(3))

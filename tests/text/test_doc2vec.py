@@ -1,0 +1,107 @@
+"""Tests for the from-scratch Doc2Vec (PV-DBOW) and LSA embedders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.text.doc2vec import Doc2Vec
+from repro.text.lsa import LSAEmbedder, tf_idf_matrix
+
+CORPUS = (
+    ["the car drives on the road with high speed"] * 6
+    + ["the car accelerates along the straight road quickly"] * 6
+    + ["a stone falls from the tall tower to the ground"] * 6
+    + ["the stone drops from the tower and hits the ground"] * 6
+)
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> float:
+    return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12))
+
+
+def test_doc2vec_shapes():
+    model = Doc2Vec(dim=16, epochs=5, seed=0)
+    vectors = model.fit_transform(list(CORPUS))
+    assert vectors.shape == (len(CORPUS), 16)
+    assert np.isfinite(vectors).all()
+
+
+def test_doc2vec_same_topic_docs_more_similar():
+    vectors = Doc2Vec(dim=24, epochs=30, seed=0).fit_transform(list(CORPUS))
+    car_sim = _cosine(vectors[0], vectors[7])  # car vs car
+    cross_sim = _cosine(vectors[0], vectors[19])  # car vs stone
+    assert car_sim > cross_sim
+
+
+def test_doc2vec_deterministic():
+    a = Doc2Vec(dim=8, epochs=3, seed=4).fit_transform(list(CORPUS))
+    b = Doc2Vec(dim=8, epochs=3, seed=4).fit_transform(list(CORPUS))
+    np.testing.assert_allclose(a, b)
+
+
+def test_doc2vec_most_similar_words():
+    model = Doc2Vec(dim=24, epochs=30, seed=0)
+    model.fit_transform(list(CORPUS))
+    neighbours = [w for w, _ in model.most_similar_words("car", topn=6)]
+    assert "road" in neighbours  # co-occurring word
+
+
+def test_doc2vec_unfitted_errors():
+    model = Doc2Vec(dim=4)
+    with pytest.raises(RuntimeError, match="not fitted"):
+        model.most_similar_words("car")
+
+
+def test_doc2vec_unknown_word():
+    model = Doc2Vec(dim=4, epochs=2, seed=0)
+    model.fit_transform(list(CORPUS))
+    with pytest.raises(KeyError):
+        model.most_similar_words("zeppelin")
+
+
+def test_doc2vec_validation():
+    with pytest.raises(ValueError, match="dim"):
+        Doc2Vec(dim=0)
+    with pytest.raises(ValueError, match="epochs"):
+        Doc2Vec(dim=4, epochs=0)
+    with pytest.raises(ValueError, match="n_negative"):
+        Doc2Vec(dim=4, n_negative=0)
+    with pytest.raises(ValueError, match="non-empty"):
+        Doc2Vec(dim=4).fit_transform([])
+
+
+def test_tfidf_shapes_and_weights():
+    matrix, vocab = tf_idf_matrix(list(CORPUS))
+    assert matrix.shape == (len(CORPUS), len(vocab))
+    # 'the' appears everywhere → low idf → smaller weight than rare words.
+    the_col = matrix[:, vocab.index["the"]]
+    rare_col = matrix[:, vocab.index["accelerates"]]
+    assert rare_col.max() > the_col.max() * 0.9
+
+
+def test_lsa_shapes():
+    emb = LSAEmbedder(dim=5).fit_transform(list(CORPUS))
+    assert emb.shape[0] == len(CORPUS)
+    assert emb.shape[1] <= 5
+
+
+def test_lsa_rank_clipping():
+    # Two distinct documents → rank ≤ 2, even if dim=10 requested.
+    emb = LSAEmbedder(dim=10).fit_transform(["a b", "c d"])
+    assert emb.shape[1] <= 2
+
+
+def test_lsa_separates_topics():
+    emb = LSAEmbedder(dim=4).fit_transform(list(CORPUS))
+    car, stone = emb[:12].mean(axis=0), emb[12:].mean(axis=0)
+    within = np.linalg.norm(emb[0] - car)
+    between = np.linalg.norm(car - stone)
+    assert between > within
+
+
+def test_lsa_validation():
+    with pytest.raises(ValueError, match="dim"):
+        LSAEmbedder(dim=0)
+    with pytest.raises(ValueError, match="non-empty"):
+        LSAEmbedder(dim=2).fit_transform([])

@@ -1,0 +1,35 @@
+"""Tests for the tokenizer."""
+
+from __future__ import annotations
+
+from repro.text.tokenize import NUMBER_TOKEN, tokenize, tokenize_corpus
+
+
+def test_lowercases_words():
+    assert tokenize("A Ball Rises") == ["a", "ball", "rises"]
+
+
+def test_numbers_collapse():
+    assert tokenize("at 25 m/s") == ["at", NUMBER_TOKEN, "m", "s"]
+
+
+def test_decimal_numbers_collapse():
+    assert tokenize("9.8 m/s^2") == [NUMBER_TOKEN, "m", "s", NUMBER_TOKEN]
+
+
+def test_numbers_kept_when_requested():
+    assert tokenize("at 25 m/s", collapse_numbers=False) == ["at", "25", "m", "s"]
+
+
+def test_punctuation_dropped():
+    assert tokenize("What is the height?") == ["what", "is", "the", "height"]
+
+
+def test_empty_text():
+    assert tokenize("") == []
+    assert tokenize("!!! ---") == []
+
+
+def test_corpus_helper():
+    out = tokenize_corpus(["A ball", "a stone"])
+    assert out == [["a", "ball"], ["a", "stone"]]

@@ -1,0 +1,55 @@
+"""Tests for the vocabulary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.text.vocab import Vocabulary
+
+
+def test_builds_sorted_vocab():
+    vocab = Vocabulary([["b", "a"], ["a", "c"]])
+    assert vocab.tokens == ["a", "b", "c"]
+    assert len(vocab) == 3
+    assert "a" in vocab and "z" not in vocab
+
+
+def test_counts_recorded():
+    vocab = Vocabulary([["a", "a", "b"]])
+    assert vocab.counts[vocab.index["a"]] == 2
+    assert vocab.counts[vocab.index["b"]] == 1
+
+
+def test_min_count_filters():
+    vocab = Vocabulary([["a", "a", "b"]], min_count=2)
+    assert vocab.tokens == ["a"]
+
+
+def test_min_count_validation():
+    with pytest.raises(ValueError, match="min_count"):
+        Vocabulary([["a"]], min_count=0)
+
+
+def test_empty_after_filtering():
+    with pytest.raises(ValueError, match="empty"):
+        Vocabulary([["a"]], min_count=5)
+
+
+def test_encode_skips_oov():
+    vocab = Vocabulary([["a", "b"]])
+    np.testing.assert_array_equal(vocab.encode(["a", "zzz", "b"]), [0, 1])
+
+
+def test_encode_corpus():
+    vocab = Vocabulary([["a", "b"], ["b"]])
+    encoded = vocab.encode_corpus([["a"], ["b", "b"]])
+    assert [e.tolist() for e in encoded] == [[0], [1, 1]]
+
+
+def test_unigram_table_is_distribution():
+    vocab = Vocabulary([["a", "a", "a", "b"]])
+    table = vocab.unigram_table()
+    assert table.sum() == pytest.approx(1.0)
+    # Power < 1 flattens: 'a' keeps the majority but less than 3/4.
+    assert 0.5 < table[vocab.index["a"]] < 0.75
