@@ -11,8 +11,6 @@ Output: ``results/ablation_families.txt``.
 
 from __future__ import annotations
 
-import time
-
 from repro import CategoricalSpec, FairKM, KMeans
 from repro.baselines import BeraFairAssignment, FairKCenter, FairletClustering, ZGYA
 from repro.data import make_fair_problem

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from repro.core import FairKM
 from repro.data import make_fair_problem
 from repro.experiments.paper import write_result

@@ -14,7 +14,6 @@ writes it under ``results/``.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments.paper import bench_scale, build_adult, build_kinematics

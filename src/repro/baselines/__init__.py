@@ -19,6 +19,7 @@ from .fairlets import (
     FairletDecomposition,
     fairlet_decompose,
 )
+from ..core.attributes import single_categorical
 from .zgya import ZGYA, ZGYAResult, zgya_fit
 
 __all__ = [
@@ -34,5 +35,6 @@ __all__ = [
     "fairlet_decompose",
     "greedy_kcenter",
     "proportional_quota",
+    "single_categorical",
     "zgya_fit",
 ]

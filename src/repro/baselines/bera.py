@@ -29,6 +29,7 @@ The LP has n·k variables and is solved with ``scipy.optimize.linprog``
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 from scipy.optimize import linprog
@@ -36,6 +37,8 @@ from scipy.sparse import coo_matrix
 
 from ..cluster.distance import pairwise_sq_euclidean
 from ..cluster.kmeans import KMeans
+from ..core.attributes import normalize_sensitive
+from ..core.protocol import EstimatorMixin
 
 
 @dataclass
@@ -61,7 +64,7 @@ class BeraResult:
     max_violation: float = 0.0
 
 
-class BeraFairAssignment:
+class BeraFairAssignment(EstimatorMixin):
     """Fair assignment to vanilla centers via LP + rounding.
 
     Args:
@@ -89,8 +92,10 @@ class BeraFairAssignment:
     def fit(
         self,
         points: np.ndarray,
-        groups: dict[str, tuple[np.ndarray, int]],
+        groups: dict[str, tuple[np.ndarray, int]] | None = None,
         centers: np.ndarray | None = None,
+        *,
+        sensitive: Any = None,
     ) -> BeraResult:
         """Solve the fair partial assignment and round it.
 
@@ -99,6 +104,9 @@ class BeraFairAssignment:
             groups: ``name -> (codes, n_values)`` protected attributes
                 (every (attribute, value) pair becomes a group).
             centers: optional precomputed centers (else vanilla K-Means).
+            sensitive: protocol-style alternative to ``groups``; any
+                number of categorical attributes (numeric ones are
+                rejected — the LP constrains value counts).
 
         Returns:
             A :class:`BeraResult`.
@@ -106,6 +114,20 @@ class BeraFairAssignment:
         Raises:
             RuntimeError: when the LP is infeasible (δ too tight).
         """
+        if sensitive is not None:
+            if groups is not None:
+                raise ValueError("pass either groups or sensitive=, not both")
+            cats, nums = normalize_sensitive(sensitive)
+            if nums:
+                raise ValueError(
+                    "BeraFairAssignment constrains categorical attributes only, "
+                    f"got numeric {[s.name for s in nums]}"
+                )
+            groups = {spec.name: (spec.codes, spec.n_values) for spec in cats}
+        if groups is None:
+            raise ValueError(
+                "BeraFairAssignment needs protected attributes (groups or sensitive=)"
+            )
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2:
             raise ValueError(f"points must be 2-D, got shape {points.shape}")
@@ -186,7 +208,7 @@ class BeraFairAssignment:
         fractional = result.x.reshape(n, k)
         labels = np.argmax(fractional, axis=1)
         rounded_cost = float(d2[np.arange(n), labels].sum())
-        return BeraResult(
+        self.result_ = BeraResult(
             labels=labels,
             centers=centers,
             fractional=fractional,
@@ -194,6 +216,7 @@ class BeraFairAssignment:
             rounded_cost=rounded_cost,
             max_violation=self._violation(labels, groups),
         )
+        return self.result_
 
     def _violation(
         self, labels: np.ndarray, groups: dict[str, tuple[np.ndarray, int]]

@@ -19,11 +19,14 @@ and the family ablation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 from ..cluster.distance import pairwise_sq_euclidean
+from ..core.attributes import single_categorical
+from ..core.protocol import EstimatorMixin
 
 
 @dataclass
@@ -35,12 +38,15 @@ class FairKCenterResult:
         labels: nearest-chosen-center assignment per point.
         radius: max distance of any point to its nearest center.
         group_counts: chosen centers per group (matches the quota).
+        centers: coordinates of the chosen exemplars (estimator-protocol
+            surface for nearest-center ``predict``).
     """
 
     centers_idx: np.ndarray
     labels: np.ndarray
     radius: float
     group_counts: np.ndarray
+    centers: np.ndarray = field(default=None, repr=False)
 
 
 def proportional_quota(codes: np.ndarray, n_values: int, k: int) -> np.ndarray:
@@ -71,7 +77,7 @@ def proportional_quota(codes: np.ndarray, n_values: int, k: int) -> np.ndarray:
     return quota
 
 
-class FairKCenter:
+class FairKCenter(EstimatorMixin):
     """Fair k-center: proportional group quotas on the chosen centers.
 
     Args:
@@ -95,7 +101,12 @@ class FairKCenter:
         self._rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
     def fit(
-        self, points: np.ndarray, codes: np.ndarray, n_values: int | None = None
+        self,
+        points: np.ndarray,
+        codes: np.ndarray | None = None,
+        n_values: int | None = None,
+        *,
+        sensitive: Any = None,
     ) -> FairKCenterResult:
         """Choose k group-proportional centers from *points*.
 
@@ -103,7 +114,15 @@ class FairKCenter:
             points: feature matrix ``(n, d)``.
             codes: protected-group code per point.
             n_values: number of groups (inferred when omitted).
+            sensitive: protocol-style alternative to ``codes``; must
+                normalize to exactly one categorical attribute.
         """
+        if sensitive is not None:
+            if codes is not None:
+                raise ValueError("pass either codes or sensitive=, not both")
+            codes, n_values = single_categorical(sensitive, "FairKCenter")
+        if codes is None:
+            raise ValueError("FairKCenter needs a group attribute (codes or sensitive=)")
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2:
             raise ValueError(f"points must be 2-D, got shape {points.shape}")
@@ -151,12 +170,14 @@ class FairKCenter:
         d2 = pairwise_sq_euclidean(points, points[centers_idx])
         labels = np.argmin(d2, axis=1)
         radius = float(np.sqrt(d2[np.arange(n), labels].max()))
-        return FairKCenterResult(
+        self.result_ = FairKCenterResult(
             centers_idx=centers_idx,
             labels=labels,
             radius=radius,
             group_counts=np.bincount(codes[centers_idx], minlength=t),
+            centers=points[centers_idx].copy(),
         )
+        return self.result_
 
 
 def greedy_kcenter(points: np.ndarray, k: int, seed: int | None = None) -> tuple[np.ndarray, float]:

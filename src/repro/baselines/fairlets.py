@@ -24,12 +24,15 @@ evaluation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import networkx as nx
 import numpy as np
 
 from ..cluster.distance import pairwise_sq_euclidean
 from ..cluster.kmeans import KMeans
+from ..core.attributes import single_categorical
+from ..core.protocol import EstimatorMixin
 
 
 @dataclass
@@ -217,7 +220,7 @@ class FairletClusteringResult:
     centers: np.ndarray
 
 
-class FairletClustering:
+class FairletClustering(EstimatorMixin):
     """Fairlet decomposition followed by K-Means on fairlet centroids.
 
     Args:
@@ -242,8 +245,26 @@ class FairletClustering:
         self.method = method
         self._rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
-    def fit(self, points: np.ndarray, colors: np.ndarray) -> FairletClusteringResult:
-        """Decompose then cluster; every fairlet lands in one cluster."""
+    def fit(
+        self,
+        points: np.ndarray,
+        colors: np.ndarray | None = None,
+        *,
+        sensitive: Any = None,
+    ) -> FairletClusteringResult:
+        """Decompose then cluster; every fairlet lands in one cluster.
+
+        ``sensitive`` is the protocol-style alternative to ``colors``;
+        it must normalize to exactly one *binary* categorical attribute.
+        """
+        if sensitive is not None:
+            if colors is not None:
+                raise ValueError("pass either colors or sensitive=, not both")
+            colors, _ = single_categorical(sensitive, "FairletClustering")
+        if colors is None:
+            raise ValueError(
+                "FairletClustering needs a binary attribute (colors or sensitive=)"
+            )
         decomposition = fairlet_decompose(
             points, colors, t=self.t, method=self.method, seed=self._rng
         )
@@ -254,6 +275,7 @@ class FairletClustering:
             )
         km = KMeans(self.k, seed=self._rng).fit(decomposition.centers)
         labels = km.labels[decomposition.fairlet_of]
-        return FairletClusteringResult(
+        self.result_ = FairletClusteringResult(
             labels=labels, decomposition=decomposition, centers=km.centers
         )
+        return self.result_

@@ -34,11 +34,14 @@ attribute at a time — which is precisely this class's contract.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 from ..cluster.distance import pairwise_sq_euclidean
 from ..cluster.init import initial_centers
+from ..core.attributes import single_categorical
+from ..core.protocol import EstimatorMixin
 
 _EPS = 1e-12
 
@@ -68,7 +71,7 @@ class ZGYAResult:
     energy_history: list[float] = field(default_factory=list)
 
 
-class ZGYA:
+class ZGYA(EstimatorMixin):
     """Fair clustering with a KL fairness penalty (single attribute).
 
     Args:
@@ -115,17 +118,32 @@ class ZGYA:
         self.init = init
         self._rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
-    def fit(self, points: np.ndarray, codes: np.ndarray, n_values: int | None = None) -> ZGYAResult:
+    def fit(
+        self,
+        points: np.ndarray,
+        codes: np.ndarray | None = None,
+        n_values: int | None = None,
+        *,
+        sensitive: Any = None,
+    ) -> ZGYAResult:
         """Cluster *points* fairly w.r.t. one categorical attribute.
 
         Args:
             points: non-sensitive feature matrix ``(n, d)``.
             codes: integer value codes of the sensitive attribute, ``(n,)``.
             n_values: attribute cardinality (inferred when omitted).
+            sensitive: protocol-style alternative to ``codes``; must
+                normalize to exactly one categorical attribute.
 
         Returns:
             A :class:`ZGYAResult`.
         """
+        if sensitive is not None:
+            if codes is not None:
+                raise ValueError("pass either codes or sensitive=, not both")
+            codes, n_values = single_categorical(sensitive, "ZGYA")
+        if codes is None:
+            raise ValueError("ZGYA needs a sensitive attribute (codes or sensitive=)")
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2:
             raise ValueError(f"points must be 2-D, got shape {points.shape}")
@@ -194,7 +212,7 @@ class ZGYA:
         mass = np.maximum(soft.sum(axis=0), _EPS)
         centers = (soft.T @ points) / mass[:, None]
         d = pairwise_sq_euclidean(points, centers) / scale
-        return ZGYAResult(
+        self.result_ = ZGYAResult(
             labels=labels,
             soft=soft,
             centers=centers,
@@ -204,6 +222,7 @@ class ZGYA:
             converged=converged,
             energy_history=history,
         )
+        return self.result_
 
     def _kl_penalty(
         self,

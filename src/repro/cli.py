@@ -6,6 +6,7 @@ Usage::
     repro table5                    # regenerate Table 5 (scaled-down)
     repro table6 --seeds 5 --adult-n 4000
     repro all                       # every table and figure
+    repro table5 --engine chunked   # vectorized FairKM sweeps
     REPRO_BENCH_FULL=1 repro table6 # paper-scale run
 
 Output is printed and also written under ``results/``.
@@ -49,6 +50,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="paper-scale settings (100 seeds, 32561 Adult rows)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=["sequential", "chunked", "minibatch"],
+        default=None,
+        help="FairKM sweep strategy: 'sequential' (paper-literal), "
+        "'chunked' (vectorized, identical results, fastest at scale) or "
+        "'minibatch' (§6.1 approximation); default: env REPRO_ENGINE or sequential",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="chunk size of the chunked engine / batch size of minibatch "
+        "(default: env REPRO_CHUNK_SIZE or the engine default)",
+    )
     return parser
 
 
@@ -64,6 +80,14 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_BENCH_SEEDS"] = str(args.seeds)
     if args.adult_n is not None:
         os.environ["REPRO_BENCH_ADULT_N"] = str(args.adult_n)
+    if args.engine is not None:
+        os.environ["REPRO_ENGINE"] = args.engine
+    if args.chunk_size is not None:
+        if args.chunk_size <= 0:
+            parser_error = f"--chunk-size must be positive, got {args.chunk_size}"
+            print(parser_error, file=sys.stderr)
+            return 2
+        os.environ["REPRO_CHUNK_SIZE"] = str(args.chunk_size)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -18,9 +18,11 @@ engineering fix (scikit-learn uses the same idea).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
+from ..core.protocol import EstimatorMixin
 from .distance import inertia, pairwise_sq_euclidean
 from .init import INIT_STRATEGIES, centroids_from_labels, initial_centers
 
@@ -61,7 +63,7 @@ class KMeansResult:
         return np.argmin(d2, axis=1)
 
 
-class KMeans:
+class KMeans(EstimatorMixin):
     """From-scratch Lloyd's K-Means.
 
     Args:
@@ -106,8 +108,13 @@ class KMeans:
         self.n_init = n_init
         self._rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
-    def fit(self, points: np.ndarray) -> KMeansResult:
-        """Cluster *points* (shape ``(n, d)``) and return the best restart."""
+    def fit(self, points: np.ndarray, *, sensitive: Any = None) -> KMeansResult:
+        """Cluster *points* (shape ``(n, d)``) and return the best restart.
+
+        ``sensitive`` is accepted for protocol uniformity and ignored:
+        K-Means(N) is the S-blind reference method.
+        """
+        del sensitive
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2:
             raise ValueError(f"points must be 2-D, got shape {points.shape}")
@@ -121,6 +128,7 @@ class KMeans:
             if best is None or result.inertia < best.inertia:
                 best = result
         assert best is not None
+        self.result_ = best
         return best
 
     def _fit_once(self, points: np.ndarray) -> KMeansResult:

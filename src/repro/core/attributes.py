@@ -16,7 +16,9 @@ Both carry a fairness ``weight`` (Eq. 23, default 1.0).
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -105,6 +107,116 @@ class NumericSpec:
     def dataset_mean(self) -> float:
         """The dataset-level average X̄.S that clusters are pulled toward."""
         return float(self.values.mean())
+
+
+def _spec_from_value(name: str, value: Any) -> CategoricalSpec | NumericSpec:
+    """Coerce one named value into a spec (dtype decides the kind)."""
+    if isinstance(value, (CategoricalSpec, NumericSpec)):
+        return value
+    if isinstance(value, tuple) and len(value) == 2:
+        codes, n_values = value
+        return CategoricalSpec(name, np.asarray(codes), n_values=int(n_values))
+    arr = np.asarray(value)
+    if arr.ndim != 1:
+        raise ValueError(f"sensitive attribute {name!r} must be 1-D, got shape {arr.shape}")
+    if arr.dtype == bool:
+        return CategoricalSpec(name, arr.astype(np.int64), n_values=2)
+    if np.issubdtype(arr.dtype, np.integer):
+        return CategoricalSpec(name, arr.astype(np.int64))
+    if np.issubdtype(arr.dtype, np.floating):
+        return NumericSpec(name, arr)
+    raise TypeError(
+        f"sensitive attribute {name!r}: cannot interpret dtype {arr.dtype} "
+        "(integer/bool codes -> categorical, floats -> numeric)"
+    )
+
+
+def normalize_sensitive(
+    sensitive: Any, n: int | None = None
+) -> tuple[list[CategoricalSpec], list[NumericSpec]]:
+    """Normalize any accepted sensitive-attribute input into spec lists.
+
+    The single adapter behind the shared estimator protocol: every
+    optimizer's ``sensitive=`` keyword funnels through here. Accepted
+    forms:
+
+    * ``None`` — no sensitive attributes (``([], [])``);
+    * a :class:`CategoricalSpec` or :class:`NumericSpec`;
+    * an iterable mixing the two spec kinds;
+    * a 1-D array — integer/bool dtype becomes one categorical spec
+      named ``"sensitive"``, float dtype one numeric spec;
+    * a mapping ``name -> codes | values | (codes, n_values) | spec``;
+    * any object exposing ``sensitive_specs()`` (duck-typed
+      ``repro.data.Dataset``).
+
+    Args:
+        sensitive: the input to normalize.
+        n: when given, cross-validate that every spec describes *n* objects.
+
+    Returns:
+        ``(categorical_specs, numeric_specs)``.
+    """
+    cats: list[CategoricalSpec] = []
+    nums: list[NumericSpec] = []
+    if sensitive is None:
+        return cats, nums
+    if hasattr(sensitive, "sensitive_specs"):
+        ds_cats, ds_nums = sensitive.sensitive_specs()
+        cats, nums = list(ds_cats), list(ds_nums)
+    elif isinstance(sensitive, (CategoricalSpec, NumericSpec)):
+        cats, nums = ([sensitive], []) if isinstance(sensitive, CategoricalSpec) else ([], [sensitive])
+    elif isinstance(sensitive, Mapping):
+        for name, value in sensitive.items():
+            spec = _spec_from_value(str(name), value)
+            (cats if isinstance(spec, CategoricalSpec) else nums).append(spec)
+    elif isinstance(sensitive, np.ndarray):
+        if sensitive.size == 0:
+            return cats, nums  # explicitly no sensitive attributes
+        spec = _spec_from_value("sensitive", sensitive)
+        (cats if isinstance(spec, CategoricalSpec) else nums).append(spec)
+    elif isinstance(sensitive, Iterable):
+        items = list(sensitive)
+        if not items:
+            return cats, nums  # empty list == no sensitive attributes
+        if all(isinstance(it, (CategoricalSpec, NumericSpec)) for it in items):
+            for it in items:
+                (cats if isinstance(it, CategoricalSpec) else nums).append(it)
+        else:
+            spec = _spec_from_value("sensitive", np.asarray(items))
+            (cats if isinstance(spec, CategoricalSpec) else nums).append(spec)
+    else:
+        raise TypeError(
+            f"cannot interpret sensitive input of type {type(sensitive).__name__}; "
+            "pass specs, arrays, a mapping, or a Dataset"
+        )
+    if n is not None and (cats or nums):
+        validate_specs(n, cats, nums)
+    return cats, nums
+
+
+def single_categorical(sensitive: Any, method: str) -> tuple[np.ndarray, int]:
+    """Normalize *sensitive* down to one categorical attribute.
+
+    Shared by the single-attribute baselines (ZGYA, fair k-center,
+    fairlets): the estimator protocol hands them the same ``sensitive``
+    forms as the multi-attribute methods, but their contract is exactly
+    one categorical attribute.
+
+    Returns:
+        ``(codes, n_values)``.
+    """
+    cats, nums = normalize_sensitive(sensitive)
+    if nums:
+        raise ValueError(
+            f"{method} handles categorical attributes only, got numeric "
+            f"{[s.name for s in nums]}"
+        )
+    if len(cats) != 1:
+        raise ValueError(
+            f"{method} handles exactly one sensitive attribute, got "
+            f"{[s.name for s in cats]}"
+        )
+    return cats[0].codes, cats[0].n_values
 
 
 def validate_specs(

@@ -1,0 +1,395 @@
+"""Shared optimizer engine for the FairKM family.
+
+:class:`OptimizerEngine` owns the fit lifecycle that used to be
+duplicated between ``FairKM.fit`` and ``MiniBatchFairKM.fit`` — input
+validation, λ resolution, initialization, the sweep loop, convergence
+detection, history bookkeeping and result construction. What varies
+between optimizers is *how one pass over the objects is executed*, which
+is delegated to a pluggable :class:`SweepStrategy`:
+
+* :class:`SequentialSweep` — the paper's Algorithm 1 literally: visit
+  each object, score it against every cluster with
+  :meth:`~repro.core.state.ClusterState.move_deltas`, apply the best
+  improving move immediately.
+* :class:`ChunkedSweep` — the vectorized *exact* sweep. Whole chunks are
+  scored at once via
+  :meth:`~repro.core.state.ClusterState.batch_move_deltas`; moves are
+  still applied one at a time, and any move invalidates the frozen
+  scores of the objects still pending in the chunk, so the remainder is
+  re-scored against the updated statistics. Decisions are therefore
+  identical to :class:`SequentialSweep` (same visit order, same state at
+  every decision) while the per-object NumPy overhead of the sequential
+  loop is amortized across chunks. Sweeps with few moves — the long tail
+  of any FairKM run — collapse to a handful of vectorized batch calls.
+* :class:`MiniBatchSweep` — the §6.1 approximation: all objects of a
+  batch decide against statistics frozen at the batch start, accepted
+  moves are applied together, then the caches are rebuilt.
+
+The engine also fixes a reporting subtlety: ``objective_history``
+entries are recorded *after* the periodic
+:meth:`~repro.core.state.ClusterState.resync`, so reported objectives
+never include accumulated floating-point drift from the incremental
+cache updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.init import initial_labels
+from .attributes import CategoricalSpec, NumericSpec
+from .config import FairKMConfig, FairKMResult
+from .lambda_heuristic import resolve_lambda
+from .state import ClusterState
+
+
+class SweepStrategy:
+    """One pass over the objects of a FairKM-style local search.
+
+    A strategy mutates *state* in place and returns the number of
+    accepted moves. Strategies may keep per-fit adaptive state;
+    :meth:`reset` is called by the engine at the start of every fit.
+    """
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    def reset(self) -> None:
+        """Clear any adaptive per-fit state (called once per fit)."""
+
+    def sweep(
+        self, state: ClusterState, order: np.ndarray, lam: float, cfg: FairKMConfig
+    ) -> int:
+        """Visit the objects in *order* once; return accepted moves."""
+        raise NotImplementedError
+
+
+class SequentialSweep(SweepStrategy):
+    """Point-at-a-time round-robin pass (paper Steps 4–7)."""
+
+    name = "sequential"
+
+    def sweep(
+        self, state: ClusterState, order: np.ndarray, lam: float, cfg: FairKMConfig
+    ) -> int:
+        moves = 0
+        for i in order:
+            i = int(i)
+            if not cfg.allow_empty and state.sizes[state.labels[i]] == 1:
+                continue
+            deltas = state.move_deltas(i, lam)
+            target = int(np.argmin(deltas))
+            if target != state.labels[i] and deltas[target] < -cfg.tol:
+                state.apply_move(i, target)
+                moves += 1
+        return moves
+
+
+class ChunkedSweep(SweepStrategy):
+    """Vectorized chunked-exact sweep.
+
+    Objects are scored a chunk at a time with ``batch_move_deltas``
+    (frozen statistics), then scanned in visit order. Until a move is
+    accepted, the frozen scores equal what ``move_deltas`` would have
+    returned — the statistics have not changed — so non-movers are
+    dispatched purely vectorized. An accepted move (source → target)
+    perturbs exactly two clusters' statistics, so the frozen rows of the
+    objects still pending are repaired surgically: objects whose own
+    cluster was touched get their full row re-scored, every other
+    pending row only has its *source* and *target* columns recomputed
+    (:meth:`~repro.core.state.ClusterState.batch_move_deltas_cols`).
+    After each repair the pending scores again equal what the sequential
+    sweep would compute at its visit time, so the decision sequence —
+    visit order, accepted moves, chosen targets — is exactly the
+    sequential sweep's.
+
+    Truly dense phases (the shuffle after a random init, where most
+    objects move) would still pay one repair per move for little gain;
+    the strategy therefore falls back to the sequential inner loop
+    whenever the previous iteration's move rate exceeded
+    ``dense_threshold``, and mid-sweep if the realized rate crosses it.
+    The first iteration after ``reset`` (unknown rate) runs sequentially
+    as well.
+
+    The window actually scored per batch call shrinks adaptively in
+    movey sweeps (≈ ``4 / move_rate``, floored at 32): every accepted
+    move repairs the rows still pending in its window, so bounding the
+    expected moves per window bounds the repair work.
+
+    Args:
+        chunk_size: maximum objects scored per vectorized batch call.
+        dense_threshold: move rate above which the sweep runs the
+            sequential inner loop instead of chunk scoring.
+    """
+
+    name = "chunked"
+
+    #: Window sizing: aim for about this many expected moves per window.
+    MOVES_PER_WINDOW = 4.0
+    #: Minimum adaptive window; below this the fixed per-call NumPy
+    #: overhead of ``batch_move_deltas`` dominates.
+    MIN_WINDOW = 32
+
+    def __init__(self, chunk_size: int = 256, dense_threshold: float = 0.4) -> None:
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if not 0.0 < dense_threshold <= 1.0:
+            raise ValueError(
+                f"dense_threshold must be in (0, 1], got {dense_threshold}"
+            )
+        self.chunk_size = int(chunk_size)
+        self.dense_threshold = float(dense_threshold)
+        self._sequential = SequentialSweep()
+        self._prev_rate: float | None = None
+
+    def reset(self) -> None:
+        self._prev_rate = None
+
+    def _window(self) -> int:
+        rate = self._prev_rate
+        if not rate:
+            return self.chunk_size
+        return min(self.chunk_size, max(self.MIN_WINDOW, int(self.MOVES_PER_WINDOW / rate)))
+
+    def sweep(
+        self, state: ClusterState, order: np.ndarray, lam: float, cfg: FairKMConfig
+    ) -> int:
+        n = order.shape[0]
+        if self._prev_rate is None or self._prev_rate > self.dense_threshold:
+            moves = self._sequential.sweep(state, order, lam, cfg)
+            self._prev_rate = moves / n
+            return moves
+
+        window = self._window()
+        moves = 0
+        for start in range(0, n, window):
+            # Mid-sweep safety valve: if this sweep turned out dense
+            # after all, stop paying for per-move repairs.
+            if start >= 2 * window and moves / start > self.dense_threshold:
+                moves += self._sequential.sweep(state, order[start:], lam, cfg)
+                break
+            moves += self._scan_window(state, order[start : start + window], lam, cfg)
+        self._prev_rate = moves / n
+        return moves
+
+    @staticmethod
+    def _scan_window(
+        state: ClusterState, window: np.ndarray, lam: float, cfg: FairKMConfig
+    ) -> int:
+        """Scan one window in visit order, repairing scores per move."""
+        deltas = state.batch_move_deltas(window, lam)
+        best = deltas.min(axis=1)
+        w = window.shape[0]
+        moves = 0
+        r = 0
+        while True:
+            hit = -1
+            for off in np.flatnonzero(best[r:] < -cfg.tol):
+                rc = r + int(off)
+                i = int(window[rc])
+                if not cfg.allow_empty and state.sizes[state.labels[i]] == 1:
+                    best[rc] = 0.0  # vetoed: visited without moving
+                    continue
+                hit = rc
+                break
+            if hit < 0:
+                return moves
+            i = int(window[hit])
+            source = int(state.labels[i])
+            target = int(np.argmin(deltas[hit]))
+            state.apply_move(i, target)
+            moves += 1
+            r = hit + 1
+            if r >= w:
+                return moves
+            # Repair the pending rows: the move only changed the source
+            # and target clusters' statistics.
+            suffix = window[r:]
+            cur = state.labels[suffix]
+            touched = (cur == source) | (cur == target)
+            stale = np.flatnonzero(touched)
+            if stale.size:
+                deltas[r + stale] = state.batch_move_deltas(suffix[stale], lam)
+            fresh = np.flatnonzero(~touched)
+            if fresh.size:
+                cols = np.array([source, target], dtype=np.int64)
+                deltas[(r + fresh)[:, None], cols[None, :]] = (
+                    state.batch_move_deltas_cols(suffix[fresh], cols, lam)
+                )
+            best[r:] = deltas[r:].min(axis=1)
+
+
+class MiniBatchSweep(SweepStrategy):
+    """Batched assignment updates (§6.1 mini-batch approximation).
+
+    Every object of a batch decides against the statistics frozen at the
+    batch start; all accepted moves are applied (decisions may have gone
+    stale within the batch — that is the approximation), then the caches
+    are rebuilt once.
+    """
+
+    name = "minibatch"
+
+    def __init__(self, batch_size: int = 256) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.batch_size = int(batch_size)
+
+    def sweep(
+        self, state: ClusterState, order: np.ndarray, lam: float, cfg: FairKMConfig
+    ) -> int:
+        moves = 0
+        for start in range(0, order.shape[0], self.batch_size):
+            batch = order[start : start + self.batch_size]
+            deltas = state.batch_move_deltas(batch, lam)
+            targets = np.argmin(deltas, axis=1)
+            rows = np.arange(batch.shape[0])
+            improves = deltas[rows, targets] < -cfg.tol
+            cur = state.labels[batch]
+            batch_moves = 0
+            for r in np.flatnonzero(improves & (targets != cur)):
+                i = int(batch[r])
+                if not cfg.allow_empty and state.sizes[state.labels[i]] == 1:
+                    continue
+                state.apply_move(i, int(targets[r]))
+                batch_moves += 1
+            if batch_moves:
+                state.resync()
+            moves += batch_moves
+        return moves
+
+
+#: Engine name -> strategy class, the registry behind ``engine="..."``
+#: constructor arguments and the CLI's ``--engine`` flag.
+SWEEP_STRATEGIES: dict[str, type[SweepStrategy]] = {
+    SequentialSweep.name: SequentialSweep,
+    ChunkedSweep.name: ChunkedSweep,
+    MiniBatchSweep.name: MiniBatchSweep,
+}
+
+
+def make_sweep(
+    engine: str | SweepStrategy, *, chunk_size: int | None = None
+) -> SweepStrategy:
+    """Resolve an ``engine`` argument into a :class:`SweepStrategy`.
+
+    Args:
+        engine: a strategy instance (returned as-is) or a name from
+            :data:`SWEEP_STRATEGIES`.
+        chunk_size: chunk size for ``"chunked"``; doubles as the batch
+            size for ``"minibatch"``. ``None`` keeps each strategy's
+            default. Rejected alongside a strategy *instance* — the
+            instance already carries its own sizing.
+    """
+    if isinstance(engine, SweepStrategy):
+        if chunk_size is not None:
+            raise ValueError(
+                "chunk_size cannot be combined with a SweepStrategy instance; "
+                "configure the instance directly"
+            )
+        return engine
+    if engine == SequentialSweep.name:
+        return SequentialSweep()
+    if engine == ChunkedSweep.name:
+        return ChunkedSweep() if chunk_size is None else ChunkedSweep(chunk_size)
+    if engine == MiniBatchSweep.name:
+        return MiniBatchSweep() if chunk_size is None else MiniBatchSweep(chunk_size)
+    raise ValueError(
+        f"unknown engine {engine!r}; expected one of {sorted(SWEEP_STRATEGIES)} "
+        "or a SweepStrategy instance"
+    )
+
+
+def build_result(
+    state: ClusterState,
+    lam: float,
+    n_iter: int,
+    converged: bool,
+    moves_per_iter: list[int],
+    objective_history: list[float],
+) -> FairKMResult:
+    """Assemble a :class:`FairKMResult` from the final optimizer state."""
+    km = state.kmeans_term()
+    fair = state.fairness_term()
+    return FairKMResult(
+        labels=state.labels.copy(),
+        centers=state.centroids(),
+        objective=km + lam * fair,
+        kmeans_term=km,
+        fairness_term=fair,
+        lambda_=lam,
+        n_iter=n_iter,
+        converged=converged,
+        moves_per_iter=moves_per_iter,
+        objective_history=objective_history,
+        fractional_representations=state.fractional_representations(),
+    )
+
+
+class OptimizerEngine:
+    """The fit lifecycle shared by every FairKM-family optimizer.
+
+    Validates inputs, resolves λ, initializes the assignment, runs the
+    configured :class:`SweepStrategy` until convergence or the iteration
+    cap, maintains the periodic cache resync and the per-iteration
+    history, and builds the result.
+
+    Args:
+        config: hyper-parameters of the run.
+        sweep: the sweep strategy executing each pass.
+        rng: generator driving initialization and per-iteration shuffles.
+    """
+
+    def __init__(
+        self,
+        config: FairKMConfig,
+        sweep: SweepStrategy,
+        rng: np.random.Generator,
+    ) -> None:
+        self.config = config
+        self.sweep_strategy = sweep
+        self._rng = rng
+
+    def fit(
+        self,
+        points: np.ndarray,
+        categorical: list[CategoricalSpec] | None = None,
+        numeric: list[NumericSpec] | None = None,
+        initial: np.ndarray | None = None,
+    ) -> FairKMResult:
+        """Run the local search; same contract as ``FairKM.fit``."""
+        cfg = self.config
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {points.shape}")
+        n = points.shape[0]
+        if n < cfg.k:
+            raise ValueError(f"need at least k={cfg.k} objects, got {n}")
+        lam = resolve_lambda(cfg.lambda_, n, cfg.k)
+
+        if initial is not None:
+            labels = np.asarray(initial, dtype=np.int64).copy()
+            if labels.shape != (n,):
+                raise ValueError(f"initial labels must have shape ({n},)")
+        else:
+            labels = initial_labels(points, cfg.k, cfg.init, self._rng)
+
+        state = ClusterState(points, labels, cfg.k, categorical, numeric)
+        self.sweep_strategy.reset()
+        moves_per_iter: list[int] = []
+        objective_history: list[float] = []
+        converged = False
+        n_iter = 0
+        for n_iter in range(1, cfg.max_iter + 1):
+            order = self._rng.permutation(n) if cfg.shuffle else np.arange(n)
+            moves = self.sweep_strategy.sweep(state, order, lam, cfg)
+            moves_per_iter.append(moves)
+            if cfg.resync_every and n_iter % cfg.resync_every == 0:
+                state.resync()
+            # Recorded after the periodic resync: reported objectives
+            # never carry incremental floating-point drift.
+            objective_history.append(state.objective(lam))
+            if moves == 0:
+                converged = True
+                break
+        return build_result(state, lam, n_iter, converged, moves_per_iter, objective_history)

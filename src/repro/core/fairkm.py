@@ -9,6 +9,16 @@ The optimizer follows the paper exactly:
    fractional representations (Step 7) after each move;
 3. return the assignment (Step 8).
 
+The fit lifecycle lives in :class:`~repro.core.engine.OptimizerEngine`;
+this class binds it to a sweep strategy. ``engine="sequential"``
+(default) is the paper's literal point-at-a-time loop;
+``engine="chunked"`` produces the identical decision sequence but scores
+whole chunks at once via the vectorized
+:meth:`~repro.core.state.ClusterState.batch_move_deltas`, which is the
+fast path for large n; ``engine="minibatch"`` is the §6.1 approximation
+(also available with its own knobs as
+:class:`~repro.core.minibatch.MiniBatchFairKM`).
+
 Move deltas come from :class:`~repro.core.state.ClusterState`, which keeps
 sufficient statistics so each candidate evaluation is O(|N| + |S|) instead
 of a full objective recomputation.
@@ -26,16 +36,17 @@ Example:
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
-from ..cluster.init import initial_labels
-from .attributes import CategoricalSpec, NumericSpec
+from .attributes import CategoricalSpec, NumericSpec, normalize_sensitive
 from .config import FairKMConfig, FairKMResult
-from .lambda_heuristic import resolve_lambda
-from .state import ClusterState
+from .engine import OptimizerEngine, SweepStrategy, make_sweep
+from .protocol import EstimatorMixin
 
 
-class FairKM:
+class FairKM(EstimatorMixin):
     """Fair K-Means clustering over multiple sensitive attributes.
 
     Args:
@@ -48,6 +59,13 @@ class FairKM:
         allow_empty: permit moves that empty a cluster (paper-faithful).
         shuffle: randomize visiting order each iteration.
         resync_every: rebuild caches every N iterations (0 = never).
+        engine: sweep strategy — ``"sequential"`` (paper-literal,
+            default), ``"chunked"`` (vectorized, identical decisions) or
+            ``"minibatch"`` (§6.1 approximation) — or a
+            :class:`~repro.core.engine.SweepStrategy` instance.
+        chunk_size: chunk size of the ``"chunked"`` engine (doubles as
+            the batch size of ``"minibatch"``); ``None`` keeps the
+            strategy default.
         seed: RNG seed or generator for initialization and shuffling.
     """
 
@@ -62,6 +80,8 @@ class FairKM:
         allow_empty: bool = True,
         shuffle: bool = True,
         resync_every: int = 1,
+        engine: str | SweepStrategy = "sequential",
+        chunk_size: int | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         self.config = FairKMConfig(
@@ -74,6 +94,7 @@ class FairKM:
             shuffle=shuffle,
             resync_every=resync_every,
         )
+        self.sweep = make_sweep(engine, chunk_size=chunk_size)
         self._rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
     def fit(
@@ -82,6 +103,8 @@ class FairKM:
         categorical: list[CategoricalSpec] | None = None,
         numeric: list[NumericSpec] | None = None,
         initial: np.ndarray | None = None,
+        *,
+        sensitive: Any = None,
     ) -> FairKMResult:
         """Cluster *points* fairly with respect to the sensitive specs.
 
@@ -91,82 +114,24 @@ class FairKM:
             numeric: numeric sensitive attributes (Eq. 22 extension).
             initial: optional explicit initial label vector (overrides
                 ``init``); useful for warm starts and controlled studies.
+            sensitive: protocol-style alternative to ``categorical=`` /
+                ``numeric=``: any input accepted by
+                :func:`~repro.core.attributes.normalize_sensitive`.
 
         Returns:
             A :class:`FairKMResult`.
         """
-        cfg = self.config
-        points = np.asarray(points, dtype=np.float64)
-        if points.ndim != 2:
-            raise ValueError(f"points must be 2-D, got shape {points.shape}")
-        n = points.shape[0]
-        if n < cfg.k:
-            raise ValueError(f"need at least k={cfg.k} objects, got {n}")
-        lam = resolve_lambda(cfg.lambda_, n, cfg.k)
-
-        if initial is not None:
-            labels = np.asarray(initial, dtype=np.int64).copy()
-            if labels.shape != (n,):
-                raise ValueError(f"initial labels must have shape ({n},)")
-        else:
-            labels = initial_labels(points, cfg.k, cfg.init, self._rng)
-
-        state = ClusterState(points, labels, cfg.k, categorical, numeric)
-        moves_per_iter: list[int] = []
-        objective_history: list[float] = []
-        converged = False
-        n_iter = 0
-        for n_iter in range(1, cfg.max_iter + 1):
-            order = self._rng.permutation(n) if cfg.shuffle else np.arange(n)
-            moves = self._sweep(state, order, lam)
-            moves_per_iter.append(moves)
-            objective_history.append(state.objective(lam))
-            if cfg.resync_every and n_iter % cfg.resync_every == 0:
-                state.resync()
-            if moves == 0:
-                converged = True
-                break
-        return self._build_result(state, lam, n_iter, converged, moves_per_iter, objective_history)
-
-    def _sweep(self, state: ClusterState, order: np.ndarray, lam: float) -> int:
-        """One round-robin pass (paper Steps 4–7). Returns accepted moves."""
-        cfg = self.config
-        moves = 0
-        for i in order:
-            i = int(i)
-            if not cfg.allow_empty and state.sizes[state.labels[i]] == 1:
-                continue
-            deltas = state.move_deltas(i, lam)
-            target = int(np.argmin(deltas))
-            if target != state.labels[i] and deltas[target] < -cfg.tol:
-                state.apply_move(i, target)
-                moves += 1
-        return moves
-
-    @staticmethod
-    def _build_result(
-        state: ClusterState,
-        lam: float,
-        n_iter: int,
-        converged: bool,
-        moves_per_iter: list[int],
-        objective_history: list[float],
-    ) -> FairKMResult:
-        km = state.kmeans_term()
-        fair = state.fairness_term()
-        return FairKMResult(
-            labels=state.labels.copy(),
-            centers=state.centroids(),
-            objective=km + lam * fair,
-            kmeans_term=km,
-            fairness_term=fair,
-            lambda_=lam,
-            n_iter=n_iter,
-            converged=converged,
-            moves_per_iter=moves_per_iter,
-            objective_history=objective_history,
-            fractional_representations=state.fractional_representations(),
+        if sensitive is not None:
+            if categorical is not None or numeric is not None:
+                raise ValueError(
+                    "pass either sensitive= or categorical=/numeric=, not both"
+                )
+            categorical, numeric = normalize_sensitive(sensitive)
+        result = OptimizerEngine(self.config, self.sweep, self._rng).fit(
+            points, categorical, numeric, initial
         )
+        self.result_ = result
+        return result
 
 
 def fairkm_fit(

@@ -2,7 +2,9 @@
 
 The paper identifies the per-move prototype/representation update as
 FairKM's bottleneck and proposes deferring those updates to once per
-mini-batch. This module realizes that idea:
+mini-batch. This module realizes that idea via the shared
+:class:`~repro.core.engine.OptimizerEngine` with a
+:class:`~repro.core.engine.MiniBatchSweep`:
 
 * an iteration partitions the (shuffled) objects into batches of
   ``batch_size``;
@@ -20,19 +22,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..cluster.init import initial_labels
-from .attributes import CategoricalSpec, NumericSpec
-from .config import FairKMConfig, FairKMResult
+from .engine import MiniBatchSweep
 from .fairkm import FairKM
-from .lambda_heuristic import resolve_lambda
-from .state import ClusterState
 
 
-class MiniBatchFairKM:
+class MiniBatchFairKM(FairKM):
     """FairKM with batched assignment updates (§6.1).
 
     Accepts the same hyper-parameters as :class:`FairKM` plus
     ``batch_size``. See the module docstring for semantics.
+
+    Note on ``resync_every``: the mini-batch scheme rebuilds the cluster
+    statistics after every batch that moved objects — that is intrinsic
+    to the algorithm and not configurable. ``resync_every`` controls the
+    *additional* end-of-iteration cache rebuild the shared engine
+    performs (the same knob :class:`FairKM` exposes); its default of 1
+    keeps reported objectives free of floating-point drift.
     """
 
     def __init__(
@@ -46,86 +51,21 @@ class MiniBatchFairKM:
         init: str = "random",
         allow_empty: bool = True,
         shuffle: bool = True,
+        resync_every: int = 1,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        self.batch_size = batch_size
-        self.config = FairKMConfig(
-            k=k,
+        self.batch_size = int(batch_size)
+        super().__init__(
+            k,
             lambda_=lambda_,
             max_iter=max_iter,
             tol=tol,
             init=init,
             allow_empty=allow_empty,
             shuffle=shuffle,
-            resync_every=1,
+            resync_every=resync_every,
+            engine=MiniBatchSweep(batch_size),
+            seed=seed,
         )
-        self._rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-
-    def fit(
-        self,
-        points: np.ndarray,
-        categorical: list[CategoricalSpec] | None = None,
-        numeric: list[NumericSpec] | None = None,
-        initial: np.ndarray | None = None,
-    ) -> FairKMResult:
-        """Cluster *points*; same contract as :meth:`FairKM.fit`."""
-        cfg = self.config
-        points = np.asarray(points, dtype=np.float64)
-        if points.ndim != 2:
-            raise ValueError(f"points must be 2-D, got shape {points.shape}")
-        n = points.shape[0]
-        if n < cfg.k:
-            raise ValueError(f"need at least k={cfg.k} objects, got {n}")
-        lam = resolve_lambda(cfg.lambda_, n, cfg.k)
-
-        if initial is not None:
-            labels = np.asarray(initial, dtype=np.int64).copy()
-            if labels.shape != (n,):
-                raise ValueError(f"initial labels must have shape ({n},)")
-        else:
-            labels = initial_labels(points, cfg.k, cfg.init, self._rng)
-
-        state = ClusterState(points, labels, cfg.k, categorical, numeric)
-        moves_per_iter: list[int] = []
-        objective_history: list[float] = []
-        converged = False
-        n_iter = 0
-        for n_iter in range(1, cfg.max_iter + 1):
-            order = self._rng.permutation(n) if cfg.shuffle else np.arange(n)
-            moves = 0
-            for start in range(0, n, self.batch_size):
-                batch = order[start : start + self.batch_size]
-                moves += self._apply_batch(state, batch, lam)
-            moves_per_iter.append(moves)
-            objective_history.append(state.objective(lam))
-            if moves == 0:
-                converged = True
-                break
-        return FairKM._build_result(
-            state, lam, n_iter, converged, moves_per_iter, objective_history
-        )
-
-    def _apply_batch(self, state: ClusterState, batch: np.ndarray, lam: float) -> int:
-        """Decide all moves in *batch* against frozen stats, then apply."""
-        cfg = self.config
-        deltas = state.batch_move_deltas(batch, lam)
-        targets = np.argmin(deltas, axis=1)
-        rows = np.arange(batch.shape[0])
-        improves = deltas[rows, targets] < -cfg.tol
-        cur = state.labels[batch]
-        movers = np.flatnonzero(improves & (targets != cur))
-        moves = 0
-        for r in movers:
-            i = int(batch[r])
-            target = int(targets[r])
-            if not cfg.allow_empty and state.sizes[state.labels[i]] == 1:
-                continue
-            # The frozen-stat decision may have gone stale within the
-            # batch; applying it anyway is the mini-batch approximation.
-            state.apply_move(i, target)
-            moves += 1
-        if moves:
-            state.resync()
-        return moves

@@ -1,0 +1,90 @@
+"""The common clustering-estimator protocol.
+
+Every optimizer in this repo — :class:`~repro.core.FairKM`,
+:class:`~repro.core.MiniBatchFairKM`, :class:`~repro.cluster.KMeans` and
+the four baselines under :mod:`repro.baselines` — exposes the same
+three-method surface so the experiment runner (and any future workload)
+can treat them interchangeably:
+
+* ``fit(points, ..., sensitive=None)`` — cluster *points*; sensitive
+  attributes arrive through the ``sensitive`` keyword in any form the
+  :func:`repro.core.attributes.normalize_sensitive` adapter accepts
+  (spec lists, raw code arrays, mappings, or a ``Dataset``). Returns the
+  method's native result object and records it on the estimator.
+* ``fit_predict(points, sensitive=None, **kwargs)`` — fit and return the
+  label vector.
+* ``predict(points)`` — route *new* points to the nearest fitted center
+  over the non-sensitive attributes. Assignment stays S-blind: fairness
+  shaped the centers during training, deployment only reads geometry.
+
+This module is deliberately a leaf (it imports nothing from the rest of
+the package at module scope) so that both the core layer and the plain
+clustering substrate can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class ClusteringEstimator(Protocol):
+    """Structural type of every clustering method in the repo."""
+
+    def fit(self, points: np.ndarray, **kwargs: Any) -> Any: ...
+
+    def fit_predict(self, points: np.ndarray, **kwargs: Any) -> np.ndarray: ...
+
+    def predict(self, points: np.ndarray) -> np.ndarray: ...
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict``/``labels_`` are used before ``fit``."""
+
+
+class EstimatorMixin:
+    """Implements ``fit_predict``/``predict`` on top of a ``fit``.
+
+    A conforming subclass's ``fit`` must set ``self.result_`` to its
+    native result object, which needs ``labels`` and ``centers``
+    attributes (``centers`` holding coordinates over the non-sensitive
+    features).
+    """
+
+    result_: Any = None
+
+    def _fitted(self) -> Any:
+        if self.result_ is None:
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted yet; call fit() first"
+            )
+        return self.result_
+
+    @property
+    def labels_(self) -> np.ndarray:
+        """Training-set labels of the last ``fit``."""
+        return self._fitted().labels
+
+    @property
+    def centers_(self) -> np.ndarray:
+        """Cluster centers of the last ``fit`` (non-sensitive features)."""
+        return self._fitted().centers
+
+    def fit_predict(self, points: np.ndarray, sensitive: Any = None, **kwargs: Any) -> np.ndarray:
+        """Fit on *points* and return the label vector."""
+        return self.fit(points, sensitive=sensitive, **kwargs).labels
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Assign *new* points to the nearest fitted center."""
+        from ..cluster.distance import nearest_center
+
+        centers = self.centers_
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != centers.shape[1]:
+            raise ValueError(
+                f"expected {centers.shape[1]} features, got {points.shape[1]}"
+            )
+        labels, _ = nearest_center(points, centers)
+        return labels

@@ -22,7 +22,14 @@ from .paper import (
     table8,
     write_result,
 )
-from .runner import SuiteConfig, SuiteResult, run_suite
+from .runner import (
+    METHOD_REGISTRY,
+    MethodSpec,
+    SuiteConfig,
+    SuiteResult,
+    register_method,
+    run_suite,
+)
 from .sweep import LambdaSweepResult, lambda_sweep
 from .tables import (
     format_table,
@@ -34,11 +41,14 @@ from .tables import (
 __all__ = [
     "EXPERIMENTS",
     "LAMBDA_GRID",
+    "METHOD_REGISTRY",
     "QUALITY_METRIC_KEYS",
     "ClusteringEval",
     "LambdaSweepResult",
+    "MethodSpec",
     "SuiteConfig",
     "SuiteResult",
+    "register_method",
     "bar_chart",
     "bench_scale",
     "build_adult",

@@ -37,6 +37,18 @@ def bench_scale() -> tuple[int, int]:
     return seeds, adult_n
 
 
+def bench_engine() -> tuple[str, int | None]:
+    """Resolve the FairKM (engine, chunk_size) from the environment.
+
+    ``REPRO_ENGINE`` selects the sweep strategy (default sequential);
+    ``REPRO_CHUNK_SIZE`` sets the chunked engine's chunk size (empty →
+    engine default). Set by the CLI's ``--engine`` / ``--chunk-size``.
+    """
+    engine = os.environ.get("REPRO_ENGINE", "sequential")
+    chunk = os.environ.get("REPRO_CHUNK_SIZE", "")
+    return engine, int(chunk) if chunk else None
+
+
 def write_result(name: str, text: str) -> Path:
     """Persist rendered output under results/ (created on demand)."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
@@ -76,6 +88,7 @@ def _adult_suites(
     per_attribute_fairkm: bool = False,
 ) -> dict[int, SuiteResult]:
     dataset = build_adult(adult_n)
+    engine, chunk_size = bench_engine()
     suites = {}
     for k in ks:
         config = SuiteConfig(
@@ -85,6 +98,8 @@ def _adult_suites(
             zgya_lambda=zgya_paper_lambda(dataset.n),
             scale_features=True,
             per_attribute_fairkm=per_attribute_fairkm,
+            engine=engine,
+            chunk_size=chunk_size,
         )
         suites[k] = run_suite(dataset, config)
     return suites
@@ -108,6 +123,7 @@ def _kinematics_suite(
     seeds: int, per_attribute_fairkm: bool = False, k: int = 5
 ) -> SuiteResult:
     dataset = build_kinematics()
+    engine, chunk_size = bench_engine()
     config = SuiteConfig(
         k=k,
         seeds=tuple(range(seeds)),
@@ -116,6 +132,8 @@ def _kinematics_suite(
         scale_features=False,
         silhouette_sample=None,
         per_attribute_fairkm=per_attribute_fairkm,
+        engine=engine,
+        chunk_size=chunk_size,
     )
     return run_suite(dataset, config)
 
@@ -217,6 +235,7 @@ def figures_5_6_7(
 ) -> str:
     """Figures 5, 6 & 7: Kinematics quality and fairness vs λ."""
     env_seeds, _ = bench_scale()
+    engine, chunk_size = bench_engine()
     dataset = build_kinematics()
     sweep = lambda_sweep(
         dataset,
@@ -225,6 +244,8 @@ def figures_5_6_7(
         seeds=tuple(range(seeds or env_seeds)),
         scale_features=False,
         silhouette_sample=None,
+        engine=engine,
+        chunk_size=chunk_size,
     )
     return render_lambda_figures(sweep)
 

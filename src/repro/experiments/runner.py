@@ -1,6 +1,10 @@
 """Multi-seed experiment runner reproducing the paper's §5.5 protocol.
 
-For each seed the suite runs:
+Methods are driven through a **registry** of protocol-conforming
+estimators (see :mod:`repro.core.protocol`): each entry knows how to
+build its estimator from a :class:`SuiteConfig` and a seed, and what
+scope of sensitive attributes it consumes (none / all / one at a time).
+The §5.5 protocol itself is expressed on top of the registry:
 
 * **K-Means(N)** — the S-blind baseline (also the DevC/DevO reference);
 * **FairKM** — one instantiation over *all* sensitive attributes;
@@ -10,6 +14,11 @@ For each seed the suite runs:
   favorable" comparison of Table 6/8;
 * **FairKM(S)** — optional per-attribute FairKM runs for Figures 1–4.
 
+Additional registered methods (``minibatch_fairkm``, ``bera``,
+``fairlets``, ``fair_kcenter``) can ride along any suite via
+``SuiteConfig.extra_methods``; their mean evaluations land in
+``SuiteResult.extra``.
+
 Means across seeds are the reported statistics, exactly as in the paper
 (which uses 100 random instantiations; the seed count here is a knob).
 """
@@ -17,12 +26,14 @@ Means across seeds are the reported statistics, exactly as in the paper
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 import numpy as np
 
+from ..baselines import BeraFairAssignment, FairKCenter, FairletClustering, ZGYA
 from ..cluster.kmeans import KMeans
 from ..core.fairkm import FairKM
-from ..baselines.zgya import ZGYA
+from ..core.minibatch import MiniBatchFairKM
 from ..data.dataset import Dataset
 from .evaluation import ClusteringEval, evaluate_clustering, mean_evals
 
@@ -42,6 +53,13 @@ class SuiteConfig:
         silhouette_sample: subsample bound for silhouette.
         per_attribute_fairkm: also run FairKM(S) per attribute (needed by
             Figures 1–4; costs |S| extra FairKM fits per seed).
+        engine: FairKM sweep strategy (``"sequential"`` | ``"chunked"``
+            | ``"minibatch"``), threaded into every FairKM build.
+        chunk_size: chunk size for the chunked engine (``None`` keeps
+            the engine default); doubles as the ``minibatch_fairkm``
+            batch size.
+        extra_methods: additional registry method names to evaluate
+            alongside the paper protocol.
     """
 
     k: int = 5
@@ -52,6 +70,117 @@ class SuiteConfig:
     scale_features: bool = True
     silhouette_sample: int | None = 4000
     per_attribute_fairkm: bool = False
+    engine: str = "sequential"
+    chunk_size: int | None = None
+    extra_methods: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One registered clustering method.
+
+    Attributes:
+        name: registry key (also the reporting name).
+        build: ``(config, seed) -> estimator`` factory; the estimator
+            must conform to the shared protocol
+            (:class:`repro.core.protocol.ClusteringEstimator`).
+        scope: which sensitive attributes the method consumes —
+            ``"none"`` (S-blind), ``"all"`` (every attribute at once) or
+            ``"per_attribute"`` (one instantiation per attribute).
+        handles: for per-attribute methods, a predicate deciding
+            whether one sensitive-attribute spec is compatible (e.g.
+            fairlets need a binary categorical). Incompatible
+            attributes are excluded up front — and recorded in
+            ``SuiteResult.extra_attributes`` — while genuine fit
+            errors still propagate. ``None`` means every attribute.
+    """
+
+    name: str
+    build: Callable[[SuiteConfig, int], Any]
+    scope: str = "all"
+    handles: Callable[[Any], bool] | None = None
+
+    _SCOPES = ("none", "all", "per_attribute")
+
+    def __post_init__(self) -> None:
+        if self.scope not in self._SCOPES:
+            raise ValueError(f"scope must be one of {self._SCOPES}, got {self.scope!r}")
+
+
+#: name -> MethodSpec; the experiment layer's single switchboard.
+METHOD_REGISTRY: dict[str, MethodSpec] = {}
+
+
+def register_method(
+    name: str,
+    build: Callable[[SuiteConfig, int], Any],
+    *,
+    scope: str = "all",
+    handles: Callable[[Any], bool] | None = None,
+) -> MethodSpec:
+    """Register (or replace) a method; returns its :class:`MethodSpec`."""
+    spec = MethodSpec(name, build, scope, handles)
+    METHOD_REGISTRY[name] = spec
+    return spec
+
+
+def _is_categorical(spec: Any) -> bool:
+    from ..core.attributes import CategoricalSpec
+
+    return isinstance(spec, CategoricalSpec)
+
+
+def _is_binary_categorical(spec: Any) -> bool:
+    return _is_categorical(spec) and spec.n_values == 2
+
+
+# n_init=10 mirrors the scikit-learn default the paper's S-blind baseline
+# would have used; without restarts, Lloyd's is a weaker local search than
+# FairKM's point-by-point moves and K-Means(N) would lose its own game
+# (best CO), inverting Table 5's ordering.
+register_method(
+    "kmeans", lambda cfg, seed: KMeans(cfg.k, seed=seed, n_init=10), scope="none"
+)
+register_method(
+    "fairkm",
+    lambda cfg, seed: FairKM(
+        cfg.k,
+        lambda_=cfg.fairkm_lambda,
+        max_iter=cfg.fairkm_max_iter,
+        engine=cfg.engine,
+        chunk_size=cfg.chunk_size,
+        seed=seed,
+    ),
+)
+register_method(
+    "minibatch_fairkm",
+    lambda cfg, seed: MiniBatchFairKM(
+        cfg.k,
+        batch_size=cfg.chunk_size or 256,
+        lambda_=cfg.fairkm_lambda,
+        max_iter=cfg.fairkm_max_iter,
+        seed=seed,
+    ),
+)
+register_method(
+    "zgya",
+    lambda cfg, seed: ZGYA(cfg.k, lambda_=cfg.zgya_lambda, seed=seed),
+    scope="per_attribute",
+    handles=_is_categorical,
+)
+register_method("bera", lambda cfg, seed: BeraFairAssignment(cfg.k, seed=seed))
+register_method(
+    "fairlets",
+    lambda cfg, seed: FairletClustering(cfg.k, seed=seed),
+    scope="per_attribute",
+    handles=_is_binary_categorical,
+)
+register_method(
+    "fair_kcenter",
+    lambda cfg, seed: FairKCenter(cfg.k, seed=seed),
+    scope="per_attribute",
+    handles=_is_categorical,
+)
 
 
 @dataclass
@@ -69,6 +198,13 @@ class SuiteResult:
         fairkm_per_attribute: attribute → evaluation of FairKM(S), when
             requested.
         attribute_names: sensitive attributes, in dataset order.
+        extra: method name → mean evaluation for every
+            ``SuiteConfig.extra_methods`` entry (per-attribute methods
+            are averaged over the attributes they handled).
+        extra_attributes: method name → the attributes a per-attribute
+            extra method was actually evaluated on (its ``handles``
+            predicate may exclude some); scope-``none``/``all`` methods
+            map to every attribute name.
     """
 
     config: SuiteConfig
@@ -78,6 +214,8 @@ class SuiteResult:
     zgya_per_attribute: dict[str, ClusteringEval]
     fairkm_per_attribute: dict[str, ClusteringEval] = field(default_factory=dict)
     attribute_names: list[str] = field(default_factory=list)
+    extra: dict[str, ClusteringEval] = field(default_factory=dict)
+    extra_attributes: dict[str, list[str]] = field(default_factory=dict)
 
     def improvement_pct(self, attribute: str, metric: str) -> float:
         """FairKM's % improvement over the best baseline (paper's Impr%).
@@ -109,14 +247,27 @@ def run_suite(dataset: Dataset, config: SuiteConfig) -> SuiteResult:
     """
     features = dataset.feature_matrix(scale=config.scale_features)
     cats, nums = dataset.sensitive_specs()
+    all_specs = [*cats, *nums]
     attr_names = dataset.sensitive_names
+    sensitive_cols = [c for c in dataset.columns() if c.name in attr_names]
     k = config.k
+    for name in config.extra_methods:
+        if name not in METHOD_REGISTRY:
+            raise KeyError(
+                f"unknown method {name!r}; registered: {sorted(METHOD_REGISTRY)}"
+            )
 
     km_evals: list[ClusteringEval] = []
     fair_evals: list[ClusteringEval] = []
     zgya_quality: list[ClusteringEval] = []
     zgya_attr: dict[str, list[ClusteringEval]] = {a: [] for a in attr_names}
     fairkm_attr: dict[str, list[ClusteringEval]] = {a: [] for a in attr_names}
+    extra_evals: dict[str, list[ClusteringEval]] = {m: [] for m in config.extra_methods}
+    extra_attributes: dict[str, list[str]] = {
+        m: list(attr_names)
+        for m in config.extra_methods
+        if METHOD_REGISTRY[m].scope in ("none", "all")
+    }
 
     for seed in config.seeds:
         evaluate = lambda labels, ref: evaluate_clustering(  # noqa: E731
@@ -128,39 +279,50 @@ def run_suite(dataset: Dataset, config: SuiteConfig) -> SuiteResult:
             silhouette_sample=config.silhouette_sample,
             seed=seed,
         )
-        # n_init=10 mirrors the scikit-learn default the paper's S-blind
-        # baseline would have used; without restarts, Lloyd's is a weaker
-        # local search than FairKM's point-by-point moves and K-Means(N)
-        # would lose its own game (best CO), inverting Table 5's ordering.
-        blind = KMeans(k, seed=seed, n_init=10).fit(features)
-        km_evals.append(evaluate(blind.labels, None))
 
-        fair = FairKM(
-            k,
-            lambda_=config.fairkm_lambda,
-            max_iter=config.fairkm_max_iter,
-            seed=seed,
-        ).fit(features, categorical=cats, numeric=nums)
-        fair_evals.append(evaluate(fair.labels, blind.labels))
+        def run_method(name: str, sensitive: Any) -> np.ndarray:
+            estimator = METHOD_REGISTRY[name].build(config, seed)
+            return estimator.fit_predict(features, sensitive=sensitive)
 
-        for col in dataset.columns():
-            if col.name not in attr_names:
-                continue
-            zg = ZGYA(k, lambda_=config.zgya_lambda, seed=seed).fit(
-                features, col.values, n_values=col.n_values
-            )
-            ev = evaluate(zg.labels, blind.labels)
+        blind = run_method("kmeans", None)
+        km_evals.append(evaluate(blind, None))
+
+        fair_evals.append(evaluate(run_method("fairkm", all_specs), blind))
+
+        for col in sensitive_cols:
+            single_cats, single_nums = dataset.sensitive_specs(names=[col.name])
+            single = [*single_cats, *single_nums]
+            ev = evaluate(run_method("zgya", single), blind)
             zgya_quality.append(ev)
             zgya_attr[col.name].append(ev)
             if config.per_attribute_fairkm:
-                single_cats, single_nums = dataset.sensitive_specs(names=[col.name])
-                fk = FairKM(
-                    k,
-                    lambda_=config.fairkm_lambda,
-                    max_iter=config.fairkm_max_iter,
-                    seed=seed,
-                ).fit(features, categorical=single_cats, numeric=single_nums)
-                fairkm_attr[col.name].append(evaluate(fk.labels, blind.labels))
+                fairkm_attr[col.name].append(
+                    evaluate(run_method("fairkm", single), blind)
+                )
+
+        for name in config.extra_methods:
+            spec = METHOD_REGISTRY[name]
+            if spec.scope == "none":
+                extra_evals[name].append(evaluate(run_method(name, None), blind))
+            elif spec.scope == "all":
+                extra_evals[name].append(evaluate(run_method(name, all_specs), blind))
+            else:  # per_attribute: average over the compatible attributes
+                per_attr: list[ClusteringEval] = []
+                used: list[str] = []
+                for col in sensitive_cols:
+                    single_cats, single_nums = dataset.sensitive_specs(names=[col.name])
+                    single = [*single_cats, *single_nums]
+                    if spec.handles is not None and not spec.handles(single[0]):
+                        continue  # e.g. fairlets on a non-binary attribute
+                    per_attr.append(evaluate(run_method(name, single), blind))
+                    used.append(col.name)
+                if not per_attr:
+                    raise ValueError(
+                        f"method {name!r} is compatible with no sensitive attribute "
+                        f"of dataset {dataset.name!r}"
+                    )
+                extra_attributes[name] = used
+                extra_evals[name].append(mean_evals(per_attr))
 
     return SuiteResult(
         config=config,
@@ -172,4 +334,6 @@ def run_suite(dataset: Dataset, config: SuiteConfig) -> SuiteResult:
             a: mean_evals(v) for a, v in fairkm_attr.items() if v
         },
         attribute_names=list(attr_names),
+        extra={m: mean_evals(v) for m, v in extra_evals.items()},
+        extra_attributes=extra_attributes,
     )

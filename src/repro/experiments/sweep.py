@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..cluster.kmeans import KMeans
 from ..core.fairkm import FairKM
 from ..data.dataset import Dataset
@@ -55,6 +53,8 @@ def lambda_sweep(
     max_iter: int = 30,
     scale_features: bool = False,
     silhouette_sample: int | None = 4000,
+    engine: str = "sequential",
+    chunk_size: int | None = None,
 ) -> LambdaSweepResult:
     """Run FairKM across a λ grid, evaluating against per-seed K-Means(N).
 
@@ -73,9 +73,14 @@ def lambda_sweep(
     for lam in lambdas:
         per_seed = []
         for seed in seeds:
-            fair = FairKM(k, lambda_=float(lam), max_iter=max_iter, seed=seed).fit(
-                features, categorical=cats, numeric=nums
-            )
+            fair = FairKM(
+                k,
+                lambda_=float(lam),
+                max_iter=max_iter,
+                engine=engine,
+                chunk_size=chunk_size,
+                seed=seed,
+            ).fit(features, categorical=cats, numeric=nums)
             per_seed.append(
                 evaluate_clustering(
                     features,

@@ -1,0 +1,80 @@
+"""Hypothesis property tests for engine equivalence.
+
+The chunked-exact sweep must reproduce the sequential sweep's labels and
+objective trajectory on arbitrary random instances, and
+``MiniBatchFairKM(batch_size=1)`` must degenerate to exact FairKM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CategoricalSpec, FairKM, MiniBatchFairKM, NumericSpec
+
+
+@st.composite
+def engine_problems(draw):
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(12, 80))
+    dim = draw(st.integers(1, 4))
+    k = draw(st.integers(2, 5))
+    n_values = draw(st.integers(2, 6))
+    lam = draw(st.sampled_from([0.0, 1.0, 100.0, "auto"]))
+    chunk_size = draw(st.sampled_from([1, 3, 16, 64, 512]))
+    shuffle = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, dim))
+    cats = [CategoricalSpec("c", rng.integers(0, n_values, n), n_values=n_values)]
+    nums = [NumericSpec("z", rng.normal(size=n))]
+    return points, cats, nums, k, lam, chunk_size, shuffle, seed
+
+
+@given(engine_problems())
+@settings(max_examples=40, deadline=None)
+def test_chunked_equals_sequential(problem):
+    points, cats, nums, k, lam, chunk_size, shuffle, seed = problem
+    seq = FairKM(k, lambda_=lam, shuffle=shuffle, seed=seed).fit(
+        points, categorical=cats, numeric=nums
+    )
+    chk = FairKM(
+        k,
+        lambda_=lam,
+        shuffle=shuffle,
+        seed=seed,
+        engine="chunked",
+        chunk_size=chunk_size,
+    ).fit(points, categorical=cats, numeric=nums)
+    np.testing.assert_array_equal(seq.labels, chk.labels)
+    assert seq.moves_per_iter == chk.moves_per_iter
+    assert seq.objective == pytest.approx(chk.objective, rel=1e-12, abs=1e-12)
+    np.testing.assert_allclose(
+        seq.objective_history, chk.objective_history, rtol=1e-12
+    )
+
+
+@given(engine_problems())
+@settings(max_examples=25, deadline=None)
+def test_minibatch_of_one_equals_fairkm(problem):
+    points, cats, nums, k, lam, _, shuffle, seed = problem
+    exact = FairKM(k, lambda_=lam, shuffle=shuffle, seed=seed).fit(
+        points, categorical=cats, numeric=nums
+    )
+    mb = MiniBatchFairKM(k, batch_size=1, lambda_=lam, shuffle=shuffle, seed=seed).fit(
+        points, categorical=cats, numeric=nums
+    )
+    np.testing.assert_array_equal(exact.labels, mb.labels)
+    assert exact.objective == pytest.approx(mb.objective, rel=1e-9)
+
+
+@given(engine_problems())
+@settings(max_examples=15, deadline=None)
+def test_chunked_objective_never_increases(problem):
+    points, cats, nums, k, lam, chunk_size, shuffle, seed = problem
+    res = FairKM(
+        k, lambda_=lam, shuffle=shuffle, seed=seed, engine="chunked", chunk_size=chunk_size
+    ).fit(points, categorical=cats, numeric=nums)
+    hist = np.array(res.objective_history)
+    assert (np.diff(hist) <= 1e-6 * np.maximum(np.abs(hist[:-1]), 1.0)).all()

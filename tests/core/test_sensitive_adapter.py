@@ -1,0 +1,106 @@
+"""Tests for the ``normalize_sensitive`` adapter behind ``sensitive=``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CategoricalSpec, NumericSpec, normalize_sensitive
+from repro.data import make_fair_problem
+
+
+def test_none_yields_empty():
+    assert normalize_sensitive(None) == ([], [])
+
+
+def test_empty_inputs_mean_no_attributes():
+    assert normalize_sensitive([]) == ([], [])
+    assert normalize_sensitive({}) == ([], [])
+    assert normalize_sensitive(np.array([], dtype=np.int64)) == ([], [])
+
+
+def test_single_specs_pass_through():
+    cat = CategoricalSpec("a", np.array([0, 1, 0]))
+    num = NumericSpec("z", np.array([0.5, 1.0, 2.0]))
+    assert normalize_sensitive(cat) == ([cat], [])
+    assert normalize_sensitive(num) == ([], [num])
+
+
+def test_mixed_spec_list_splits_by_kind():
+    cat = CategoricalSpec("a", np.array([0, 1, 0]))
+    num = NumericSpec("z", np.array([0.5, 1.0, 2.0]))
+    cats, nums = normalize_sensitive([num, cat])
+    assert cats == [cat] and nums == [num]
+
+
+def test_integer_array_becomes_categorical():
+    cats, nums = normalize_sensitive(np.array([0, 2, 1, 2]))
+    assert nums == []
+    assert len(cats) == 1
+    assert cats[0].name == "sensitive"
+    assert cats[0].n_values == 3
+
+
+def test_bool_array_becomes_binary_categorical():
+    cats, _ = normalize_sensitive(np.array([True, False, True]))
+    assert cats[0].n_values == 2
+    np.testing.assert_array_equal(cats[0].codes, [1, 0, 1])
+
+
+def test_float_array_becomes_numeric():
+    cats, nums = normalize_sensitive(np.array([0.1, 0.9, 0.4]))
+    assert cats == []
+    assert nums[0].name == "sensitive"
+
+
+def test_plain_list_of_codes():
+    cats, nums = normalize_sensitive([0, 1, 1, 0])
+    assert len(cats) == 1 and nums == []
+
+
+def test_mapping_with_arrays_tuples_and_specs():
+    cats, nums = normalize_sensitive(
+        {
+            "gender": np.array([0, 1, 0]),
+            "country": (np.array([0, 0, 1]), 5),
+            "age": np.array([30.0, 40.0, 50.0]),
+            "race": CategoricalSpec("race", np.array([1, 0, 1])),
+        }
+    )
+    assert [c.name for c in cats] == ["gender", "country", "race"]
+    assert [n.name for n in nums] == ["age"]
+    assert cats[1].n_values == 5  # declared cardinality survives
+
+
+def test_dataset_duck_typing():
+    ds = make_fair_problem(50, categorical=[("a", 2, 0.7), ("b", 3, 0.6)], seed=0)
+    cats, nums = normalize_sensitive(ds)
+    expected_cats, expected_nums = ds.sensitive_specs()
+    assert [c.name for c in cats] == [c.name for c in expected_cats]
+    assert len(nums) == len(expected_nums)
+
+
+def test_length_validation():
+    with pytest.raises(ValueError, match="entries, expected"):
+        normalize_sensitive(np.array([0, 1, 0]), n=5)
+
+
+def test_duplicate_names_rejected():
+    cat = CategoricalSpec("a", np.array([0, 1, 0]))
+    with pytest.raises(ValueError, match="duplicate"):
+        normalize_sensitive([cat, cat], n=3)
+
+
+def test_2d_array_rejected():
+    with pytest.raises(ValueError, match="1-D"):
+        normalize_sensitive(np.zeros((3, 2), dtype=np.int64))
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(TypeError, match="cannot interpret"):
+        normalize_sensitive(42)
+
+
+def test_unsupported_dtype_rejected():
+    with pytest.raises(TypeError, match="dtype"):
+        normalize_sensitive(np.array(["a", "b"]))

@@ -14,7 +14,7 @@ from repro.data.adult import (
     generate_adult,
     load_adult_csv,
 )
-from repro.data.schema import Kind, Role
+from repro.data.schema import Role
 from repro.data.sampling import undersample_to_parity
 
 

@@ -83,3 +83,81 @@ def test_seed_averaging_changes_nothing_for_single_seed():
     one = run_suite(ds, SuiteConfig(k=2, seeds=(5,), silhouette_sample=None))
     again = run_suite(ds, SuiteConfig(k=2, seeds=(5,), silhouette_sample=None))
     assert one.fairkm.co == again.fairkm.co  # deterministic per seed
+
+
+# --------------------------------------------------------------------- #
+# Method registry                                                         #
+# --------------------------------------------------------------------- #
+
+
+def test_registry_contains_all_methods():
+    from repro.experiments import METHOD_REGISTRY
+
+    assert {
+        "kmeans",
+        "fairkm",
+        "minibatch_fairkm",
+        "zgya",
+        "bera",
+        "fairlets",
+        "fair_kcenter",
+    } <= set(METHOD_REGISTRY)
+
+
+def test_registry_builds_protocol_estimators():
+    from repro.core import ClusteringEstimator
+    from repro.experiments import METHOD_REGISTRY
+
+    config = SuiteConfig(k=3, seeds=(0,))
+    for spec in METHOD_REGISTRY.values():
+        assert isinstance(spec.build(config, 0), ClusteringEstimator)
+
+
+def test_register_method_validates_scope():
+    from repro.experiments import register_method
+
+    with pytest.raises(ValueError, match="scope"):
+        register_method("broken", lambda cfg, seed: None, scope="sideways")
+
+
+def test_unknown_extra_method_rejected():
+    ds = make_fair_problem(60, categorical=[("a", 2, 0.7)], seed=0)
+    config = SuiteConfig(k=2, seeds=(0,), extra_methods=("nope",))
+    with pytest.raises(KeyError, match="nope"):
+        run_suite(ds, config)
+
+
+def test_extra_methods_ride_along():
+    ds = make_fair_problem(
+        120, n_latent=2, categorical=[("a", 2, 0.8), ("b", 3, 0.6)], seed=1
+    )
+    config = SuiteConfig(
+        k=2,
+        seeds=(0,),
+        silhouette_sample=None,
+        extra_methods=("minibatch_fairkm", "bera", "fairlets", "fair_kcenter"),
+    )
+    suite = run_suite(ds, config)
+    assert set(suite.extra) == {"minibatch_fairkm", "bera", "fairlets", "fair_kcenter"}
+    for ev in suite.extra.values():
+        assert ev.co > 0.0
+    # The evaluated attribute subset is recorded: fairlets can only use
+    # the binary attribute, the others cover both.
+    assert suite.extra_attributes["fairlets"] == ["a"]
+    assert suite.extra_attributes["fair_kcenter"] == ["a", "b"]
+    assert suite.extra_attributes["minibatch_fairkm"] == ["a", "b"]
+    assert suite.extra_attributes["bera"] == ["a", "b"]
+
+
+def test_chunked_engine_suite_matches_sequential():
+    ds = make_fair_problem(
+        150, n_latent=3, categorical=[("a", 2, 0.85), ("b", 3, 0.6)], seed=2
+    )
+    base = SuiteConfig(k=3, seeds=(0, 1), silhouette_sample=None)
+    seq = run_suite(ds, base)
+    chk = run_suite(
+        ds, SuiteConfig(k=3, seeds=(0, 1), silhouette_sample=None, engine="chunked")
+    )
+    # Chunked FairKM is exact, so suite-level metrics coincide.
+    assert seq.fairkm.co == chk.fairkm.co
+    assert seq.fairkm.fairness.mean.ae == chk.fairkm.fairness.mean.ae
