@@ -1,0 +1,75 @@
+"""Assignment-service throughput: rows/second at serving scale.
+
+Measures :class:`repro.api.Assigner` — the hot loop behind
+``ClusterModel.assign`` and ``repro predict`` — on an Adult-shaped
+problem (n = 10⁵ by default, d = 14, k = 15) across chunk sizes, and
+checks that chunking never changes the labels.
+
+Runs standalone (no pytest needed), which is how CI smoke-invokes it::
+
+    PYTHONPATH=src python benchmarks/bench_assign.py --smoke
+    PYTHONPATH=src python benchmarks/bench_assign.py --n 1000000
+
+Output: ``results/assign_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.api import Assigner
+from repro.experiments.paper import write_result
+from repro.experiments.tables import format_table
+
+CHUNK_SIZES = (256, 1024, 8192, 65536)
+
+
+def run(n: int, d: int, k: int, repeats: int) -> str:
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(k, d)) * 2.0
+    points = rng.normal(size=(n, d))
+    service = Assigner(centers)
+
+    baseline = service.assign(points)
+    rows = []
+    for chunk in CHUNK_SIZES:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            labels = service.assign(points, chunk_size=chunk)
+            best = min(best, time.perf_counter() - start)
+        if not np.array_equal(labels, baseline):
+            raise AssertionError(f"chunk_size={chunk} changed the assignment")
+        rows.append([f"{chunk}", f"{best * 1e3:.1f}", f"{n / best / 1e6:.2f}"])
+
+    table = format_table(
+        ["chunk_size", "best ms", "Mrows/s"],
+        rows,
+        title=f"Batch assignment throughput (n={n}, d={d}, k={k})",
+    )
+    return table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=100_000, help="rows to assign")
+    parser.add_argument("--d", type=int, default=14, help="feature dimensionality")
+    parser.add_argument("--k", type=int, default=15, help="number of centers")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best wins)")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny fast run (CI): n=20000, one repeat",
+    )
+    args = parser.parse_args(argv)
+    n, repeats = (20_000, 1) if args.smoke else (args.n, args.repeats)
+    table = run(n, args.d, args.k, repeats)
+    print(table)
+    write_result("assign_throughput.txt", table)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

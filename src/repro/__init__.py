@@ -13,8 +13,18 @@ Quickstart::
     result = FairKM(k=4, seed=0).fit(x, categorical=[gender])
     print(result.labels, result.fairness_term)
 
+Deployment (train once / assign many) goes through the public facade::
+
+    from repro.api import RunConfig, fit, ClusterModel
+
+    model = fit(RunConfig(method="fairkm", k=4, seed=0), x,
+                sensitive={"gender": gender.codes})
+    model.save("artifacts/m")
+    labels = ClusterModel.load("artifacts/m").assign(new_points)
+
 Subpackages:
 
+* ``repro.api``         — public facade: RunConfig, fit, ClusterModel.
 * ``repro.core``        — FairKM itself (+ mini-batch extension).
 * ``repro.cluster``     — from-scratch K-Means substrate.
 * ``repro.baselines``   — ZGYA, fairlets, Bera-LP fair clustering.
@@ -24,6 +34,7 @@ Subpackages:
 * ``repro.experiments`` — multi-seed harness regenerating every paper table/figure.
 """
 
+from .api import ClusterModel, RunConfig
 from .cluster import KMeans, KMeansResult, kmeans_fit
 from .core import (
     CategoricalSpec,
@@ -50,6 +61,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CategoricalSpec",
+    "ClusterModel",
     "ClusterState",
     "FairKM",
     "FairKMConfig",
@@ -59,6 +71,7 @@ __all__ = [
     "KMeansResult",
     "MiniBatchFairKM",
     "NumericSpec",
+    "RunConfig",
     "balance",
     "centroid_deviation",
     "clustering_objective",

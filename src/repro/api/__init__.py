@@ -1,0 +1,50 @@
+"""Public API facade: config-driven fit, portable artifacts, batch serving.
+
+The three-call deployment story::
+
+    from repro.api import RunConfig, fit, ClusterModel
+
+    model = fit(RunConfig(method="fairkm", k=5, seed=0), points,
+                sensitive={"gender": codes})
+    model.save("artifacts/fairkm-k5")            # train once ...
+
+    model = ClusterModel.load("artifacts/fairkm-k5")
+    labels = model.assign(new_points)            # ... assign many (S-blind)
+
+Everything is driven by :class:`RunConfig` (JSON-round-trippable — the
+CLI's ``repro fit --config run.json`` consumes the same object) and
+dispatches through :data:`METHOD_REGISTRY`, so FairKM, MiniBatchFairKM,
+KMeans and all four baselines share one fit/save/load/assign lifecycle.
+"""
+
+from .assign import DEFAULT_CHUNK_SIZE, Assigner, batched_assign
+from .config import ENGINES, RunConfig
+from .facade import attribute_schema, evaluate_model, fit, load
+from .model import ARTIFACT_FORMAT, ARTIFACT_VERSION, ClusterModel
+from .registry import (
+    METHOD_REGISTRY,
+    MethodSpec,
+    build_estimator,
+    get_method,
+    register_method,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "Assigner",
+    "ClusterModel",
+    "DEFAULT_CHUNK_SIZE",
+    "ENGINES",
+    "METHOD_REGISTRY",
+    "MethodSpec",
+    "RunConfig",
+    "attribute_schema",
+    "batched_assign",
+    "build_estimator",
+    "evaluate_model",
+    "fit",
+    "get_method",
+    "load",
+    "register_method",
+]

@@ -1,102 +1,417 @@
-"""Command-line interface: regenerate any paper table or figure.
+"""Command-line interface: fit, serve and evaluate clustering artifacts,
+and regenerate any paper table or figure.
 
-Usage::
+Subcommands::
 
-    repro list                      # show available experiments
-    repro table5                    # regenerate Table 5 (scaled-down)
-    repro table6 --seeds 5 --adult-n 4000
-    repro all                       # every table and figure
-    repro table5 --engine chunked   # vectorized FairKM sweeps
-    REPRO_BENCH_FULL=1 repro table6 # paper-scale run
+    repro fit --dataset adult --method fairkm -k 5 --out artifacts/m
+    repro predict --model artifacts/m --data points.npy --out labels.npy
+    repro evaluate --model artifacts/m --dataset adult
+    repro paper table5 --seeds 5 --engine chunked
+    repro paper list
 
-Output is printed and also written under ``results/``.
+``repro fit`` / ``repro predict`` are the train-once / assign-many
+split: ``fit`` writes a portable :class:`~repro.api.ClusterModel`
+artifact, ``predict`` serves batched S-blind assignment from it. All
+knobs travel through :class:`~repro.api.RunConfig` (``--config run.json``
+loads one; explicit flags override it) — the process environment is
+never mutated; ``REPRO_*`` variables are read as defaults only.
+
+The pre-subcommand spellings (``repro table5``, ``repro all``,
+``repro list``) keep working as deprecated aliases for ``repro paper``.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 import time
+from pathlib import Path
+from typing import Any
 
-from .experiments.paper import EXPERIMENTS
+import numpy as np
+
+from .api import ENGINES, ClusterModel, METHOD_REGISTRY, RunConfig
+from .api import fit as api_fit
+from .experiments.paper import EXPERIMENTS, BenchSettings, bench_scale
+
+#: Prefix marking sensitive-attribute arrays inside an ``.npz`` input.
+SENSITIVE_PREFIX = "sensitive_"
+
+
+def positive_int(text: str) -> int:
+    """argparse type: strictly positive integer (standard usage error)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def lambda_value(text: str) -> float | str:
+    """argparse type: a non-negative float or the string ``auto``."""
+    if text == "auto":
+        return "auto"
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f'lambda must be a number or "auto", got {text!r}'
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"lambda must be non-negative, got {value}")
+    return value
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser, *, with_data: bool) -> None:
+    parser.add_argument(
+        "--dataset",
+        choices=["adult", "kinematics", "synthetic"],
+        default=None,
+        help="built-in workload (Adult is parity-undersampled as in §5.1)",
+    )
+    parser.add_argument(
+        "--adult-n",
+        type=positive_int,
+        default=None,
+        help="Adult rows before parity undersampling "
+        "(default: env REPRO_BENCH_ADULT_N or 6000)",
+    )
+    if with_data:
+        parser.add_argument(
+            "--data",
+            type=Path,
+            default=None,
+            help="feature matrix file: .npy, .csv, or .npz with a 'points' "
+            f"array (plus optional '{SENSITIVE_PREFIX}<name>' arrays)",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate tables/figures from 'Fairness in Clustering "
-        "with Multiple Sensitive Attributes' (EDBT 2020).",
+        description="Fair clustering with multiple sensitive attributes "
+        "(EDBT 2020): fit portable models, serve batched assignment, "
+        "regenerate the paper's tables and figures.",
     )
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    # ------------------------------------------------------------- fit #
+    p_fit = sub.add_parser(
+        "fit",
+        help="fit a clustering method and save a portable model artifact",
+        description="Fit any registered method on a built-in dataset or a "
+        "matrix file and write a versioned ClusterModel artifact "
+        "(model.json + model.npz).",
+    )
+    _add_dataset_arguments(p_fit, with_data=True)
+    p_fit.add_argument(
+        "--method", choices=sorted(METHOD_REGISTRY), default=None,
+        help="clustering method (default fairkm)",
+    )
+    p_fit.add_argument("-k", type=positive_int, default=None, help="number of clusters")
+    p_fit.add_argument(
+        "--lambda", dest="lambda_", type=lambda_value, default=None,
+        help='fairness weight or "auto" (the §5.4 heuristic)',
+    )
+    p_fit.add_argument(
+        "--engine", choices=list(ENGINES), default=None,
+        help="FairKM sweep strategy: 'sequential' (paper-literal), "
+        "'chunked' (vectorized, identical results, fastest at scale) or "
+        "'minibatch' (§6.1 approximation)",
+    )
+    p_fit.add_argument(
+        "--chunk-size", type=positive_int, default=None,
+        help="chunk size of the chunked engine / batch size of minibatch",
+    )
+    p_fit.add_argument("--max-iter", type=positive_int, default=None)
+    p_fit.add_argument("--seed", type=int, default=None, help="RNG seed (default 0)")
+    p_fit.add_argument(
+        "--no-scale", action="store_true",
+        help="skip z-scoring numeric features (for embedding spaces)",
+    )
+    p_fit.add_argument(
+        "--sensitive", default=None,
+        help="comma-separated sensitive attribute names to fair-cluster on "
+        "(default: all available)",
+    )
+    p_fit.add_argument(
+        "--config", type=Path, default=None,
+        help="RunConfig JSON file; explicit flags override its values",
+    )
+    p_fit.add_argument(
+        "--out", "-o", type=Path, default=Path("results/model"),
+        help="artifact output directory (default results/model)",
+    )
+
+    # --------------------------------------------------------- predict #
+    p_pred = sub.add_parser(
+        "predict",
+        help="batch-assign points with a saved model artifact",
+        description="Load a ClusterModel artifact and route points to their "
+        "nearest center (S-blind serving path).",
+    )
+    p_pred.add_argument("--model", "-m", type=Path, required=True,
+                        help="artifact directory written by 'repro fit'")
+    _add_dataset_arguments(p_pred, with_data=True)
+    p_pred.add_argument(
+        "--chunk-size", type=positive_int, default=None,
+        help="rows scored per batch (default 8192)",
+    )
+    p_pred.add_argument(
+        "--out", "-o", type=Path, default=None,
+        help="write labels to this file (.npy, or text with one label per line)",
+    )
+
+    # -------------------------------------------------------- evaluate #
+    p_eval = sub.add_parser(
+        "evaluate",
+        help="score a saved model on a dataset (quality + fairness)",
+        description="Assign a dataset through a saved artifact and report the "
+        "paper's §5.2 measures (CO/SH and per-attribute AE/AW/ME/MW).",
+    )
+    p_eval.add_argument("--model", "-m", type=Path, required=True)
+    _add_dataset_arguments(p_eval, with_data=False)
+
+    # ----------------------------------------------------------- paper #
+    p_paper = sub.add_parser(
+        "paper",
+        help="regenerate paper tables/figures (also: repro tableN aliases)",
+        description="Regenerate tables/figures from the paper. Output is "
+        "printed and written under results/.",
+    )
+    p_paper.add_argument(
         "experiment",
         choices=[*EXPERIMENTS, "all", "list"],
         help="experiment id (tableN / figN-M), 'all', or 'list'",
     )
-    parser.add_argument(
-        "--seeds",
-        type=int,
-        default=None,
+    p_paper.add_argument(
+        "--seeds", type=positive_int, default=None,
         help="random restarts per configuration (default: env REPRO_BENCH_SEEDS or 3)",
     )
-    parser.add_argument(
-        "--adult-n",
-        type=int,
-        default=None,
-        help="Adult rows before parity undersampling (default: env REPRO_BENCH_ADULT_N or 6000)",
-    )
-    parser.add_argument(
-        "--full",
-        action="store_true",
-        help="paper-scale settings (100 seeds, 32561 Adult rows)",
-    )
-    parser.add_argument(
-        "--engine",
-        choices=["sequential", "chunked", "minibatch"],
-        default=None,
-        help="FairKM sweep strategy: 'sequential' (paper-literal), "
-        "'chunked' (vectorized, identical results, fastest at scale) or "
-        "'minibatch' (§6.1 approximation); default: env REPRO_ENGINE or sequential",
-    )
-    parser.add_argument(
-        "--chunk-size",
-        type=int,
-        default=None,
-        help="chunk size of the chunked engine / batch size of minibatch "
-        "(default: env REPRO_CHUNK_SIZE or the engine default)",
-    )
+    p_paper.add_argument("--adult-n", type=positive_int, default=None,
+                         help="Adult rows before parity undersampling")
+    p_paper.add_argument("--full", action="store_true",
+                         help="paper-scale settings (100 seeds, 32561 Adult rows)")
+    p_paper.add_argument("--engine", choices=list(ENGINES), default=None)
+    p_paper.add_argument("--chunk-size", type=positive_int, default=None)
+
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+# --------------------------------------------------------------------- #
+# Data loading                                                            #
+# --------------------------------------------------------------------- #
+
+
+def _build_dataset(name: str, adult_n: int | None, seed: int) -> Any:
+    from .experiments.paper import build_adult, build_kinematics
+
+    if name == "adult":
+        return build_adult(adult_n or bench_scale()[1])
+    if name == "kinematics":
+        return build_kinematics()
+    from .data.synthetic import make_fair_problem
+
+    return make_fair_problem(600, seed=seed)
+
+
+def load_points_file(path: Path) -> tuple[np.ndarray, dict[str, np.ndarray] | None]:
+    """Read a feature-matrix file; returns ``(points, sensitive|None)``.
+
+    ``.npz`` files must hold a ``points`` array and may carry sensitive
+    attributes as ``sensitive_<name>`` arrays; ``.npy`` and ``.csv``
+    hold the matrix alone.
+    """
+    suffix = path.suffix.lower()
+    if suffix == ".npz":
+        with np.load(path) as arrays:
+            if "points" not in arrays:
+                raise ValueError(f"{path}: .npz input needs a 'points' array")
+            points = np.asarray(arrays["points"], dtype=np.float64)
+            sensitive = {
+                key[len(SENSITIVE_PREFIX):]: np.asarray(arrays[key])
+                for key in arrays.files
+                if key.startswith(SENSITIVE_PREFIX)
+            }
+        return points, sensitive or None
+    if suffix == ".npy":
+        return np.asarray(np.load(path), dtype=np.float64), None
+    if suffix == ".csv":
+        # ndmin=2 keeps a single-column file as (n, 1) instead of (1, n).
+        return np.loadtxt(path, delimiter=",", dtype=np.float64, ndmin=2), None
+    raise ValueError(f"{path}: unsupported data format {suffix!r} (.npy/.npz/.csv)")
+
+
+def _require_one_source(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> None:
+    if (args.dataset is None) == (args.data is None):
+        parser.error("exactly one of --dataset or --data is required")
+
+
+def _resolve_fit_inputs(
+    args: argparse.Namespace, parser: argparse.ArgumentParser, config: RunConfig
+) -> tuple[Any, Any]:
+    """(points-or-dataset, sensitive) for the ``fit`` command."""
+    _require_one_source(args, parser)
+    if args.dataset is not None:
+        return _build_dataset(args.dataset, args.adult_n, config.seed), None
+    points, sensitive = load_points_file(args.data)
+    return points, sensitive
+
+
+# --------------------------------------------------------------------- #
+# Subcommand implementations                                              #
+# --------------------------------------------------------------------- #
+
+
+def _cmd_fit(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    base = RunConfig.from_json(args.config.read_text()) if args.config else RunConfig()
+    sensitive_names = (
+        tuple(s.strip() for s in args.sensitive.split(",") if s.strip())
+        if args.sensitive
+        else None
+    )
+    config = base.with_overrides(
+        method=args.method,
+        k=args.k,
+        lambda_=args.lambda_,
+        engine=args.engine,
+        chunk_size=args.chunk_size,
+        max_iter=args.max_iter,
+        seed=args.seed,
+        scale_features=False if args.no_scale else None,
+        sensitive=sensitive_names,
+    )
+    data, sensitive = _resolve_fit_inputs(args, parser, config)
+    model = api_fit(config, data, sensitive=sensitive)
+    path = model.save(args.out)
+    print(model.summary())
+    print(f"saved: {path}")
+    return 0
+
+
+def _load_model(path: Path, parser: argparse.ArgumentParser) -> ClusterModel:
+    try:
+        return ClusterModel.load(path)
+    except (FileNotFoundError, ValueError) as exc:
+        parser.error(str(exc))
+        raise AssertionError("unreachable")  # parser.error exits
+
+
+def _cmd_predict(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    model = _load_model(args.model, parser)
+    _require_one_source(args, parser)
+    if args.dataset is not None:
+        dataset = _build_dataset(args.dataset, args.adult_n, model.config.seed)
+        points = dataset.feature_matrix(scale=model.config.scale_features)
+    else:
+        points, _ = load_points_file(args.data)
+    start = time.perf_counter()
+    labels = model.assign(points, chunk_size=args.chunk_size)
+    elapsed = time.perf_counter() - start
+    counts = np.bincount(labels, minlength=model.k)
+    rate = labels.size / elapsed if elapsed > 0 else float("inf")
+    print(f"assigned {labels.size} points to k={model.k} clusters "
+          f"in {elapsed:.3f}s ({rate:,.0f} rows/s)")
+    print("cluster sizes:", counts.tolist())
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        if args.out.suffix.lower() == ".npy":
+            np.save(args.out, labels)
+        else:
+            args.out.write_text("\n".join(str(x) for x in labels.tolist()) + "\n")
+        print(f"labels written to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from .api import evaluate_model
+    from .experiments.tables import format_table
+
+    model = _load_model(args.model, parser)
+    if args.dataset is None:
+        parser.error("--dataset is required for evaluate")
+    dataset = _build_dataset(args.dataset, args.adult_n, model.config.seed)
+    ev = evaluate_model(model, dataset)
+    quality = ev.quality_dict()
+    rows = [[key, f"{quality[key]:.4f}"] for key in ("CO", "SH")]
+    print(format_table(["Measure", "Value"], rows,
+                       title=f"{model.config.method} (k={model.k}) on {args.dataset}"))
+    fairness_rows = [
+        ["mean"] + [f"{ev.fairness.mean[m]:.4f}" for m in ("AE", "AW", "ME", "MW")]
+    ]
+    for attr in ev.fairness.attributes:
+        fairness_rows.append(
+            [attr.name] + [f"{attr[m]:.4f}" for m in ("AE", "AW", "ME", "MW")]
+        )
+    print()
+    print(format_table(["Attribute", "AE", "AW", "ME", "MW"], fairness_rows,
+                       title="Fairness (lower is better)"))
+    return 0
+
+
+def _cmd_paper(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.experiment == "list":
         for name, (_, description) in EXPERIMENTS.items():
             print(f"{name:10s} {description}")
         return 0
-    if args.full:
-        os.environ["REPRO_BENCH_FULL"] = "1"
-    if args.seeds is not None:
-        os.environ["REPRO_BENCH_SEEDS"] = str(args.seeds)
-    if args.adult_n is not None:
-        os.environ["REPRO_BENCH_ADULT_N"] = str(args.adult_n)
-    if args.engine is not None:
-        os.environ["REPRO_ENGINE"] = args.engine
-    if args.chunk_size is not None:
-        if args.chunk_size <= 0:
-            parser_error = f"--chunk-size must be positive, got {args.chunk_size}"
-            print(parser_error, file=sys.stderr)
-            return 2
-        os.environ["REPRO_CHUNK_SIZE"] = str(args.chunk_size)
-
+    settings = BenchSettings.resolve(
+        seeds=args.seeds,
+        adult_n=args.adult_n,
+        full=args.full,
+        engine=args.engine,
+        chunk_size=args.chunk_size,
+    )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         fn, description = EXPERIMENTS[name]
         print(f"== {name}: {description} ==")
         start = time.time()
-        print(fn())
+        print(fn(settings))
         print(f"[{name} done in {time.time() - start:.1f}s]\n")
     return 0
+
+
+_COMMANDS = {
+    "fit": _cmd_fit,
+    "predict": _cmd_predict,
+    "evaluate": _cmd_evaluate,
+    "paper": _cmd_paper,
+}
+
+#: Pre-subcommand spellings still accepted at the front of argv.
+_LEGACY_EXPERIMENT_TOKENS = frozenset([*EXPERIMENTS, "all", "list"])
+
+
+def _rewrite_legacy_argv(argv: list[str]) -> list[str]:
+    """Route pre-subcommand spellings to ``repro paper ...``.
+
+    The old single-parser CLI allowed options before the experiment
+    (``repro --seeds 5 table6``), so any invocation that is not already
+    a subcommand but mentions an experiment token gets the ``paper``
+    prefix.
+    """
+    if not argv or argv[0] in _COMMANDS:
+        return argv
+    legacy = next((tok for tok in argv if tok in _LEGACY_EXPERIMENT_TOKENS), None)
+    if legacy is None:
+        return argv
+    if legacy != "list":
+        print(
+            f"note: 'repro {legacy}' is deprecated; use 'repro paper {legacy}'",
+            file=sys.stderr,
+        )
+    return ["paper", *argv]
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = _rewrite_legacy_argv(list(sys.argv[1:] if argv is None else argv))
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args, parser)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ clustering substrate can depend on it without cycles.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
@@ -42,6 +43,39 @@ class ClusteringEstimator(Protocol):
 
 class NotFittedError(RuntimeError):
     """Raised when ``predict``/``labels_`` are used before ``fit``."""
+
+
+#: Result attributes harvested into exported diagnostics when present.
+_DIAGNOSTIC_FIELDS = (
+    "objective",
+    "kmeans_term",
+    "fairness_term",
+    "lambda_",
+    "inertia",
+    "radius",
+    "n_iter",
+    "converged",
+)
+
+
+@dataclass
+class ImportedState:
+    """Fitted state revived from an artifact: predict-capable only.
+
+    Carries the centers (all ``predict`` needs) plus the exported
+    diagnostics; training labels are gone by design — an imported
+    estimator serves assignment, it does not replay its fit.
+    """
+
+    centers: np.ndarray
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def labels(self) -> np.ndarray:
+        raise NotFittedError(
+            "imported state carries centers only; training labels are not "
+            "part of the portable artifact"
+        )
 
 
 class EstimatorMixin:
@@ -88,3 +122,41 @@ class EstimatorMixin:
             )
         labels, _ = nearest_center(points, centers)
         return labels
+
+    def export_state(self) -> dict[str, Any]:
+        """Portable fitted state: centers plus JSON-able diagnostics.
+
+        The artifact layer (:mod:`repro.api.model`) persists exactly
+        this. Diagnostics are harvested from whatever scalar facts the
+        native result object exposes (see ``_DIAGNOSTIC_FIELDS``), so
+        every estimator exports uniformly without per-class glue.
+        """
+        result = self._fitted()
+        # An ImportedState result carries its diagnostics as a dict; start
+        # from it so export → import → export round-trips losslessly.
+        carried = getattr(result, "diagnostics", None)
+        diagnostics: dict[str, Any] = dict(carried) if isinstance(carried, dict) else {}
+        for name in _DIAGNOSTIC_FIELDS:
+            value = getattr(result, name, None)
+            if isinstance(value, np.generic):
+                value = value.item()
+            if isinstance(value, (bool, int, float)):
+                diagnostics[name] = value
+        return {
+            "centers": np.asarray(result.centers, dtype=np.float64),
+            "diagnostics": diagnostics,
+        }
+
+    def import_state(self, state: dict[str, Any]) -> "EstimatorMixin":
+        """Revive exported state onto this estimator (predict-capable).
+
+        The inverse of :meth:`export_state` for the serving half of the
+        protocol: ``predict``/``centers_`` work afterwards, while
+        ``labels_`` raises :class:`NotFittedError` (training labels are
+        not part of the artifact). Returns ``self`` for chaining.
+        """
+        centers = np.atleast_2d(np.asarray(state["centers"], dtype=np.float64))
+        self.result_ = ImportedState(
+            centers=centers, diagnostics=dict(state.get("diagnostics", {}))
+        )
+        return self

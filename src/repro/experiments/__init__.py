@@ -10,6 +10,7 @@ from .evaluation import (
 from .paper import (
     EXPERIMENTS,
     LAMBDA_GRID,
+    BenchSettings,
     bench_scale,
     build_adult,
     build_kinematics,
@@ -33,6 +34,7 @@ from .runner import (
 from .sweep import LambdaSweepResult, lambda_sweep
 from .tables import (
     format_table,
+    render_extra_fairness_table,
     render_fairness_table,
     render_quality_table,
     render_single_attribute_figure,
@@ -43,6 +45,7 @@ __all__ = [
     "LAMBDA_GRID",
     "METHOD_REGISTRY",
     "QUALITY_METRIC_KEYS",
+    "BenchSettings",
     "ClusteringEval",
     "LambdaSweepResult",
     "MethodSpec",
@@ -62,6 +65,7 @@ __all__ = [
     "lambda_sweep",
     "line_chart",
     "mean_evals",
+    "render_extra_fairness_table",
     "render_fairness_table",
     "render_quality_table",
     "render_single_attribute_figure",

@@ -2,18 +2,17 @@
 
 Each entry point builds its workload, runs the §5.5 protocol, renders the
 corresponding table or figure, writes it under ``results/`` and returns
-the rendered text. Scale knobs (shared by the pytest benches and the CLI):
-
-* ``REPRO_BENCH_SEEDS``   — random restarts per configuration (default 3;
-  the paper uses 100).
-* ``REPRO_BENCH_ADULT_N`` — Adult rows before parity undersampling
-  (default 6000; the paper uses 32 561 → 15 682 after parity).
-* ``REPRO_BENCH_FULL=1``  — paper-scale settings (overrides both).
+the rendered text. Every entry point takes a :class:`BenchSettings`
+(scale + engine knobs) threaded explicitly from the CLI; the
+``REPRO_BENCH_SEEDS`` / ``REPRO_BENCH_ADULT_N`` / ``REPRO_BENCH_FULL`` /
+``REPRO_ENGINE`` / ``REPRO_CHUNK_SIZE`` environment variables are read
+as *defaults only* — nothing in this package mutates the environment.
 """
 
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from pathlib import Path
 
 from ..data.adult import generate_adult
@@ -29,7 +28,7 @@ RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
 
 
 def bench_scale() -> tuple[int, int]:
-    """Resolve (seeds, adult_n) from the environment knobs."""
+    """Resolve the default (seeds, adult_n) from the environment knobs."""
     if os.environ.get("REPRO_BENCH_FULL") == "1":
         return 100, 32561
     seeds = int(os.environ.get("REPRO_BENCH_SEEDS", "3"))
@@ -38,15 +37,57 @@ def bench_scale() -> tuple[int, int]:
 
 
 def bench_engine() -> tuple[str, int | None]:
-    """Resolve the FairKM (engine, chunk_size) from the environment.
+    """Resolve the default FairKM (engine, chunk_size) from the environment.
 
     ``REPRO_ENGINE`` selects the sweep strategy (default sequential);
     ``REPRO_CHUNK_SIZE`` sets the chunked engine's chunk size (empty →
-    engine default). Set by the CLI's ``--engine`` / ``--chunk-size``.
+    engine default).
     """
     engine = os.environ.get("REPRO_ENGINE", "sequential")
     chunk = os.environ.get("REPRO_CHUNK_SIZE", "")
     return engine, int(chunk) if chunk else None
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    """Scale and engine knobs shared by every paper entry point.
+
+    Attributes:
+        seeds: random restarts per configuration (paper: 100).
+        adult_n: Adult rows before parity undersampling (paper: 32 561).
+        engine: FairKM sweep strategy for every FairKM build.
+        chunk_size: chunk/batch size for the chunked and mini-batch
+            engines (``None`` keeps engine defaults).
+    """
+
+    seeds: int = 3
+    adult_n: int = 6000
+    engine: str = "sequential"
+    chunk_size: int | None = None
+
+    @classmethod
+    def resolve(
+        cls,
+        *,
+        seeds: int | None = None,
+        adult_n: int | None = None,
+        full: bool = False,
+        engine: str | None = None,
+        chunk_size: int | None = None,
+    ) -> "BenchSettings":
+        """Fill unset knobs from the environment defaults.
+
+        Explicit arguments always win; ``full=True`` selects paper scale
+        for whatever the caller did not pin explicitly.
+        """
+        env_seeds, env_adult_n = (100, 32561) if full else bench_scale()
+        env_engine, env_chunk = bench_engine()
+        return cls(
+            seeds=seeds if seeds is not None else env_seeds,
+            adult_n=adult_n if adult_n is not None else env_adult_n,
+            engine=engine if engine is not None else env_engine,
+            chunk_size=chunk_size if chunk_size is not None else env_chunk,
+        )
 
 
 def write_result(name: str, text: str) -> Path:
@@ -83,23 +124,21 @@ def dataset_lambda(n: int) -> float:
 
 def _adult_suites(
     ks: tuple[int, ...],
-    seeds: int,
-    adult_n: int,
+    settings: BenchSettings,
     per_attribute_fairkm: bool = False,
 ) -> dict[int, SuiteResult]:
-    dataset = build_adult(adult_n)
-    engine, chunk_size = bench_engine()
+    dataset = build_adult(settings.adult_n)
     suites = {}
     for k in ks:
         config = SuiteConfig(
             k=k,
-            seeds=tuple(range(seeds)),
+            seeds=tuple(range(settings.seeds)),
             fairkm_lambda=dataset_lambda(dataset.n),
             zgya_lambda=zgya_paper_lambda(dataset.n),
             scale_features=True,
             per_attribute_fairkm=per_attribute_fairkm,
-            engine=engine,
-            chunk_size=chunk_size,
+            engine=settings.engine,
+            chunk_size=settings.chunk_size,
         )
         suites[k] = run_suite(dataset, config)
     return suites
@@ -120,20 +159,19 @@ def zgya_paper_lambda(n: int) -> float:
 
 
 def _kinematics_suite(
-    seeds: int, per_attribute_fairkm: bool = False, k: int = 5
+    settings: BenchSettings, per_attribute_fairkm: bool = False, k: int = 5
 ) -> SuiteResult:
     dataset = build_kinematics()
-    engine, chunk_size = bench_engine()
     config = SuiteConfig(
         k=k,
-        seeds=tuple(range(seeds)),
+        seeds=tuple(range(settings.seeds)),
         fairkm_lambda=dataset_lambda(dataset.n),
         zgya_lambda=zgya_paper_lambda(dataset.n),
         scale_features=False,
         silhouette_sample=None,
         per_attribute_fairkm=per_attribute_fairkm,
-        engine=engine,
-        chunk_size=chunk_size,
+        engine=settings.engine,
+        chunk_size=settings.chunk_size,
     )
     return run_suite(dataset, config)
 
@@ -143,10 +181,9 @@ def _kinematics_suite(
 # --------------------------------------------------------------------- #
 
 
-def table5(seeds: int | None = None, adult_n: int | None = None) -> str:
+def table5(settings: BenchSettings | None = None) -> str:
     """Table 5: Adult clustering quality at k=5 and k=15."""
-    env_seeds, env_n = bench_scale()
-    suites = _adult_suites((5, 15), seeds or env_seeds, adult_n or env_n)
+    suites = _adult_suites((5, 15), settings or BenchSettings.resolve())
     text = render_quality_table(
         suites, title="Table 5: clustering quality on Adult (mean over seeds)"
     )
@@ -154,10 +191,9 @@ def table5(seeds: int | None = None, adult_n: int | None = None) -> str:
     return text
 
 
-def table6(seeds: int | None = None, adult_n: int | None = None) -> str:
+def table6(settings: BenchSettings | None = None) -> str:
     """Table 6: Adult fairness per sensitive attribute at k=5 and k=15."""
-    env_seeds, env_n = bench_scale()
-    suites = _adult_suites((5, 15), seeds or env_seeds, adult_n or env_n)
+    suites = _adult_suites((5, 15), settings or BenchSettings.resolve())
     text = render_fairness_table(
         suites, title="Table 6: fairness evaluation on Adult (mean over seeds)"
     )
@@ -165,10 +201,9 @@ def table6(seeds: int | None = None, adult_n: int | None = None) -> str:
     return text
 
 
-def table7(seeds: int | None = None) -> str:
+def table7(settings: BenchSettings | None = None) -> str:
     """Table 7: Kinematics clustering quality at k=5."""
-    env_seeds, _ = bench_scale()
-    suite = _kinematics_suite(seeds or env_seeds)
+    suite = _kinematics_suite(settings or BenchSettings.resolve())
     text = render_quality_table(
         {5: suite}, title="Table 7: clustering quality on Kinematics (mean over seeds)"
     )
@@ -176,10 +211,9 @@ def table7(seeds: int | None = None) -> str:
     return text
 
 
-def table8(seeds: int | None = None) -> str:
+def table8(settings: BenchSettings | None = None) -> str:
     """Table 8: Kinematics fairness per type attribute at k=5."""
-    env_seeds, _ = bench_scale()
-    suite = _kinematics_suite(seeds or env_seeds)
+    suite = _kinematics_suite(settings or BenchSettings.resolve())
     text = render_fairness_table(
         {5: suite}, title="Table 8: fairness evaluation on Kinematics (mean over seeds)"
     )
@@ -192,11 +226,10 @@ def table8(seeds: int | None = None) -> str:
 # --------------------------------------------------------------------- #
 
 
-def figures_1_2(seeds: int | None = None, adult_n: int | None = None) -> str:
+def figures_1_2(settings: BenchSettings | None = None) -> str:
     """Figures 1 & 2: Adult AW and MW — ZGYA(S) vs FairKM(All) vs FairKM(S)."""
-    env_seeds, env_n = bench_scale()
     suites = _adult_suites(
-        (5,), seeds or env_seeds, adult_n or env_n, per_attribute_fairkm=True
+        (5,), settings or BenchSettings.resolve(), per_attribute_fairkm=True
     )
     outputs = []
     for fig, metric in (("Figure 1", "AW"), ("Figure 2", "MW")):
@@ -210,10 +243,11 @@ def figures_1_2(seeds: int | None = None, adult_n: int | None = None) -> str:
     return text
 
 
-def figures_3_4(seeds: int | None = None) -> str:
+def figures_3_4(settings: BenchSettings | None = None) -> str:
     """Figures 3 & 4: Kinematics AW and MW comparisons."""
-    env_seeds, _ = bench_scale()
-    suite = _kinematics_suite(seeds or env_seeds, per_attribute_fairkm=True)
+    suite = _kinematics_suite(
+        settings or BenchSettings.resolve(), per_attribute_fairkm=True
+    )
     outputs = []
     for fig, metric in (("Figure 3", "AW"), ("Figure 4", "MW")):
         table, series = render_single_attribute_figure(
@@ -231,21 +265,20 @@ LAMBDA_GRID = [1000.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0, 8000.0, 10000.0]
 
 
 def figures_5_6_7(
-    seeds: int | None = None, lambdas: list[float] | None = None
+    settings: BenchSettings | None = None, lambdas: list[float] | None = None
 ) -> str:
     """Figures 5, 6 & 7: Kinematics quality and fairness vs λ."""
-    env_seeds, _ = bench_scale()
-    engine, chunk_size = bench_engine()
+    settings = settings or BenchSettings.resolve()
     dataset = build_kinematics()
     sweep = lambda_sweep(
         dataset,
         lambdas or LAMBDA_GRID,
         k=5,
-        seeds=tuple(range(seeds or env_seeds)),
+        seeds=tuple(range(settings.seeds)),
         scale_features=False,
         silhouette_sample=None,
-        engine=engine,
-        chunk_size=chunk_size,
+        engine=settings.engine,
+        chunk_size=settings.chunk_size,
     )
     return render_lambda_figures(sweep)
 

@@ -1,10 +1,13 @@
 """Multi-seed experiment runner reproducing the paper's §5.5 protocol.
 
-Methods are driven through a **registry** of protocol-conforming
-estimators (see :mod:`repro.core.protocol`): each entry knows how to
-build its estimator from a :class:`SuiteConfig` and a seed, and what
-scope of sensitive attributes it consumes (none / all / one at a time).
-The §5.5 protocol itself is expressed on top of the registry:
+Methods are driven through the public **method registry**
+(:mod:`repro.api.registry`): each entry knows how to build its
+protocol-conforming estimator from a :class:`repro.api.RunConfig` and
+what scope of sensitive attributes it consumes (none / all / one at a
+time). A :class:`SuiteConfig` is the suite-level layer on top — it
+derives one ``RunConfig`` per (method, seed) via
+:meth:`SuiteConfig.run_config`. The §5.5 protocol itself is expressed
+on top of the registry:
 
 * **K-Means(N)** — the S-blind baseline (also the DevC/DevO reference);
 * **FairKM** — one instantiation over *all* sensitive attributes;
@@ -26,14 +29,16 @@ Means across seeds are the reported statistics, exactly as in the paper
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
 import numpy as np
 
-from ..baselines import BeraFairAssignment, FairKCenter, FairletClustering, ZGYA
-from ..cluster.kmeans import KMeans
-from ..core.fairkm import FairKM
-from ..core.minibatch import MiniBatchFairKM
+from ..api.config import RunConfig
+from ..api.registry import (
+    METHOD_REGISTRY,
+    MethodSpec as MethodSpec,  # re-exported: historical home of the registry
+    register_method as register_method,
+)
 from ..data.dataset import Dataset
 from .evaluation import ClusteringEval, evaluate_clustering, mean_evals
 
@@ -74,113 +79,22 @@ class SuiteConfig:
     chunk_size: int | None = None
     extra_methods: tuple[str, ...] = ()
 
+    def run_config(self, method: str, seed: int) -> RunConfig:
+        """Derive the :class:`RunConfig` for one (method, seed) run.
 
-@dataclass(frozen=True)
-class MethodSpec:
-    """One registered clustering method.
-
-    Attributes:
-        name: registry key (also the reporting name).
-        build: ``(config, seed) -> estimator`` factory; the estimator
-            must conform to the shared protocol
-            (:class:`repro.core.protocol.ClusteringEstimator`).
-        scope: which sensitive attributes the method consumes —
-            ``"none"`` (S-blind), ``"all"`` (every attribute at once) or
-            ``"per_attribute"`` (one instantiation per attribute).
-        handles: for per-attribute methods, a predicate deciding
-            whether one sensitive-attribute spec is compatible (e.g.
-            fairlets need a binary categorical). Incompatible
-            attributes are excluded up front — and recorded in
-            ``SuiteResult.extra_attributes`` — while genuine fit
-            errors still propagate. ``None`` means every attribute.
-    """
-
-    name: str
-    build: Callable[[SuiteConfig, int], Any]
-    scope: str = "all"
-    handles: Callable[[Any], bool] | None = None
-
-    _SCOPES = ("none", "all", "per_attribute")
-
-    def __post_init__(self) -> None:
-        if self.scope not in self._SCOPES:
-            raise ValueError(f"scope must be one of {self._SCOPES}, got {self.scope!r}")
-
-
-#: name -> MethodSpec; the experiment layer's single switchboard.
-METHOD_REGISTRY: dict[str, MethodSpec] = {}
-
-
-def register_method(
-    name: str,
-    build: Callable[[SuiteConfig, int], Any],
-    *,
-    scope: str = "all",
-    handles: Callable[[Any], bool] | None = None,
-) -> MethodSpec:
-    """Register (or replace) a method; returns its :class:`MethodSpec`."""
-    spec = MethodSpec(name, build, scope, handles)
-    METHOD_REGISTRY[name] = spec
-    return spec
-
-
-def _is_categorical(spec: Any) -> bool:
-    from ..core.attributes import CategoricalSpec
-
-    return isinstance(spec, CategoricalSpec)
-
-
-def _is_binary_categorical(spec: Any) -> bool:
-    return _is_categorical(spec) and spec.n_values == 2
-
-
-# n_init=10 mirrors the scikit-learn default the paper's S-blind baseline
-# would have used; without restarts, Lloyd's is a weaker local search than
-# FairKM's point-by-point moves and K-Means(N) would lose its own game
-# (best CO), inverting Table 5's ordering.
-register_method(
-    "kmeans", lambda cfg, seed: KMeans(cfg.k, seed=seed, n_init=10), scope="none"
-)
-register_method(
-    "fairkm",
-    lambda cfg, seed: FairKM(
-        cfg.k,
-        lambda_=cfg.fairkm_lambda,
-        max_iter=cfg.fairkm_max_iter,
-        engine=cfg.engine,
-        chunk_size=cfg.chunk_size,
-        seed=seed,
-    ),
-)
-register_method(
-    "minibatch_fairkm",
-    lambda cfg, seed: MiniBatchFairKM(
-        cfg.k,
-        batch_size=cfg.chunk_size or 256,
-        lambda_=cfg.fairkm_lambda,
-        max_iter=cfg.fairkm_max_iter,
-        seed=seed,
-    ),
-)
-register_method(
-    "zgya",
-    lambda cfg, seed: ZGYA(cfg.k, lambda_=cfg.zgya_lambda, seed=seed),
-    scope="per_attribute",
-    handles=_is_categorical,
-)
-register_method("bera", lambda cfg, seed: BeraFairAssignment(cfg.k, seed=seed))
-register_method(
-    "fairlets",
-    lambda cfg, seed: FairletClustering(cfg.k, seed=seed),
-    scope="per_attribute",
-    handles=_is_binary_categorical,
-)
-register_method(
-    "fair_kcenter",
-    lambda cfg, seed: FairKCenter(cfg.k, seed=seed),
-    scope="per_attribute",
-    handles=_is_categorical,
-)
+        λ is method-aware: ZGYA runs get ``zgya_lambda``, everything
+        else ``fairkm_lambda`` (the S-blind methods ignore it).
+        """
+        return RunConfig(
+            method=method,
+            k=self.k,
+            lambda_=self.zgya_lambda if method == "zgya" else self.fairkm_lambda,
+            max_iter=self.fairkm_max_iter,
+            engine=self.engine,
+            chunk_size=self.chunk_size,
+            seed=seed,
+            scale_features=self.scale_features,
+        )
 
 
 @dataclass
@@ -281,7 +195,7 @@ def run_suite(dataset: Dataset, config: SuiteConfig) -> SuiteResult:
         )
 
         def run_method(name: str, sensitive: Any) -> np.ndarray:
-            estimator = METHOD_REGISTRY[name].build(config, seed)
+            estimator = METHOD_REGISTRY[name].build(config.run_config(name, seed))
             return estimator.fit_predict(features, sensitive=sensitive)
 
         blind = run_method("kmeans", None)

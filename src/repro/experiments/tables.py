@@ -5,6 +5,9 @@
 * :func:`render_fairness_table` — Tables 6 and 8 (AE/AW/ME/MW per
   sensitive attribute plus the mean block, with FairKM's % improvement
   over the best baseline).
+* :func:`render_extra_fairness_table` — fairness block for the extra
+  registry methods riding along via ``SuiteConfig.extra_methods``
+  (appended automatically by :func:`render_fairness_table`).
 
 All renderers return plain strings (monospace tables) so benches can both
 print them and write them under ``results/``.
@@ -45,31 +48,86 @@ def _num(x: float) -> str:
     return f"{x:.4f}"
 
 
+def _extra_method_names(suites: dict[int, SuiteResult]) -> list[str]:
+    """Union of ``SuiteResult.extra`` keys across suites, order-preserving."""
+    names: list[str] = []
+    for k in sorted(suites):
+        for name in suites[k].extra:
+            if name not in names:
+                names.append(name)
+    return names
+
+
 def render_quality_table(
     suites: dict[int, SuiteResult], title: str = "Clustering quality"
 ) -> str:
     """Tables 5 / 7: quality per method, one column block per k.
 
+    Extra methods evaluated via ``SuiteConfig.extra_methods`` (bera,
+    fairlets, fair_kcenter, minibatch_fairkm, ...) get their own column
+    in each k block, after the three paper methods.
+
     Args:
         suites: ``k -> SuiteResult`` (Table 5 uses k ∈ {5, 15}; Table 7
             a single k=5 entry).
     """
+    extras = _extra_method_names(suites)
     header = ["Measure"]
     for k in sorted(suites):
         header += [f"K-Means(N) k={k}", f"Avg. ZGYA k={k}", f"FairKM k={k}"]
+        header += [f"{name} k={k}" for name in extras]
     rows = []
     for metric in QUALITY_METRIC_KEYS:
         row = [f"{metric} {_QUALITY_ARROWS[metric]}"]
         for k in sorted(suites):
             suite = suites[k]
-            values = {
-                "K-Means(N)": suite.kmeans.quality_dict()[metric],
-                "Avg. ZGYA": suite.zgya_avg_quality.quality_dict()[metric],
-                "FairKM": suite.fairkm.quality_dict()[metric],
-            }
-            row += [_num(v) for v in values.values()]
+            row += [
+                _num(suite.kmeans.quality_dict()[metric]),
+                _num(suite.zgya_avg_quality.quality_dict()[metric]),
+                _num(suite.fairkm.quality_dict()[metric]),
+            ]
+            for name in extras:
+                ev = suite.extra.get(name)
+                row.append(_num(ev.quality_dict()[metric]) if ev is not None else "-")
         rows.append(row)
     return format_table(header, rows, title=title)
+
+
+def render_extra_fairness_table(suites: dict[int, SuiteResult]) -> str:
+    """Fairness block for ``SuiteConfig.extra_methods`` runs.
+
+    One row block per extra method (labelled with the sensitive
+    attributes it was actually evaluated on, since e.g. fairlets skip
+    non-binary attributes), one AE/AW/ME/MW value column per k — the
+    mean across the dataset's sensitive attributes, comparable to the
+    main table's "Mean across S" block.
+    """
+    ks = sorted(suites)
+    extras = _extra_method_names(suites)
+    if not extras:
+        return ""
+
+    def label(name: str) -> str:
+        for k in ks:
+            used = suites[k].extra_attributes.get(name)
+            if used:
+                return f"{name} [{', '.join(used)}]"
+        return name
+
+    header = ["Method", "Measure"] + [f"k={k}" for k in ks]
+    rows: list[list[str]] = []
+    for index, name in enumerate(extras):
+        if index:
+            rows.append(["-" * 12, ""] + [""] * len(ks))
+        for metric in FAIRNESS_METRIC_KEYS:
+            row = [label(name) if metric == "AE" else "", metric]
+            for k in ks:
+                ev = suites[k].extra.get(name)
+                row.append(_num(ev.fairness.mean[metric]) if ev is not None else "-")
+            rows.append(row)
+    return format_table(
+        header, rows, title="Extra methods: fairness (mean across S)"
+    )
 
 
 def render_fairness_table(
@@ -114,7 +172,11 @@ def render_fairness_table(
     for attr in any_suite.attribute_names:
         rows.append(["-" * 12, ""] + [""] * (4 * len(ks)))
         rows.extend(block(attr, attr))
-    return format_table(header, rows, title=title)
+    text = format_table(header, rows, title=title)
+    extra = render_extra_fairness_table(suites)
+    if extra:
+        text += "\n\n" + extra
+    return text
 
 
 def render_single_attribute_figure(

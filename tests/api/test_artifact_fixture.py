@@ -1,0 +1,66 @@
+"""Guard the v1 artifact format against drift.
+
+``tests/fixtures/cluster_model_v1`` is a checked-in artifact written by
+the v1 format (plus a probe matrix with its expected assignment). If
+these tests fail, the on-disk format changed: either restore
+compatibility, or bump ``ARTIFACT_VERSION``, keep a loader for v1, and
+add a new fixture for the new version — never regenerate this one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import ClusterModel
+
+FIXTURE = Path(__file__).resolve().parent.parent / "fixtures" / "cluster_model_v1"
+
+
+@pytest.fixture(scope="module")
+def model() -> ClusterModel:
+    return ClusterModel.load(FIXTURE)
+
+
+def test_fixture_loads_as_v1(model):
+    assert model.version == 1
+    assert model.config.method == "fairkm"
+    assert model.config.k == 3
+    assert model.config.engine == "chunked"
+    assert model.config.lambda_ == 500.0
+    assert model.k == 3
+    assert model.n_features == 4
+
+
+def test_fixture_schema(model):
+    assert model.attributes == [
+        {"name": "group", "kind": "categorical", "n_values": 3, "weight": 1.0},
+        {"name": "age", "kind": "numeric", "weight": 1.0},
+    ]
+
+
+def test_fixture_assignment_reproduces(model):
+    with np.load(FIXTURE / "probe.npz") as arrays:
+        probe = arrays["probe"]
+        expected = arrays["expected_labels"]
+    np.testing.assert_array_equal(model.assign(probe), expected)
+    # Chunked serving agrees too.
+    np.testing.assert_array_equal(model.assign(probe, chunk_size=7), expected)
+
+
+def test_fixture_json_is_v1_wire_format():
+    payload = json.loads((FIXTURE / "model.json").read_text())
+    assert payload["format"] == "repro.cluster_model"
+    assert payload["version"] == 1
+    assert payload["arrays"] == "model.npz"
+    assert set(payload) == {
+        "format",
+        "version",
+        "config",
+        "attributes",
+        "diagnostics",
+        "arrays",
+    }

@@ -1,0 +1,129 @@
+"""ClusterModel artifacts: save → load → assign equals in-process predict."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ARTIFACT_VERSION,
+    ClusterModel,
+    METHOD_REGISTRY,
+    RunConfig,
+    build_estimator,
+    fit,
+)
+
+N, D, K = 240, 5, 3
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(7)
+    points = np.vstack(
+        [rng.normal(0, 1, (N // 2, D)), rng.normal(4, 1, (N - N // 2, D))]
+    )
+    codes = rng.integers(0, 2, N)
+    probe = rng.normal(1.5, 2.0, (80, D))
+    return points, {"group": codes}, probe
+
+
+def _config(method: str) -> RunConfig:
+    return RunConfig(method=method, k=K, seed=0, max_iter=10)
+
+
+@pytest.mark.parametrize("method", sorted(METHOD_REGISTRY))
+def test_round_trip_matches_in_process_predict(tmp_path, data, method):
+    """fit → save → load → assign is bit-identical to predict, per method."""
+    points, sensitive, probe = data
+    config = _config(method)
+
+    estimator = build_estimator(config)
+    estimator.fit_predict(points, sensitive=sensitive)
+    expected = estimator.predict(probe)
+
+    model = fit(config, points, sensitive=sensitive)
+    loaded = ClusterModel.load(model.save(tmp_path / method))
+
+    np.testing.assert_array_equal(model.assign(probe), expected)
+    np.testing.assert_array_equal(loaded.assign(probe), expected)
+    np.testing.assert_array_equal(loaded.centers, estimator.centers_)
+    assert loaded.config == config
+    assert loaded.version == ARTIFACT_VERSION
+
+
+def test_saved_artifact_layout(tmp_path, data):
+    points, sensitive, _ = data
+    model = fit(_config("fairkm"), points, sensitive=sensitive)
+    directory = model.save(tmp_path / "artifact")
+    assert (directory / "model.json").is_file()
+    assert (directory / "model.npz").is_file()
+    payload = json.loads((directory / "model.json").read_text())
+    assert payload["format"] == "repro.cluster_model"
+    assert payload["version"] == ARTIFACT_VERSION
+    assert payload["config"]["method"] == "fairkm"
+    assert payload["attributes"] == [
+        {"name": "group", "kind": "categorical", "n_values": 2, "weight": 1.0}
+    ]
+    assert payload["diagnostics"]["n"] == N
+
+
+def test_load_accepts_json_path(tmp_path, data):
+    points, sensitive, probe = data
+    model = fit(_config("kmeans"), points, sensitive=None)
+    directory = model.save(tmp_path / "m")
+    via_json = ClusterModel.load(directory / "model.json")
+    np.testing.assert_array_equal(via_json.assign(probe), model.assign(probe))
+
+
+def test_load_missing_artifact(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        ClusterModel.load(tmp_path / "nope")
+
+
+def test_load_rejects_wrong_format(tmp_path):
+    (tmp_path / "model.json").write_text(json.dumps({"format": "other", "version": 1}))
+    with pytest.raises(ValueError, match="not a repro.cluster_model"):
+        ClusterModel.load(tmp_path)
+
+
+def test_load_rejects_newer_version(tmp_path, data):
+    points, sensitive, _ = data
+    directory = fit(_config("fairkm"), points, sensitive=sensitive).save(tmp_path)
+    payload = json.loads((directory / "model.json").read_text())
+    payload["version"] = ARTIFACT_VERSION + 1
+    (directory / "model.json").write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="newer than the supported"):
+        ClusterModel.load(directory)
+
+
+def test_model_properties_and_summary(data):
+    points, sensitive, _ = data
+    model = fit(_config("fairkm"), points, sensitive=sensitive)
+    assert model.k == K
+    assert model.n_features == D
+    assert model.attribute_names == ["group"]
+    summary = model.summary()
+    assert "fairkm" in summary and "version" in summary
+
+
+def test_assign_validates_dimensions(data):
+    points, sensitive, _ = data
+    model = fit(_config("fairkm"), points, sensitive=sensitive)
+    with pytest.raises(ValueError, match="features"):
+        model.assign(np.zeros((4, D + 2)))
+
+
+def test_predict_alias(data):
+    points, sensitive, probe = data
+    model = fit(_config("fairkm"), points, sensitive=sensitive)
+    np.testing.assert_array_equal(model.predict(probe), model.assign(probe))
+
+
+def test_assign_iter_streams(data):
+    points, sensitive, probe = data
+    model = fit(_config("fairkm"), points, sensitive=sensitive)
+    streamed = np.concatenate(list(model.assign_iter(probe, chunk_size=17)))
+    np.testing.assert_array_equal(streamed, model.assign(probe))

@@ -1,0 +1,88 @@
+"""RunConfig: validation and JSON round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import ENGINES, RunConfig
+
+
+def test_defaults():
+    config = RunConfig()
+    assert config.method == "fairkm"
+    assert config.k == 5
+    assert config.lambda_ == "auto"
+    assert config.engine == "sequential"
+    assert config.chunk_size is None
+    assert config.sensitive is None
+
+
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        ({"k": 0}, "k must be positive"),
+        ({"k": -2}, "k must be positive"),
+        ({"lambda_": -1.0}, "non-negative"),
+        ({"lambda_": "automatic"}, "auto"),
+        ({"max_iter": 0}, "max_iter"),
+        ({"engine": "warp"}, "engine"),
+        ({"chunk_size": 0}, "chunk_size"),
+        ({"method": ""}, "method"),
+    ],
+)
+def test_validation(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        RunConfig(**kwargs)
+
+
+def test_engines_constant_matches_core():
+    from repro.core.engine import make_sweep
+
+    for engine in ENGINES:
+        assert make_sweep(engine) is not None
+
+
+def test_json_round_trip():
+    config = RunConfig(
+        method="minibatch_fairkm",
+        k=7,
+        lambda_=250.5,
+        max_iter=11,
+        engine="minibatch",
+        chunk_size=128,
+        seed=42,
+        scale_features=False,
+        sensitive=("gender", "race"),
+    )
+    assert RunConfig.from_json(config.to_json()) == config
+    # The wire format is plain JSON data, no custom types.
+    data = json.loads(config.to_json())
+    assert data["sensitive"] == ["gender", "race"]
+    assert data["chunk_size"] == 128
+
+
+def test_json_round_trip_defaults():
+    config = RunConfig()
+    assert RunConfig.from_json(config.to_json()) == config
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown RunConfig keys"):
+        RunConfig.from_dict({"method": "fairkm", "chunksize": 4})
+
+
+def test_sensitive_coerced_to_tuple():
+    config = RunConfig(sensitive=["a", "b"])
+    assert config.sensitive == ("a", "b")
+
+
+def test_with_overrides():
+    base = RunConfig()
+    updated = base.with_overrides(k=9, engine="chunked", method=None)
+    assert updated.k == 9
+    assert updated.engine == "chunked"
+    assert updated.method == base.method  # None means "keep"
+    assert base.k == 5  # frozen original untouched
+    assert base.with_overrides() == base

@@ -109,15 +109,34 @@ def test_registry_builds_protocol_estimators():
     from repro.experiments import METHOD_REGISTRY
 
     config = SuiteConfig(k=3, seeds=(0,))
-    for spec in METHOD_REGISTRY.values():
-        assert isinstance(spec.build(config, 0), ClusteringEstimator)
+    for name, spec in METHOD_REGISTRY.items():
+        assert isinstance(spec.build(config.run_config(name, 0)), ClusteringEstimator)
 
 
 def test_register_method_validates_scope():
     from repro.experiments import register_method
 
     with pytest.raises(ValueError, match="scope"):
-        register_method("broken", lambda cfg, seed: None, scope="sideways")
+        register_method("broken", lambda cfg: None, scope="sideways")
+
+
+def test_suite_config_derives_run_configs():
+    config = SuiteConfig(
+        k=4,
+        fairkm_lambda=123.0,
+        zgya_lambda=77.0,
+        fairkm_max_iter=9,
+        engine="chunked",
+        chunk_size=64,
+        scale_features=False,
+    )
+    fair = config.run_config("fairkm", seed=3)
+    assert (fair.method, fair.k, fair.lambda_, fair.max_iter) == ("fairkm", 4, 123.0, 9)
+    assert (fair.engine, fair.chunk_size, fair.seed) == ("chunked", 64, 3)
+    assert fair.scale_features is False
+    # ZGYA gets its own λ; everything else inherits the FairKM one.
+    assert config.run_config("zgya", seed=0).lambda_ == 77.0
+    assert config.run_config("minibatch_fairkm", seed=0).lambda_ == 123.0
 
 
 def test_unknown_extra_method_rejected():

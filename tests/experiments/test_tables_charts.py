@@ -47,6 +47,53 @@ def test_fairness_table_contains_blocks(suite):
     assert "Impr%" in text
 
 
+@pytest.fixture(scope="module")
+def suite_with_extras():
+    ds = make_fair_problem(
+        140, n_latent=2, categorical=[("a", 2, 0.8), ("b", 3, 0.6)], seed=3
+    )
+    return run_suite(
+        ds,
+        SuiteConfig(
+            k=2,
+            seeds=(0,),
+            silhouette_sample=None,
+            extra_methods=("bera", "fairlets", "minibatch_fairkm"),
+        ),
+    )
+
+
+def test_quality_table_renders_extra_methods(suite_with_extras):
+    text = render_quality_table({2: suite_with_extras})
+    header = text.splitlines()[2]
+    for name in ("bera k=2", "fairlets k=2", "minibatch_fairkm k=2"):
+        assert name in header
+    # Every metric row carries a numeric value for each extra column.
+    for line in text.splitlines()[4:]:
+        assert len(line.split()) == 2 + 6  # measure+arrow, 3 paper + 3 extra columns
+
+
+def test_fairness_table_renders_extra_methods(suite_with_extras):
+    text = render_fairness_table({2: suite_with_extras})
+    assert "Extra methods: fairness (mean across S)" in text
+    # Per-attribute methods are labelled with the attributes they handled.
+    assert "fairlets [a]" in text
+    assert "bera [a, b]" in text
+    assert "minibatch_fairkm [a, b]" in text
+
+
+def test_fairness_table_without_extras_unchanged(suite):
+    text = render_fairness_table({2: suite})
+    assert "Extra methods" not in text
+
+
+def test_extra_methods_missing_at_some_k(suite, suite_with_extras):
+    """A method absent from one k's suite renders as '-' there."""
+    text = render_quality_table({2: suite_with_extras, 3: suite})
+    assert "bera k=2" in text and "bera k=3" in text
+    assert "-" in text.splitlines()[4].split()
+
+
 def test_single_attribute_figure(suite):
     table, series = render_single_attribute_figure(suite, "AW", title="fig")
     assert set(series) == {"a"}

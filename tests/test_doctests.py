@@ -12,6 +12,7 @@ import importlib
 import pytest
 
 MODULE_NAMES = [
+    "repro.api.assign",
     "repro.cluster.distance",
     "repro.cluster.kmeans",
     "repro.core.fairkm",

@@ -75,6 +75,50 @@ def test_predict_validates_dimensionality(data, estimator):
         estimator.predict(np.zeros((2, D + 3)))
 
 
+@pytest.mark.parametrize("estimator", estimators(), ids=lambda e: type(e).__name__)
+def test_export_import_state_round_trip(data, estimator):
+    """Artifact state moves between estimator instances, predict intact."""
+    points, specs = data
+    estimator.fit_predict(points, sensitive=specs)
+    state = estimator.export_state()
+    assert state["centers"].shape == (K, D)
+    assert isinstance(state["diagnostics"], dict)
+
+    revived = type(estimator)(K, seed=0).import_state(state)
+    np.testing.assert_array_equal(revived.centers_, estimator.centers_)
+    np.testing.assert_array_equal(
+        revived.predict(points[:17]), estimator.predict(points[:17])
+    )
+    # Training labels are not part of the portable state.
+    with pytest.raises(NotFittedError):
+        _ = revived.labels_
+
+
+def test_export_import_export_keeps_diagnostics(data):
+    """Reviving an artifact and re-exporting it must not lose facts."""
+    points, specs = data
+    estimator = FairKM(K, seed=0)
+    estimator.fit_predict(points, sensitive=specs)
+    state = estimator.export_state()
+    re_exported = FairKM(K, seed=0).import_state(state).export_state()
+    assert re_exported["diagnostics"] == state["diagnostics"]
+    np.testing.assert_array_equal(re_exported["centers"], state["centers"])
+
+
+def test_export_state_before_fit_raises():
+    with pytest.raises(NotFittedError):
+        FairKM(K, seed=0).export_state()
+
+
+def test_export_state_diagnostics_are_plain_scalars(data):
+    points, specs = data
+    estimator = FairKM(K, seed=0)
+    estimator.fit_predict(points, sensitive=specs)
+    diagnostics = estimator.export_state()["diagnostics"]
+    assert {"objective", "lambda_", "n_iter", "converged"} <= set(diagnostics)
+    assert all(isinstance(v, (bool, int, float)) for v in diagnostics.values())
+
+
 def test_kmeans_ignores_sensitive(data):
     points, specs = data
     with_specs = KMeans(K, seed=4).fit_predict(points, sensitive=specs)
