@@ -5,12 +5,17 @@ Measures :class:`repro.api.Assigner` — the hot loop behind
 problem (n = 10⁵ by default, d = 14, k = 15) across chunk sizes, and
 checks that chunking never changes the labels.
 
+Measurements go through the :mod:`repro.perf.harness` emitter: the
+machine-readable record is ``results/BENCH_assign_chunks.json`` and the
+human-readable ``results/assign_throughput.txt`` is rendered *from* that
+JSON (one code path, two formats). The jobs axis lives in
+``repro bench`` / ``results/BENCH_assign.json``; this bench sweeps the
+chunk-size axis at jobs=1.
+
 Runs standalone (no pytest needed), which is how CI smoke-invokes it::
 
     PYTHONPATH=src python benchmarks/bench_assign.py --smoke
     PYTHONPATH=src python benchmarks/bench_assign.py --n 1000000
-
-Output: ``results/assign_throughput.txt``.
 """
 
 from __future__ import annotations
@@ -22,19 +27,19 @@ import numpy as np
 
 from repro.api import Assigner
 from repro.experiments.paper import write_result
-from repro.experiments.tables import format_table
+from repro.perf.harness import BenchRecord, bench_payload, render_bench, write_bench
 
 CHUNK_SIZES = (256, 1024, 8192, 65536)
 
 
-def run(n: int, d: int, k: int, repeats: int) -> str:
+def run(n: int, d: int, k: int, repeats: int) -> list[BenchRecord]:
     rng = np.random.default_rng(0)
     centers = rng.normal(size=(k, d)) * 2.0
     points = rng.normal(size=(n, d))
     service = Assigner(centers)
 
     baseline = service.assign(points)
-    rows = []
+    records = []
     for chunk in CHUNK_SIZES:
         best = float("inf")
         for _ in range(repeats):
@@ -43,14 +48,21 @@ def run(n: int, d: int, k: int, repeats: int) -> str:
             best = min(best, time.perf_counter() - start)
         if not np.array_equal(labels, baseline):
             raise AssertionError(f"chunk_size={chunk} changed the assignment")
-        rows.append([f"{chunk}", f"{best * 1e3:.1f}", f"{n / best / 1e6:.2f}"])
-
-    table = format_table(
-        ["chunk_size", "best ms", "Mrows/s"],
-        rows,
-        title=f"Batch assignment throughput (n={n}, d={d}, k={k})",
-    )
-    return table
+        records.append(
+            BenchRecord(
+                f"assign[chunk={chunk}]", n, k, 1,
+                best, n / best if best > 0 else 0.0,
+                extra={"d": d, "chunk_size": chunk},
+            )
+        )
+    # The schema's speedup field means "vs the jobs=1 record of the same
+    # workload" — each chunk size here IS its own jobs=1 baseline, so
+    # speedup stays 1.0 and the cross-chunk ratio goes into extra.
+    base = records[0].wall_s
+    for record in records:
+        if record.wall_s > 0:
+            record.extra["vs_smallest_chunk"] = round(base / record.wall_s, 4)
+    return records
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -65,9 +77,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     n, repeats = (20_000, 1) if args.smoke else (args.n, args.repeats)
-    table = run(n, args.d, args.k, repeats)
+    records = run(n, args.d, args.k, repeats)
+    from repro.experiments.paper import RESULTS_DIR
+
+    path = write_bench(RESULTS_DIR / "BENCH_assign_chunks.json", "assign_chunks", records)
+    table = render_bench(bench_payload("assign_chunks", records))
     print(table)
     write_result("assign_throughput.txt", table)
+    print(f"records: {path}")
     return 0
 
 

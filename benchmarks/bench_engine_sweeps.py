@@ -12,8 +12,13 @@ sensitive attributes plus one numeric, the paper's §5.1 configuration):
 Asserted invariants: chunked reproduces the sequential labels and
 objective bit-for-bit and is at least 5× faster at this size; minibatch
 stays within a quality band of the exact objective.
-Output: ``results/engine_sweeps.txt``. ``REPRO_BENCH_ENGINE_N``
-overrides the problem size.
+
+Measurements go through the :mod:`repro.perf.harness` emitter:
+``results/BENCH_engine_sweeps.json`` holds the records (speedup column
+is vs the sequential engine) and ``results/engine_sweeps.txt`` is
+rendered from that JSON. The jobs axis lives in ``repro bench`` /
+``results/BENCH_engine.json``. ``REPRO_BENCH_ENGINE_N`` overrides the
+problem size.
 """
 
 from __future__ import annotations
@@ -24,8 +29,8 @@ import time
 import numpy as np
 
 from repro.core import CategoricalSpec, FairKM, NumericSpec
-from repro.experiments.paper import write_result
-from repro.experiments.tables import format_table
+from repro.experiments.paper import RESULTS_DIR, write_result
+from repro.perf.harness import BenchRecord, bench_payload, render_bench, write_bench
 
 from conftest import emit
 
@@ -66,24 +71,23 @@ def test_engine_sweeps(benchmark):
     benchmark.pedantic(compare, rounds=1, iterations=1)
 
     seq_t, seq = runs["sequential"]
-    rows = []
+    records = []
     for engine in ENGINES:
         elapsed, result = runs[engine]
-        rows.append(
-            [
-                engine,
-                f"{elapsed:.2f}",
-                f"{seq_t / elapsed:.2f}x",
-                f"{result.n_iter}",
-                f"{result.objective:.6e}",
-                f"{abs(result.objective - seq.objective) / seq.objective:.2e}",
-            ]
+        records.append(
+            BenchRecord(
+                f"engine[{engine}]", N, K, 1,
+                elapsed, N * result.n_iter / elapsed if elapsed > 0 else 0.0,
+                speedup=seq_t / elapsed if elapsed > 0 else 0.0,
+                extra={
+                    "n_iter": result.n_iter,
+                    "objective": result.objective,
+                    "rel_obj_gap": abs(result.objective - seq.objective) / seq.objective,
+                },
+            )
         )
-    text = format_table(
-        ["engine", "fit seconds", "speedup", "iters", "objective", "rel. obj. gap"],
-        rows,
-        title=f"Engine sweep comparison (n={N}, k={K}, |S|={len(CARDINALITIES) + 1})",
-    )
+    write_bench(RESULTS_DIR / "BENCH_engine_sweeps.json", "engine_sweeps", records)
+    text = render_bench(bench_payload("engine_sweeps", records))
     write_result("engine_sweeps.txt", text)
     emit("Engine sweeps (parity and wall-clock)", text)
 

@@ -1,0 +1,22 @@
+"""Standalone entry point for the machine-readable benchmark harness.
+
+Thin wrapper over :mod:`repro.perf.harness` (the same code path as
+``repro bench``), kept so the benchmark suite can run without an
+installed console script::
+
+    PYTHONPATH=src python benchmarks/harness.py --smoke --jobs 2
+    PYTHONPATH=src python benchmarks/harness.py assign --jobs 4
+
+Output: schema-validated ``results/BENCH_engine.json`` /
+``results/BENCH_assign.json`` plus the rendered tables on stdout.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(["bench", *sys.argv[1:]]))

@@ -9,7 +9,14 @@ center over the non-sensitive features.
 norms once, so each served chunk costs one GEMM plus an argmin. Chunking
 bounds the working set to ``chunk_size × k`` floats regardless of
 request size, which keeps throughput flat from thousands to millions of
-rows (``benchmarks/bench_assign.py`` measures it).
+rows (``repro bench`` / ``benchmarks/bench_assign.py`` measure it).
+
+For very wide requests the chunks themselves are embarrassingly
+parallel: with ``n_jobs > 1`` they are fanned out across worker threads
+(the per-chunk GEMM releases the GIL), each writing its disjoint slice
+of the preallocated output. The chunk partition and per-chunk
+arithmetic are identical to the serial path, so the labels are
+bit-identical for every worker count.
 
 The per-chunk arithmetic is kept term-for-term identical to
 :func:`repro.cluster.distance.nearest_center` so that batch assignment
@@ -23,6 +30,7 @@ from collections.abc import Iterable, Iterator
 import numpy as np
 
 from ..cluster.distance import squared_norms
+from ..core.parallel import WorkerPool, resolve_n_jobs, run_tasks
 
 #: Default serving chunk: big enough to saturate BLAS, small enough to
 #: keep the (chunk × k) distance block comfortably in cache/RAM.
@@ -35,6 +43,9 @@ class Assigner:
     Args:
         centers: cluster centers, shape ``(k, d)`` (non-sensitive
             features only).
+        n_jobs: default worker threads for :meth:`assign` (1 serial,
+            -1 one per CPU); per-call ``n_jobs=`` overrides. Labels are
+            bit-identical for every value.
 
     Example:
         >>> import numpy as np
@@ -43,13 +54,17 @@ class Assigner:
         [0, 1]
     """
 
-    def __init__(self, centers: np.ndarray) -> None:
+    def __init__(self, centers: np.ndarray, *, n_jobs: int | None = None) -> None:
         centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
         if centers.ndim != 2 or centers.shape[0] == 0:
             raise ValueError(f"centers must be a non-empty 2-D array, got {centers.shape}")
         if not np.all(np.isfinite(centers)):
             raise ValueError("centers must be finite")
         self.centers = centers
+        # The service's own pool is reused across requests; a per-call
+        # n_jobs override runs on a transient pool instead.
+        self._pool = WorkerPool(n_jobs)
+        self.n_jobs = self._pool.n_jobs
         # Kept as the same transposed view nearest_center's GEMM sees, so
         # chunked serving matches in-process predict bit for bit.
         self._centers_t = centers.T
@@ -73,11 +88,34 @@ class Assigner:
             )
         return points
 
+    def _assign_block(
+        self,
+        points: np.ndarray,
+        labels: np.ndarray,
+        distances: np.ndarray | None,
+        start: int,
+        stop: int,
+    ) -> None:
+        """Label rows ``start:stop``, writing into the output slices."""
+        block = points[start:stop]
+        # Same expansion (and operation order) as pairwise_sq_euclidean,
+        # with the center norms hoisted out of the loop.
+        d2 = block @ self._centers_t
+        d2 *= -2.0
+        d2 += squared_norms(block)[:, None]
+        d2 += self._center_norms[None, :]
+        np.maximum(d2, 0.0, out=d2)
+        block_labels = np.argmin(d2, axis=1)
+        labels[start:stop] = block_labels
+        if distances is not None:
+            distances[start:stop] = d2[np.arange(block.shape[0]), block_labels]
+
     def assign(
         self,
         points: np.ndarray,
         *,
         chunk_size: int | None = None,
+        n_jobs: int | None = None,
         return_distance: bool = False,
     ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
         """Label every row of *points* with its nearest center.
@@ -87,6 +125,10 @@ class Assigner:
                 promoted).
             chunk_size: rows scored per GEMM (default
                 :data:`DEFAULT_CHUNK_SIZE`).
+            n_jobs: worker threads fanning the chunks out for this call
+                (default: the constructor's ``n_jobs``). Chunks write
+                disjoint output slices, so labels are bit-identical to
+                the serial path.
             return_distance: also return the squared distance to the
                 assigned center.
 
@@ -96,24 +138,20 @@ class Assigner:
         """
         points = self._validated(points)
         chunk = self._chunk(chunk_size)
+        jobs = self.n_jobs if n_jobs is None else resolve_n_jobs(n_jobs)
         n = points.shape[0]
         labels = np.empty(n, dtype=np.int64)
         distances = np.empty(n, dtype=np.float64) if return_distance else None
-        for start in range(0, n, chunk):
-            block = points[start : start + chunk]
-            # Same expansion (and operation order) as pairwise_sq_euclidean,
-            # with the center norms hoisted out of the loop.
-            d2 = block @ self._centers_t
-            d2 *= -2.0
-            d2 += squared_norms(block)[:, None]
-            d2 += self._center_norms[None, :]
-            np.maximum(d2, 0.0, out=d2)
-            block_labels = np.argmin(d2, axis=1)
-            labels[start : start + block.shape[0]] = block_labels
-            if distances is not None:
-                distances[start : start + block.shape[0]] = d2[
-                    np.arange(block.shape[0]), block_labels
-                ]
+        thunks = [
+            (lambda s=start: self._assign_block(
+                points, labels, distances, s, min(s + chunk, n)
+            ))
+            for start in range(0, n, chunk)
+        ]
+        if jobs == self.n_jobs:
+            self._pool.run(thunks)
+        else:
+            run_tasks(thunks, jobs)
         if distances is not None:
             return labels, distances
         return labels
@@ -154,7 +192,11 @@ class Assigner:
 
 
 def batched_assign(
-    points: np.ndarray, centers: np.ndarray, *, chunk_size: int | None = None
+    points: np.ndarray,
+    centers: np.ndarray,
+    *,
+    chunk_size: int | None = None,
+    n_jobs: int | None = None,
 ) -> np.ndarray:
     """One-shot convenience wrapper around :class:`Assigner`."""
-    return Assigner(centers).assign(points, chunk_size=chunk_size)
+    return Assigner(centers, n_jobs=n_jobs).assign(points, chunk_size=chunk_size)

@@ -38,6 +38,13 @@ class RunConfig:
         engine: FairKM sweep strategy (one of :data:`ENGINES`).
         chunk_size: chunk size of the chunked engine; doubles as the
             mini-batch size. ``None`` keeps the engine default.
+        n_jobs: worker threads for the parallel hot paths (chunked /
+            mini-batch sweep scoring and batch assignment): 1 serial
+            (default), -1 one per CPU. Results are bit-identical for
+            every value — the knob only trades wall-clock. A
+            host-execution knob: ``ClusterModel.save`` does not persist
+            it, so loaded artifacts serve serially unless the host
+            passes ``assign(n_jobs=...)`` explicitly.
         seed: RNG seed (one fit is fully deterministic given the seed).
         scale_features: z-score numeric features when fitting from a
             ``Dataset`` (True for Adult; False for embedding spaces).
@@ -51,6 +58,7 @@ class RunConfig:
     max_iter: int = 30
     engine: str = "sequential"
     chunk_size: int | None = None
+    n_jobs: int = 1
     seed: int = 0
     scale_features: bool = True
     sensitive: tuple[str, ...] | None = None
@@ -71,6 +79,9 @@ class RunConfig:
             raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
         if self.chunk_size is not None and self.chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {self.chunk_size}")
+        from ..core.parallel import validate_n_jobs
+
+        validate_n_jobs(self.n_jobs)
         if self.sensitive is not None:
             object.__setattr__(self, "sensitive", tuple(str(s) for s in self.sensitive))
 

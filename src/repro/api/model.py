@@ -113,9 +113,14 @@ class ClusterModel:
 
     @property
     def assigner(self) -> Assigner:
-        """The lazily-built batch-assignment service for these centers."""
+        """The lazily-built batch-assignment service for these centers.
+
+        Built with the config's ``n_jobs`` so repeated ``assign`` calls
+        at that worker count reuse one pool instead of spawning
+        transient executors per request.
+        """
         if self._assigner is None:
-            self._assigner = Assigner(self.centers)
+            self._assigner = Assigner(self.centers, n_jobs=self.config.n_jobs)
         return self._assigner
 
     def assign(
@@ -123,16 +128,20 @@ class ClusterModel:
         points: np.ndarray,
         *,
         chunk_size: int | None = None,
+        n_jobs: int | None = None,
         return_distance: bool = False,
     ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
         """Batch-assign *points* to their nearest center (S-blind).
 
         Identical to the in-process ``predict`` of the estimator that
         produced this artifact; see :meth:`Assigner.assign` for the
-        chunking knobs.
+        chunking and worker-thread knobs (``n_jobs`` defaults to the
+        embedded config's value).
         """
+        if n_jobs is None:
+            n_jobs = self.config.n_jobs
         return self.assigner.assign(
-            points, chunk_size=chunk_size, return_distance=return_distance
+            points, chunk_size=chunk_size, n_jobs=n_jobs, return_distance=return_distance
         )
 
     def assign_iter(
@@ -161,10 +170,18 @@ class ClusterModel:
         """
         directory = Path(path)
         directory.mkdir(parents=True, exist_ok=True)
+        # n_jobs is a host-execution knob, not part of the model's
+        # identity: persisting it would change the v1 config wire format
+        # (older strict readers reject unknown keys) and leak the
+        # training box's thread count into serving defaults. Loaded
+        # artifacts therefore always carry n_jobs=1; serving hosts opt
+        # into parallelism explicitly via assign(n_jobs=...).
+        config = self.config.to_dict()
+        config.pop("n_jobs", None)
         payload = {
             "format": ARTIFACT_FORMAT,
             "version": self.version,
-            "config": self.config.to_dict(),
+            "config": config,
             "attributes": self.attributes,
             "diagnostics": self.diagnostics,
             "arrays": _NPZ_NAME,

@@ -109,6 +109,7 @@ register_method(
         max_iter=cfg.max_iter,
         engine=cfg.engine,
         chunk_size=cfg.chunk_size,
+        n_jobs=cfg.n_jobs,
         seed=cfg.seed,
     ),
 )
@@ -119,6 +120,7 @@ register_method(
         batch_size=cfg.chunk_size or 256,
         lambda_=cfg.lambda_,
         max_iter=cfg.max_iter,
+        n_jobs=cfg.n_jobs,
         seed=cfg.seed,
     ),
 )

@@ -8,6 +8,7 @@ Subcommands::
     repro evaluate --model artifacts/m --dataset adult
     repro paper table5 --seeds 5 --engine chunked
     repro paper list
+    repro bench --smoke --jobs 2
 
 ``repro fit`` / ``repro predict`` are the train-once / assign-many
 split: ``fit`` writes a portable :class:`~repro.api.ClusterModel`
@@ -47,6 +48,16 @@ def positive_int(text: str) -> int:
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be positive, got {value}")
     return value
+
+
+def jobs_value(text: str) -> int:
+    """argparse type: worker count — a positive integer or -1 (per CPU)."""
+    from .core.parallel import validate_n_jobs
+
+    try:
+        return validate_n_jobs(int(text))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def lambda_value(text: str) -> float | str:
@@ -125,6 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-size", type=positive_int, default=None,
         help="chunk size of the chunked engine / batch size of minibatch",
     )
+    p_fit.add_argument(
+        "--jobs", type=jobs_value, default=None,
+        help="worker threads for the parallel scoring paths (default 1; "
+        "-1 = one per CPU; results are identical for every value)",
+    )
     p_fit.add_argument("--max-iter", type=positive_int, default=None)
     p_fit.add_argument("--seed", type=int, default=None, help="RNG seed (default 0)")
     p_fit.add_argument(
@@ -158,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument(
         "--chunk-size", type=positive_int, default=None,
         help="rows scored per batch (default 8192)",
+    )
+    p_pred.add_argument(
+        "--jobs", type=jobs_value, default=None,
+        help="worker threads fanning assignment chunks out "
+        "(default: the model config's n_jobs; labels identical for every value)",
     )
     p_pred.add_argument(
         "--out", "-o", type=Path, default=None,
@@ -196,6 +217,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="paper-scale settings (100 seeds, 32561 Adult rows)")
     p_paper.add_argument("--engine", choices=list(ENGINES), default=None)
     p_paper.add_argument("--chunk-size", type=positive_int, default=None)
+
+    # ----------------------------------------------------------- bench #
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the perf suites and emit machine-readable BENCH_*.json",
+        description="Run the engine/assignment benchmark suites across "
+        "worker counts, write schema-validated BENCH_engine.json / "
+        "BENCH_assign.json under results/, and print the rendered tables.",
+    )
+    p_bench.add_argument(
+        "suite", nargs="?", choices=["engine", "assign", "all"], default="all",
+        help="which suite to run (default all)",
+    )
+    p_bench.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes for CI (seconds, not minutes)",
+    )
+    p_bench.add_argument(
+        "--jobs", type=jobs_value, default=4,
+        help="top of the worker-count ladder 1,2,4,... (default 4)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=positive_int, default=None,
+        help="timing repeats, best-of (default: 1 engine / 3 assign)",
+    )
+    p_bench.add_argument(
+        "--out", "-o", type=Path, default=None,
+        help="output directory (default results/, or REPRO_RESULTS_DIR)",
+    )
 
     return parser
 
@@ -280,6 +330,7 @@ def _cmd_fit(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         lambda_=args.lambda_,
         engine=args.engine,
         chunk_size=args.chunk_size,
+        n_jobs=args.jobs,
         max_iter=args.max_iter,
         seed=args.seed,
         scale_features=False if args.no_scale else None,
@@ -310,7 +361,7 @@ def _cmd_predict(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     else:
         points, _ = load_points_file(args.data)
     start = time.perf_counter()
-    labels = model.assign(points, chunk_size=args.chunk_size)
+    labels = model.assign(points, chunk_size=args.chunk_size, n_jobs=args.jobs)
     elapsed = time.perf_counter() - start
     counts = np.bincount(labels, minlength=model.k)
     rate = labels.size / elapsed if elapsed > 0 else float("inf")
@@ -375,11 +426,35 @@ def _cmd_paper(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    import json
+
+    from .core.parallel import resolve_n_jobs
+    from .perf.harness import render_bench, run_bench, validate_bench
+
+    start = time.time()
+    written = run_bench(
+        args.suite,
+        smoke=args.smoke,
+        max_jobs=resolve_n_jobs(args.jobs),
+        out_dir=args.out,
+        repeats=args.repeats,
+    )
+    for suite, path in written.items():
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        validate_bench(payload)  # what CI runs against the emitted file
+        print(render_bench(payload))
+        print(f"[{suite}] written: {path}\n")
+    print(f"[bench done in {time.time() - start:.1f}s]")
+    return 0
+
+
 _COMMANDS = {
     "fit": _cmd_fit,
     "predict": _cmd_predict,
     "evaluate": _cmd_evaluate,
     "paper": _cmd_paper,
+    "bench": _cmd_bench,
 }
 
 #: Pre-subcommand spellings still accepted at the front of argv.

@@ -46,6 +46,7 @@ from .objective import (
     kmeans_term,
     numeric_deviation,
 )
+from .parallel import FrozenScoringView, WorkerPool, ordered_map, resolve_n_jobs
 from .protocol import ClusteringEstimator, EstimatorMixin, NotFittedError
 from .state import ClusterState
 
@@ -59,6 +60,7 @@ __all__ = [
     "FairKM",
     "FairKMConfig",
     "FairKMResult",
+    "FrozenScoringView",
     "MiniBatchFairKM",
     "MiniBatchSweep",
     "NotFittedError",
@@ -66,6 +68,7 @@ __all__ = [
     "OptimizerEngine",
     "SequentialSweep",
     "SweepStrategy",
+    "WorkerPool",
     "categorical_deviation",
     "default_lambda",
     "fairkm_fit",
@@ -75,7 +78,9 @@ __all__ = [
     "make_sweep",
     "normalize_sensitive",
     "numeric_deviation",
+    "ordered_map",
     "resolve_lambda",
+    "resolve_n_jobs",
     "single_categorical",
     "validate_specs",
 ]

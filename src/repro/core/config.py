@@ -79,6 +79,11 @@ class FairKMResult:
         objective_history: objective value after each iteration.
         fractional_representations: per sensitive attribute, the final
             Fr_C(s) matrix (k × n_values).
+        diagnostics: per-sweep engine telemetry — for each iteration the
+            realized move rate plus the sweep strategy's own facts
+            (mode, window/batch sizing, scoring vs repair wall time) —
+            the measured data cost-model autotuning of the sweep
+            constants works from.
     """
 
     labels: np.ndarray
@@ -92,6 +97,7 @@ class FairKMResult:
     moves_per_iter: list[int] = field(default_factory=list)
     objective_history: list[float] = field(default_factory=list)
     fractional_representations: dict[str, np.ndarray] = field(default_factory=dict)
+    diagnostics: dict = field(default_factory=dict)
 
     @property
     def k(self) -> int:

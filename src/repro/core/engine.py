@@ -34,12 +34,15 @@ cache updates.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..cluster.init import initial_labels
 from .attributes import CategoricalSpec, NumericSpec
 from .config import FairKMConfig, FairKMResult
 from .lambda_heuristic import resolve_lambda
+from .parallel import FrozenScoringView, WorkerPool, resolve_n_jobs
 from .state import ClusterState
 
 
@@ -49,13 +52,26 @@ class SweepStrategy:
     A strategy mutates *state* in place and returns the number of
     accepted moves. Strategies may keep per-fit adaptive state;
     :meth:`reset` is called by the engine at the start of every fit.
+
+    After each :meth:`sweep` the strategy leaves a dict of per-sweep
+    facts in :attr:`last_stats` (mode taken, realized window/batch
+    sizing, scoring vs repair wall time); the engine folds these into
+    ``FairKMResult.diagnostics`` so cost-model tuning of the sizing
+    constants has measured data to work from.
     """
 
     #: Registry name; subclasses override.
     name = "base"
 
+    #: Per-sweep diagnostics of the most recent :meth:`sweep` call.
+    last_stats: dict
+
+    def __init__(self) -> None:
+        self.last_stats = {}
+
     def reset(self) -> None:
         """Clear any adaptive per-fit state (called once per fit)."""
+        self.last_stats = {}
 
     def sweep(
         self, state: ClusterState, order: np.ndarray, lam: float, cfg: FairKMConfig
@@ -72,6 +88,7 @@ class SequentialSweep(SweepStrategy):
     def sweep(
         self, state: ClusterState, order: np.ndarray, lam: float, cfg: FairKMConfig
     ) -> int:
+        start = time.perf_counter()
         moves = 0
         for i in order:
             i = int(i)
@@ -82,6 +99,10 @@ class SequentialSweep(SweepStrategy):
             if target != state.labels[i] and deltas[target] < -cfg.tol:
                 state.apply_move(i, target)
                 moves += 1
+        self.last_stats = {
+            "mode": "sequential",
+            "scoring_s": time.perf_counter() - start,
+        }
         return moves
 
 
@@ -116,10 +137,28 @@ class ChunkedSweep(SweepStrategy):
     move repairs the rows still pending in its window, so bounding the
     expected moves per window bounds the repair work.
 
+    With ``n_jobs > 1`` the sweep prefetches: groups of
+    :data:`PREFETCH_WINDOWS` windows are scored concurrently against the
+    frozen statistics (NumPy's GEMMs release the GIL), then the whole
+    group is scanned serially in visit order with the same per-move
+    repair, now covering every row still pending in the group. The task
+    partition — window boundaries and group size — depends only on
+    ``chunk_size`` and the adaptive window, never on the worker count,
+    so every thread count computes the identical delta arrays and the
+    decision sequence stays exactly the sequential sweep's. Prefetching
+    coarsens the mid-sweep dense safety valve to group boundaries: a
+    sweep that turns dense mid-group pays repair for at most the
+    remaining prefetched windows (bounded by ``PREFETCH_WINDOWS``)
+    before the valve fires — a bounded wall-clock cost, never a
+    decision change.
+
     Args:
         chunk_size: maximum objects scored per vectorized batch call.
         dense_threshold: move rate above which the sweep runs the
             sequential inner loop instead of chunk scoring.
+        n_jobs: worker threads scoring windows concurrently (``1``
+            serial, ``-1`` one per CPU). Decisions are identical for
+            every value.
     """
 
     name = "chunked"
@@ -129,8 +168,18 @@ class ChunkedSweep(SweepStrategy):
     #: Minimum adaptive window; below this the fixed per-call NumPy
     #: overhead of ``batch_move_deltas`` dominates.
     MIN_WINDOW = 32
+    #: Windows scored ahead per parallel round. Fixed (never derived
+    #: from ``n_jobs``) so the task partition — and therefore every
+    #: computed array — is identical for every worker count.
+    PREFETCH_WINDOWS = 8
 
-    def __init__(self, chunk_size: int = 256, dense_threshold: float = 0.4) -> None:
+    def __init__(
+        self,
+        chunk_size: int = 256,
+        dense_threshold: float = 0.4,
+        n_jobs: int = 1,
+    ) -> None:
+        super().__init__()
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         if not 0.0 < dense_threshold <= 1.0:
@@ -139,10 +188,13 @@ class ChunkedSweep(SweepStrategy):
             )
         self.chunk_size = int(chunk_size)
         self.dense_threshold = float(dense_threshold)
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self._pool = WorkerPool(self.n_jobs)
         self._sequential = SequentialSweep()
         self._prev_rate: float | None = None
 
     def reset(self) -> None:
+        super().reset()
         self._prev_rate = None
 
     def _window(self) -> int:
@@ -158,26 +210,73 @@ class ChunkedSweep(SweepStrategy):
         if self._prev_rate is None or self._prev_rate > self.dense_threshold:
             moves = self._sequential.sweep(state, order, lam, cfg)
             self._prev_rate = moves / n
+            self.last_stats = {**self._sequential.last_stats, "mode": "dense_fallback"}
             return moves
 
         window = self._window()
+        stats = {
+            "mode": "chunked",
+            "window": window,
+            "n_jobs": self.n_jobs,
+            "scoring_s": 0.0,
+            "repair_s": 0.0,
+        }
+        # One parallel round scans this many objects: a single window
+        # serially, a prefetched group of windows when n_jobs > 1.
+        stride = window if self.n_jobs == 1 else window * self.PREFETCH_WINDOWS
         moves = 0
-        for start in range(0, n, window):
+        for start in range(0, n, stride):
             # Mid-sweep safety valve: if this sweep turned out dense
             # after all, stop paying for per-move repairs.
             if start >= 2 * window and moves / start > self.dense_threshold:
                 moves += self._sequential.sweep(state, order[start:], lam, cfg)
+                stats["mode"] = "chunked+dense_tail"
                 break
-            moves += self._scan_window(state, order[start : start + window], lam, cfg)
+            group = order[start : start + stride]
+            deltas = self._score_group(state, group, window, lam, stats)
+            moves += self._scan_window(state, group, lam, cfg, deltas, stats)
         self._prev_rate = moves / n
+        self.last_stats = stats
         return moves
+
+    def _score_group(
+        self,
+        state: ClusterState,
+        group: np.ndarray,
+        window: int,
+        lam: float,
+        stats: dict,
+    ) -> np.ndarray:
+        """Score every window of *group* against the frozen statistics.
+
+        The window partition is identical for every ``n_jobs``; workers
+        only decide *where* each per-window ``batch_move_deltas`` call
+        runs, so the stacked result is the same array serial scoring
+        would produce.
+        """
+        start = time.perf_counter()
+        if self.n_jobs == 1 or group.shape[0] <= window:
+            deltas = state.batch_move_deltas(group, lam)
+        else:
+            view = FrozenScoringView(state)
+            slices = [
+                group[off : off + window] for off in range(0, group.shape[0], window)
+            ]
+            parts = self._pool.map(lambda sl: view.batch_move_deltas(sl, lam), slices)
+            deltas = np.vstack(parts)
+        stats["scoring_s"] += time.perf_counter() - start
+        return deltas
 
     @staticmethod
     def _scan_window(
-        state: ClusterState, window: np.ndarray, lam: float, cfg: FairKMConfig
+        state: ClusterState,
+        window: np.ndarray,
+        lam: float,
+        cfg: FairKMConfig,
+        deltas: np.ndarray,
+        stats: dict,
     ) -> int:
-        """Scan one window in visit order, repairing scores per move."""
-        deltas = state.batch_move_deltas(window, lam)
+        """Scan one scored window in visit order, repairing per move."""
         best = deltas.min(axis=1)
         w = window.shape[0]
         moves = 0
@@ -204,6 +303,7 @@ class ChunkedSweep(SweepStrategy):
                 return moves
             # Repair the pending rows: the move only changed the source
             # and target clusters' statistics.
+            repair_start = time.perf_counter()
             suffix = window[r:]
             cur = state.labels[suffix]
             touched = (cur == source) | (cur == target)
@@ -217,6 +317,7 @@ class ChunkedSweep(SweepStrategy):
                     state.batch_move_deltas_cols(suffix[fresh], cols, lam)
                 )
             best[r:] = deltas[r:].min(axis=1)
+            stats["repair_s"] += time.perf_counter() - repair_start
 
 
 class MiniBatchSweep(SweepStrategy):
@@ -226,22 +327,69 @@ class MiniBatchSweep(SweepStrategy):
     batch start; all accepted moves are applied (decisions may have gone
     stale within the batch — that is the approximation), then the caches
     are rebuilt once.
+
+    With ``n_jobs > 1`` the frozen-snapshot scoring of each batch is
+    *sharded*: workers score fixed-size shards of the batch concurrently
+    against the frozen statistics, the shard deltas are stacked back in
+    visit order, and the accepted moves are merged serially through the
+    additive sufficient statistics (``sums``, ``sum_sqnorm``,
+    per-attribute ``counts``/``h`` deltas via ``apply_move``) followed by
+    the batch's single resync — exactly the single-threaded decision and
+    merge sequence. Shard boundaries depend only on the batch size,
+    never on the worker count.
     """
 
     name = "minibatch"
 
-    def __init__(self, batch_size: int = 256) -> None:
+    #: Minimum rows per scoring shard; below this the per-task overhead
+    #: outweighs the GIL-released GEMM work.
+    MIN_SHARD = 512
+    #: Maximum shards per batch (bounds per-batch task overhead).
+    MAX_SHARDS = 8
+
+    def __init__(self, batch_size: int = 256, n_jobs: int | None = 1) -> None:
+        super().__init__()
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.batch_size = int(batch_size)
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self._pool = WorkerPool(self.n_jobs)
+
+    def _score_batch(self, state: ClusterState, batch: np.ndarray, lam: float) -> np.ndarray:
+        """Frozen-snapshot deltas for one batch, sharded when wide.
+
+        The shard partition depends only on the batch size — a batch
+        wider than one shard is scored shard-by-shard even at
+        ``n_jobs=1`` — so every worker count performs the identical
+        per-shard calls and bit-identity is structural, not an
+        assumption about BLAS reductions being shape-independent.
+        """
+        b = batch.shape[0]
+        shard = max(self.MIN_SHARD, -(-b // self.MAX_SHARDS))  # ceil division
+        if b <= shard:
+            return state.batch_move_deltas(batch, lam)
+        view = FrozenScoringView(state)
+        shards = [batch[off : off + shard] for off in range(0, b, shard)]
+        parts = self._pool.map(lambda sl: view.batch_move_deltas(sl, lam), shards)
+        return np.vstack(parts)
 
     def sweep(
         self, state: ClusterState, order: np.ndarray, lam: float, cfg: FairKMConfig
     ) -> int:
+        stats = {
+            "mode": "minibatch",
+            "batch_size": self.batch_size,
+            "n_jobs": self.n_jobs,
+            "scoring_s": 0.0,
+            "merge_s": 0.0,
+        }
         moves = 0
         for start in range(0, order.shape[0], self.batch_size):
             batch = order[start : start + self.batch_size]
-            deltas = state.batch_move_deltas(batch, lam)
+            t0 = time.perf_counter()
+            deltas = self._score_batch(state, batch, lam)
+            t1 = time.perf_counter()
+            stats["scoring_s"] += t1 - t0
             targets = np.argmin(deltas, axis=1)
             rows = np.arange(batch.shape[0])
             improves = deltas[rows, targets] < -cfg.tol
@@ -255,7 +403,9 @@ class MiniBatchSweep(SweepStrategy):
                 batch_moves += 1
             if batch_moves:
                 state.resync()
+            stats["merge_s"] += time.perf_counter() - t1
             moves += batch_moves
+        self.last_stats = stats
         return moves
 
 
@@ -269,7 +419,10 @@ SWEEP_STRATEGIES: dict[str, type[SweepStrategy]] = {
 
 
 def make_sweep(
-    engine: str | SweepStrategy, *, chunk_size: int | None = None
+    engine: str | SweepStrategy,
+    *,
+    chunk_size: int | None = None,
+    n_jobs: int | None = None,
 ) -> SweepStrategy:
     """Resolve an ``engine`` argument into a :class:`SweepStrategy`.
 
@@ -280,20 +433,30 @@ def make_sweep(
             size for ``"minibatch"``. ``None`` keeps each strategy's
             default. Rejected alongside a strategy *instance* — the
             instance already carries its own sizing.
+        n_jobs: scoring worker threads for the ``"chunked"`` and
+            ``"minibatch"`` strategies (``None``/1 serial, -1 per-CPU).
+            Ignored by ``"sequential"``, whose decision loop is
+            inherently serial; like ``chunk_size``, rejected alongside a
+            strategy instance.
     """
     if isinstance(engine, SweepStrategy):
-        if chunk_size is not None:
+        if chunk_size is not None or n_jobs is not None:
             raise ValueError(
-                "chunk_size cannot be combined with a SweepStrategy instance; "
-                "configure the instance directly"
+                "chunk_size/n_jobs cannot be combined with a SweepStrategy "
+                "instance; configure the instance directly"
             )
         return engine
+    jobs = resolve_n_jobs(n_jobs)
     if engine == SequentialSweep.name:
         return SequentialSweep()
     if engine == ChunkedSweep.name:
-        return ChunkedSweep() if chunk_size is None else ChunkedSweep(chunk_size)
+        if chunk_size is None:
+            return ChunkedSweep(n_jobs=jobs)
+        return ChunkedSweep(chunk_size, n_jobs=jobs)
     if engine == MiniBatchSweep.name:
-        return MiniBatchSweep() if chunk_size is None else MiniBatchSweep(chunk_size)
+        if chunk_size is None:
+            return MiniBatchSweep(n_jobs=jobs)
+        return MiniBatchSweep(chunk_size, n_jobs=jobs)
     raise ValueError(
         f"unknown engine {engine!r}; expected one of {sorted(SWEEP_STRATEGIES)} "
         "or a SweepStrategy instance"
@@ -307,6 +470,7 @@ def build_result(
     converged: bool,
     moves_per_iter: list[int],
     objective_history: list[float],
+    diagnostics: dict | None = None,
 ) -> FairKMResult:
     """Assemble a :class:`FairKMResult` from the final optimizer state."""
     km = state.kmeans_term()
@@ -323,6 +487,7 @@ def build_result(
         moves_per_iter=moves_per_iter,
         objective_history=objective_history,
         fractional_representations=state.fractional_representations(),
+        diagnostics=diagnostics or {},
     )
 
 
@@ -378,12 +543,21 @@ class OptimizerEngine:
         self.sweep_strategy.reset()
         moves_per_iter: list[int] = []
         objective_history: list[float] = []
+        sweep_stats: list[dict] = []
         converged = False
         n_iter = 0
         for n_iter in range(1, cfg.max_iter + 1):
             order = self._rng.permutation(n) if cfg.shuffle else np.arange(n)
             moves = self.sweep_strategy.sweep(state, order, lam, cfg)
             moves_per_iter.append(moves)
+            sweep_stats.append(
+                {
+                    "iteration": n_iter,
+                    "moves": moves,
+                    "move_rate": moves / n,
+                    **self.sweep_strategy.last_stats,
+                }
+            )
             if cfg.resync_every and n_iter % cfg.resync_every == 0:
                 state.resync()
             # Recorded after the periodic resync: reported objectives
@@ -392,4 +566,7 @@ class OptimizerEngine:
             if moves == 0:
                 converged = True
                 break
-        return build_result(state, lam, n_iter, converged, moves_per_iter, objective_history)
+        diagnostics = {"engine": self.sweep_strategy.name, "sweeps": sweep_stats}
+        return build_result(
+            state, lam, n_iter, converged, moves_per_iter, objective_history, diagnostics
+        )

@@ -66,6 +66,10 @@ class FairKM(EstimatorMixin):
         chunk_size: chunk size of the ``"chunked"`` engine (doubles as
             the batch size of ``"minibatch"``); ``None`` keeps the
             strategy default.
+        n_jobs: worker threads for the parallel scoring paths of the
+            ``"chunked"`` and ``"minibatch"`` engines (1 serial, -1 one
+            per CPU). Results are identical for every value; ignored by
+            ``"sequential"``.
         seed: RNG seed or generator for initialization and shuffling.
     """
 
@@ -82,6 +86,7 @@ class FairKM(EstimatorMixin):
         resync_every: int = 1,
         engine: str | SweepStrategy = "sequential",
         chunk_size: int | None = None,
+        n_jobs: int | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         self.config = FairKMConfig(
@@ -94,7 +99,7 @@ class FairKM(EstimatorMixin):
             shuffle=shuffle,
             resync_every=resync_every,
         )
-        self.sweep = make_sweep(engine, chunk_size=chunk_size)
+        self.sweep = make_sweep(engine, chunk_size=chunk_size, n_jobs=n_jobs)
         self._rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
     def fit(

@@ -52,6 +52,7 @@ class MiniBatchFairKM(FairKM):
         allow_empty: bool = True,
         shuffle: bool = True,
         resync_every: int = 1,
+        n_jobs: int | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         if batch_size <= 0:
@@ -66,6 +67,6 @@ class MiniBatchFairKM(FairKM):
             allow_empty=allow_empty,
             shuffle=shuffle,
             resync_every=resync_every,
-            engine=MiniBatchSweep(batch_size),
+            engine=MiniBatchSweep(batch_size, n_jobs=n_jobs),
             seed=seed,
         )

@@ -1,0 +1,184 @@
+"""Shared thread-pool utilities for the parallel hot paths.
+
+Every parallel section in this repo — the chunked sweep's window
+scoring, the mini-batch sweep's shard scoring, the ``Assigner``'s
+chunk fan-out — has the same shape: a list of independent NumPy-heavy
+tasks whose results must come back *in submission order*, executed
+against statistics that nothing mutates while the tasks run. Threads
+are the right vehicle because the work is dominated by NumPy GEMMs and
+reductions, which release the GIL; processes would pay serialization
+for no gain.
+
+Two invariants this module enforces:
+
+* **Determinism** — :func:`ordered_map` returns results in task order
+  regardless of completion order or worker count, so a parallel caller
+  computes exactly the arrays a serial caller would (the *partitioning*
+  of work into tasks is the caller's job and must not depend on the
+  worker count; see :class:`repro.core.engine.ChunkedSweep`).
+* **Frozen reads** — :class:`FrozenScoringView` wraps a
+  :class:`~repro.core.state.ClusterState` for the scoring side and
+  verifies on every call that the state has not been mutated since the
+  view was taken (via the state's mutation counter), turning a
+  score-during-repair race into a loud error instead of silent
+  corruption.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def validate_n_jobs(n_jobs: int | None) -> int:
+    """Check an ``n_jobs`` knob without resolving -1.
+
+    The single definition of the knob's domain — a positive integer or
+    -1 (one worker per CPU) — shared by the CLI, :class:`RunConfig` and
+    :func:`resolve_n_jobs`. ``None`` normalizes to 1 (serial).
+    """
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs != -1 and n_jobs <= 0:
+        raise ValueError(f"n_jobs must be a positive integer or -1, got {n_jobs}")
+    return n_jobs
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` knob to a concrete worker count.
+
+    ``None`` and ``1`` mean serial; ``-1`` means one worker per
+    available CPU; any other positive integer is taken literally.
+    """
+    n_jobs = validate_n_jobs(n_jobs)
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    return n_jobs
+
+
+class WorkerPool:
+    """A reusable thread pool bound to one worker count.
+
+    The hot loops dispatch one small task group per prefetch round /
+    batch / request, thousands of times per fit — creating and joining
+    a fresh executor each round would pay thread spawn on every one.
+    The pool therefore creates its executor lazily on the first
+    genuinely parallel dispatch and keeps it for the owner's lifetime
+    (sweep strategies and ``Assigner`` instances each own one);
+    ``n_jobs <= 1`` owners never start a thread.
+
+    Serial fallbacks (one worker, or fewer than two tasks) run inline
+    on the calling thread, so callers use one code path for both modes.
+    """
+
+    __slots__ = ("n_jobs", "_executor")
+
+    def __init__(self, n_jobs: int | None) -> None:
+        # Set before resolving so __del__ is safe when validation raises.
+        self._executor: ThreadPoolExecutor | None = None
+        self.n_jobs = resolve_n_jobs(n_jobs)
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self.n_jobs)
+        return self._executor
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        """Apply *fn* to every task, results in task order.
+
+        The first worker exception propagates.
+        """
+        if self.n_jobs <= 1 or len(tasks) < 2:
+            return [fn(task) for task in tasks]
+        return list(self._pool().map(fn, tasks))
+
+    def run(self, thunks: Iterable[Callable[[], Any]]) -> None:
+        """Execute independent no-result thunks (e.g. slice writers).
+
+        Used by writers that fill disjoint slices of a preallocated
+        output array; ordering is irrelevant, exceptions propagate.
+        """
+        thunks = list(thunks)
+        if self.n_jobs <= 1 or len(thunks) < 2:
+            for thunk in thunks:
+                thunk()
+            return
+        futures = [self._pool().submit(thunk) for thunk in thunks]
+        for future in futures:
+            future.result()
+
+    def shutdown(self) -> None:
+        """Release the worker threads (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    def __del__(self) -> None:  # pragma: no cover - gc timing
+        self.shutdown()
+
+
+def ordered_map(fn: Callable[[T], R], tasks: Sequence[T], n_jobs: int) -> list[R]:
+    """One-shot :meth:`WorkerPool.map` with a transient pool.
+
+    For single dispatches; hot loops should hold a :class:`WorkerPool`
+    so the executor is reused across rounds.
+    """
+    pool = WorkerPool(n_jobs)
+    try:
+        return pool.map(fn, tasks)
+    finally:
+        pool.shutdown()
+
+
+def run_tasks(thunks: Iterable[Callable[[], Any]], n_jobs: int) -> None:
+    """One-shot :meth:`WorkerPool.run` with a transient pool."""
+    pool = WorkerPool(n_jobs)
+    try:
+        pool.run(thunks)
+    finally:
+        pool.shutdown()
+
+
+class FrozenScoringView:
+    """Read-only scoring facade over a :class:`ClusterState` snapshot.
+
+    The parallel sweeps score windows/shards against statistics that
+    are *frozen by protocol*: no move is applied while scoring tasks
+    are in flight. This view makes the protocol checkable — it captures
+    the state's mutation counter at construction and re-validates it on
+    every scoring call, so a future refactor that interleaves mutation
+    with scoring fails immediately instead of producing subtly wrong
+    deltas.
+    """
+
+    __slots__ = ("_state", "_mutations")
+
+    def __init__(self, state: Any) -> None:
+        self._state = state
+        self._mutations = state.mutations
+
+    def _check(self) -> None:
+        if self._state.mutations != self._mutations:
+            raise RuntimeError(
+                "ClusterState was mutated while a FrozenScoringView was "
+                "scoring against it; scoring and moves must not overlap"
+            )
+
+    def batch_move_deltas(self, indices: np.ndarray, lambda_: float) -> np.ndarray:
+        """Frozen :meth:`ClusterState.batch_move_deltas`."""
+        self._check()
+        return self._state.batch_move_deltas(indices, lambda_)
+
+    def batch_move_deltas_cols(
+        self, indices: np.ndarray, clusters: np.ndarray, lambda_: float
+    ) -> np.ndarray:
+        """Frozen :meth:`ClusterState.batch_move_deltas_cols`."""
+        self._check()
+        return self._state.batch_move_deltas_cols(indices, clusters, lambda_)

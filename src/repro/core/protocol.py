@@ -132,10 +132,21 @@ class EstimatorMixin:
         every estimator exports uniformly without per-class glue.
         """
         result = self._fitted()
-        # An ImportedState result carries its diagnostics as a dict; start
-        # from it so export → import → export round-trips losslessly.
+        # A result may carry its own diagnostics dict (ImportedState, or
+        # FairKMResult's per-sweep telemetry); start from its scalar
+        # entries so export → import → export round-trips losslessly
+        # while structured telemetry (e.g. the per-sweep list) stays on
+        # the in-memory result instead of bloating every artifact.
         carried = getattr(result, "diagnostics", None)
-        diagnostics: dict[str, Any] = dict(carried) if isinstance(carried, dict) else {}
+        diagnostics: dict[str, Any] = (
+            {
+                key: value
+                for key, value in carried.items()
+                if isinstance(value, (bool, int, float, str))
+            }
+            if isinstance(carried, dict)
+            else {}
+        )
         for name in _DIAGNOSTIC_FIELDS:
             value = getattr(result, name, None)
             if isinstance(value, np.generic):

@@ -95,6 +95,13 @@ class ClusterState:
         self.numeric_specs = list(numeric or [])
         validate_specs(self.n, self.categorical_specs, self.numeric_specs)
         self.point_sqnorm = np.einsum("ij,ij->i", self.points, self.points)
+        # n² is exact in float64 for any realistic n, so λ/n² computed
+        # through this hoisted constant is bit-identical to the inline
+        # division while saving the per-call int multiply.
+        self._n2 = float(self.n * self.n)
+        #: Mutation counter: bumped by every apply_move/resync so frozen
+        #: scoring views (repro.core.parallel) can detect races.
+        self.mutations = 0
 
         # Allocated once; filled by resync().
         self.sizes = np.zeros(self.k, dtype=np.int64)
@@ -134,6 +141,7 @@ class ClusterState:
 
     def resync(self) -> None:
         """Recompute every cache from ``self.labels`` (clears float drift)."""
+        self.mutations += 1
         labels = self.labels
         self.sizes = np.bincount(labels, minlength=self.k)
         self.sums.fill(0.0)
@@ -141,7 +149,10 @@ class ClusterState:
         self.sum_sqnorm = np.einsum("ij,ij->i", self.sums, self.sums)
         self.sq_total.fill(0.0)
         np.add.at(self.sq_total, labels, self.point_sqnorm)
-        m = self.sizes.astype(np.float64)
+        # Cached float view of sizes; kept exact by the incremental ±1
+        # updates in apply_move (small integers are exact in float64).
+        self._sizes_f = self.sizes.astype(np.float64)
+        m = self._sizes_f
         for cat in self._cat:
             cat.counts.fill(0.0)
             np.add.at(cat.counts, (labels, cat.spec.codes), 1.0)
@@ -175,14 +186,14 @@ class ClusterState:
 
     def kmeans_term(self) -> float:
         """Current K-Means loss Σ_C (Q_C − ‖S_C‖²/|C|)."""
-        m = self.sizes.astype(np.float64)
+        m = self._sizes_f
         nonempty = m > 0
         sse = self.sq_total[nonempty] - self.sum_sqnorm[nonempty] / m[nonempty]
         return float(np.maximum(sse, 0.0).sum())
 
     def fairness_term(self) -> float:
         """Current deviation_S(C, X) per Eqs. 7 / 22 / 23."""
-        inv_n2 = 1.0 / (self.n * self.n)
+        inv_n2 = 1.0 / self._n2
         total = 0.0
         for cat in self._cat:
             total += cat.norm * float(cat.f.sum())
@@ -196,7 +207,7 @@ class ClusterState:
 
     def centroids(self) -> np.ndarray:
         """Cluster prototypes (means); empty clusters get the global mean."""
-        m = self.sizes.astype(np.float64)
+        m = self._sizes_f
         centers = np.empty_like(self.sums)
         nonempty = m > 0
         centers[nonempty] = self.sums[nonempty] / m[nonempty, None]
@@ -219,7 +230,7 @@ class ClusterState:
         cur = int(self.labels[i])
         x = self.points[i]
         x2 = float(self.point_sqnorm[i])
-        m = self.sizes.astype(np.float64)
+        m = self._sizes_f
 
         # --- K-Means term ------------------------------------------------
         dots = self.sums @ x  # S_C · x for every C
@@ -251,7 +262,7 @@ class ClusterState:
             y = float(num.centered[i])
             fair_in += num.weight * (y * (2.0 * num.d + y))
             fair_out += num.weight * (-y * (2.0 * float(num.d[cur]) - y))
-        deltas += (lambda_ / (self.n * self.n)) * (fair_in + fair_out)
+        deltas += (lambda_ / self._n2) * (fair_in + fair_out)
 
         deltas[cur] = 0.0
         return deltas
@@ -272,7 +283,7 @@ class ClusterState:
         cur = self.labels[indices]  # (b,)
         b = indices.shape[0]
         rows = np.arange(b)
-        m = self.sizes.astype(np.float64)
+        m = self._sizes_f
 
         # Divisors are clamped to >= 1 everywhere, so no errstate guards
         # are needed (this is a hot call for the chunked/mini-batch
@@ -312,7 +323,7 @@ class ClusterState:
             fair_out += num.weight * (-y * (2.0 * num.d[cur] - y))
 
         deltas = delta_in + delta_out[:, None]
-        deltas += (lambda_ / (self.n * self.n)) * (fair_in + fair_out[:, None])
+        deltas += (lambda_ / self._n2) * (fair_in + fair_out[:, None])
         deltas[rows, cur] = 0.0
         return deltas
 
@@ -337,7 +348,7 @@ class ClusterState:
         x2 = self.point_sqnorm[indices]  # (b,)
         cur = self.labels[indices]  # (b,)
         b = indices.shape[0]
-        m = self.sizes.astype(np.float64)
+        m = self._sizes_f
 
         sums_c = self.sums[clusters]  # (c, d)
         ssq_c = self.sum_sqnorm[clusters]  # (c,)
@@ -366,7 +377,9 @@ class ClusterState:
             j = cat.spec.codes[indices]  # (b,)
             p_j = cat.p[j]  # (b,)
             self_term = 1.0 - 2.0 * p_j + cat.p2  # (b,)
-            gap = cat.counts[clusters][:, j].T - m_c[None, :] * p_j[:, None] - (
+            # Single (c, b) gather; the naive counts[clusters][:, j] would
+            # materialize an intermediate (c, v) copy first.
+            gap = cat.counts[np.ix_(clusters, j)].T - m_c[None, :] * p_j[:, None] - (
                 cat.h[clusters][None, :] - m_c[None, :] * cat.p2
             )
             fair_in += cat.norm * (2.0 * gap + self_term[:, None])
@@ -380,7 +393,7 @@ class ClusterState:
             fair_out += num.weight * (-y * (2.0 * num.d[cur] - y))
 
         deltas = delta_in + delta_out[:, None]
-        deltas += (lambda_ / (self.n * self.n)) * (fair_in + fair_out[:, None])
+        deltas += (lambda_ / self._n2) * (fair_in + fair_out[:, None])
         deltas[clusters[None, :] == cur[:, None]] = 0.0
         return deltas
 
@@ -398,7 +411,7 @@ class ClusterState:
             raise ValueError(f"target cluster {target} out of range [0, {self.k})")
         x = self.points[i]
         x2 = float(self.point_sqnorm[i])
-        m = self.sizes.astype(np.float64)
+        m = self._sizes_f
 
         for cat in self._cat:
             j = int(cat.spec.codes[i])
@@ -430,7 +443,11 @@ class ClusterState:
         self.sum_sqnorm[target] = float(self.sums[target] @ self.sums[target])
         self.sizes[cur] -= 1
         self.sizes[target] += 1
+        # Keep the cached float view exact without a full astype pass.
+        self._sizes_f[cur] -= 1.0
+        self._sizes_f[target] += 1.0
         self.labels[i] = target
+        self.mutations += 1
 
     # ------------------------------------------------------------------ #
     # Reporting helpers                                                   #
@@ -442,7 +459,7 @@ class ClusterState:
         Rows of empty clusters are all-NaN.
         """
         out: dict[str, np.ndarray] = {}
-        m = self.sizes.astype(np.float64)
+        m = self._sizes_f
         for cat in self._cat:
             frac = np.full_like(cat.counts, np.nan)
             nonempty = m > 0

@@ -1,0 +1,28 @@
+"""Machine-readable performance harness.
+
+:mod:`repro.perf.harness` runs the engine/assignment benchmark suites
+across worker counts and emits schema-validated ``BENCH_*.json`` files,
+so the perf trajectory of the repo is recorded as data instead of
+ad-hoc text. ``repro bench`` is the CLI entry point;
+``benchmarks/harness.py`` is the standalone wrapper.
+"""
+
+from .harness import (
+    BENCH_SCHEMA,
+    BenchRecord,
+    bench_payload,
+    render_bench,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchRecord",
+    "bench_payload",
+    "render_bench",
+    "run_bench",
+    "validate_bench",
+    "write_bench",
+]

@@ -1,0 +1,415 @@
+"""Benchmark harness: run perf suites, emit machine-readable JSON.
+
+Every benchmark in this repo reduces to the same record shape — *one
+workload, at one size, with one worker count, took this long* — so the
+harness standardizes it:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.bench/v1",
+      "suite": "engine",
+      "records": [
+        {"workload": "fairkm_chunked_scoring", "n": 10000, "k": 5,
+         "jobs": 4, "wall_s": 0.61, "rows_per_s": 1.1e6,
+         "speedup": 2.3, "extra": {"n_iter": 7}}
+      ]
+    }
+
+``speedup`` is measured against the suite's baseline record for the
+same ``(workload, n, k)`` — the ``jobs=1`` run emitted in the same file
+— so a single ``BENCH_*.json`` is self-contained evidence of scaling.
+:func:`validate_bench` checks the schema without external dependencies;
+CI runs it on every PR's smoke output and uploads the JSON as an
+artifact, extending the recorded perf trajectory.
+
+Two suites ship today:
+
+* **engine** — FairKM training hot path. Fits the chunked-exact engine
+  (and a large-batch mini-batch fit) across worker counts; alongside
+  end-to-end fit wall-clock it emits a ``*_scoring`` workload whose
+  wall is the summed frozen-window scoring time from
+  ``FairKMResult.diagnostics`` — exactly the section ``n_jobs``
+  parallelizes (the dense first sweeps fall back to the serial loop by
+  design, so Amdahl caps the end-to-end number).
+* **assign** — the serving hot loop: ``Assigner.assign`` rows/s across
+  worker counts.
+
+Entry points: ``repro bench`` (CLI) and ``benchmarks/harness.py``
+(standalone script).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+#: Schema tag written into (and required from) every bench file.
+BENCH_SCHEMA = "repro.bench/v1"
+
+#: Known suite names (one output file per suite).
+SUITES = ("engine", "assign")
+
+#: Required record fields and their types (``extra`` is optional).
+_RECORD_FIELDS: dict[str, type] = {
+    "workload": str,
+    "n": int,
+    "k": int,
+    "jobs": int,
+    "wall_s": float,
+    "rows_per_s": float,
+    "speedup": float,
+}
+
+
+@dataclass
+class BenchRecord:
+    """One measured (workload, size, worker-count) point."""
+
+    workload: str
+    n: int
+    k: int
+    jobs: int
+    wall_s: float
+    rows_per_s: float
+    speedup: float = 1.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        if not data["extra"]:
+            del data["extra"]
+        return data
+
+
+def bench_payload(suite: str, records: Sequence[BenchRecord]) -> dict[str, Any]:
+    """Assemble the on-disk payload for one suite."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "records": [r.to_dict() for r in records],
+    }
+
+
+def validate_bench(payload: Any) -> None:
+    """Validate a bench payload against the v1 schema.
+
+    Raises:
+        ValueError: with the first violation found. Intended for CI:
+            ``validate_bench(json.loads(path.read_text()))``.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"bench payload must be an object, got {type(payload).__name__}")
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"bench schema must be {BENCH_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    suite = payload.get("suite")
+    if not isinstance(suite, str) or not suite:
+        raise ValueError(f"bench suite must be a non-empty string, got {suite!r}")
+    records = payload.get("records")
+    if not isinstance(records, list) or not records:
+        raise ValueError("bench records must be a non-empty list")
+    for idx, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise ValueError(f"records[{idx}] must be an object")
+        for name, kind in _RECORD_FIELDS.items():
+            if name not in record:
+                raise ValueError(f"records[{idx}] is missing {name!r}")
+            value = record[name]
+            # bool is an int subclass; reject it for the numeric fields.
+            if isinstance(value, bool) or not isinstance(
+                value, (kind,) if kind is not float else (int, float)
+            ):
+                raise ValueError(
+                    f"records[{idx}].{name} must be {kind.__name__}, "
+                    f"got {value!r}"
+                )
+            if kind in (int, float) and value < 0:
+                raise ValueError(f"records[{idx}].{name} must be >= 0, got {value!r}")
+        extra = record.get("extra", {})
+        if not isinstance(extra, dict):
+            raise ValueError(f"records[{idx}].extra must be an object")
+        unknown = set(record) - set(_RECORD_FIELDS) - {"extra"}
+        if unknown:
+            raise ValueError(f"records[{idx}] has unknown fields {sorted(unknown)}")
+
+
+def write_bench(path: str | Path, suite: str, records: Sequence[BenchRecord]) -> Path:
+    """Validate and write one suite's ``BENCH_*.json``; returns the path."""
+    payload = bench_payload(suite, records)
+    validate_bench(payload)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def render_bench(payload: dict[str, Any]) -> str:
+    """Human-readable table rendering of a bench payload.
+
+    The text outputs under ``results/`` are produced from the JSON via
+    this function — one code path, two formats.
+    """
+    from ..experiments.tables import format_table
+
+    rows = []
+    for record in payload["records"]:
+        rows.append(
+            [
+                record["workload"],
+                f"{record['n']:,}",
+                str(record["k"]),
+                str(record["jobs"]),
+                f"{record['wall_s'] * 1e3:.1f}",
+                f"{record['rows_per_s'] / 1e6:.2f}",
+                f"{record['speedup']:.2f}x",
+            ]
+        )
+    return format_table(
+        ["workload", "n", "k", "jobs", "wall ms", "Mrows/s", "speedup"],
+        rows,
+        title=f"Benchmark suite: {payload['suite']} ({payload['schema']})",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Suite implementations                                                   #
+# --------------------------------------------------------------------- #
+
+
+def _timed(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
+    """Best-of-*repeats* wall time and the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _engine_problem(n: int, dim: int = 12, groups: int = 4):
+    """Adult-shaped synthetic fair-clustering workload (as in §5.1)."""
+    from ..core import CategoricalSpec, NumericSpec
+
+    rng = np.random.default_rng(0)
+    points = np.vstack(
+        [
+            rng.normal(loc=rng.normal(0, 3, dim), size=(n // groups, dim))
+            for _ in range(groups)
+        ]
+    )
+    attr_rng = np.random.default_rng(1)
+    cats = [
+        CategoricalSpec(f"c{i}", attr_rng.integers(0, v, points.shape[0]), n_values=v)
+        for i, v in enumerate((7, 2, 5, 9, 3))
+    ]
+    nums = [NumericSpec("z", attr_rng.normal(size=points.shape[0]))]
+    return points, cats, nums
+
+
+def _speedup_vs_baseline(records: list[BenchRecord]) -> None:
+    """Fill ``speedup`` from each (workload, n, k)'s jobs=1 record."""
+    baselines = {
+        (r.workload, r.n, r.k): r.wall_s for r in records if r.jobs == 1
+    }
+    for r in records:
+        base = baselines.get((r.workload, r.n, r.k))
+        if base and r.wall_s > 0:
+            r.speedup = base / r.wall_s
+
+
+def bench_engine(
+    sizes: Sequence[int],
+    jobs: Sequence[int],
+    *,
+    k: int = 5,
+    max_iter: int = 30,
+    repeats: int = 1,
+) -> list[BenchRecord]:
+    """Training hot path: chunked FairKM + sharded mini-batch fits.
+
+    Per (n, jobs): an end-to-end chunked fit record, a ``*_scoring``
+    record isolating the parallel frozen-window scoring wall (summed
+    from the fit diagnostics), and a large-batch mini-batch fit record
+    (its shard scoring is the parallel section). Decisions are
+    bit-identical across ``jobs`` — verified by an assertion against
+    the jobs=1 labels of the same configuration.
+    """
+    from ..core import FairKM, MiniBatchFairKM
+
+    records: list[BenchRecord] = []
+    for n in sizes:
+        points, cats, nums = _engine_problem(int(n))
+        n_real = points.shape[0]
+        lam = (n_real / k) ** 2
+        baseline_labels: dict[str, np.ndarray] = {}
+        for j in jobs:
+            wall, result = _timed(
+                lambda: FairKM(
+                    k, lambda_=lam, seed=0, max_iter=max_iter,
+                    engine="chunked", n_jobs=j,
+                ).fit(points, categorical=cats, numeric=nums),
+                repeats,
+            )
+            if "chunked" not in baseline_labels:
+                baseline_labels["chunked"] = result.labels
+            elif not np.array_equal(result.labels, baseline_labels["chunked"]):
+                raise AssertionError(f"chunked n_jobs={j} changed the labels")
+            sweeps = result.diagnostics.get("sweeps", [])
+            # Only fully-chunked sweeps: a "chunked+dense_tail" sweep did
+            # part of its work in the serial fallback, so its scoring_s
+            # covers a job-count-dependent share of the rows and would
+            # skew the cross-jobs comparison. chunked_sweeps is recorded
+            # so a consumer can verify both sides summed the same set.
+            chunked = [s for s in sweeps if s.get("mode") == "chunked"]
+            scoring = sum(s.get("scoring_s", 0.0) for s in chunked)
+            extra = {
+                "n_iter": result.n_iter,
+                "converged": result.converged,
+                "chunked_sweeps": len(chunked),
+            }
+            records.append(
+                BenchRecord(
+                    "fairkm_chunked_fit", n_real, k, int(j),
+                    wall, n_real * result.n_iter / wall if wall > 0 else 0.0,
+                    extra=extra,
+                )
+            )
+            if scoring > 0:
+                records.append(
+                    BenchRecord(
+                        "fairkm_chunked_scoring", n_real, k, int(j),
+                        scoring, n_real * len(chunked) / scoring,
+                        extra=extra,
+                    )
+                )
+            mb_wall, mb = _timed(
+                lambda: MiniBatchFairKM(
+                    k, batch_size=4096, lambda_=lam, seed=0, max_iter=max_iter,
+                    n_jobs=j,
+                ).fit(points, categorical=cats, numeric=nums),
+                repeats,
+            )
+            if "minibatch" not in baseline_labels:
+                baseline_labels["minibatch"] = mb.labels
+            elif not np.array_equal(mb.labels, baseline_labels["minibatch"]):
+                raise AssertionError(f"minibatch n_jobs={j} changed the labels")
+            records.append(
+                BenchRecord(
+                    "minibatch_fairkm_fit", n_real, k, int(j),
+                    mb_wall, n_real * mb.n_iter / mb_wall if mb_wall > 0 else 0.0,
+                    extra={"n_iter": mb.n_iter, "batch_size": 4096},
+                )
+            )
+    _speedup_vs_baseline(records)
+    return records
+
+
+def bench_assign(
+    sizes: Sequence[int],
+    jobs: Sequence[int],
+    *,
+    d: int = 14,
+    k: int = 15,
+    chunk_size: int | None = None,
+    repeats: int = 3,
+) -> list[BenchRecord]:
+    """Serving hot loop: ``Assigner.assign`` rows/s across worker counts.
+
+    Labels are asserted bit-identical to the jobs=1 run at every worker
+    count (parallel chunks write disjoint output slices).
+    """
+    from ..api.assign import Assigner
+
+    records: list[BenchRecord] = []
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(k, d)) * 2.0
+    service = Assigner(centers)
+    for n in sizes:
+        n = int(n)
+        points = rng.normal(size=(n, d))
+        baseline = service.assign(points, chunk_size=chunk_size)
+        for j in jobs:
+            wall, labels = _timed(
+                lambda: service.assign(points, chunk_size=chunk_size, n_jobs=j),
+                repeats,
+            )
+            if not np.array_equal(labels, baseline):
+                raise AssertionError(f"assign n_jobs={j} changed the labels")
+            records.append(
+                BenchRecord(
+                    "assigner_throughput", n, k, int(j),
+                    wall, n / wall if wall > 0 else 0.0,
+                    extra={"d": d, "chunk_size": chunk_size or 0},
+                )
+            )
+    _speedup_vs_baseline(records)
+    return records
+
+
+# --------------------------------------------------------------------- #
+# Orchestration (the ``repro bench`` implementation)                      #
+# --------------------------------------------------------------------- #
+
+
+def job_ladder(max_jobs: int) -> tuple[int, ...]:
+    """Worker counts to sweep: 1, 2, 4, ... up to (and including) max."""
+    jobs = [1]
+    while jobs[-1] * 2 < max_jobs:
+        jobs.append(jobs[-1] * 2)
+    if max_jobs > 1:
+        jobs.append(max_jobs)
+    return tuple(jobs)
+
+
+def run_bench(
+    suite: str = "all",
+    *,
+    smoke: bool = False,
+    max_jobs: int = 4,
+    out_dir: str | Path | None = None,
+    repeats: int | None = None,
+) -> dict[str, Path]:
+    """Run the requested suite(s); write and validate ``BENCH_*.json``.
+
+    Args:
+        suite: ``"engine"``, ``"assign"`` or ``"all"``.
+        smoke: small sizes for CI (seconds, not minutes).
+        max_jobs: top of the worker-count ladder (always includes 1).
+        out_dir: output directory (default: the results dir, honoring
+            ``REPRO_RESULTS_DIR``).
+        repeats: timing repeats, best-of (default: 1 engine / 3 assign,
+            1 everywhere under ``smoke``).
+
+    Returns:
+        Mapping of suite name to the written JSON path.
+    """
+    from ..experiments.paper import RESULTS_DIR
+
+    if suite not in (*SUITES, "all"):
+        raise ValueError(f"suite must be one of {(*SUITES, 'all')}, got {suite!r}")
+    out = Path(out_dir) if out_dir is not None else RESULTS_DIR
+    jobs = job_ladder(max_jobs)
+    engine_sizes = (2_000,) if smoke else (10_000, 100_000)
+    assign_sizes = (50_000,) if smoke else (100_000, 1_000_000)
+    written: dict[str, Path] = {}
+    if suite in ("engine", "all"):
+        records = bench_engine(
+            engine_sizes, jobs, repeats=repeats if repeats is not None else 1
+        )
+        written["engine"] = write_bench(out / "BENCH_engine.json", "engine", records)
+    if suite in ("assign", "all"):
+        records = bench_assign(
+            assign_sizes,
+            jobs,
+            repeats=(1 if smoke else 3) if repeats is None else repeats,
+        )
+        written["assign"] = write_bench(out / "BENCH_assign.json", "assign", records)
+    return written

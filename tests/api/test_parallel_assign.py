@@ -1,0 +1,116 @@
+"""Multi-worker Assigner: bit-identical fan-out across worker threads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Assigner,
+    ClusterModel,
+    METHOD_REGISTRY,
+    RunConfig,
+    batched_assign,
+    build_estimator,
+)
+
+N, D, K = 240, 5, 3
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(11)
+    points = np.vstack(
+        [rng.normal(0, 1, (N // 2, D)), rng.normal(4, 1, (N - N // 2, D))]
+    )
+    probe = rng.normal(1.5, 2.0, (500, D))
+    return points, {"group": rng.integers(0, 2, N)}, probe
+
+
+@pytest.mark.parametrize("method", sorted(METHOD_REGISTRY))
+def test_parallel_assign_equals_predict_per_method(data, method):
+    """Assigner(n_jobs=4) matches in-process predict for every method."""
+    points, sensitive, probe = data
+    estimator = build_estimator(RunConfig(method=method, k=K, seed=0, max_iter=10))
+    estimator.fit_predict(points, sensitive=sensitive)
+    service = Assigner(estimator.centers_, n_jobs=4)
+    # Tiny chunks force a real multi-task fan-out over the probe.
+    np.testing.assert_array_equal(
+        service.assign(probe, chunk_size=64), estimator.predict(probe)
+    )
+
+
+@pytest.mark.parametrize("n_jobs", [1, 2, 4, -1])
+def test_parallel_chunks_bit_identical(data, n_jobs):
+    points, _, probe = data
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(K, D)) * 3.0
+    service = Assigner(centers)
+    base_labels, base_d2 = service.assign(probe, chunk_size=32, return_distance=True)
+    labels, d2 = service.assign(
+        probe, chunk_size=32, n_jobs=n_jobs, return_distance=True
+    )
+    np.testing.assert_array_equal(labels, base_labels)
+    np.testing.assert_array_equal(d2, base_d2)
+
+
+def test_constructor_n_jobs_is_default(data):
+    _, _, probe = data
+    rng = np.random.default_rng(1)
+    centers = rng.normal(size=(K, D))
+    parallel = Assigner(centers, n_jobs=4)
+    serial = Assigner(centers)
+    np.testing.assert_array_equal(
+        parallel.assign(probe, chunk_size=50), serial.assign(probe, chunk_size=50)
+    )
+
+
+def test_batched_assign_n_jobs(data):
+    _, _, probe = data
+    rng = np.random.default_rng(2)
+    centers = rng.normal(size=(K, D))
+    np.testing.assert_array_equal(
+        batched_assign(probe, centers, chunk_size=33, n_jobs=3),
+        batched_assign(probe, centers),
+    )
+
+
+def test_invalid_n_jobs_rejected(data):
+    _, _, probe = data
+    centers = np.eye(D)[:K]
+    with pytest.raises(ValueError, match="n_jobs"):
+        Assigner(centers, n_jobs=0)
+    with pytest.raises(ValueError, match="n_jobs"):
+        Assigner(centers).assign(probe, n_jobs=-2)
+
+
+def test_model_assign_uses_config_n_jobs(data, tmp_path):
+    """In-process models default to config.n_jobs; artifacts never
+    persist it (host-execution knob, v1 wire format unchanged)."""
+    import json
+
+    from repro.api import fit
+
+    points, sensitive, probe = data
+    config = RunConfig(method="fairkm", k=K, seed=0, max_iter=10, n_jobs=2)
+    model = fit(config, points, sensitive=sensitive)
+    assert model.config.n_jobs == 2  # drives assign() defaults in-process
+    path = model.save(tmp_path / "m")
+    payload = json.loads((path / "model.json").read_text())
+    assert "n_jobs" not in payload["config"]  # v1 wire format unchanged
+    loaded = ClusterModel.load(path)
+    assert loaded.config.n_jobs == 1  # serving hosts opt in explicitly
+    np.testing.assert_array_equal(
+        loaded.assign(probe, chunk_size=64),
+        model.assign(probe, chunk_size=64, n_jobs=4),
+    )
+
+
+def test_run_config_n_jobs_round_trip():
+    config = RunConfig(n_jobs=4)
+    assert RunConfig.from_json(config.to_json()) == config
+    assert RunConfig(n_jobs=-1).n_jobs == -1
+    with pytest.raises(ValueError, match="n_jobs"):
+        RunConfig(n_jobs=0)
+    with pytest.raises(ValueError, match="n_jobs"):
+        RunConfig(n_jobs=-4)

@@ -1,0 +1,289 @@
+"""Parallel hot paths: worker-pool utilities and sweep exactness.
+
+The contract under test is *bit-identical decisions at every thread
+count*: ``ChunkedSweep(n_jobs=j)`` must reproduce the sequential
+sweep's labels and objective trajectory, sharded mini-batch scoring
+must match the single-threaded mini-batch result, and the scoring-view
+guard must catch mutation during scoring.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CategoricalSpec,
+    ChunkedSweep,
+    FairKM,
+    FrozenScoringView,
+    MiniBatchFairKM,
+    MiniBatchSweep,
+    NumericSpec,
+    make_sweep,
+    ordered_map,
+    resolve_n_jobs,
+)
+from repro.core.parallel import run_tasks
+from repro.core.state import ClusterState
+
+
+# --------------------------------------------------------------------- #
+# Pool utilities                                                          #
+# --------------------------------------------------------------------- #
+
+
+def test_resolve_n_jobs():
+    assert resolve_n_jobs(None) == 1
+    assert resolve_n_jobs(1) == 1
+    assert resolve_n_jobs(4) == 4
+    assert resolve_n_jobs(-1) == (os.cpu_count() or 1)
+    for bad in (0, -2):
+        with pytest.raises(ValueError, match="n_jobs"):
+            resolve_n_jobs(bad)
+
+
+@pytest.mark.parametrize("n_jobs", [1, 2, 4])
+def test_ordered_map_preserves_task_order(n_jobs):
+    tasks = list(range(37))
+    assert ordered_map(lambda t: t * t, tasks, n_jobs) == [t * t for t in tasks]
+
+
+def test_ordered_map_propagates_exceptions():
+    def boom(t):
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError, match="boom"):
+        ordered_map(boom, [1, 2, 3], 2)
+
+
+@pytest.mark.parametrize("n_jobs", [1, 3])
+def test_run_tasks_fills_disjoint_slices(n_jobs):
+    out = np.zeros(30, dtype=np.int64)
+    thunks = [
+        (lambda s=start: out.__setitem__(slice(s, s + 10), s))
+        for start in (0, 10, 20)
+    ]
+    run_tasks(thunks, n_jobs)
+    assert set(out[:10]) == {0} and set(out[10:20]) == {10} and set(out[20:]) == {20}
+
+
+# --------------------------------------------------------------------- #
+# Frozen scoring views                                                    #
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def small_state():
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(40, 3))
+    labels = rng.integers(0, 3, 40)
+    cats = [CategoricalSpec("c", rng.integers(0, 2, 40), n_values=2)]
+    return ClusterState(points, labels, 3, cats, None)
+
+
+def test_frozen_view_delegates(small_state):
+    view = FrozenScoringView(small_state)
+    idx = np.arange(10)
+    np.testing.assert_array_equal(
+        view.batch_move_deltas(idx, 2.0), small_state.batch_move_deltas(idx, 2.0)
+    )
+    cols = np.array([0, 2])
+    np.testing.assert_array_equal(
+        view.batch_move_deltas_cols(idx, cols, 2.0),
+        small_state.batch_move_deltas_cols(idx, cols, 2.0),
+    )
+
+
+def test_frozen_view_detects_mutation(small_state):
+    view = FrozenScoringView(small_state)
+    target = 0 if small_state.labels[0] != 0 else 1
+    small_state.apply_move(0, target)
+    with pytest.raises(RuntimeError, match="mutated"):
+        view.batch_move_deltas(np.arange(5), 1.0)
+
+
+def test_frozen_view_detects_resync(small_state):
+    view = FrozenScoringView(small_state)
+    small_state.resync()
+    with pytest.raises(RuntimeError, match="mutated"):
+        view.batch_move_deltas_cols(np.arange(5), np.array([0]), 1.0)
+
+
+# --------------------------------------------------------------------- #
+# make_sweep plumbing                                                     #
+# --------------------------------------------------------------------- #
+
+
+def test_make_sweep_threads_n_jobs():
+    assert make_sweep("chunked", n_jobs=4).n_jobs == 4
+    assert make_sweep("minibatch", chunk_size=1024, n_jobs=2).n_jobs == 2
+    assert make_sweep("chunked").n_jobs == 1
+
+
+def test_make_sweep_rejects_n_jobs_with_instance():
+    with pytest.raises(ValueError, match="n_jobs"):
+        make_sweep(ChunkedSweep(), n_jobs=2)
+
+
+def test_sweep_constructors_validate_n_jobs():
+    with pytest.raises(ValueError, match="n_jobs"):
+        ChunkedSweep(n_jobs=0)
+    with pytest.raises(ValueError, match="n_jobs"):
+        MiniBatchSweep(n_jobs=-3)
+    with pytest.raises(ValueError, match="n_jobs"):
+        MiniBatchFairKM(2, n_jobs=0)
+    with pytest.raises(ValueError, match="n_jobs"):
+        FairKM(2, engine="chunked", n_jobs=-2)
+
+
+def test_worker_pool_reuses_executor():
+    from repro.core.parallel import WorkerPool
+
+    pool = WorkerPool(2)
+    assert pool._executor is None  # lazy: no threads until parallel work
+    assert pool.map(lambda t: t + 1, [1, 2, 3]) == [2, 3, 4]
+    executor = pool._executor
+    assert executor is not None
+    assert pool.map(lambda t: t * 2, [1, 2]) == [2, 4]
+    assert pool._executor is executor  # same executor across rounds
+    out = []
+    pool.run([lambda: out.append(1), lambda: out.append(2)])
+    assert sorted(out) == [1, 2]
+    pool.shutdown()
+    assert pool._executor is None
+
+
+def test_worker_pool_serial_never_spawns():
+    from repro.core.parallel import WorkerPool
+
+    pool = WorkerPool(None)
+    assert pool.map(lambda t: t, [1, 2, 3]) == [1, 2, 3]
+    assert pool._executor is None
+
+
+# --------------------------------------------------------------------- #
+# Parallel exactness                                                      #
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def parallel_problems(draw):
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(40, 160))
+    dim = draw(st.integers(1, 4))
+    k = draw(st.integers(2, 5))
+    n_values = draw(st.integers(2, 6))
+    lam = draw(st.sampled_from([0.0, 1.0, 100.0, "auto"]))
+    # Small chunks force many windows per sweep, so the prefetch group
+    # scan and its cross-window repair genuinely engage.
+    chunk_size = draw(st.sampled_from([8, 16, 64]))
+    shuffle = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, dim))
+    cats = [CategoricalSpec("c", rng.integers(0, n_values, n), n_values=n_values)]
+    nums = [NumericSpec("z", rng.normal(size=n))]
+    return points, cats, nums, k, lam, chunk_size, shuffle, seed
+
+
+@given(parallel_problems())
+@settings(max_examples=25, deadline=None)
+def test_parallel_chunked_equals_sequential(problem):
+    """ChunkedSweep(n_jobs=j) is bit-identical to sequential for every j."""
+    points, cats, nums, k, lam, chunk_size, shuffle, seed = problem
+    seq = FairKM(k, lambda_=lam, shuffle=shuffle, seed=seed).fit(
+        points, categorical=cats, numeric=nums
+    )
+    for j in (1, 2, 4):
+        par = FairKM(
+            k,
+            lambda_=lam,
+            shuffle=shuffle,
+            seed=seed,
+            engine="chunked",
+            chunk_size=chunk_size,
+            n_jobs=j,
+        ).fit(points, categorical=cats, numeric=nums)
+        np.testing.assert_array_equal(seq.labels, par.labels)
+        assert seq.moves_per_iter == par.moves_per_iter
+        assert seq.objective_history == par.objective_history
+
+
+@given(parallel_problems())
+@settings(max_examples=15, deadline=None)
+def test_sharded_minibatch_equals_single_threaded(problem):
+    """Shard-scored mini-batch sweeps reproduce the serial mini-batch."""
+    points, cats, nums, k, lam, _, shuffle, seed = problem
+    serial = MiniBatchFairKM(
+        k, batch_size=64, lambda_=lam, shuffle=shuffle, seed=seed
+    ).fit(points, categorical=cats, numeric=nums)
+    sharded = MiniBatchFairKM(
+        k, batch_size=64, lambda_=lam, shuffle=shuffle, seed=seed, n_jobs=4
+    ).fit(points, categorical=cats, numeric=nums)
+    np.testing.assert_array_equal(serial.labels, sharded.labels)
+    assert serial.objective_history == sharded.objective_history
+
+
+def test_sharded_minibatch_large_batch_exercises_shards():
+    """A batch wider than MIN_SHARD actually splits and still matches."""
+    rng = np.random.default_rng(3)
+    n = 1600  # batch 1600 > MIN_SHARD=512 -> 4 shards of <=512 rows
+    points = np.vstack(
+        [rng.normal(loc=c, size=(n // 4, 5)) for c in (0.0, 2.0, 4.0, 6.0)]
+    )
+    cats = [CategoricalSpec("g", rng.integers(0, 3, n), n_values=3)]
+    serial = MiniBatchFairKM(4, batch_size=n, lambda_=50.0, seed=0).fit(
+        points, categorical=cats
+    )
+    sharded = MiniBatchFairKM(4, batch_size=n, lambda_=50.0, seed=0, n_jobs=4).fit(
+        points, categorical=cats
+    )
+    np.testing.assert_array_equal(serial.labels, sharded.labels)
+    assert serial.objective == sharded.objective
+
+
+# --------------------------------------------------------------------- #
+# Sweep diagnostics                                                       #
+# --------------------------------------------------------------------- #
+
+
+def test_result_records_per_sweep_diagnostics():
+    rng = np.random.default_rng(5)
+    points = np.vstack([rng.normal(0, 1, (400, 4)), rng.normal(5, 1, (400, 4))])
+    cats = [CategoricalSpec("c", rng.integers(0, 2, 800), n_values=2)]
+    result = FairKM(
+        3, lambda_=100.0, seed=0, engine="chunked", chunk_size=64, n_jobs=2
+    ).fit(points, categorical=cats)
+    assert result.diagnostics["engine"] == "chunked"
+    sweeps = result.diagnostics["sweeps"]
+    assert len(sweeps) == result.n_iter
+    for entry in sweeps:
+        assert entry["moves"] >= 0
+        assert 0.0 <= entry["move_rate"] <= 1.0
+        assert "mode" in entry and "scoring_s" in entry
+    # The dense first sweep falls back to the serial loop; later sparse
+    # sweeps run the chunked scan and report window + repair telemetry.
+    assert sweeps[0]["mode"] == "dense_fallback"
+    chunked = [s for s in sweeps if s["mode"].startswith("chunked")]
+    assert chunked, "no sweep ran the chunked scan"
+    for entry in chunked:
+        assert entry["window"] >= 1
+        assert entry["n_jobs"] == 2
+        assert entry["repair_s"] >= 0.0
+
+
+def test_minibatch_diagnostics_record_merge_time():
+    rng = np.random.default_rng(6)
+    points = rng.normal(size=(300, 3))
+    cats = [CategoricalSpec("g", rng.integers(0, 2, 300), n_values=2)]
+    result = MiniBatchFairKM(3, batch_size=100, lambda_=1.0, seed=0).fit(
+        points, categorical=cats
+    )
+    sweeps = result.diagnostics["sweeps"]
+    assert result.diagnostics["engine"] == "minibatch"
+    assert all(s["mode"] == "minibatch" for s in sweeps)
+    assert all(s["merge_s"] >= 0.0 for s in sweeps)

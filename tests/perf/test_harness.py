@@ -1,0 +1,115 @@
+"""The benchmark harness: schema validation, suites, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BenchRecord,
+    bench_payload,
+    render_bench,
+    validate_bench,
+    write_bench,
+)
+from repro.perf.harness import bench_assign, bench_engine, job_ladder
+
+
+def _record(**overrides):
+    base = dict(
+        workload="w", n=100, k=5, jobs=1, wall_s=0.5, rows_per_s=200.0, speedup=1.0
+    )
+    base.update(overrides)
+    return base
+
+
+def _payload(records=None):
+    return {
+        "schema": "repro.bench/v1",
+        "suite": "engine",
+        "records": records if records is not None else [_record()],
+    }
+
+
+def test_validate_accepts_well_formed_payload():
+    validate_bench(_payload())
+    validate_bench(_payload([_record(extra={"n_iter": 3})]))
+
+
+@pytest.mark.parametrize(
+    "mutate, match",
+    [
+        (lambda p: p.pop("schema"), "schema"),
+        (lambda p: p.update(schema="repro.bench/v2"), "schema"),
+        (lambda p: p.update(suite=""), "suite"),
+        (lambda p: p.update(records=[]), "non-empty"),
+        (lambda p: p["records"][0].pop("wall_s"), "wall_s"),
+        (lambda p: p["records"][0].update(jobs="four"), "jobs"),
+        (lambda p: p["records"][0].update(jobs=True), "jobs"),
+        (lambda p: p["records"][0].update(wall_s=-1.0), "wall_s"),
+        (lambda p: p["records"][0].update(surprise=1), "unknown"),
+        (lambda p: p["records"][0].update(extra=[1]), "extra"),
+    ],
+)
+def test_validate_rejects_malformed_payloads(mutate, match):
+    payload = _payload()
+    mutate(payload)
+    with pytest.raises(ValueError, match=match):
+        validate_bench(payload)
+
+
+def test_job_ladder():
+    assert job_ladder(1) == (1,)
+    assert job_ladder(2) == (1, 2)
+    assert job_ladder(4) == (1, 2, 4)
+    assert job_ladder(6) == (1, 2, 4, 6)
+    assert job_ladder(8) == (1, 2, 4, 8)
+
+
+def test_write_bench_round_trips(tmp_path):
+    records = [BenchRecord("w", 10, 2, 1, 0.1, 100.0)]
+    path = write_bench(tmp_path / "BENCH_x.json", "engine", records)
+    payload = json.loads(path.read_text())
+    validate_bench(payload)
+    assert payload["records"][0]["workload"] == "w"
+    assert "extra" not in payload["records"][0]  # empty extra elided
+    assert "repro.bench/v1" in render_bench(payload)
+
+
+def test_bench_engine_records_all_job_counts():
+    records = bench_engine((400,), (1, 2), max_iter=5)
+    payload = bench_payload("engine", records)
+    validate_bench(payload)
+    seen = {(r.workload, r.jobs) for r in records}
+    assert ("fairkm_chunked_fit", 1) in seen and ("fairkm_chunked_fit", 2) in seen
+    assert ("minibatch_fairkm_fit", 2) in seen
+    # jobs=1 rows are the speedup baseline of the same file.
+    assert all(r.speedup == 1.0 for r in records if r.jobs == 1)
+
+
+def test_bench_assign_records_and_speedups():
+    records = bench_assign((4_000,), (1, 2), repeats=1)
+    validate_bench(bench_payload("assign", records))
+    assert {r.jobs for r in records} == {1, 2}
+    assert all(r.rows_per_s > 0 for r in records)
+
+
+def test_cli_bench_smoke_writes_validated_files(tmp_path, capsys):
+    """`repro bench --smoke` emits BENCH_*.json that pass the validator."""
+    from repro.cli import main
+    from repro.perf.harness import run_bench
+
+    assert main(["bench", "assign", "--smoke", "--jobs", "2",
+                 "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "BENCH_assign.json" in out
+    payload = json.loads((tmp_path / "BENCH_assign.json").read_text())
+    validate_bench(payload)
+    assert payload["suite"] == "assign"
+    jobs = {r["jobs"] for r in payload["records"]}
+    assert jobs == {1, 2}
+
+    # Library-level orchestration covers the engine suite the same way.
+    written = run_bench("engine", smoke=True, max_jobs=2, out_dir=tmp_path)
+    validate_bench(json.loads(written["engine"].read_text()))

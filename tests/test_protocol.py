@@ -116,7 +116,10 @@ def test_export_state_diagnostics_are_plain_scalars(data):
     estimator.fit_predict(points, sensitive=specs)
     diagnostics = estimator.export_state()["diagnostics"]
     assert {"objective", "lambda_", "n_iter", "converged"} <= set(diagnostics)
-    assert all(isinstance(v, (bool, int, float)) for v in diagnostics.values())
+    # JSON-able scalars only — structured telemetry (e.g. the per-sweep
+    # list on FairKMResult.diagnostics) must not leak into artifacts.
+    assert all(isinstance(v, (bool, int, float, str)) for v in diagnostics.values())
+    assert diagnostics["engine"] == "sequential"
 
 
 def test_kmeans_ignores_sensitive(data):
