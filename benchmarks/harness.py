@@ -6,9 +6,13 @@ installed console script::
 
     PYTHONPATH=src python benchmarks/harness.py --smoke --jobs 2
     PYTHONPATH=src python benchmarks/harness.py assign --jobs 4
+    PYTHONPATH=src python benchmarks/harness.py serve --smoke
+    PYTHONPATH=src python benchmarks/harness.py compare old.json new.json
 
 Output: schema-validated ``results/BENCH_engine.json`` /
-``results/BENCH_assign.json`` plus the rendered tables on stdout.
+``results/BENCH_assign.json`` / ``results/BENCH_serve.json`` plus the
+rendered tables on stdout (``compare`` diffs two such files and exits
+nonzero on rows/s regressions).
 """
 
 from __future__ import annotations

@@ -186,8 +186,16 @@ class Assigner:
     def _chunk(self, chunk_size: int | None) -> int:
         if chunk_size is None:
             return DEFAULT_CHUNK_SIZE
-        if chunk_size <= 0:
-            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        # bool is an int subclass and floats truncate (int(0.5) == 0,
+        # which would hang the chunk loop): demand an integral value.
+        try:
+            integral = not isinstance(chunk_size, bool) and chunk_size == int(chunk_size)
+        except (TypeError, ValueError, OverflowError):  # inf overflows int()
+            integral = False
+        if not integral:
+            raise ValueError(f"chunk_size must be an integer, got {chunk_size!r}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         return int(chunk_size)
 
 

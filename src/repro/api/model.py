@@ -193,6 +193,30 @@ class ClusterModel:
         np.savez(directory / _NPZ_NAME, centers=self.centers)
         return directory
 
+    def publish(
+        self, registry_root: str | Path, *, label: str | None = None
+    ) -> str:
+        """Publish this model into a serving registry; returns the version id.
+
+        Convenience for :meth:`repro.serving.ModelRegistry.publish` —
+        saves the artifact as a new version under *registry_root* and
+        atomically repoints ``LATEST`` at it (which is what live
+        :class:`~repro.serving.server.AssignmentServer` processes
+        hot-reload on).
+        """
+        from ..serving.registry import ModelRegistry
+
+        return ModelRegistry(registry_root).publish(self, label=label)
+
+    @classmethod
+    def from_registry(
+        cls, registry_root: str | Path, version: str | None = None
+    ) -> "ClusterModel":
+        """Load a version (default: the ``LATEST`` target) from a registry."""
+        from ..serving.registry import ModelRegistry
+
+        return ModelRegistry(registry_root).load(version)
+
     @classmethod
     def load(cls, path: str | Path) -> "ClusterModel":
         """Load an artifact previously written by :meth:`save`.

@@ -6,9 +6,12 @@ Subcommands::
     repro fit --dataset adult --method fairkm -k 5 --out artifacts/m
     repro predict --model artifacts/m --data points.npy --out labels.npy
     repro evaluate --model artifacts/m --dataset adult
+    repro registry publish --registry registry/ --model artifacts/m
+    repro serve --registry registry/ --port 8000
     repro paper table5 --seeds 5 --engine chunked
     repro paper list
     repro bench --smoke --jobs 2
+    repro bench compare old/BENCH_assign.json results/BENCH_assign.json
 
 ``repro fit`` / ``repro predict`` are the train-once / assign-many
 split: ``fit`` writes a portable :class:`~repro.api.ClusterModel`
@@ -221,14 +224,22 @@ def build_parser() -> argparse.ArgumentParser:
     # ----------------------------------------------------------- bench #
     p_bench = sub.add_parser(
         "bench",
-        help="run the perf suites and emit machine-readable BENCH_*.json",
-        description="Run the engine/assignment benchmark suites across "
-        "worker counts, write schema-validated BENCH_engine.json / "
-        "BENCH_assign.json under results/, and print the rendered tables.",
+        help="run the perf suites and emit machine-readable BENCH_*.json; "
+        "'bench compare' diffs two records",
+        description="Run the engine/assignment/serving benchmark suites "
+        "across worker counts, write schema-validated BENCH_engine.json / "
+        "BENCH_assign.json / BENCH_serve.json under results/, and print "
+        "the rendered tables. 'repro bench compare BASELINE CURRENT' "
+        "diffs two bench files and exits nonzero on rows/s regressions.",
     )
     p_bench.add_argument(
-        "suite", nargs="?", choices=["engine", "assign", "all"], default="all",
-        help="which suite to run (default all)",
+        "suite", nargs="?",
+        choices=["engine", "assign", "serve", "all", "compare"], default="all",
+        help="suite to run (default all), or 'compare' to diff two records",
+    )
+    p_bench.add_argument(
+        "paths", nargs="*", type=Path, metavar="BENCH_JSON",
+        help="for 'compare': the baseline and current BENCH_*.json files",
     )
     p_bench.add_argument(
         "--smoke", action="store_true",
@@ -240,12 +251,101 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--repeats", type=positive_int, default=None,
-        help="timing repeats, best-of (default: 1 engine / 3 assign)",
+        help="timing repeats, best-of (default: 1 engine / 3 assign+serve)",
     )
     p_bench.add_argument(
         "--out", "-o", type=Path, default=None,
         help="output directory (default results/, or REPRO_RESULTS_DIR)",
     )
+    p_bench.add_argument(
+        "--threshold", type=float, default=None,
+        help="for 'compare': minimum current/baseline rows/s ratio "
+        "before a record counts as regressed (default 0.9)",
+    )
+
+    # ----------------------------------------------------------- serve #
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived HTTP assignment server",
+        description="Serve batched S-blind assignment over HTTP from a "
+        "model registry (hot-reloading its LATEST pointer) or from one "
+        "artifact directory. Endpoints: POST /assign (JSON or npy "
+        "bytes), GET /healthz, GET /model, POST /reload.",
+    )
+    p_serve.add_argument(
+        "--registry", type=Path, default=None,
+        help="registry root; the server follows its LATEST pointer "
+        "(publishes/rollbacks hot-reload without a restart)",
+    )
+    p_serve.add_argument(
+        "--model", "-m", type=Path, default=None,
+        help="serve a single artifact directory instead of a registry",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8000,
+        help="bind port (0 picks an ephemeral port; default 8000)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=jobs_value, default=None,
+        help="worker threads per assignment call (labels identical for "
+        "every value)",
+    )
+    p_serve.add_argument(
+        "--chunk-size", type=positive_int, default=None,
+        help="default rows scored per block (default 8192)",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log every request",
+    )
+
+    # -------------------------------------------------------- registry #
+    p_registry = sub.add_parser(
+        "registry",
+        help="publish, list, roll back and prune serving artifacts",
+        description="Manage a directory-of-artifacts model registry: "
+        "versioned ClusterModel directories plus an atomically-updated "
+        "LATEST pointer that live servers hot-reload.",
+    )
+    reg_sub = p_registry.add_subparsers(
+        dest="registry_command", required=True, metavar="action"
+    )
+    for name, help_text in (
+        ("publish", "copy an artifact into the registry as a new version"),
+        ("list", "list published versions (the LATEST target is starred)"),
+        ("rollback", "repoint LATEST at an earlier version"),
+        ("prune", "delete old versions beyond a retention window"),
+    ):
+        p_action = reg_sub.add_parser(name, help=help_text)
+        p_action.add_argument(
+            "--registry", type=Path, required=True, help="registry root directory"
+        )
+        if name == "publish":
+            p_action.add_argument(
+                "--model", "-m", type=Path, required=True,
+                help="artifact directory written by 'repro fit'",
+            )
+            p_action.add_argument(
+                "--label", default=None,
+                help="human suffix for the version directory name",
+            )
+            p_action.add_argument(
+                "--no-latest", action="store_true",
+                help="stage the version without repointing LATEST",
+            )
+        elif name == "rollback":
+            p_action.add_argument(
+                "--steps", type=positive_int, default=1,
+                help="versions to walk back from LATEST (default 1)",
+            )
+            p_action.add_argument(
+                "--to", default=None, help="explicit version id to roll to"
+            )
+        elif name == "prune":
+            p_action.add_argument(
+                "--retention", type=positive_int, required=True,
+                help="newest versions to keep (the LATEST target is always kept)",
+            )
 
     return parser
 
@@ -432,6 +532,12 @@ def _cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     from .core.parallel import resolve_n_jobs
     from .perf.harness import render_bench, run_bench, validate_bench
 
+    if args.suite == "compare":
+        return _bench_compare(args, parser)
+    if args.paths:
+        parser.error("positional BENCH_JSON files are only for 'bench compare'")
+    if args.threshold is not None:
+        parser.error("--threshold is only for 'bench compare'")
     start = time.time()
     written = run_bench(
         args.suite,
@@ -449,12 +555,96 @@ def _cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     return 0
 
 
+def _bench_compare(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from .perf.compare import DEFAULT_THRESHOLD, compare_bench_files, render_comparison
+
+    if len(args.paths) != 2:
+        parser.error("bench compare needs exactly two files: BASELINE CURRENT")
+    baseline, current = args.paths
+    try:
+        comparison = compare_bench_files(
+            baseline,
+            current,
+            threshold=args.threshold if args.threshold is not None else DEFAULT_THRESHOLD,
+        )
+    except (OSError, ValueError) as exc:
+        parser.error(str(exc))
+        raise AssertionError("unreachable")
+    print(render_comparison(comparison))
+    return 0 if comparison.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from .serving import AssignmentServer, RegistryError, serve_forever
+
+    if (args.registry is None) == (args.model is None):
+        parser.error("exactly one of --registry or --model is required")
+    try:
+        server = AssignmentServer(
+            registry=args.registry,
+            model_path=args.model,
+            host=args.host,
+            port=args.port,
+            n_jobs=args.jobs,
+            chunk_size=args.chunk_size,
+            quiet=not args.verbose,
+        )
+    except (RegistryError, FileNotFoundError, ValueError, OSError) as exc:
+        parser.error(str(exc))
+        raise AssertionError("unreachable")
+    snap = server.snapshot()
+    print(f"serving {snap.version} (method={snap.model.config.method}, "
+          f"k={snap.model.k}, d={snap.model.n_features}) on {server.url}")
+    print("endpoints: POST /assign  GET /healthz  GET /model  POST /reload")
+    serve_forever(server)
+    return 0
+
+
+def _cmd_registry(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from .serving import ModelRegistry, RegistryError
+
+    registry = ModelRegistry(args.registry)
+    try:
+        if args.registry_command == "publish":
+            version = registry.publish(
+                args.model, label=args.label, set_latest=not args.no_latest
+            )
+            latest = " (LATEST)" if not args.no_latest else ""
+            print(f"published {version}{latest} -> {registry.root / version}")
+        elif args.registry_command == "list":
+            versions = registry.list_versions()
+            if not versions:
+                print(f"{registry.root}: no published versions")
+                return 0
+            try:
+                latest = registry.latest_version()
+            except RegistryError:
+                latest = None
+            for version in versions:
+                marker = " *" if version == latest else ""
+                print(f"{version}{marker}")
+        elif args.registry_command == "rollback":
+            target = registry.rollback(steps=args.steps, to=args.to)
+            print(f"LATEST -> {target}")
+        elif args.registry_command == "prune":
+            deleted = registry.prune(retention=args.retention)
+            for version in deleted:
+                print(f"deleted {version}")
+            print(f"kept {len(registry.list_versions())} version(s)")
+    except (RegistryError, FileNotFoundError, ValueError) as exc:
+        parser.error(str(exc))
+        raise AssertionError("unreachable")
+    return 0
+
+
 _COMMANDS = {
     "fit": _cmd_fit,
     "predict": _cmd_predict,
     "evaluate": _cmd_evaluate,
     "paper": _cmd_paper,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "registry": _cmd_registry,
 }
 
 #: Pre-subcommand spellings still accepted at the front of argv.

@@ -1,12 +1,21 @@
 """Machine-readable performance harness.
 
-:mod:`repro.perf.harness` runs the engine/assignment benchmark suites
-across worker counts and emits schema-validated ``BENCH_*.json`` files,
-so the perf trajectory of the repo is recorded as data instead of
-ad-hoc text. ``repro bench`` is the CLI entry point;
-``benchmarks/harness.py`` is the standalone wrapper.
+:mod:`repro.perf.harness` runs the engine/assignment/serving benchmark
+suites across worker counts and emits schema-validated ``BENCH_*.json``
+files, so the perf trajectory of the repo is recorded as data instead
+of ad-hoc text; :mod:`repro.perf.compare` diffs two such records and
+flags rows/s regressions (``repro bench compare``, nonzero exit for
+CI). ``repro bench`` is the CLI entry point; ``benchmarks/harness.py``
+is the standalone wrapper.
 """
 
+from .compare import (
+    BenchComparison,
+    ComparisonRow,
+    compare_bench,
+    compare_bench_files,
+    render_comparison,
+)
 from .harness import (
     BENCH_SCHEMA,
     BenchRecord,
@@ -19,9 +28,14 @@ from .harness import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BenchComparison",
     "BenchRecord",
+    "ComparisonRow",
     "bench_payload",
+    "compare_bench",
+    "compare_bench_files",
     "render_bench",
+    "render_comparison",
     "run_bench",
     "validate_bench",
     "write_bench",

@@ -1,0 +1,177 @@
+"""Perf-trend comparer: diff two ``BENCH_*.json`` records.
+
+CI uploads a schema-validated bench file per PR (see
+:mod:`repro.perf.harness`); this module closes the loop by diffing the
+current file against a baseline and flagging throughput regressions::
+
+    repro bench compare baseline.json current.json --threshold 0.9
+
+Records are matched on their identity key ``(workload, n, k, jobs)``.
+A matched pair regresses when ``current.rows_per_s`` falls below
+``threshold × baseline.rows_per_s``; any regression makes the CLI exit
+nonzero so CI can gate on it. Records present on only one side are
+reported (a disappearing workload is information, not a crash) but do
+not fail the comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .harness import validate_bench
+
+#: Record fields forming the comparison identity.
+KEY_FIELDS = ("workload", "n", "k", "jobs")
+
+#: Default minimum current/baseline throughput ratio before flagging.
+DEFAULT_THRESHOLD = 0.9
+
+
+def _key(record: dict[str, Any]) -> tuple[Any, ...]:
+    return tuple(record[name] for name in KEY_FIELDS)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One matched (workload, n, k, jobs) pair across the two files."""
+
+    workload: str
+    n: int
+    k: int
+    jobs: int
+    baseline_rows_per_s: float
+    current_rows_per_s: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline throughput (∞ when the baseline was 0)."""
+        if self.baseline_rows_per_s <= 0:
+            return float("inf")
+        return self.current_rows_per_s / self.baseline_rows_per_s
+
+    def regressed(self, threshold: float) -> bool:
+        return self.ratio < threshold
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """The full diff of two bench payloads."""
+
+    suite: str
+    threshold: float
+    rows: list[ComparisonRow] = field(default_factory=list)
+    only_baseline: list[tuple[Any, ...]] = field(default_factory=list)
+    only_current: list[tuple[Any, ...]] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[ComparisonRow]:
+        return [row for row in self.rows if row.regressed(self.threshold)]
+
+    @property
+    def ok(self) -> bool:
+        """True when at least one record matched and none regressed."""
+        return bool(self.rows) and not self.regressions
+
+
+def compare_bench(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BenchComparison:
+    """Diff two validated bench payloads (same schema, any suites).
+
+    Args:
+        baseline: the reference payload (e.g. the previous run's upload).
+        current: this run's payload.
+        threshold: minimum acceptable current/baseline rows/s ratio.
+
+    Raises:
+        ValueError: either payload fails schema validation, or the
+            threshold is not in (0, ∞).
+    """
+    if not threshold > 0:
+        raise ValueError(f"threshold must be > 0, got {threshold}")
+    validate_bench(baseline)
+    validate_bench(current)
+    base_records = {_key(r): r for r in baseline["records"]}
+    curr_records = {_key(r): r for r in current["records"]}
+    rows = [
+        ComparisonRow(
+            *key,
+            baseline_rows_per_s=float(base_records[key]["rows_per_s"]),
+            current_rows_per_s=float(curr_records[key]["rows_per_s"]),
+        )
+        for key in base_records
+        if key in curr_records
+    ]
+    rows.sort(key=lambda row: (row.workload, row.n, row.k, row.jobs))
+    suite = current.get("suite", "?")
+    if baseline.get("suite") != suite:
+        suite = f"{baseline.get('suite', '?')} vs {suite}"
+    return BenchComparison(
+        suite=suite,
+        threshold=threshold,
+        rows=rows,
+        only_baseline=sorted(k for k in base_records if k not in curr_records),
+        only_current=sorted(k for k in curr_records if k not in base_records),
+    )
+
+
+def compare_bench_files(
+    baseline_path: str | Path,
+    current_path: str | Path,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BenchComparison:
+    """File-path convenience wrapper around :func:`compare_bench`."""
+    baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    current = json.loads(Path(current_path).read_text(encoding="utf-8"))
+    return compare_bench(baseline, current, threshold=threshold)
+
+
+def render_comparison(comparison: BenchComparison) -> str:
+    """Human-readable report (the ``repro bench compare`` output)."""
+    from ..experiments.tables import format_table
+
+    rows = []
+    for row in comparison.rows:
+        flag = "REGRESSED" if row.regressed(comparison.threshold) else "ok"
+        rows.append(
+            [
+                row.workload,
+                f"{row.n:,}",
+                str(row.k),
+                str(row.jobs),
+                f"{row.baseline_rows_per_s / 1e6:.2f}",
+                f"{row.current_rows_per_s / 1e6:.2f}",
+                f"{row.ratio:.2f}x",
+                flag,
+            ]
+        )
+    table = format_table(
+        ["workload", "n", "k", "jobs", "base M/s", "curr M/s", "ratio", "status"],
+        rows,
+        title=(
+            f"Bench comparison: {comparison.suite} "
+            f"(threshold {comparison.threshold:.2f})"
+        ),
+    )
+    lines = [table]
+    for label, keys in (
+        ("only in baseline", comparison.only_baseline),
+        ("only in current", comparison.only_current),
+    ):
+        for key in keys:
+            lines.append(f"  [{label}] {dict(zip(KEY_FIELDS, key))}")
+    count = len(comparison.regressions)
+    if not comparison.rows:
+        lines.append("no comparable records (nothing matched on workload/n/k/jobs)")
+    elif count:
+        lines.append(f"{count} regression(s) below threshold {comparison.threshold:.2f}")
+    else:
+        lines.append(f"all {len(comparison.rows)} matched records within threshold")
+    return "\n".join(lines)

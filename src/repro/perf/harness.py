@@ -23,7 +23,7 @@ same ``(workload, n, k)`` — the ``jobs=1`` run emitted in the same file
 CI runs it on every PR's smoke output and uploads the JSON as an
 artifact, extending the recorded perf trajectory.
 
-Two suites ship today:
+Three suites ship today:
 
 * **engine** — FairKM training hot path. Fits the chunked-exact engine
   (and a large-batch mini-batch fit) across worker counts; alongside
@@ -34,6 +34,11 @@ Two suites ship today:
   design, so Amdahl caps the end-to-end number).
 * **assign** — the serving hot loop: ``Assigner.assign`` rows/s across
   worker counts.
+* **serve** — the end-to-end serving ceiling: rows/s through a live
+  :class:`~repro.serving.server.AssignmentServer` (npy and JSON
+  payloads over HTTP) next to the in-process ``Assigner`` baseline on
+  the same points, so ``BENCH_serve.json`` quantifies exactly what the
+  HTTP hop costs.
 
 Entry points: ``repro bench`` (CLI) and ``benchmarks/harness.py``
 (standalone script).
@@ -53,7 +58,7 @@ import numpy as np
 BENCH_SCHEMA = "repro.bench/v1"
 
 #: Known suite names (one output file per suite).
-SUITES = ("engine", "assign")
+SUITES = ("engine", "assign", "serve")
 
 #: Required record fields and their types (``extra`` is optional).
 _RECORD_FIELDS: dict[str, type] = {
@@ -354,6 +359,100 @@ def bench_assign(
     return records
 
 
+def bench_serve(
+    sizes: Sequence[int],
+    jobs: Sequence[int],
+    *,
+    d: int = 14,
+    k: int = 15,
+    repeats: int = 3,
+) -> list[BenchRecord]:
+    """End-to-end serving ceiling: HTTP rows/s vs the in-process baseline.
+
+    Publishes a synthetic model into a throwaway registry, starts an
+    :class:`~repro.serving.server.AssignmentServer` on an ephemeral
+    port, and measures three workloads per (n, jobs):
+
+    * ``serve_http_npy``   — ``POST /assign`` with raw npy bytes over a
+      keep-alive connection (the serving fast path);
+    * ``serve_http_json``  — the same rows as JSON (interoperability
+      path; dominated by encode/decode, so it is the floor — measured
+      only at n ≤ 50k, past which the body size benchmarks the json
+      module rather than serving);
+    * ``assign_inprocess`` — ``Assigner.assign`` on the same points in
+      the same process (the ceiling the HTTP hop is measured against).
+
+    Served labels are asserted bit-identical to the in-process baseline
+    at every worker count, and the server's reported model version is
+    asserted on every response.
+    """
+    import tempfile
+
+    from ..api.config import RunConfig
+    from ..api.model import ClusterModel
+    from ..serving.client import ServingClient
+    from ..serving.registry import ModelRegistry
+    from ..serving.server import AssignmentServer
+
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(k, d)) * 2.0
+    model = ClusterModel(centers, RunConfig(method="kmeans", k=k))
+    records: list[BenchRecord] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        registry = ModelRegistry(Path(tmp) / "registry")
+        version = registry.publish(model, label="bench")
+        for j in jobs:
+            server = AssignmentServer(registry=registry, n_jobs=int(j)).start()
+            try:
+                with ServingClient(port=server.port) as client:
+                    for n in sizes:
+                        n = int(n)
+                        points = rng.normal(size=(n, d))
+                        baseline = server.snapshot().assigner.assign(points)
+                        wall, _ = _timed(
+                            lambda: server.snapshot().assigner.assign(points), repeats
+                        )
+                        records.append(
+                            BenchRecord(
+                                "assign_inprocess", n, k, int(j),
+                                wall, n / wall if wall > 0 else 0.0,
+                                extra={"d": d},
+                            )
+                        )
+                        payloads = [("serve_http_npy", True)]
+                        if n <= 50_000:
+                            # JSON spends its wall in float <-> decimal
+                            # text; past ~50k rows the 100MB+ bodies only
+                            # measure the json module, not serving.
+                            payloads.append(("serve_http_json", False))
+                        for workload, npy in payloads:
+                            wall, response = _timed(
+                                lambda npy=npy: client.assign(points, npy=npy),
+                                repeats,
+                            )
+                            if not np.array_equal(response.labels, baseline):
+                                raise AssertionError(
+                                    f"{workload} n_jobs={j} labels diverged from "
+                                    "in-process assign"
+                                )
+                            if response.version != version:
+                                raise AssertionError(
+                                    f"{workload} served version {response.version!r},"
+                                    f" expected {version!r}"
+                                )
+                            records.append(
+                                BenchRecord(
+                                    workload, n, k, int(j),
+                                    wall, n / wall if wall > 0 else 0.0,
+                                    extra={"d": d, "version": version},
+                                )
+                            )
+            finally:
+                server.stop()
+    _speedup_vs_baseline(records)
+    return records
+
+
 # --------------------------------------------------------------------- #
 # Orchestration (the ``repro bench`` implementation)                      #
 # --------------------------------------------------------------------- #
@@ -380,13 +479,13 @@ def run_bench(
     """Run the requested suite(s); write and validate ``BENCH_*.json``.
 
     Args:
-        suite: ``"engine"``, ``"assign"`` or ``"all"``.
+        suite: ``"engine"``, ``"assign"``, ``"serve"`` or ``"all"``.
         smoke: small sizes for CI (seconds, not minutes).
         max_jobs: top of the worker-count ladder (always includes 1).
         out_dir: output directory (default: the results dir, honoring
             ``REPRO_RESULTS_DIR``).
-        repeats: timing repeats, best-of (default: 1 engine / 3 assign,
-            1 everywhere under ``smoke``).
+        repeats: timing repeats, best-of (default: 1 engine / 3
+            assign + serve, 1 everywhere under ``smoke``).
 
     Returns:
         Mapping of suite name to the written JSON path.
@@ -399,6 +498,9 @@ def run_bench(
     jobs = job_ladder(max_jobs)
     engine_sizes = (2_000,) if smoke else (10_000, 100_000)
     assign_sizes = (50_000,) if smoke else (100_000, 1_000_000)
+    # 50k sits at the JSON-payload cutoff so full runs still record the
+    # serve_http_json floor alongside the large npy-only measurement.
+    serve_sizes = (20_000,) if smoke else (50_000, 500_000)
     written: dict[str, Path] = {}
     if suite in ("engine", "all"):
         records = bench_engine(
@@ -412,4 +514,11 @@ def run_bench(
             repeats=(1 if smoke else 3) if repeats is None else repeats,
         )
         written["assign"] = write_bench(out / "BENCH_assign.json", "assign", records)
+    if suite in ("serve", "all"):
+        records = bench_serve(
+            serve_sizes,
+            jobs,
+            repeats=(1 if smoke else 3) if repeats is None else repeats,
+        )
+        written["serve"] = write_bench(out / "BENCH_serve.json", "serve", records)
     return written

@@ -1,0 +1,37 @@
+"""Model serving subsystem: artifact registry, assignment server, client.
+
+This package turns the repro from a library into a deployable service,
+completing the train-once / assign-many story the paper's S-blind
+assignment rule enables (fairness shapes the centers during *training*;
+deployment only reads geometry):
+
+* :mod:`repro.serving.registry` — a directory-of-artifacts convention
+  (:class:`ModelRegistry`): monotonically versioned model directories,
+  an atomically-updated ``LATEST`` pointer, publish / resolve /
+  rollback / prune with retention.
+* :mod:`repro.serving.server` — :class:`AssignmentServer`, a long-lived
+  stdlib HTTP process wrapping a registry-resolved
+  :class:`~repro.api.assign.Assigner` with mtime-based hot-reload of
+  the ``LATEST`` pointer. Responses always carry the serving model
+  version.
+* :mod:`repro.serving.client` — :class:`ServingClient`, a stdlib HTTP
+  client speaking the same JSON / npy-bytes protocol (also the engine
+  behind ``repro bench serve``).
+
+CLI entry points: ``repro serve``, ``repro registry
+publish|list|rollback|prune`` and ``repro bench serve``.
+"""
+
+from .client import AssignResponse, ServingClient
+from .registry import LATEST_POINTER, ModelRegistry, RegistryError
+from .server import AssignmentServer, serve_forever
+
+__all__ = [
+    "AssignResponse",
+    "AssignmentServer",
+    "LATEST_POINTER",
+    "ModelRegistry",
+    "RegistryError",
+    "ServingClient",
+    "serve_forever",
+]

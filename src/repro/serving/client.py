@@ -1,0 +1,170 @@
+"""Stdlib HTTP client for the assignment server.
+
+:class:`ServingClient` speaks the same two payload formats the server
+accepts — JSON for interoperability, raw npy bytes for throughput (one
+``np.save`` in, one ``np.load`` out, no float → decimal-string round
+trip). A single keep-alive connection is reused across calls, so
+``repro bench serve`` measures serving overhead, not TCP handshakes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import io
+import json
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .server import NPY_CONTENT_TYPE, VERSION_HEADER
+
+
+class ServingClientError(RuntimeError):
+    """Non-2xx response from the server (carries status + server message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+@dataclass(frozen=True)
+class AssignResponse:
+    """One ``POST /assign`` result: labels plus the version that made them."""
+
+    labels: np.ndarray
+    version: str
+
+
+class ServingClient:
+    """Client for one :class:`~repro.serving.server.AssignmentServer`.
+
+    Args:
+        host, port: server address (or pass ``url="http://h:p"``).
+        timeout: per-request socket timeout in seconds.
+
+    Usable as a context manager; the underlying connection is opened
+    lazily and reused until :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        *,
+        url: str | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if url is not None:
+            stripped = url.removeprefix("http://").rstrip("/")
+            host, _, port_text = stripped.partition(":")
+            port = int(port_text or 80)
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------ #
+    # Transport                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> tuple[int, dict[str, str], bytes]:
+        headers = {"Content-Type": content_type} if body is not None else {}
+        try:
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+        except (http.client.HTTPException, OSError):
+            # Keep-alive connection went stale (server restarted / idle
+            # timeout): one clean retry on a fresh connection.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+        return response.status, dict(response.getheaders()), payload
+
+    def _request_json(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> dict[str, Any]:
+        status, _, payload = self._request(method, path, body)
+        data = json.loads(payload.decode("utf-8"))
+        if status >= 400:
+            raise ServingClientError(status, data.get("error", payload.decode("utf-8")))
+        return data
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Endpoints                                                           #
+    # ------------------------------------------------------------------ #
+
+    def healthz(self) -> dict[str, Any]:
+        """``GET /healthz`` — liveness plus the serving model version."""
+        return self._request_json("GET", "/healthz")
+
+    def model_info(self) -> dict[str, Any]:
+        """``GET /model`` — version, method, k, dims, artifact summary."""
+        return self._request_json("GET", "/model")
+
+    def reload(self) -> dict[str, Any]:
+        """``POST /reload`` — force re-resolution of the registry LATEST."""
+        return self._request_json("POST", "/reload", body=b"")
+
+    def assign(
+        self,
+        points: np.ndarray,
+        *,
+        npy: bool = True,
+        chunk_size: int | None = None,
+    ) -> AssignResponse:
+        """``POST /assign`` — label *points*, returning labels + version.
+
+        Args:
+            points: query matrix ``(n, d)``.
+            npy: ship raw npy bytes (fast path) instead of JSON.
+            chunk_size: server-side rows per scored block (JSON mode
+                only; npy mode uses the server default).
+        """
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if npy:
+            buffer = io.BytesIO()
+            np.save(buffer, points, allow_pickle=False)
+            status, headers, payload = self._request(
+                "POST", "/assign", buffer.getvalue(), NPY_CONTENT_TYPE
+            )
+            if status >= 400:
+                message = json.loads(payload.decode("utf-8")).get("error", "")
+                raise ServingClientError(status, message)
+            labels = np.load(io.BytesIO(payload), allow_pickle=False)
+            return AssignResponse(labels, headers.get(VERSION_HEADER, ""))
+        body: dict[str, Any] = {"points": points.tolist()}
+        if chunk_size is not None:
+            body["chunk_size"] = chunk_size
+        data = self._request_json("POST", "/assign", json.dumps(body).encode("utf-8"))
+        return AssignResponse(
+            np.asarray(data["labels"], dtype=np.int64), data["version"]
+        )

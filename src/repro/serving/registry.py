@@ -1,0 +1,242 @@
+"""Artifact registry: a directory-of-artifacts convention for serving.
+
+A registry root is a plain directory whose children are versioned
+:class:`~repro.api.model.ClusterModel` artifact directories plus one
+``LATEST`` pointer file::
+
+    registry/
+      LATEST                 # text file: the current serving version id
+      v0001-fairkm-k5/       # model.json + model.npz (ClusterModel.save)
+      v0002-fairkm-k5/
+      v0003/
+
+Version ids are assigned by the registry at publish time: a
+zero-padded, monotonically increasing index (``v0001``, ``v0002``, ...)
+with an optional human label suffix — so lexicographic order **is**
+publish order and rollback/prune never have to guess. The ``LATEST``
+file is updated atomically (write-temp + ``os.replace``), which also
+bumps its mtime: long-lived servers watch that mtime to hot-reload
+without polling artifact payloads.
+
+Everything loads through :meth:`ClusterModel.load`, so version
+negotiation reuses its loud failures — a stale server confronted with
+an artifact from a newer format refuses to serve it rather than
+mis-assigning traffic.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+from pathlib import Path
+
+from ..api.model import ClusterModel
+
+#: Name of the pointer file inside a registry root.
+LATEST_POINTER = "LATEST"
+
+#: Version directories: zero-padded index + optional ``-label`` suffix.
+_VERSION_RE = re.compile(r"^v(\d{4,})(?:-([A-Za-z0-9._-]+))?$")
+
+#: Allowed characters in a publish label (becomes part of a dir name).
+_LABEL_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+class RegistryError(RuntimeError):
+    """A registry invariant is broken (missing pointer, stale target, ...)."""
+
+
+def _version_index(version: str) -> int:
+    match = _VERSION_RE.match(version)
+    if match is None:
+        raise RegistryError(f"not a registry version id: {version!r}")
+    return int(match.group(1))
+
+
+class ModelRegistry:
+    """Publish, resolve and retire model artifacts under one root.
+
+    Args:
+        root: registry root directory (created on first publish).
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.api import RunConfig, ClusterModel
+        >>> from repro.serving import ModelRegistry
+        >>> registry = ModelRegistry("registry")        # doctest: +SKIP
+        >>> model = ClusterModel(np.zeros((2, 3)), RunConfig())
+        >>> registry.publish(model, label="fairkm-k5")  # doctest: +SKIP
+        'v0001-fairkm-k5'
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pointer_path(self) -> Path:
+        """The ``LATEST`` pointer file (watch its mtime for hot-reload)."""
+        return self.root / LATEST_POINTER
+
+    def list_versions(self) -> list[str]:
+        """All published version ids, oldest first (publish order)."""
+        if not self.root.is_dir():
+            return []
+        versions = [
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and _VERSION_RE.match(entry.name)
+        ]
+        return sorted(versions, key=_version_index)
+
+    def latest_version(self) -> str:
+        """The version id the ``LATEST`` pointer currently names.
+
+        Raises:
+            RegistryError: no pointer (empty registry) or a stale
+                pointer naming a version that no longer exists.
+        """
+        try:
+            version = self.pointer_path.read_text(encoding="utf-8").strip()
+        except FileNotFoundError:
+            raise RegistryError(
+                f"{self.root}: no {LATEST_POINTER} pointer (publish a model first)"
+            ) from None
+        if not version or not (self.root / version).is_dir():
+            raise RegistryError(
+                f"{self.root}: {LATEST_POINTER} names {version!r}, "
+                "which is not a published version"
+            )
+        return version
+
+    def resolve(self, version: str | None = None) -> Path:
+        """Directory of *version* (default: the ``LATEST`` target).
+
+        Raises:
+            RegistryError: unknown version, or no/stale pointer.
+        """
+        if version is None:
+            version = self.latest_version()
+        path = self.root / version
+        if not path.is_dir():
+            raise RegistryError(
+                f"{self.root}: version {version!r} is not published; "
+                f"available: {self.list_versions() or '(none)'}"
+            )
+        return path
+
+    def load(self, version: str | None = None) -> ClusterModel:
+        """Load *version* (default ``LATEST``) via :meth:`ClusterModel.load`.
+
+        Format/version negotiation fails loudly exactly like a direct
+        load: artifacts from a newer format raise ``ValueError``.
+        """
+        return ClusterModel.load(self.resolve(version))
+
+    # ------------------------------------------------------------------ #
+    # Mutation                                                            #
+    # ------------------------------------------------------------------ #
+
+    def publish(
+        self,
+        model: ClusterModel | str | Path,
+        *,
+        label: str | None = None,
+        set_latest: bool = True,
+    ) -> str:
+        """Publish a model (or an existing artifact directory) as a new version.
+
+        Args:
+            model: a fitted :class:`ClusterModel` (saved into the new
+                version directory) or the path of an artifact directory
+                (validated by loading, then copied).
+            label: optional human suffix for the version directory name
+                (``v0007-<label>``); letters, digits, ``. _ -`` only.
+            set_latest: also repoint ``LATEST`` at the new version
+                (atomic). Pass ``False`` to stage a version for a later
+                explicit :meth:`set_latest` / :meth:`rollback`.
+
+        Returns:
+            The new version id.
+        """
+        if label is not None and not _LABEL_RE.match(label):
+            raise ValueError(
+                f"label must match {_LABEL_RE.pattern}, got {label!r}"
+            )
+        versions = self.list_versions()
+        index = _version_index(versions[-1]) + 1 if versions else 1
+        version = f"v{index:04d}" + (f"-{label}" if label else "")
+        target = self.root / version
+        self.root.mkdir(parents=True, exist_ok=True)
+        if isinstance(model, (str, Path)):
+            ClusterModel.load(model)  # validate before it can become LATEST
+            shutil.copytree(Path(model), target)
+        else:
+            model.save(target)
+        if set_latest:
+            self.set_latest(version)
+        return version
+
+    def set_latest(self, version: str) -> None:
+        """Atomically repoint ``LATEST`` at *version* (must exist)."""
+        if not (self.root / version).is_dir():
+            raise RegistryError(
+                f"{self.root}: cannot point {LATEST_POINTER} at unpublished "
+                f"version {version!r}"
+            )
+        tmp = self.pointer_path.with_name(LATEST_POINTER + ".tmp")
+        tmp.write_text(version + "\n", encoding="utf-8")
+        os.replace(tmp, self.pointer_path)
+
+    def rollback(self, *, steps: int = 1, to: str | None = None) -> str:
+        """Repoint ``LATEST`` at an earlier version; returns the new target.
+
+        Args:
+            steps: how many published versions to walk back from the
+                current ``LATEST`` target (ignored when *to* is given).
+            to: explicit version id to roll to.
+
+        Raises:
+            RegistryError: rolling back past the oldest version, or an
+                unknown *to*.
+        """
+        if to is None:
+            if steps < 1:
+                raise ValueError(f"steps must be >= 1, got {steps}")
+            versions = self.list_versions()
+            current = self.latest_version()
+            position = versions.index(current)
+            if position - steps < 0:
+                raise RegistryError(
+                    f"cannot roll back {steps} step(s) from {current!r}: "
+                    f"only {position} older version(s) exist"
+                )
+            to = versions[position - steps]
+        self.set_latest(to)
+        return to
+
+    def prune(self, *, retention: int) -> list[str]:
+        """Delete old versions, keeping the newest *retention* of them.
+
+        The ``LATEST`` target is always kept, even if it is older than
+        the retention window (a rollback must never be invalidated by a
+        cleanup job). Returns the deleted version ids, oldest first.
+        """
+        if retention < 1:
+            raise ValueError(f"retention must be >= 1, got {retention}")
+        versions = self.list_versions()
+        keep = set(versions[-retention:])
+        try:
+            keep.add(self.latest_version())
+        except RegistryError:
+            pass  # empty registry or no pointer yet: nothing extra to protect
+        deleted = []
+        for version in versions:
+            if version not in keep:
+                shutil.rmtree(self.root / version)
+                deleted.append(version)
+        return deleted

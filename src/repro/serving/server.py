@@ -1,0 +1,399 @@
+"""Long-lived assignment server over a registry-resolved model.
+
+:class:`AssignmentServer` is a stdlib :class:`ThreadingHTTPServer` (no
+new dependencies) that keeps one :class:`~repro.api.assign.Assigner`
+hot behind four endpoints:
+
+* ``POST /assign``  — label a batch of points. JSON
+  (``{"points": [[...]], "chunk_size": ...}``) or raw npy bytes
+  (``Content-Type: application/x-npy``) in; the same format comes back.
+  Requests are chunked through ``Assigner.assign_iter`` so a huge
+  request never materializes more than one ``chunk × k`` block.
+* ``GET /healthz``  — liveness + the serving model version.
+* ``GET /model``    — version, method, k, dimensions, artifact summary.
+* ``POST /reload``  — force re-resolution of the registry's ``LATEST``.
+
+**Hot-reload.** When backed by a :class:`~repro.serving.registry.
+ModelRegistry`, the server stats the ``LATEST`` pointer before each
+request; a changed mtime (the pointer is replaced atomically, so a
+publish/rollback always bumps it) triggers a reload. The freshly loaded
+``(version, model, assigner)`` snapshot is swapped in under an RLock
+while in-flight requests keep the snapshot they started with — nothing
+is dropped mid-request, and every response names the exact version that
+served it (``version`` field / ``X-Model-Version`` header), so clients
+can always attribute labels to a model.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..api.assign import Assigner
+from ..api.model import ClusterModel
+from .registry import ModelRegistry, RegistryError
+
+#: Content type for raw ``np.save`` payloads (request and response).
+NPY_CONTENT_TYPE = "application/x-npy"
+
+#: Response header naming the model version that served the request.
+VERSION_HEADER = "X-Model-Version"
+
+#: Hard cap on request bodies (float64 rows are ~8·d bytes each).
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class _Snapshot:
+    """One immutable serving generation: the unit hot-reload swaps."""
+
+    version: str
+    model: ClusterModel
+    assigner: Assigner
+
+
+class ServingError(Exception):
+    """Request-level failure carrying an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class AssignmentServer(ThreadingHTTPServer):
+    """Threaded HTTP server wrapping a registry- or path-resolved model.
+
+    Args:
+        registry: serve (and hot-reload) the registry's ``LATEST``
+            version. Exactly one of *registry* / *model_path* is
+            required.
+        model_path: serve one artifact directory, no registry (version
+            reported as the directory name; ``POST /reload`` re-reads
+            the same directory).
+        host, port: bind address (``port=0`` picks an ephemeral port —
+            read it back from ``server.port``).
+        n_jobs: worker threads per assignment call (1 serial, -1 one
+            per CPU); labels are bit-identical for every value.
+        chunk_size: default rows per scored block (requests may
+            override per call).
+        quiet: suppress per-request access logging.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        *,
+        registry: ModelRegistry | str | Path | None = None,
+        model_path: str | Path | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        n_jobs: int | None = None,
+        chunk_size: int | None = None,
+        quiet: bool = True,
+    ) -> None:
+        if (registry is None) == (model_path is None):
+            raise ValueError("exactly one of registry= or model_path= is required")
+        if registry is not None and not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        self.registry = registry
+        self.model_path = Path(model_path) if model_path is not None else None
+        self.n_jobs = n_jobs
+        self.chunk_size = chunk_size
+        self.quiet = quiet
+        self.started_at = time.monotonic()
+        self._lock = threading.RLock()
+        self._snapshot: _Snapshot | None = None
+        self._pointer_mtime_ns: int | None = None
+        self._serve_thread: threading.Thread | None = None
+        super().__init__((host, port), _Handler)
+        try:
+            self.reload(force=True)
+        except BaseException:
+            self.server_close()  # don't leak the bound socket
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Model lifecycle                                                     #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def snapshot(self) -> _Snapshot:
+        """The current serving generation (raises 503 when none loaded)."""
+        with self._lock:
+            if self._snapshot is None:
+                raise ServingError(503, "no model loaded")
+            return self._snapshot
+
+    def _load_snapshot(self) -> tuple[_Snapshot, int | None]:
+        """Resolve + load the current model; returns (snapshot, pointer mtime)."""
+        if self.registry is not None:
+            # Stat BEFORE reading the pointer: if a publish lands between
+            # the two, the recorded mtime is older than the pointer we
+            # end up loading, so the next request re-checks (the reverse
+            # order could cache the new mtime against the old model and
+            # go stale forever).
+            try:
+                mtime_ns = self.registry.pointer_path.stat().st_mtime_ns
+            except FileNotFoundError:
+                raise RegistryError(
+                    f"{self.registry.root}: no LATEST pointer "
+                    "(publish a model first)"
+                ) from None
+            version = self.registry.latest_version()
+            model = self.registry.load(version)
+        else:
+            model = ClusterModel.load(self.model_path)
+            version = self.model_path.name
+            mtime_ns = None
+        assigner = Assigner(model.centers, n_jobs=self.n_jobs)
+        return _Snapshot(version, model, assigner), mtime_ns
+
+    def reload(self, *, force: bool = False) -> bool:
+        """(Re-)resolve the serving model; returns True if it changed.
+
+        With ``force=False`` this is the per-request hot-reload check:
+        a cheap stat of the registry's ``LATEST`` pointer, loading only
+        when its mtime moved. The loaded snapshot is swapped in under
+        the lock; requests already running keep their old snapshot.
+        """
+        if not force and not self._pointer_moved():
+            return False
+        snapshot, mtime_ns = self._load_snapshot()
+        with self._lock:
+            changed = (
+                self._snapshot is None or snapshot.version != self._snapshot.version
+            )
+            self._snapshot = snapshot
+            self._pointer_mtime_ns = mtime_ns
+        return changed
+
+    def _pointer_moved(self) -> bool:
+        if self.registry is None:
+            return False
+        try:
+            mtime_ns = self.registry.pointer_path.stat().st_mtime_ns
+        except OSError:
+            return False  # pointer briefly absent: keep serving current model
+        with self._lock:
+            return mtime_ns != self._pointer_mtime_ns
+
+    def maybe_reload(self) -> None:
+        """Hot-reload if the pointer moved; never fails a live request."""
+        try:
+            self.reload(force=False)
+        except (RegistryError, ValueError, OSError):
+            # A half-published or newer-format artifact must not take
+            # down serving: keep the current snapshot, surface the
+            # problem on the next explicit POST /reload.
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Process lifecycle                                                   #
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "AssignmentServer":
+        """Serve in a daemon thread (tests / embedding); returns self."""
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket."""
+        self.shutdown()
+        self.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+
+    def __enter__(self) -> "AssignmentServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def serve_forever(server: AssignmentServer) -> None:
+    """Run *server* in the foreground until interrupted (CLI mode)."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
+# --------------------------------------------------------------------- #
+# Request handling                                                        #
+# --------------------------------------------------------------------- #
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: AssignmentServer  # narrowed for type checkers
+
+    # -- plumbing ------------------------------------------------------ #
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send(
+        self, status: int, body: bytes, content_type: str, version: str | None = None
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if version is not None:
+            self.send_header(VERSION_HEADER, version)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(
+        self, status: int, payload: dict[str, Any], version: str | None = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send(status, body, "application/json", version)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY_BYTES:
+            # The body stays unread; close the connection after the 413
+            # so a keep-alive client cannot desynchronize on the leftover
+            # bytes being parsed as the next request line.
+            self.close_connection = True
+            raise ServingError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        return self.rfile.read(length) if length else b""
+
+    def _fail(self, exc: Exception) -> None:
+        status = exc.status if isinstance(exc, ServingError) else 400
+        self._send_json(status, {"error": str(exc)})
+
+    # -- endpoints ----------------------------------------------------- #
+
+    def do_GET(self) -> None:  # noqa: N802
+        try:
+            self.server.maybe_reload()
+            if self.path == "/healthz":
+                snap = self.server.snapshot()
+                self._send_json(
+                    200,
+                    {
+                        "status": "ok",
+                        "version": snap.version,
+                        "uptime_s": round(
+                            time.monotonic() - self.server.started_at, 3
+                        ),
+                    },
+                    snap.version,
+                )
+            elif self.path == "/model":
+                snap = self.server.snapshot()
+                self._send_json(
+                    200,
+                    {
+                        "version": snap.version,
+                        "method": snap.model.config.method,
+                        "k": snap.model.k,
+                        "n_features": snap.model.n_features,
+                        "attributes": snap.model.attribute_names,
+                        "summary": snap.model.summary(),
+                    },
+                    snap.version,
+                )
+            else:
+                raise ServingError(404, f"unknown path {self.path!r}")
+        except Exception as exc:  # every failure becomes a JSON error
+            self._fail(exc)
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            if self.path == "/assign":
+                self.server.maybe_reload()
+                self._do_assign()
+            elif self.path == "/reload":
+                self._read_body()  # drain so keep-alive stays in sync
+                changed = self.server.reload(force=True)
+                snap = self.server.snapshot()
+                self._send_json(
+                    200, {"version": snap.version, "changed": changed}, snap.version
+                )
+            else:
+                raise ServingError(404, f"unknown path {self.path!r}")
+        except Exception as exc:
+            self._fail(exc)
+
+    def _do_assign(self) -> None:
+        snap = self.server.snapshot()  # pinned: a mid-request swap cannot move it
+        body = self._read_body()
+        content_type = self.headers.get("Content-Type", "application/json")
+        chunk_size = self.server.chunk_size
+        if content_type.startswith(NPY_CONTENT_TYPE):
+            points = _decode_npy(body)
+        else:
+            points, chunk_size = _decode_json(body, chunk_size)
+        chunks = list(snap.assigner.assign_iter(points, chunk_size=chunk_size))
+        # An empty (0, d) batch yields no chunks; in-process assign
+        # returns empty labels for it, and so must the server.
+        labels = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        )
+        if content_type.startswith(NPY_CONTENT_TYPE):
+            out = io.BytesIO()
+            np.save(out, labels, allow_pickle=False)
+            self._send(200, out.getvalue(), NPY_CONTENT_TYPE, snap.version)
+        else:
+            self._send_json(
+                200,
+                {
+                    "version": snap.version,
+                    "n": int(labels.shape[0]),
+                    "labels": labels.tolist(),
+                },
+                snap.version,
+            )
+
+
+def _decode_npy(body: bytes) -> np.ndarray:
+    try:
+        return np.load(io.BytesIO(body), allow_pickle=False)
+    except Exception as exc:
+        raise ServingError(400, f"invalid npy payload: {exc}") from None
+
+
+def _decode_json(
+    body: bytes, default_chunk: int | None
+) -> tuple[np.ndarray, int | None]:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServingError(400, f"invalid JSON payload: {exc}") from None
+    if not isinstance(payload, dict) or "points" not in payload:
+        raise ServingError(400, 'JSON payload must be {"points": [[...]]}')
+    try:
+        points = np.asarray(payload["points"], dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ServingError(400, f"points is not a numeric matrix: {exc}") from None
+    chunk_size = payload.get("chunk_size", default_chunk)
+    if chunk_size is not None and (
+        not isinstance(chunk_size, int) or isinstance(chunk_size, bool)
+    ):
+        raise ServingError(400, f"chunk_size must be an integer, got {chunk_size!r}")
+    return points, chunk_size

@@ -64,10 +64,27 @@ def test_dimension_mismatch_rejected(problem):
         Assigner(centers).assign(np.zeros((3, D + 1)))
 
 
-def test_bad_chunk_size_rejected(problem):
+@pytest.mark.parametrize(
+    "bad", [0, -1, -8192, 0.5, 2.5, True, "64", float("nan"), float("inf")]
+)
+def test_bad_chunk_size_rejected(problem, bad):
+    """chunk_size < 1 (or non-integral) is a loud ValueError everywhere."""
     points, centers = problem
+    service = Assigner(centers)
     with pytest.raises(ValueError, match="chunk_size"):
-        Assigner(centers).assign(points, chunk_size=0)
+        service.assign(points, chunk_size=bad)
+    with pytest.raises(ValueError, match="chunk_size"):
+        next(service.assign_iter(points, chunk_size=bad))
+    with pytest.raises(ValueError, match="chunk_size"):
+        batched_assign(points, centers, chunk_size=bad)
+
+
+def test_integral_float_chunk_size_accepted(problem):
+    points, centers = problem
+    service = Assigner(centers)
+    np.testing.assert_array_equal(
+        service.assign(points, chunk_size=64.0), service.assign(points)
+    )
 
 
 def test_bad_centers_rejected():

@@ -1,0 +1,95 @@
+"""The perf-trend comparer: matching, thresholds, asymmetric records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import (
+    BenchRecord,
+    bench_payload,
+    compare_bench,
+    compare_bench_files,
+    render_comparison,
+    write_bench,
+)
+
+
+def _payload(rows_per_s_by_key):
+    """Bench payload with one record per (workload, jobs) -> rows/s."""
+    records = [
+        BenchRecord(workload, 1000, 5, jobs, 0.1, float(rate))
+        for (workload, jobs), rate in rows_per_s_by_key.items()
+    ]
+    return bench_payload("assign", records)
+
+
+def test_matched_records_and_ratio():
+    baseline = _payload({("w", 1): 1000.0, ("w", 2): 2000.0})
+    current = _payload({("w", 1): 1100.0, ("w", 2): 1900.0})
+    comparison = compare_bench(baseline, current)
+    assert comparison.ok
+    assert [row.jobs for row in comparison.rows] == [1, 2]
+    assert comparison.rows[0].ratio == pytest.approx(1.1)
+    assert comparison.rows[1].ratio == pytest.approx(0.95)
+    assert comparison.regressions == []
+
+
+def test_regression_flagged_below_threshold():
+    baseline = _payload({("w", 1): 1000.0})
+    current = _payload({("w", 1): 800.0})
+    comparison = compare_bench(baseline, current, threshold=0.9)
+    assert not comparison.ok
+    assert len(comparison.regressions) == 1
+    assert comparison.regressions[0].ratio == pytest.approx(0.8)
+    # The same pair is fine under a looser threshold.
+    assert compare_bench(baseline, current, threshold=0.75).ok
+
+
+def test_unmatched_records_reported_not_fatal():
+    baseline = _payload({("old", 1): 1000.0, ("w", 1): 1000.0})
+    current = _payload({("new", 1): 1000.0, ("w", 1): 1000.0})
+    comparison = compare_bench(baseline, current)
+    assert comparison.ok
+    assert comparison.only_baseline == [("old", 1000, 5, 1)]
+    assert comparison.only_current == [("new", 1000, 5, 1)]
+    rendered = render_comparison(comparison)
+    assert "only in baseline" in rendered and "only in current" in rendered
+
+
+def test_nothing_matched_is_not_ok():
+    comparison = compare_bench(
+        _payload({("a", 1): 1.0}), _payload({("b", 1): 1.0})
+    )
+    assert not comparison.ok
+    assert "no comparable records" in render_comparison(comparison)
+
+
+def test_zero_baseline_never_regresses():
+    baseline = _payload({("w", 1): 0.0})
+    current = _payload({("w", 1): 5.0})
+    comparison = compare_bench(baseline, current)
+    assert comparison.rows[0].ratio == float("inf")
+    assert comparison.ok
+
+
+def test_cross_suite_comparison_labeled():
+    baseline = _payload({("w", 1): 1.0})
+    current = dict(_payload({("w", 1): 1.0}), suite="serve")
+    assert compare_bench(baseline, current).suite == "assign vs serve"
+
+
+def test_invalid_inputs_rejected():
+    good = _payload({("w", 1): 1.0})
+    with pytest.raises(ValueError, match="threshold"):
+        compare_bench(good, good, threshold=0.0)
+    with pytest.raises(ValueError, match="schema"):
+        compare_bench({"schema": "other"}, good)
+
+
+def test_compare_bench_files_round_trip(tmp_path):
+    records = [BenchRecord("w", 10, 2, 1, 0.1, 100.0)]
+    base = write_bench(tmp_path / "base.json", "assign", records)
+    curr = write_bench(tmp_path / "curr.json", "assign", records)
+    comparison = compare_bench_files(base, curr)
+    assert comparison.ok and len(comparison.rows) == 1
+    assert "1.00x" in render_comparison(comparison)

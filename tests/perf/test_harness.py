@@ -13,7 +13,7 @@ from repro.perf import (
     validate_bench,
     write_bench,
 )
-from repro.perf.harness import bench_assign, bench_engine, job_ladder
+from repro.perf.harness import bench_assign, bench_engine, bench_serve, job_ladder
 
 
 def _record(**overrides):
@@ -93,6 +93,21 @@ def test_bench_assign_records_and_speedups():
     validate_bench(bench_payload("assign", records))
     assert {r.jobs for r in records} == {1, 2}
     assert all(r.rows_per_s > 0 for r in records)
+
+
+def test_bench_serve_measures_http_against_in_process(tmp_path):
+    """The serve suite records HTTP rows/s next to the in-process ceiling."""
+    records = bench_serve((2_000,), (1,), repeats=1)
+    validate_bench(bench_payload("serve", records))
+    workloads = {r.workload for r in records}
+    assert workloads == {"assign_inprocess", "serve_http_npy", "serve_http_json"}
+    assert all(r.rows_per_s > 0 for r in records)
+    # The HTTP hop can only cost throughput, never create it.
+    by_workload = {r.workload: r for r in records}
+    assert (
+        by_workload["serve_http_npy"].wall_s
+        >= by_workload["assign_inprocess"].wall_s
+    )
 
 
 def test_cli_bench_smoke_writes_validated_files(tmp_path, capsys):

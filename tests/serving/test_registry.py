@@ -1,0 +1,165 @@
+"""The artifact registry: publish/resolve/rollback/prune invariants."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import RunConfig, ClusterModel
+from repro.serving import LATEST_POINTER, ModelRegistry, RegistryError
+
+K, D = 3, 4
+
+
+def make_model(seed: int = 0) -> ClusterModel:
+    rng = np.random.default_rng(seed)
+    return ClusterModel(rng.normal(size=(K, D)), RunConfig(method="kmeans", k=K))
+
+
+@pytest.fixture
+def registry(tmp_path) -> ModelRegistry:
+    return ModelRegistry(tmp_path / "registry")
+
+
+def test_publish_assigns_monotonic_versions(registry):
+    assert registry.publish(make_model(0)) == "v0001"
+    assert registry.publish(make_model(1), label="fairkm-k5") == "v0002-fairkm-k5"
+    assert registry.publish(make_model(2)) == "v0003"
+    assert registry.list_versions() == ["v0001", "v0002-fairkm-k5", "v0003"]
+    assert registry.latest_version() == "v0003"
+
+
+def test_publish_writes_loadable_artifact_and_pointer(registry):
+    model = make_model()
+    version = registry.publish(model, label="a")
+    loaded = registry.load()
+    np.testing.assert_array_equal(loaded.centers, model.centers)
+    pointer = (registry.root / LATEST_POINTER).read_text()
+    assert pointer.strip() == version
+
+
+def test_publish_from_artifact_directory(registry, tmp_path):
+    model = make_model()
+    artifact = model.save(tmp_path / "artifact")
+    version = registry.publish(artifact)
+    np.testing.assert_array_equal(registry.load(version).centers, model.centers)
+    # The source directory is copied, not moved.
+    assert (artifact / "model.json").is_file()
+
+
+def test_publish_rejects_broken_artifact_directory(registry, tmp_path):
+    broken = tmp_path / "broken"
+    broken.mkdir()
+    (broken / "model.json").write_text(json.dumps({"format": "other"}))
+    with pytest.raises(ValueError, match="not a repro.cluster_model"):
+        registry.publish(broken)
+    assert registry.list_versions() == []  # nothing half-published
+
+
+def test_publish_rejects_bad_label(registry):
+    with pytest.raises(ValueError, match="label"):
+        registry.publish(make_model(), label="no/slashes")
+
+
+def test_publish_without_latest_stages_only(registry):
+    first = registry.publish(make_model(0))
+    staged = registry.publish(make_model(1), set_latest=False)
+    assert registry.latest_version() == first
+    registry.set_latest(staged)
+    assert registry.latest_version() == staged
+
+
+def test_resolve_and_load_explicit_version(registry):
+    v1 = registry.publish(make_model(0))
+    registry.publish(make_model(1))
+    assert registry.resolve(v1) == registry.root / v1
+    assert registry.load(v1).centers.shape == (K, D)
+
+
+def test_empty_registry_fails_loudly(registry):
+    assert registry.list_versions() == []
+    with pytest.raises(RegistryError, match="publish a model first"):
+        registry.latest_version()
+    with pytest.raises(RegistryError, match="not published"):
+        registry.resolve("v0001")
+
+
+def test_stale_pointer_fails_loudly(registry):
+    registry.publish(make_model())
+    (registry.root / LATEST_POINTER).write_text("v9999\n")
+    with pytest.raises(RegistryError, match="v9999"):
+        registry.latest_version()
+
+
+def test_set_latest_rejects_unpublished(registry):
+    registry.publish(make_model())
+    with pytest.raises(RegistryError, match="unpublished"):
+        registry.set_latest("v0042")
+
+
+def test_rollback_steps_and_to(registry):
+    v1 = registry.publish(make_model(0))
+    v2 = registry.publish(make_model(1))
+    v3 = registry.publish(make_model(2))
+    assert registry.rollback() == v2
+    assert registry.latest_version() == v2
+    assert registry.rollback(to=v3) == v3
+    assert registry.rollback(steps=2) == v1
+
+
+def test_rollback_past_oldest_fails(registry):
+    registry.publish(make_model())
+    with pytest.raises(RegistryError, match="cannot roll back"):
+        registry.rollback()
+
+
+def test_rollback_validates_steps(registry):
+    registry.publish(make_model())
+    with pytest.raises(ValueError, match="steps"):
+        registry.rollback(steps=0)
+
+
+def test_prune_keeps_retention_window(registry):
+    versions = [registry.publish(make_model(i)) for i in range(5)]
+    deleted = registry.prune(retention=2)
+    assert deleted == versions[:3]
+    assert registry.list_versions() == versions[3:]
+    assert registry.latest_version() == versions[-1]
+
+
+def test_prune_never_deletes_latest_target(registry):
+    versions = [registry.publish(make_model(i)) for i in range(4)]
+    registry.rollback(to=versions[0])
+    deleted = registry.prune(retention=1)
+    # Newest version and the rolled-back LATEST target both survive.
+    assert versions[0] not in deleted
+    assert set(registry.list_versions()) == {versions[0], versions[-1]}
+    assert registry.load().centers.shape == (K, D)
+
+
+def test_prune_validates_retention(registry):
+    with pytest.raises(ValueError, match="retention"):
+        registry.prune(retention=0)
+
+
+def test_version_negotiation_reuses_cluster_model_failure(registry):
+    version = registry.publish(make_model())
+    path = registry.root / version / "model.json"
+    payload = json.loads(path.read_text())
+    payload["version"] = 99
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="newer than the supported"):
+        registry.load()
+
+
+def test_model_publish_and_from_registry_helpers(registry):
+    model = make_model()
+    version = model.publish(registry.root, label="helper")
+    assert version.endswith("-helper")
+    loaded = ClusterModel.from_registry(registry.root)
+    np.testing.assert_array_equal(loaded.centers, model.centers)
+    np.testing.assert_array_equal(
+        ClusterModel.from_registry(registry.root, version).centers, model.centers
+    )

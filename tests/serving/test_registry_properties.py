@@ -1,0 +1,67 @@
+"""Property test: the registry never strands its LATEST pointer.
+
+Drives a registry through arbitrary publish / rollback / prune
+sequences (hypothesis) and checks the serving invariants after every
+operation:
+
+* ``LATEST`` always resolves to an existing, loadable artifact;
+* pruning never deletes the version ``LATEST`` points to;
+* version ids stay unique and publish-ordered.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.api import ClusterModel, RunConfig
+from repro.serving import ModelRegistry, RegistryError
+from repro.serving.registry import _version_index
+
+_MODEL = ClusterModel(np.arange(6, dtype=np.float64).reshape(2, 3), RunConfig(k=2))
+
+# One registry op per draw: publish, rollback N, or prune to retention N.
+_OPS = st.one_of(
+    st.tuples(st.just("publish"), st.booleans()),          # set_latest?
+    st.tuples(st.just("rollback"), st.integers(1, 3)),     # steps
+    st.tuples(st.just("prune"), st.integers(1, 3)),        # retention
+)
+
+
+def _check_invariants(registry: ModelRegistry) -> None:
+    versions = registry.list_versions()
+    indices = [_version_index(v) for v in versions]
+    assert indices == sorted(indices) and len(set(indices)) == len(indices)
+    if not registry.pointer_path.exists():
+        return
+    latest = registry.latest_version()  # raises RegistryError if stranded
+    assert latest in versions
+    loaded = registry.load()
+    np.testing.assert_array_equal(loaded.centers, _MODEL.centers)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=st.lists(_OPS, min_size=1, max_size=12))
+def test_latest_always_resolves_and_survives_prune(ops):
+    tmp = tempfile.mkdtemp(prefix="repro-registry-prop-")
+    try:
+        registry = ModelRegistry(tmp)
+        for op, arg in ops:
+            if op == "publish":
+                registry.publish(_MODEL, set_latest=bool(arg))
+            elif op == "rollback":
+                try:
+                    registry.rollback(steps=arg)
+                except RegistryError:
+                    pass  # walking past the oldest version is refused loudly
+            else:
+                before = registry.latest_version() if registry.pointer_path.exists() else None
+                registry.prune(retention=arg)
+                if before is not None:
+                    assert before in registry.list_versions()
+            _check_invariants(registry)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)

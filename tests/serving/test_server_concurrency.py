@@ -1,0 +1,86 @@
+"""Hot-reload under fire: concurrent /assign while /reload swaps versions.
+
+N client threads hammer ``POST /assign`` while the main thread publishes
+a second model and swaps it in mid-stream. Every response must be
+bit-identical to the in-process ``ClusterModel.predict`` of the version
+it *reports* — a response may come from either generation, but never
+from a torn mix of the two — and no request may fail.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import RunConfig, fit
+from repro.serving import AssignmentServer, ModelRegistry, ServingClient
+
+N, D, K = 200, 4, 3
+THREADS = 8
+REQUESTS_PER_THREAD = 15
+
+
+@pytest.fixture(scope="module")
+def models():
+    rng = np.random.default_rng(11)
+    points = np.vstack(
+        [rng.normal(0, 1, (N // 2, D)), rng.normal(5, 1, (N - N // 2, D))]
+    )
+    # Different k and seeds: the two generations genuinely disagree on
+    # the probe labels, so a torn response cannot pass by accident.
+    model_a = fit(RunConfig(method="kmeans", k=K, seed=0), points)
+    model_b = fit(RunConfig(method="kmeans", k=K + 2, seed=3), points)
+    probe = rng.normal(2.5, 2.0, (120, D))
+    assert not np.array_equal(model_a.predict(probe), model_b.predict(probe))
+    return model_a, model_b, probe
+
+
+def test_reload_mid_stream_never_tears_a_response(tmp_path, models):
+    model_a, model_b, probe = models
+    registry = ModelRegistry(tmp_path / "registry")
+    version_a = registry.publish(model_a, label="a")
+    expected = {version_a: model_a.predict(probe)}
+
+    server = AssignmentServer(registry=registry).start()
+    results: list[tuple[str, np.ndarray]] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def hammer() -> None:
+        try:
+            with ServingClient(port=server.port) as client:
+                for i in range(REQUESTS_PER_THREAD):
+                    response = client.assign(probe, npy=bool(i % 2))
+                    with lock:
+                        results.append((response.version, response.labels))
+        except BaseException as exc:  # noqa: BLE001 - collected for the assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(THREADS)]
+    try:
+        for thread in threads:
+            thread.start()
+        # Swap generations while the hammer threads are mid-stream.
+        version_b = registry.publish(model_b, label="b")
+        expected[version_b] = model_b.predict(probe)
+        with ServingClient(port=server.port) as control:
+            assert control.reload()["version"] == version_b
+            # Deterministically observed post-swap response, even if the
+            # hammer threads happen to drain before the swap lands.
+            response = control.assign(probe)
+            with lock:
+                results.append((response.version, response.labels))
+        for thread in threads:
+            thread.join(timeout=60)
+    finally:
+        server.stop()
+
+    assert not errors, f"requests failed during hot-reload: {errors[:3]}"
+    assert len(results) == THREADS * REQUESTS_PER_THREAD + 1
+    seen_versions = {version for version, _ in results}
+    assert seen_versions <= set(expected)
+    assert version_b in seen_versions  # the swap landed while serving
+    for version, labels in results:
+        np.testing.assert_array_equal(labels, expected[version])
