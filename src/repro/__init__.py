@@ -32,6 +32,12 @@ Subpackages:
 * ``repro.data``        — schema/dataset layer, Adult & Kinematics generators.
 * ``repro.text``        — tokenizer, Doc2Vec (PV-DBOW), LSA.
 * ``repro.experiments`` — multi-seed harness regenerating every paper table/figure.
+* ``repro.serving``     — registry, HTTP server, multi-process fleet + proxy.
+* ``repro.perf``        — benchmark harness (BENCH_*.json) and trend comparer.
+
+The ``docs/`` tree documents the architecture (docs/architecture.md),
+the public API surface (docs/api.md) and fleet operations
+(docs/serving-runbook.md).
 """
 
 from .api import ClusterModel, RunConfig

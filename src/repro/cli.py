@@ -8,6 +8,8 @@ Subcommands::
     repro evaluate --model artifacts/m --dataset adult
     repro registry publish --registry registry/ --model artifacts/m
     repro serve --registry registry/ --port 8000
+    repro fleet up --registry registry/ --workers 4 --port 8100
+    repro fleet rollout --registry registry/ --version v0007
     repro paper table5 --seeds 5 --engine chunked
     repro paper list
     repro bench --smoke --jobs 2
@@ -226,15 +228,17 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run the perf suites and emit machine-readable BENCH_*.json; "
         "'bench compare' diffs two records",
-        description="Run the engine/assignment/serving benchmark suites "
-        "across worker counts, write schema-validated BENCH_engine.json / "
-        "BENCH_assign.json / BENCH_serve.json under results/, and print "
-        "the rendered tables. 'repro bench compare BASELINE CURRENT' "
-        "diffs two bench files and exits nonzero on rows/s regressions.",
+        description="Run the engine/assignment/serving/fleet benchmark "
+        "suites across worker counts, write schema-validated "
+        "BENCH_engine.json / BENCH_assign.json / BENCH_serve.json / "
+        "BENCH_fleet.json under results/, and print the rendered tables. "
+        "'repro bench compare BASELINE CURRENT' diffs two bench files and "
+        "exits nonzero on rows/s regressions.",
     )
     p_bench.add_argument(
         "suite", nargs="?",
-        choices=["engine", "assign", "serve", "all", "compare"], default="all",
+        choices=["engine", "assign", "serve", "fleet", "all", "compare"],
+        default="all",
         help="suite to run (default all), or 'compare' to diff two records",
     )
     p_bench.add_argument(
@@ -296,8 +300,100 @@ def build_parser() -> argparse.ArgumentParser:
         help="default rows scored per block (default 8192)",
     )
     p_serve.add_argument(
+        "--no-follow", action="store_true",
+        help="pin the server: never auto-reload on a LATEST move; only an "
+        "explicit POST /reload changes the serving version (fleet-worker mode)",
+    )
+    p_serve.add_argument(
+        "--pin", default=None, metavar="VERSION",
+        help="start serving this registry version instead of LATEST "
+        "(implies --no-follow)",
+    )
+    p_serve.add_argument(
+        "--announce", type=Path, default=None, metavar="FILE",
+        help="after binding, atomically write {url, host, port, pid, version} "
+        "as JSON to FILE (how a fleet supervisor discovers its workers)",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true", help="log every request",
     )
+
+    # ----------------------------------------------------------- fleet #
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run a multi-process serving fleet with canary rollouts",
+        description="Supervise N pinned assignment-server processes behind "
+        "one round-robin proxy port. Workers never follow LATEST on their "
+        "own: 'fleet rollout' moves a canary first, replays a pinned probe "
+        "batch through it, verifies the labels bit-for-bit, then staggers "
+        "the rest (automatic LATEST rollback on mismatch).",
+    )
+    fleet_sub = p_fleet.add_subparsers(
+        dest="fleet_command", required=True, metavar="action"
+    )
+    p_up = fleet_sub.add_parser(
+        "up", help="start the workers + proxy in the foreground"
+    )
+    p_up.add_argument(
+        "--registry", type=Path, required=True, help="registry root directory"
+    )
+    p_up.add_argument(
+        "--workers", type=positive_int, default=2,
+        help="worker processes (default 2)",
+    )
+    p_up.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_up.add_argument(
+        "--port", type=int, default=8100,
+        help="proxy port fronting the fleet (0 picks an ephemeral port; "
+        "default 8100); workers get ephemeral ports of their own",
+    )
+    p_up.add_argument(
+        "--jobs", type=jobs_value, default=None,
+        help="worker threads per assignment call inside each process",
+    )
+    p_up.add_argument(
+        "--chunk-size", type=positive_int, default=None,
+        help="default rows scored per block per worker",
+    )
+    p_up.add_argument(
+        "--state-dir", type=Path, default=None,
+        help="fleet state/log directory (default <registry>/.fleet)",
+    )
+    p_up.add_argument(
+        "--stagger", type=float, default=0.0, metavar="SECONDS",
+        help="pause between post-canary worker reloads (default 0)",
+    )
+    p_up.add_argument(
+        "--probe-rows", type=positive_int, default=64,
+        help="rows in the pinned canary probe batch (default 64)",
+    )
+    for name, help_text in (
+        ("status", "fleet-wide health: one row per worker"),
+        ("rollout", "canary-roll the fleet to a registry version"),
+    ):
+        p_action = fleet_sub.add_parser(name, help=help_text)
+        p_action.add_argument(
+            "--url", default=None,
+            help="proxy base URL (default: read from the fleet state file)",
+        )
+        p_action.add_argument(
+            "--registry", type=Path, default=None,
+            help="registry root (locates <registry>/.fleet/fleet.json)",
+        )
+        p_action.add_argument(
+            "--state-dir", type=Path, default=None,
+            help="fleet state directory override",
+        )
+        if name == "rollout":
+            p_action.add_argument(
+                "--version", default=None,
+                help="candidate version (default: the current LATEST target)",
+            )
+            p_action.add_argument(
+                "--require-identical", action="store_true",
+                help="also require the canary's labels to equal the current "
+                "fleet's labels on the probe (bit-identity republish mode)",
+            )
 
     # -------------------------------------------------------- registry #
     p_registry = sub.add_parser(
@@ -587,17 +683,193 @@ def _cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             port=args.port,
             n_jobs=args.jobs,
             chunk_size=args.chunk_size,
+            follow=not args.no_follow,
+            pin_version=args.pin,
             quiet=not args.verbose,
         )
     except (RegistryError, FileNotFoundError, ValueError, OSError) as exc:
         parser.error(str(exc))
         raise AssertionError("unreachable")
     snap = server.snapshot()
+    if args.announce is not None:
+        _announce(args.announce, server, snap.version)
     print(f"serving {snap.version} (method={snap.model.config.method}, "
           f"k={snap.model.k}, d={snap.model.n_features}) on {server.url}")
     print("endpoints: POST /assign  GET /healthz  GET /model  POST /reload")
     serve_forever(server)
     return 0
+
+
+def _announce(path: Path, server: Any, version: str) -> None:
+    """Atomically write the bound-address announce file for supervisors."""
+    import json
+    import os
+
+    from .serving.registry import atomic_write_text
+
+    payload = {
+        "url": server.url,
+        "host": server.server_address[0],
+        "port": server.port,
+        "pid": os.getpid(),
+        "version": version,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(path, json.dumps(payload) + "\n")
+
+
+def _cmd_fleet(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.fleet_command == "up":
+        return _fleet_up(args, parser)
+    if args.fleet_command == "status":
+        return _fleet_status(args, parser)
+    return _fleet_rollout(args, parser)
+
+
+def _fleet_up(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from .serving import FleetError, FleetProxy, FleetSupervisor, RegistryError
+
+    supervisor = FleetSupervisor(
+        args.registry,
+        workers=args.workers,
+        host=args.host,
+        n_jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        state_dir=args.state_dir,
+        probe_rows=args.probe_rows,
+        stagger_s=args.stagger,
+    )
+    try:
+        supervisor.start()
+    except (RegistryError, FleetError, ValueError, OSError) as exc:
+        parser.error(str(exc))
+        raise AssertionError("unreachable")
+    try:
+        proxy = FleetProxy(supervisor, port=args.port)
+    except OSError as exc:
+        supervisor.stop()
+        parser.error(str(exc))
+        raise AssertionError("unreachable")
+    state = supervisor.write_state(proxy.url)
+    print(
+        f"fleet up: {supervisor.n_workers} worker(s) serving "
+        f"{supervisor.serving_version} behind {proxy.url}"
+    )
+    for index, _, port in supervisor.targets():
+        print(f"  worker {index}: {args.host}:{port}")
+    print(f"state file: {state}")
+    print("proxy endpoints: POST /assign  GET /healthz  GET /model  "
+          "GET /admin/status  POST /admin/rollout")
+
+    # SIGTERM (kill, systemd stop, CI teardown) must tear the worker
+    # processes down with us, exactly like Ctrl-C does.
+    import signal
+
+    def _terminate(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    previous_handler = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        proxy.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous_handler)
+        proxy.server_close()
+        supervisor.stop()
+    return 0
+
+
+def _fleet_url(args: argparse.Namespace, parser: argparse.ArgumentParser) -> str:
+    """Resolve the proxy URL from --url or the fleet state file."""
+    import json
+
+    if args.url:
+        return args.url
+    if args.state_dir is not None:
+        state_path = args.state_dir / "fleet.json"
+    elif args.registry is not None:
+        state_path = args.registry / ".fleet" / "fleet.json"
+    else:
+        parser.error("one of --url, --registry or --state-dir is required")
+        raise AssertionError("unreachable")
+    if not state_path.is_file():
+        parser.error(f"no fleet state file at {state_path} (is the fleet up?)")
+    url = json.loads(state_path.read_text(encoding="utf-8")).get("proxy_url")
+    if not url:
+        parser.error(f"{state_path} records no proxy URL (is the fleet up?)")
+    return url
+
+
+def _fleet_status(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from .experiments.tables import format_table
+    from .serving import ServingClient, ServingClientError
+
+    url = _fleet_url(args, parser)
+    with ServingClient(url=url) as client:
+        try:
+            data = client.request_json("GET", "/admin/status")
+        except ServingClientError as exc:
+            parser.error(f"{url}: {exc}")
+            raise AssertionError("unreachable")
+    rows = [
+        [
+            str(w["index"]),
+            str(w["pid"] or "-"),
+            str(w["port"]),
+            "up" if w["alive"] else "DOWN",
+            "ok" if w["healthy"] else "UNHEALTHY",
+            w["version"] or "-",
+            str(w["restarts"]),
+        ]
+        for w in data["workers"]
+    ]
+    print(format_table(
+        ["worker", "pid", "port", "proc", "health", "version", "restarts"],
+        rows,
+        title=f"Fleet at {url}: serving {data['version']} "
+        f"(registry {data['registry']})",
+    ))
+    healthy = all(w["healthy"] for w in data["workers"])
+    return 0 if healthy else 1
+
+
+def _fleet_rollout(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    import json
+
+    from .serving import ServingClient, ServingUnavailableError
+
+    url = _fleet_url(args, parser)
+    body = json.dumps(
+        {"version": args.version, "require_identical": args.require_identical}
+    ).encode("utf-8")
+    # Long timeout, no transparent retry: a staggered rollout can run for
+    # minutes, and re-issuing the POST after a socket timeout would start
+    # a second rollout (whose no-op "already serves" answer could mask a
+    # rejection of the first).
+    with ServingClient(url=url, timeout=3600.0) as client:
+        try:
+            status, _, payload = client.request_raw(
+                "POST", "/admin/rollout", body, retry=False
+            )
+        except ServingUnavailableError as exc:
+            parser.error(str(exc))
+            raise AssertionError("unreachable")
+    report = json.loads(payload.decode("utf-8"))
+    if "error" in report:
+        parser.error(report["error"])
+    if report["ok"]:
+        print(f"rollout ok: {report['previous']} -> {report['version']} "
+              f"(canary worker {report['canary_worker']}, "
+              f"{len(report['workers_reloaded'])} worker(s), "
+              f"{report['probe_rows']}-row probe)")
+        if report.get("reason"):
+            print(report["reason"])
+        return 0
+    print(f"rollout REJECTED: {report['reason']}")
+    print(f"workers reverted: {report['workers_reloaded'] or 'none'}; "
+          f"LATEST rolled back: {report['rolled_back']}")
+    return 1
 
 
 def _cmd_registry(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -644,6 +916,7 @@ _COMMANDS = {
     "paper": _cmd_paper,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "fleet": _cmd_fleet,
     "registry": _cmd_registry,
 }
 

@@ -1,12 +1,13 @@
 """Machine-readable performance harness.
 
-:mod:`repro.perf.harness` runs the engine/assignment/serving benchmark
-suites across worker counts and emits schema-validated ``BENCH_*.json``
-files, so the perf trajectory of the repo is recorded as data instead
-of ad-hoc text; :mod:`repro.perf.compare` diffs two such records and
-flags rows/s regressions (``repro bench compare``, nonzero exit for
-CI). ``repro bench`` is the CLI entry point; ``benchmarks/harness.py``
-is the standalone wrapper.
+:mod:`repro.perf.harness` runs the engine/assignment/serving/fleet
+benchmark suites across worker counts (the fleet suite's ``jobs``
+column counts worker *processes*) and emits schema-validated
+``BENCH_*.json`` files, so the perf trajectory of the repo is recorded
+as data instead of ad-hoc text; :mod:`repro.perf.compare` diffs two
+such records and flags rows/s regressions (``repro bench compare``,
+nonzero exit for CI). ``repro bench`` is the CLI entry point;
+``benchmarks/harness.py`` is the standalone wrapper.
 """
 
 from .compare import (

@@ -39,6 +39,13 @@ Three suites ship today:
   payloads over HTTP) next to the in-process ``Assigner`` baseline on
   the same points, so ``BENCH_serve.json`` quantifies exactly what the
   HTTP hop costs.
+* **fleet** — multi-process scaling: rows/s through a
+  :class:`~repro.serving.proxy.FleetProxy` fronting 1, 2, ... worker
+  processes (the ``jobs`` column is the fleet size) under a fixed
+  number of concurrent keep-alive clients, next to a single
+  :class:`AssignmentServer` and the in-process ``Assigner`` on the
+  same points — so ``BENCH_fleet.json`` quantifies what adding worker
+  processes buys over one process, at bit-identical labels.
 
 Entry points: ``repro bench`` (CLI) and ``benchmarks/harness.py``
 (standalone script).
@@ -58,7 +65,7 @@ import numpy as np
 BENCH_SCHEMA = "repro.bench/v1"
 
 #: Known suite names (one output file per suite).
-SUITES = ("engine", "assign", "serve")
+SUITES = ("engine", "assign", "serve", "fleet")
 
 #: Required record fields and their types (``extra`` is optional).
 _RECORD_FIELDS: dict[str, type] = {
@@ -453,6 +460,178 @@ def bench_serve(
     return records
 
 
+def _concurrent_assign(
+    url: str, batches: list[np.ndarray], threads: int
+) -> tuple[np.ndarray, set[str]]:
+    """Send *batches* through *url* from *threads* keep-alive clients.
+
+    Returns the reassembled labels (batch order) and the set of serving
+    versions observed — the caller asserts bit-identity and version.
+    """
+    import queue as queue_module
+    import threading as threading_module
+
+    from ..serving.client import ServingClient
+
+    results: list[np.ndarray | None] = [None] * len(batches)
+    versions: set[str] = set()
+    errors: list[Exception] = []
+    work: queue_module.SimpleQueue = queue_module.SimpleQueue()
+    for item in enumerate(batches):
+        work.put(item)
+
+    def drain() -> None:
+        with ServingClient(url=url) as client:
+            while True:
+                try:
+                    index, batch = work.get_nowait()
+                except queue_module.Empty:
+                    return
+                try:
+                    response = client.assign(batch)
+                except Exception as exc:  # noqa: BLE001 — surfaced below
+                    errors.append(exc)
+                    return
+                results[index] = response.labels
+                versions.add(response.version)
+
+    workers = [
+        threading_module.Thread(target=drain, daemon=True)
+        for _ in range(max(1, threads))
+    ]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return np.concatenate([np.asarray(r) for r in results]), versions
+
+
+def bench_fleet(
+    sizes: Sequence[int],
+    fleet_sizes: Sequence[int],
+    *,
+    d: int = 14,
+    k: int = 15,
+    threads: int | None = None,
+    repeats: int = 1,
+) -> list[BenchRecord]:
+    """Fleet scaling: proxied rows/s vs single server vs in-process.
+
+    Per size *n*, three workloads share one center matrix and one query
+    set (labels asserted bit-identical throughout):
+
+    * ``assign_inprocess``    — the ``Assigner`` ceiling (jobs=1 row);
+    * ``serve_http_single``   — one in-process
+      :class:`~repro.serving.server.AssignmentServer`, hit by the same
+      concurrent clients the fleet gets (jobs=1 row);
+    * ``fleet_http_npy``      — a real :class:`FleetSupervisor` fleet of
+      ``jobs`` worker *processes* behind a :class:`FleetProxy`, same
+      concurrent clients.
+
+    The client-side concurrency is fixed across fleet sizes (default:
+    ``max(fleet_sizes)`` threads), so the ``fleet_http_npy`` speedup
+    column isolates what adding worker processes buys.
+    """
+    import tempfile
+
+    from ..api.assign import Assigner
+    from ..api.config import RunConfig
+    from ..api.model import ClusterModel
+    from ..serving.fleet import FleetSupervisor
+    from ..serving.proxy import FleetProxy
+    from ..serving.registry import ModelRegistry
+    from ..serving.server import AssignmentServer
+
+    fleet_sizes = [int(w) for w in fleet_sizes]
+    client_threads = int(threads) if threads is not None else max(fleet_sizes)
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(k, d)) * 2.0
+    model = ClusterModel(centers, RunConfig(method="kmeans", k=k))
+    assigner = Assigner(centers)
+    records: list[BenchRecord] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fleet-") as tmp:
+        registry = ModelRegistry(Path(tmp) / "registry")
+        version = registry.publish(model, label="bench")
+        datasets = []
+        for n in sizes:
+            n = int(n)
+            points = rng.normal(size=(n, d))
+            expected = assigner.assign(points)
+            split = np.array_split(points, max(1, 2 * client_threads))
+            datasets.append((n, points, expected, [b for b in split if b.size]))
+            wall, _ = _timed(lambda pts=points: assigner.assign(pts), repeats)
+            records.append(
+                BenchRecord(
+                    "assign_inprocess", n, k, 1,
+                    wall, n / wall if wall > 0 else 0.0,
+                    extra={"d": d},
+                )
+            )
+        with AssignmentServer(registry=registry) as server:
+            for n, _, expected, batches in datasets:
+                wall, (labels, versions) = _timed(
+                    lambda b=batches: _concurrent_assign(
+                        server.url, b, client_threads
+                    ),
+                    repeats,
+                )
+                _check_fleet_labels("serve_http_single", labels, expected,
+                                    versions, version)
+                records.append(
+                    BenchRecord(
+                        "serve_http_single", n, k, 1,
+                        wall, n / wall if wall > 0 else 0.0,
+                        extra={"d": d, "client_threads": client_threads},
+                    )
+                )
+        for size in fleet_sizes:
+            with FleetSupervisor(
+                registry, workers=size, state_dir=Path(tmp) / f"fleet-{size}"
+            ) as fleet:
+                with FleetProxy(fleet) as proxy:
+                    for n, _, expected, batches in datasets:
+                        wall, (labels, versions) = _timed(
+                            lambda b=batches: _concurrent_assign(
+                                proxy.url, b, client_threads
+                            ),
+                            repeats,
+                        )
+                        _check_fleet_labels("fleet_http_npy", labels, expected,
+                                            versions, version)
+                        records.append(
+                            BenchRecord(
+                                "fleet_http_npy", n, k, size,
+                                wall, n / wall if wall > 0 else 0.0,
+                                extra={
+                                    "d": d,
+                                    "client_threads": client_threads,
+                                    "version": version,
+                                },
+                            )
+                        )
+    _speedup_vs_baseline(records)
+    return records
+
+
+def _check_fleet_labels(
+    workload: str,
+    labels: np.ndarray,
+    expected: np.ndarray,
+    versions: set[str],
+    version: str,
+) -> None:
+    if not np.array_equal(labels, expected):
+        raise AssertionError(
+            f"{workload} labels diverged from in-process assign"
+        )
+    if versions != {version}:
+        raise AssertionError(
+            f"{workload} served versions {sorted(versions)}, expected {version!r}"
+        )
+
+
 # --------------------------------------------------------------------- #
 # Orchestration (the ``repro bench`` implementation)                      #
 # --------------------------------------------------------------------- #
@@ -479,13 +658,15 @@ def run_bench(
     """Run the requested suite(s); write and validate ``BENCH_*.json``.
 
     Args:
-        suite: ``"engine"``, ``"assign"``, ``"serve"`` or ``"all"``.
+        suite: ``"engine"``, ``"assign"``, ``"serve"``, ``"fleet"`` or
+            ``"all"``.
         smoke: small sizes for CI (seconds, not minutes).
-        max_jobs: top of the worker-count ladder (always includes 1).
+        max_jobs: top of the worker-count ladder (always includes 1; the
+            fleet suite reuses it as the worker-*process* ladder).
         out_dir: output directory (default: the results dir, honoring
             ``REPRO_RESULTS_DIR``).
         repeats: timing repeats, best-of (default: 1 engine / 3
-            assign + serve, 1 everywhere under ``smoke``).
+            assign + serve + fleet, 1 everywhere under ``smoke``).
 
     Returns:
         Mapping of suite name to the written JSON path.
@@ -501,6 +682,7 @@ def run_bench(
     # 50k sits at the JSON-payload cutoff so full runs still record the
     # serve_http_json floor alongside the large npy-only measurement.
     serve_sizes = (20_000,) if smoke else (50_000, 500_000)
+    fleet_sizes_n = (20_000,) if smoke else (50_000, 500_000)
     written: dict[str, Path] = {}
     if suite in ("engine", "all"):
         records = bench_engine(
@@ -521,4 +703,13 @@ def run_bench(
             repeats=(1 if smoke else 3) if repeats is None else repeats,
         )
         written["serve"] = write_bench(out / "BENCH_serve.json", "serve", records)
+    if suite in ("fleet", "all"):
+        # The jobs ladder doubles as the fleet-size ladder: the suite's
+        # ``jobs`` column counts worker *processes*, not threads.
+        records = bench_fleet(
+            fleet_sizes_n,
+            jobs,
+            repeats=(1 if smoke else 3) if repeats is None else repeats,
+        )
+        written["fleet"] = write_bench(out / "BENCH_fleet.json", "fleet", records)
     return written

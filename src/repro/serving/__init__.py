@@ -1,4 +1,4 @@
-"""Model serving subsystem: artifact registry, assignment server, client.
+"""Model serving subsystem: registry, servers, fleet, proxy, client.
 
 This package turns the repro from a library into a deployable service,
 completing the train-once / assign-many story the paper's S-blind
@@ -12,26 +12,54 @@ deployment only reads geometry):
 * :mod:`repro.serving.server` — :class:`AssignmentServer`, a long-lived
   stdlib HTTP process wrapping a registry-resolved
   :class:`~repro.api.assign.Assigner` with mtime-based hot-reload of
-  the ``LATEST`` pointer. Responses always carry the serving model
-  version.
+  the ``LATEST`` pointer (or pinned to one version with
+  ``follow=False`` — fleet-worker mode). Responses always carry the
+  serving model version.
+* :mod:`repro.serving.fleet` — :class:`FleetSupervisor`, a multi-process
+  fleet: N pinned worker processes against one registry, health
+  monitoring with backoff restarts, and canary rollouts that replay a
+  pinned probe batch bit-for-bit before a new version may reach the
+  fleet (automatic ``LATEST`` rollback on mismatch).
+* :mod:`repro.serving.proxy` — :class:`FleetProxy`, the round-robin
+  front door: one port, failover past mid-restart workers, every
+  response stamped with worker id + serving version, and the
+  ``/admin/status`` / ``/admin/rollout`` control endpoints.
 * :mod:`repro.serving.client` — :class:`ServingClient`, a stdlib HTTP
-  client speaking the same JSON / npy-bytes protocol (also the engine
-  behind ``repro bench serve``).
+  client speaking the same JSON / npy-bytes protocol, with transparent
+  reconnect-and-retry for idempotent requests (also the engine behind
+  ``repro bench serve`` and the proxy's forwarding path).
 
-CLI entry points: ``repro serve``, ``repro registry
-publish|list|rollback|prune`` and ``repro bench serve``.
+CLI entry points: ``repro serve``, ``repro fleet up|status|rollout``,
+``repro registry publish|list|rollback|prune`` and
+``repro bench serve|fleet``.
 """
 
-from .client import AssignResponse, ServingClient
+from .client import (
+    AssignResponse,
+    ServingClient,
+    ServingClientError,
+    ServingTimeoutError,
+    ServingUnavailableError,
+)
+from .fleet import FleetError, FleetSupervisor, RolloutReport, WorkerStatus
+from .proxy import FleetProxy
 from .registry import LATEST_POINTER, ModelRegistry, RegistryError
 from .server import AssignmentServer, serve_forever
 
 __all__ = [
     "AssignResponse",
     "AssignmentServer",
+    "FleetError",
+    "FleetProxy",
+    "FleetSupervisor",
     "LATEST_POINTER",
     "ModelRegistry",
     "RegistryError",
+    "RolloutReport",
     "ServingClient",
+    "ServingClientError",
+    "ServingTimeoutError",
+    "ServingUnavailableError",
+    "WorkerStatus",
     "serve_forever",
 ]

@@ -5,6 +5,20 @@ accepts — JSON for interoperability, raw npy bytes for throughput (one
 ``np.save`` in, one ``np.load`` out, no float → decimal-string round
 trip). A single keep-alive connection is reused across calls, so
 ``repro bench serve`` measures serving overhead, not TCP handshakes.
+
+**Reconnect.** A reused keep-alive connection goes stale whenever the
+server restarts (fleet supervisors do this on purpose) or an idle
+timeout fires; the first request after that fails at the socket layer,
+not with an HTTP status. Every request this client issues is idempotent
+(``/assign`` is a pure function of the payload and the serving model,
+``/reload`` re-resolves to the same target), so :meth:`request_raw`
+transparently retries exactly once on a fresh connection. If the fresh
+connection fails too, the server really is unreachable and a
+:class:`ServingUnavailableError` is raised — distinguishable from an
+HTTP-level :class:`ServingClientError` so a proxy can fail over to the
+next worker instead of surfacing a 400. An optional ``reconnect_wait``
+keeps retrying (with short sleeps) for bounded wall-clock, riding out a
+worker's restart window.
 """
 
 from __future__ import annotations
@@ -12,12 +26,16 @@ from __future__ import annotations
 import http.client
 import io
 import json
+import time
 from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from .server import NPY_CONTENT_TYPE, VERSION_HEADER
+
+#: Pause between reconnect attempts inside the ``reconnect_wait`` window.
+RECONNECT_PAUSE_S = 0.05
 
 
 class ServingClientError(RuntimeError):
@@ -26,6 +44,32 @@ class ServingClientError(RuntimeError):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+
+
+class ServingUnavailableError(ServingClientError):
+    """The server could not be reached even on a fresh connection.
+
+    Raised only after the transparent reconnect-and-retry failed too —
+    the transport-level sibling of :class:`ServingClientError`, so
+    callers (e.g. the fleet proxy's failover path) can tell "this
+    worker is down" apart from "this request is bad".
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(503, message)
+
+
+class ServingTimeoutError(ServingClientError):
+    """The request ran past the socket timeout on a live connection.
+
+    Deliberately distinct from :class:`ServingUnavailableError` and
+    never retried: the server is reachable but slow, and re-sending the
+    same request (to this worker or, in the proxy, to every other
+    worker) would double the load without changing the outcome.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(504, message)
 
 
 @dataclass(frozen=True)
@@ -42,6 +86,10 @@ class ServingClient:
     Args:
         host, port: server address (or pass ``url="http://h:p"``).
         timeout: per-request socket timeout in seconds.
+        reconnect_wait: extra wall-clock (seconds) to keep retrying a
+            connection-refused server before giving up — rides out a
+            restart window. The default ``0.0`` still performs the
+            single transparent retry on a stale keep-alive connection.
 
     Usable as a context manager; the underlying connection is opened
     lazily and reused until :meth:`close`.
@@ -54,6 +102,7 @@ class ServingClient:
         *,
         url: str | None = None,
         timeout: float = 30.0,
+        reconnect_wait: float = 0.0,
     ) -> None:
         if url is not None:
             stripped = url.removeprefix("http://").rstrip("/")
@@ -62,6 +111,7 @@ class ServingClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.reconnect_wait = reconnect_wait
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------ #
@@ -75,37 +125,89 @@ class ServingClient:
             )
         return self._conn
 
-    def _request(
+    def request_raw(
         self,
         method: str,
         path: str,
         body: bytes | None = None,
         content_type: str = "application/json",
+        *,
+        retry: bool = True,
     ) -> tuple[int, dict[str, str], bytes]:
-        headers = {"Content-Type": content_type} if body is not None else {}
-        try:
-            conn = self._connection()
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            payload = response.read()
-        except (http.client.HTTPException, OSError):
-            # Keep-alive connection went stale (server restarted / idle
-            # timeout): one clean retry on a fresh connection.
-            self.close()
-            conn = self._connection()
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            payload = response.read()
-        return response.status, dict(response.getheaders()), payload
+        """One HTTP exchange; returns ``(status, headers, payload)``.
 
-    def _request_json(
+        Handles the stale-keep-alive problem transparently: a request
+        that fails at the socket layer (server restarted, idle timeout,
+        half-closed connection) is retried exactly once on a fresh
+        connection — safe because every server endpoint is idempotent.
+        Within ``reconnect_wait`` seconds further reconnects are
+        attempted with short pauses (restart window); after that a
+        :class:`ServingUnavailableError` is raised.
+
+        Args:
+            retry: pass ``False`` for calls that must not be re-issued
+                (e.g. a fleet rollout trigger, where a second submission
+                after a socket timeout would run a second rollout).
+
+        Raises:
+            ServingUnavailableError: no server reachable at host:port
+                even on a fresh connection (or, with ``retry=False``,
+                on the first transport failure).
+        """
+        headers = {"Content-Type": content_type} if body is not None else {}
+        deadline = time.monotonic() + self.reconnect_wait
+        attempt = 0
+        while True:
+            try:
+                conn = self._connection()
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+                return response.status, dict(response.getheaders()), payload
+            except (http.client.HTTPException, OSError) as exc:
+                # The connection is unusable either way: drop it so the
+                # next attempt (or the next call) starts clean.
+                self.close()
+                if isinstance(exc, TimeoutError):
+                    # The server accepted the request and is (still)
+                    # working on it: retrying would run it again.
+                    raise ServingTimeoutError(
+                        f"{self.host}:{self.port} did not answer within "
+                        f"{self.timeout}s: {exc}"
+                    ) from exc
+                attempt += 1
+                if not retry:
+                    raise ServingUnavailableError(
+                        f"{self.host}:{self.port}: {exc}"
+                    ) from exc
+                if attempt == 1:
+                    continue  # the single transparent reconnect-and-retry
+                if time.monotonic() >= deadline:
+                    raise ServingUnavailableError(
+                        f"{self.host}:{self.port} unreachable after "
+                        f"{attempt} attempts: {exc}"
+                    ) from exc
+                time.sleep(RECONNECT_PAUSE_S)
+
+    # Backwards-compatible internal spelling.
+    _request = request_raw
+
+    def request_json(
         self, method: str, path: str, body: bytes | None = None
     ) -> dict[str, Any]:
-        status, _, payload = self._request(method, path, body)
+        """JSON request/response convenience over :meth:`request_raw`.
+
+        Raises :class:`ServingClientError` for any ≥ 400 status, with
+        the server's ``error`` message.
+        """
+        status, _, payload = self.request_raw(method, path, body)
         data = json.loads(payload.decode("utf-8"))
         if status >= 400:
             raise ServingClientError(status, data.get("error", payload.decode("utf-8")))
         return data
+
+    # Pre-public spelling, kept for callers written against it.
+    _request_json = request_json
 
     def close(self) -> None:
         if self._conn is not None:
@@ -130,9 +232,20 @@ class ServingClient:
         """``GET /model`` — version, method, k, dims, artifact summary."""
         return self._request_json("GET", "/model")
 
-    def reload(self) -> dict[str, Any]:
-        """``POST /reload`` — force re-resolution of the registry LATEST."""
-        return self._request_json("POST", "/reload", body=b"")
+    def reload(self, version: str | None = None) -> dict[str, Any]:
+        """``POST /reload`` — re-resolve the registry ``LATEST``, or pin.
+
+        Args:
+            version: explicit registry version to load and pin (fleet
+                supervisors move workers this way); ``None`` re-resolves
+                the ``LATEST`` pointer.
+        """
+        body = (
+            json.dumps({"version": version}).encode("utf-8")
+            if version is not None
+            else b""
+        )
+        return self._request_json("POST", "/reload", body=body)
 
     def assign(
         self,
@@ -153,7 +266,7 @@ class ServingClient:
         if npy:
             buffer = io.BytesIO()
             np.save(buffer, points, allow_pickle=False)
-            status, headers, payload = self._request(
+            status, headers, payload = self.request_raw(
                 "POST", "/assign", buffer.getvalue(), NPY_CONTENT_TYPE
             )
             if status >= 400:

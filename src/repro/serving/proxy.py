@@ -1,0 +1,221 @@
+"""Round-robin fleet front door with failover and admin endpoints.
+
+:class:`FleetProxy` puts one port in front of a
+:class:`~repro.serving.fleet.FleetSupervisor`'s worker processes:
+
+* serving traffic (``POST /assign``, ``GET /healthz``, ``GET /model``)
+  is forwarded round-robin; a worker that is mid-restart (connection
+  refused / dropped) is skipped and the request transparently retried on
+  the next worker — the request only fails when *no* worker is
+  reachable. Every proxied response is stamped with the worker that
+  served it (``X-Fleet-Worker``) and the serving version
+  (``X-Model-Version``, set by the worker), so any label in production
+  is attributable to one process and one artifact;
+* ``GET /admin/status`` reports the supervisor's fleet-wide health;
+* ``POST /admin/rollout`` runs a canary rollout (body:
+  ``{"version": ..., "require_identical": ...}``) and returns the
+  :class:`~repro.serving.fleet.RolloutReport` — HTTP 200 when the fleet
+  moved, 409 when the canary (or a later stage) rejected the candidate;
+* ``POST /reload`` is **refused** (403): reloading one worker behind the
+  proxy would fork the fleet's serving version around the canary
+  process. Rollouts go through ``/admin/rollout``.
+
+Failover leans on :class:`~repro.serving.client.ServingClient`'s
+transparent reconnect: a stale keep-alive to a restarted worker is
+retried once on a fresh connection, and only a genuinely unreachable
+worker (:class:`~repro.serving.client.ServingUnavailableError`) moves
+the request to the next one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler
+from typing import Any
+
+from .client import ServingClient, ServingTimeoutError, ServingUnavailableError
+from .fleet import FleetSupervisor
+from .server import (
+    MAX_BODY_BYTES,
+    VERSION_HEADER,
+    ConnectionTrackingServer,
+    ServingError,
+)
+
+#: Response header naming the worker index that served the request.
+WORKER_HEADER = "X-Fleet-Worker"
+
+
+class FleetProxy(ConnectionTrackingServer):
+    """One-port round-robin front for a running fleet.
+
+    Args:
+        fleet: the supervisor whose workers receive the traffic.
+        host: bind address (default: the fleet's host).
+        port: bind port (``0`` picks an ephemeral port — read it back
+            from ``proxy.port``).
+        quiet: suppress per-request access logging.
+    """
+
+    serve_thread_name = "repro-fleet-proxy"
+
+    def __init__(
+        self,
+        fleet: FleetSupervisor,
+        *,
+        host: str | None = None,
+        port: int = 0,
+        quiet: bool = True,
+    ) -> None:
+        self.fleet = fleet
+        self.quiet = quiet
+        self._rr = 0
+        self._rr_lock = threading.Lock()
+        self._local = threading.local()
+        super().__init__((host or fleet.host, port), _ProxyHandler)
+
+    # ------------------------------------------------------------------ #
+    # Target selection                                                    #
+    # ------------------------------------------------------------------ #
+
+    def target_order(self) -> list[tuple[int, str, int]]:
+        """Workers in this request's try-order (round-robin rotation)."""
+        targets = self.fleet.targets()
+        if not targets:
+            return []
+        with self._rr_lock:
+            start = self._rr % len(targets)
+            self._rr += 1
+        return targets[start:] + targets[:start]
+
+    def client_for(self, index: int, host: str, port: int) -> ServingClient:
+        """Per-thread keep-alive client for one worker."""
+        cache: dict[tuple[int, int], ServingClient] | None
+        cache = getattr(self._local, "clients", None)
+        if cache is None:
+            cache = self._local.clients = {}
+        key = (index, port)
+        if key not in cache:
+            # reconnect_wait=0: one clean retry per worker, then fail
+            # over to the next one — a mid-restart worker should cost
+            # milliseconds, not a restart-window stall.
+            cache[key] = ServingClient(host, port, timeout=30.0)
+        return cache[key]
+
+class _ProxyHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: FleetProxy  # narrowed for type checkers
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    # -- plumbing ------------------------------------------------------ #
+
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra: dict[str, str] | None = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(
+        self, status: int, payload: dict[str, Any], extra: dict[str, str] | None = None
+    ) -> None:
+        self._send(
+            status, json.dumps(payload).encode("utf-8"), "application/json", extra
+        )
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            raise ServingError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        return self.rfile.read(length) if length else b""
+
+    def _fail(self, exc: Exception) -> None:
+        status = exc.status if isinstance(exc, ServingError) else 400
+        self._send_json(status, {"error": str(exc)})
+
+    # -- endpoints ----------------------------------------------------- #
+
+    def do_GET(self) -> None:  # noqa: N802
+        try:
+            if self.path == "/admin/status":
+                self._send_json(200, self.server.fleet.status())
+            else:
+                self._forward("GET", body=None)
+        except Exception as exc:
+            self._fail(exc)
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            if self.path == "/admin/rollout":
+                self._do_rollout()
+            elif self.path == "/reload":
+                self._read_body()  # drain so keep-alive stays in sync
+                raise ServingError(
+                    403,
+                    "per-worker reload through the proxy would fork the "
+                    "fleet version; use POST /admin/rollout",
+                )
+            else:
+                self._forward("POST", body=self._read_body())
+        except Exception as exc:
+            self._fail(exc)
+
+    def _do_rollout(self) -> None:
+        body = self._read_body()
+        options: dict[str, Any] = {}
+        if body:
+            try:
+                options = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServingError(400, f"invalid rollout payload: {exc}") from None
+            if not isinstance(options, dict):
+                raise ServingError(400, "rollout payload must be an object")
+        version = options.get("version")
+        if version is not None and not isinstance(version, str):
+            raise ServingError(400, f"version must be a string, got {version!r}")
+        require_identical = bool(options.get("require_identical", False))
+        report = self.server.fleet.rollout(
+            version, require_identical=require_identical
+        )
+        self._send_json(200 if report.ok else 409, report.to_dict())
+
+    def _forward(self, method: str, body: bytes | None) -> None:
+        content_type = self.headers.get("Content-Type", "application/json")
+        for index, host, port in self.server.target_order():
+            client = self.server.client_for(index, host, port)
+            try:
+                status, headers, payload = client.request_raw(
+                    method, self.path, body, content_type
+                )
+            except ServingTimeoutError as exc:
+                # The worker is alive and computing — re-running the
+                # same request on every other worker would multiply the
+                # load fleet-wide and still be reported as a failure.
+                raise ServingError(504, str(exc)) from exc
+            except ServingUnavailableError:
+                continue  # worker mid-restart: fail over to the next one
+            extra = {WORKER_HEADER: str(index)}
+            version = headers.get(VERSION_HEADER)
+            if version is not None:
+                extra[VERSION_HEADER] = version
+            self._send(
+                status,
+                payload,
+                headers.get("Content-Type", "application/json"),
+                extra,
+            )
+            return
+        raise ServingError(503, "no reachable fleet worker")

@@ -47,6 +47,18 @@ class RegistryError(RuntimeError):
     """A registry invariant is broken (missing pointer, stale target, ...)."""
 
 
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write *text* to *path* atomically (write-temp + ``os.replace``).
+
+    Readers never observe a partial file, and on POSIX the replace also
+    bumps the target's mtime in one step — the property the ``LATEST``
+    pointer, fleet state files and worker announce files all rely on.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
 def _version_index(version: str) -> int:
     match = _VERSION_RE.match(version)
     if match is None:
@@ -188,9 +200,7 @@ class ModelRegistry:
                 f"{self.root}: cannot point {LATEST_POINTER} at unpublished "
                 f"version {version!r}"
             )
-        tmp = self.pointer_path.with_name(LATEST_POINTER + ".tmp")
-        tmp.write_text(version + "\n", encoding="utf-8")
-        os.replace(tmp, self.pointer_path)
+        atomic_write_text(self.pointer_path, version + "\n")
 
     def rollback(self, *, steps: int = 1, to: str | None = None) -> str:
         """Repoint ``LATEST`` at an earlier version; returns the new target.

@@ -22,12 +22,20 @@ while in-flight requests keep the snapshot they started with — nothing
 is dropped mid-request, and every response names the exact version that
 served it (``version`` field / ``X-Model-Version`` header), so clients
 can always attribute labels to a model.
+
+**Pinned mode.** With ``follow=False`` the server never follows the
+pointer on its own: only an explicit ``POST /reload`` moves it, and the
+reload body may name a specific version (``{"version": "v0007"}``) to
+pin. This is how :class:`~repro.serving.fleet.FleetSupervisor` workers
+run — a published ``LATEST`` must not reach the fleet until the canary
+has proven the artifact, so the supervisor moves each worker explicitly.
 """
 
 from __future__ import annotations
 
 import io
 import json
+import socket
 import threading
 import time
 from dataclasses import dataclass
@@ -68,7 +76,102 @@ class ServingError(Exception):
         self.status = status
 
 
-class AssignmentServer(ThreadingHTTPServer):
+class ConnectionTrackingServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer with a shared embedded-process lifecycle.
+
+    Two additions over the stdlib class, shared by
+    :class:`AssignmentServer` and :class:`~repro.serving.proxy.FleetProxy`:
+
+    * **Severable connections.** ``server_close`` alone only closes the
+      *listening* socket; handler threads keep serving requests on
+      already-established keep-alive connections — so a "stopped"
+      in-process server would silently keep answering stale traffic (a
+      real process dies with its sockets). :meth:`close_open_connections`
+      restores process-death semantics, and :meth:`stop` calls it.
+    * **Daemon-thread serving.** :meth:`start` / :meth:`stop` / context
+      manager for tests and embedding; ``port`` / ``url`` for
+      ephemeral-port binds.
+    """
+
+    daemon_threads = True
+
+    #: Name of the daemon serve thread (subclasses override).
+    serve_thread_name = "repro-http"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        self._open_requests: set[socket.socket] = set()
+        self._open_requests_lock = threading.Lock()
+        self._serve_thread: threading.Thread | None = None
+        super().__init__(*args, **kwargs)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def start(self) -> "ConnectionTrackingServer":
+        """Serve in a daemon thread (tests / embedding); returns self."""
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name=self.serve_thread_name, daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving, sever open connections, release the socket."""
+        self.shutdown()
+        self.server_close()
+        self.close_open_connections()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+
+    def __enter__(self) -> "ConnectionTrackingServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def get_request(self) -> tuple[socket.socket, Any]:
+        request, client_address = super().get_request()
+        with self._open_requests_lock:
+            self._open_requests.add(request)
+        return request, client_address
+
+    def shutdown_request(self, request: Any) -> None:
+        with self._open_requests_lock:
+            self._open_requests.discard(request)
+        super().shutdown_request(request)
+
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, TimeoutError)):
+            return  # peer vanished or we severed the socket: expected
+        super().handle_error(request, client_address)
+
+    def close_open_connections(self) -> None:
+        """Forcibly close every established connection (handler threads
+        servicing them see a socket error and exit)."""
+        with self._open_requests_lock:
+            open_requests = list(self._open_requests)
+            self._open_requests.clear()
+        for request in open_requests:
+            try:
+                request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                request.close()
+            except OSError:
+                pass
+
+
+class AssignmentServer(ConnectionTrackingServer):
     """Threaded HTTP server wrapping a registry- or path-resolved model.
 
     Args:
@@ -84,10 +187,18 @@ class AssignmentServer(ThreadingHTTPServer):
             per CPU); labels are bit-identical for every value.
         chunk_size: default rows per scored block (requests may
             override per call).
+        follow: with the default ``True``, hot-reload whenever the
+            registry's ``LATEST`` pointer moves. ``False`` pins the
+            server: only an explicit ``POST /reload`` (optionally
+            naming a version) changes what it serves — the mode fleet
+            workers run in so a canary can gate rollouts.
+        pin_version: start serving this registry version instead of the
+            ``LATEST`` target (registry mode only; implies
+            ``follow=False``).
         quiet: suppress per-request access logging.
     """
 
-    daemon_threads = True
+    serve_thread_name = "repro-serve"
 
     def __init__(
         self,
@@ -98,25 +209,29 @@ class AssignmentServer(ThreadingHTTPServer):
         port: int = 0,
         n_jobs: int | None = None,
         chunk_size: int | None = None,
+        follow: bool = True,
+        pin_version: str | None = None,
         quiet: bool = True,
     ) -> None:
         if (registry is None) == (model_path is None):
             raise ValueError("exactly one of registry= or model_path= is required")
         if registry is not None and not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry)
+        if pin_version is not None and registry is None:
+            raise ValueError("pin_version= requires registry mode")
         self.registry = registry
         self.model_path = Path(model_path) if model_path is not None else None
         self.n_jobs = n_jobs
         self.chunk_size = chunk_size
+        self.follow = follow and pin_version is None
         self.quiet = quiet
         self.started_at = time.monotonic()
         self._lock = threading.RLock()
         self._snapshot: _Snapshot | None = None
         self._pointer_mtime_ns: int | None = None
-        self._serve_thread: threading.Thread | None = None
         super().__init__((host, port), _Handler)
         try:
-            self.reload(force=True)
+            self.reload(force=True, version=pin_version)
         except BaseException:
             self.server_close()  # don't leak the bound socket
             raise
@@ -125,14 +240,6 @@ class AssignmentServer(ThreadingHTTPServer):
     # Model lifecycle                                                     #
     # ------------------------------------------------------------------ #
 
-    @property
-    def port(self) -> int:
-        return self.server_address[1]
-
-    @property
-    def url(self) -> str:
-        return f"http://{self.server_address[0]}:{self.port}"
-
     def snapshot(self) -> _Snapshot:
         """The current serving generation (raises 503 when none loaded)."""
         with self._lock:
@@ -140,41 +247,64 @@ class AssignmentServer(ThreadingHTTPServer):
                 raise ServingError(503, "no model loaded")
             return self._snapshot
 
-    def _load_snapshot(self) -> tuple[_Snapshot, int | None]:
-        """Resolve + load the current model; returns (snapshot, pointer mtime)."""
+    def _load_snapshot(self, version: str | None = None) -> tuple[_Snapshot, int | None]:
+        """Resolve + load the serving model; returns (snapshot, pointer mtime).
+
+        With *version* the load is pinned to that registry version (the
+        pointer is statted opportunistically so a later switch back to
+        follow-mode starts from a fresh mtime).
+        """
         if self.registry is not None:
-            # Stat BEFORE reading the pointer: if a publish lands between
-            # the two, the recorded mtime is older than the pointer we
-            # end up loading, so the next request re-checks (the reverse
-            # order could cache the new mtime against the old model and
-            # go stale forever).
-            try:
-                mtime_ns = self.registry.pointer_path.stat().st_mtime_ns
-            except FileNotFoundError:
-                raise RegistryError(
-                    f"{self.registry.root}: no LATEST pointer "
-                    "(publish a model first)"
-                ) from None
-            version = self.registry.latest_version()
+            if version is None:
+                # Stat BEFORE reading the pointer: if a publish lands
+                # between the two, the recorded mtime is older than the
+                # pointer we end up loading, so the next request
+                # re-checks (the reverse order could cache the new mtime
+                # against the old model and go stale forever).
+                try:
+                    mtime_ns = self.registry.pointer_path.stat().st_mtime_ns
+                except FileNotFoundError:
+                    raise RegistryError(
+                        f"{self.registry.root}: no LATEST pointer "
+                        "(publish a model first)"
+                    ) from None
+                version = self.registry.latest_version()
+            else:
+                try:
+                    mtime_ns = self.registry.pointer_path.stat().st_mtime_ns
+                except OSError:
+                    mtime_ns = None  # pinned serving needs no pointer at all
             model = self.registry.load(version)
         else:
+            if version is not None:
+                raise ServingError(400, "version-pinned reload requires registry mode")
             model = ClusterModel.load(self.model_path)
             version = self.model_path.name
             mtime_ns = None
         assigner = Assigner(model.centers, n_jobs=self.n_jobs)
         return _Snapshot(version, model, assigner), mtime_ns
 
-    def reload(self, *, force: bool = False) -> bool:
+    def reload(self, *, force: bool = False, version: str | None = None) -> bool:
         """(Re-)resolve the serving model; returns True if it changed.
 
         With ``force=False`` this is the per-request hot-reload check:
         a cheap stat of the registry's ``LATEST`` pointer, loading only
-        when its mtime moved. The loaded snapshot is swapped in under
-        the lock; requests already running keep their old snapshot.
+        when its mtime moved. With *version* the server loads exactly
+        that registry version (pinning — used by the fleet supervisor to
+        move one worker at a time). The loaded snapshot is swapped in
+        under the lock; requests already running keep their old
+        snapshot.
         """
-        if not force and not self._pointer_moved():
+        if version is None and not force and not self._pointer_moved():
             return False
-        snapshot, mtime_ns = self._load_snapshot()
+        snapshot, mtime_ns = self._load_snapshot(version)
+        if version is not None and self.follow:
+            # On a following server an explicit pin is one-shot: leave
+            # the recorded mtime unset so the next request's hot-reload
+            # check re-resolves LATEST instead of silently serving the
+            # pinned version until the next publish happens to move the
+            # pointer. Durable pinning is follow=False territory.
+            mtime_ns = None
         with self._lock:
             changed = (
                 self._snapshot is None or snapshot.version != self._snapshot.version
@@ -194,7 +324,13 @@ class AssignmentServer(ThreadingHTTPServer):
             return mtime_ns != self._pointer_mtime_ns
 
     def maybe_reload(self) -> None:
-        """Hot-reload if the pointer moved; never fails a live request."""
+        """Hot-reload if the pointer moved; never fails a live request.
+
+        No-op on a pinned (``follow=False``) server: only an explicit
+        ``POST /reload`` moves it.
+        """
+        if not self.follow:
+            return
         try:
             self.reload(force=False)
         except (RegistryError, ValueError, OSError):
@@ -202,33 +338,6 @@ class AssignmentServer(ThreadingHTTPServer):
             # down serving: keep the current snapshot, surface the
             # problem on the next explicit POST /reload.
             pass
-
-    # ------------------------------------------------------------------ #
-    # Process lifecycle                                                   #
-    # ------------------------------------------------------------------ #
-
-    def start(self) -> "AssignmentServer":
-        """Serve in a daemon thread (tests / embedding); returns self."""
-        self._serve_thread = threading.Thread(
-            target=self.serve_forever, name="repro-serve", daemon=True
-        )
-        self._serve_thread.start()
-        return self
-
-    def stop(self) -> None:
-        """Stop serving and release the socket."""
-        self.shutdown()
-        self.server_close()
-        if self._serve_thread is not None:
-            self._serve_thread.join(timeout=5.0)
-            self._serve_thread = None
-
-    def __enter__(self) -> "AssignmentServer":
-        return self.start()
-
-    def __exit__(self, *exc_info: Any) -> None:
-        self.stop()
-
 
 def serve_forever(server: AssignmentServer) -> None:
     """Run *server* in the foreground until interrupted (CLI mode)."""
@@ -298,6 +407,7 @@ class _Handler(BaseHTTPRequestHandler):
                     {
                         "status": "ok",
                         "version": snap.version,
+                        "follow": self.server.follow,
                         "uptime_s": round(
                             time.monotonic() - self.server.started_at, 3
                         ),
@@ -329,8 +439,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self.server.maybe_reload()
                 self._do_assign()
             elif self.path == "/reload":
-                self._read_body()  # drain so keep-alive stays in sync
-                changed = self.server.reload(force=True)
+                body = self._read_body()  # drain so keep-alive stays in sync
+                changed = self.server.reload(
+                    force=True, version=_decode_reload(body)
+                )
                 snap = self.server.snapshot()
                 self._send_json(
                     200, {"version": snap.version, "changed": changed}, snap.version
@@ -369,6 +481,22 @@ class _Handler(BaseHTTPRequestHandler):
                 },
                 snap.version,
             )
+
+
+def _decode_reload(body: bytes) -> str | None:
+    """Optional ``{"version": "v0007"}`` body of ``POST /reload``."""
+    if not body:
+        return None
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServingError(400, f"invalid reload payload: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ServingError(400, 'reload payload must be {"version": ...}')
+    version = payload.get("version")
+    if version is not None and not isinstance(version, str):
+        raise ServingError(400, f"reload version must be a string, got {version!r}")
+    return version
 
 
 def _decode_npy(body: bytes) -> np.ndarray:

@@ -13,7 +13,13 @@ from repro.perf import (
     validate_bench,
     write_bench,
 )
-from repro.perf.harness import bench_assign, bench_engine, bench_serve, job_ladder
+from repro.perf.harness import (
+    bench_assign,
+    bench_engine,
+    bench_fleet,
+    bench_serve,
+    job_ladder,
+)
 
 
 def _record(**overrides):
@@ -108,6 +114,22 @@ def test_bench_serve_measures_http_against_in_process(tmp_path):
         by_workload["serve_http_npy"].wall_s
         >= by_workload["assign_inprocess"].wall_s
     )
+
+
+def test_bench_fleet_measures_processes_against_in_process(tmp_path):
+    """The fleet suite spawns a real worker fleet and validates bits."""
+    records = bench_fleet((2_000,), (1, 2), repeats=1)
+    validate_bench(bench_payload("fleet", records))
+    by_key = {(r.workload, r.jobs) for r in records}
+    assert ("assign_inprocess", 1) in by_key
+    assert ("serve_http_single", 1) in by_key
+    assert ("fleet_http_npy", 1) in by_key and ("fleet_http_npy", 2) in by_key
+    assert all(r.rows_per_s > 0 for r in records)
+    # jobs counts fleet processes; the jobs=1 fleet is its own baseline.
+    fleet_base = next(
+        r for r in records if r.workload == "fleet_http_npy" and r.jobs == 1
+    )
+    assert fleet_base.speedup == 1.0
 
 
 def test_cli_bench_smoke_writes_validated_files(tmp_path, capsys):

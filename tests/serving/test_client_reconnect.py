@@ -1,0 +1,113 @@
+"""Regression tests: ServingClient survives dropped keep-alive connections.
+
+A keep-alive connection goes stale whenever the server behind it
+restarts — exactly what a fleet supervisor does on purpose. The client
+must retry idempotent requests once on a fresh connection instead of
+dying, and must raise the distinguishable
+:class:`ServingUnavailableError` (not a raw socket error) when the
+server is truly gone, because the proxy's failover path dispatches on
+that type.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import ClusterModel, RunConfig
+from repro.serving import (
+    AssignmentServer,
+    ServingClient,
+    ServingClientError,
+    ServingUnavailableError,
+)
+
+D = 4
+
+
+@pytest.fixture
+def artifact(tmp_path):
+    rng = np.random.default_rng(3)
+    model = ClusterModel(rng.normal(size=(3, D)), RunConfig(method="kmeans", k=3))
+    return model.save(tmp_path / "artifact"), model
+
+
+def test_reconnects_after_server_restart_on_same_port(artifact):
+    """The stale keep-alive is replaced transparently: no error surfaces."""
+    path, model = artifact
+    probe = np.random.default_rng(0).normal(size=(20, D))
+    server = AssignmentServer(model_path=path).start()
+    port = server.port
+    client = ServingClient(port=port)
+    try:
+        first = client.assign(probe)  # opens the keep-alive connection
+        np.testing.assert_array_equal(first.labels, model.predict(probe))
+        server.stop()  # the server side of the connection is now dead
+        server = AssignmentServer(model_path=path, port=port).start()
+        second = client.assign(probe)  # must reconnect, not die
+        np.testing.assert_array_equal(second.labels, model.predict(probe))
+    finally:
+        client.close()
+        server.stop()
+
+
+def test_unreachable_server_raises_serving_unavailable(artifact):
+    """Transport failure surfaces as the typed, catchable error."""
+    path, _ = artifact
+    server = AssignmentServer(model_path=path).start()
+    port = server.port
+    client = ServingClient(port=port)
+    client.healthz()
+    server.stop()
+    with pytest.raises(ServingUnavailableError) as excinfo:
+        client.healthz()
+    # The proxy failover path catches it via the client-error hierarchy.
+    assert isinstance(excinfo.value, ServingClientError)
+    assert excinfo.value.status == 503
+    client.close()
+
+
+def test_reconnect_wait_rides_out_a_restart_window(artifact):
+    """With reconnect_wait the client retries until the server is back."""
+    path, model = artifact
+    probe = np.random.default_rng(1).normal(size=(10, D))
+    server = AssignmentServer(model_path=path).start()
+    port = server.port
+    client = ServingClient(port=port, reconnect_wait=10.0)
+    client.healthz()
+    server.stop()
+
+    restarted: list[AssignmentServer] = []
+
+    def bring_back() -> None:
+        time.sleep(0.4)
+        restarted.append(AssignmentServer(model_path=path, port=port).start())
+
+    thread = threading.Thread(target=bring_back)
+    thread.start()
+    try:
+        response = client.assign(probe)  # issued while the port is dead
+        np.testing.assert_array_equal(response.labels, model.predict(probe))
+    finally:
+        thread.join()
+        client.close()
+        for srv in restarted:
+            srv.stop()
+
+
+def test_zero_reconnect_wait_fails_fast(artifact):
+    """Default clients must not stall: one retry, then unavailable."""
+    path, _ = artifact
+    server = AssignmentServer(model_path=path).start()
+    port = server.port
+    client = ServingClient(port=port)
+    client.healthz()
+    server.stop()
+    start = time.monotonic()
+    with pytest.raises(ServingUnavailableError):
+        client.healthz()
+    assert time.monotonic() - start < 5.0
+    client.close()

@@ -115,6 +115,77 @@ def test_half_published_registry_keeps_serving(served, data):
         client.reload()  # the explicit reload surfaces the problem
 
 
+def test_pinned_server_ignores_pointer_moves(tmp_path, data):
+    """follow=False: only an explicit reload moves the serving version."""
+    points, sensitive, probe = data
+    model = fit(RunConfig(method="fairkm", k=K, max_iter=5), points,
+                sensitive=sensitive)
+    registry = ModelRegistry(tmp_path / "registry")
+    v1 = registry.publish(model, label="one")
+    other = fit(RunConfig(method="kmeans", k=K + 1), points)
+    with AssignmentServer(registry=registry, follow=False) as server:
+        with ServingClient(port=server.port) as client:
+            assert client.healthz()["follow"] is False
+            v2 = registry.publish(other, label="two")  # pointer moves...
+            response = client.assign(probe)
+            assert response.version == v1  # ...the pinned server doesn't
+            np.testing.assert_array_equal(response.labels, model.predict(probe))
+            # Explicit version-pinned reload moves exactly where told.
+            assert client.reload(v1)["version"] == v1
+            # A bare reload re-resolves LATEST.
+            assert client.reload()["version"] == v2
+            np.testing.assert_array_equal(
+                client.assign(probe).labels, other.predict(probe)
+            )
+
+
+def test_pin_version_startup(tmp_path, data):
+    """pin_version= serves an older version even when LATEST moved on."""
+    points, sensitive, probe = data
+    model = fit(RunConfig(method="fairkm", k=K, max_iter=5), points,
+                sensitive=sensitive)
+    registry = ModelRegistry(tmp_path / "registry")
+    v1 = registry.publish(model, label="one")
+    registry.publish(fit(RunConfig(method="kmeans", k=K + 1), points))
+    with AssignmentServer(registry=registry, pin_version=v1) as server:
+        assert server.follow is False  # pinning implies not following
+        with ServingClient(port=server.port) as client:
+            response = client.assign(probe)
+            assert response.version == v1
+            np.testing.assert_array_equal(response.labels, model.predict(probe))
+
+
+def test_explicit_pin_on_follow_server_is_one_shot(served, data):
+    """A follow-mode server honors a pinned reload for inspection, but
+    the next request re-resolves LATEST — it must not silently serve an
+    old version forever while reporting follow=true."""
+    registry, _, client, _ = served
+    points, _, probe = data
+    v1 = registry.latest_version()
+    other = fit(RunConfig(method="kmeans", k=K + 1), points)
+    v2 = registry.publish(other, label="kmeans")
+    assert client.assign(probe).version == v2
+    assert client.reload(v1)["version"] == v1  # pin for inspection...
+    assert client.assign(probe).version == v2  # ...following resumes
+
+
+def test_pin_version_requires_registry(tmp_path, data):
+    points, sensitive, _ = data
+    model = fit(RunConfig(method="fairkm", k=K, max_iter=5), points,
+                sensitive=sensitive)
+    artifact = model.save(tmp_path / "artifact")
+    with pytest.raises(ValueError, match="registry"):
+        AssignmentServer(model_path=artifact, pin_version="v0001")
+
+
+def test_reload_rejects_unknown_version(served):
+    _, _, client, _ = served
+    with pytest.raises(ServingClientError, match="v9999"):
+        client.reload("v9999")
+    with pytest.raises(ServingClientError, match="version"):
+        client._request_json("POST", "/reload", b'{"version": 3}')
+
+
 def test_static_model_path_mode(tmp_path, data):
     points, sensitive, probe = data
     model = fit(RunConfig(method="fairkm", k=K, max_iter=5), points,
