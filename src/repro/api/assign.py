@@ -161,27 +161,42 @@ class Assigner:
         source: np.ndarray | Iterable[np.ndarray],
         *,
         chunk_size: int | None = None,
-    ) -> Iterator[np.ndarray]:
+        return_distance: bool = False,
+    ) -> Iterator[np.ndarray | tuple[np.ndarray, np.ndarray]]:
         """Stream labels for *source*, one chunk at a time.
+
+        This is the producer behind the streamed serving transport
+        (:mod:`repro.serving.wire`): each yielded chunk can go straight
+        onto the wire while the next one is still being scored.
 
         Args:
             source: either one big ``(n, d)`` matrix (labelled in
                 ``chunk_size`` windows) or an iterable of point batches
-                (e.g. a file reader or message queue), each labelled as
-                it arrives.
+                (e.g. a file reader, message queue, or decoded wire
+                frames), each labelled as it arrives.
+            return_distance: also yield the squared distance to the
+                assigned center — each item becomes a
+                ``(labels, sq_distances)`` pair.
 
         Yields:
-            1-D label arrays, concatenating to the same result as
-            :meth:`assign` on the stacked input.
+            1-D label arrays (or ``(labels, sq_distances)`` pairs),
+            concatenating to the same result as :meth:`assign` on the
+            stacked input.
         """
         chunk = self._chunk(chunk_size)
         if isinstance(source, np.ndarray):
             points = self._validated(source)
             for start in range(0, points.shape[0], chunk):
-                yield self.assign(points[start : start + chunk], chunk_size=chunk)
+                yield self.assign(
+                    points[start : start + chunk],
+                    chunk_size=chunk,
+                    return_distance=return_distance,
+                )
             return
         for batch in source:
-            yield self.assign(batch, chunk_size=chunk)
+            yield self.assign(
+                batch, chunk_size=chunk, return_distance=return_distance
+            )
 
     def _chunk(self, chunk_size: int | None) -> int:
         if chunk_size is None:

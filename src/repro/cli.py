@@ -266,6 +266,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="for 'compare': minimum current/baseline rows/s ratio "
         "before a record counts as regressed (default 0.9)",
     )
+    p_bench.add_argument(
+        "--from-actions", action="store_true",
+        help="for 'compare' with ONE file: fetch the baseline from the "
+        "previous successful run's bench artifact via the GitHub actions "
+        "API (needs GITHUB_REPOSITORY + GITHUB_TOKEN); falls back to a "
+        "same-run self-comparison when no artifact exists yet",
+    )
+    p_bench.add_argument(
+        "--artifact-name", default="bench-results", metavar="NAME",
+        help="for 'compare --from-actions': artifact name to fetch "
+        "(default bench-results)",
+    )
 
     # ----------------------------------------------------------- serve #
     p_serve = sub.add_parser(
@@ -291,6 +303,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind port (0 picks an ephemeral port; default 8000)",
     )
     p_serve.add_argument(
+        "--uds", type=Path, default=None, metavar="SOCKET",
+        help="bind a Unix domain socket at this path instead of TCP "
+        "(co-located clients skip the TCP stack entirely)",
+    )
+    p_serve.add_argument(
         "--jobs", type=jobs_value, default=None,
         help="worker threads per assignment call (labels identical for "
         "every value)",
@@ -311,8 +328,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--announce", type=Path, default=None, metavar="FILE",
-        help="after binding, atomically write {url, host, port, pid, version} "
-        "as JSON to FILE (how a fleet supervisor discovers its workers)",
+        help="after binding, atomically write {url, host, port, uds, pid, "
+        "version} as JSON to FILE (how a fleet supervisor discovers its "
+        "workers)",
     )
     p_serve.add_argument(
         "--verbose", action="store_true", help="log every request",
@@ -358,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_up.add_argument(
         "--state-dir", type=Path, default=None,
         help="fleet state/log directory (default <registry>/.fleet)",
+    )
+    p_up.add_argument(
+        "--transport", choices=["auto", "tcp", "uds"], default="auto",
+        help="worker transport: Unix domain sockets under the state dir, "
+        "TCP loopback, or auto (UDS when the platform and path length "
+        "allow it; default auto)",
     )
     p_up.add_argument(
         "--stagger", type=float, default=0.0, metavar="SECONDS",
@@ -652,11 +676,37 @@ def _cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
 
 
 def _bench_compare(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    from .perf.compare import DEFAULT_THRESHOLD, compare_bench_files, render_comparison
+    import json
 
-    if len(args.paths) != 2:
-        parser.error("bench compare needs exactly two files: BASELINE CURRENT")
-    baseline, current = args.paths
+    from .perf.compare import (
+        DEFAULT_THRESHOLD,
+        compare_bench_files,
+        fleet_gate,
+        render_comparison,
+        render_fleet_gate,
+    )
+
+    if args.from_actions:
+        if len(args.paths) != 1:
+            parser.error("bench compare --from-actions needs exactly one "
+                         "file: CURRENT")
+        from .perf.actions import fetch_baseline
+
+        current = args.paths[0]
+        baseline = fetch_baseline(
+            args.artifact_name, current.name, current.parent / "baseline"
+        )
+        if baseline is None:
+            # First run / no token / expired artifact: gate against the
+            # same-run file so the fleet gate below still runs.
+            print("bench compare: no cross-run baseline; "
+                  "comparing the current file against itself")
+            baseline = current
+    else:
+        if len(args.paths) != 2:
+            parser.error("bench compare needs exactly two files: "
+                         "BASELINE CURRENT (or --from-actions CURRENT)")
+        baseline, current = args.paths
     try:
         comparison = compare_bench_files(
             baseline,
@@ -667,7 +717,15 @@ def _bench_compare(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
         parser.error(str(exc))
         raise AssertionError("unreachable")
     print(render_comparison(comparison))
-    return 0 if comparison.ok else 1
+    ok = comparison.ok
+    current_payload = json.loads(Path(current).read_text(encoding="utf-8"))
+    if current_payload.get("suite") == "fleet":
+        # The fleet suite carries its own scaling acceptance bar: worker
+        # processes must multiply throughput, monotonically.
+        report = fleet_gate(current_payload)
+        print(render_fleet_gate(report))
+        ok = ok and report.ok
+    return 0 if ok else 1
 
 
 def _cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -681,6 +739,7 @@ def _cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             model_path=args.model,
             host=args.host,
             port=args.port,
+            uds=args.uds,
             n_jobs=args.jobs,
             chunk_size=args.chunk_size,
             follow=not args.no_follow,
@@ -707,10 +766,15 @@ def _announce(path: Path, server: Any, version: str) -> None:
 
     from .serving.registry import atomic_write_text
 
+    address = server.server_address
+    uds = address if isinstance(address, (str, bytes)) else None
+    if isinstance(uds, bytes):
+        uds = uds.decode("utf-8", "surrogateescape")
     payload = {
         "url": server.url,
-        "host": server.server_address[0],
+        "host": None if uds else address[0],
         "port": server.port,
+        "uds": uds,
         "pid": os.getpid(),
         "version": version,
     }
@@ -738,6 +802,7 @@ def _fleet_up(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         state_dir=args.state_dir,
         probe_rows=args.probe_rows,
         stagger_s=args.stagger,
+        transport=args.transport,
     )
     try:
         supervisor.start()
@@ -755,8 +820,8 @@ def _fleet_up(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         f"fleet up: {supervisor.n_workers} worker(s) serving "
         f"{supervisor.serving_version} behind {proxy.url}"
     )
-    for index, _, port in supervisor.targets():
-        print(f"  worker {index}: {args.host}:{port}")
+    for index, url in supervisor.target_urls():
+        print(f"  worker {index}: {url}")
     print(f"state file: {state}")
     print("proxy endpoints: POST /assign  GET /healthz  GET /model  "
           "GET /admin/status  POST /admin/rollout")
@@ -816,7 +881,7 @@ def _fleet_status(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         [
             str(w["index"]),
             str(w["pid"] or "-"),
-            str(w["port"]),
+            str(w.get("uds") or w["port"]),
             "up" if w["alive"] else "DOWN",
             "ok" if w["healthy"] else "UNHEALTHY",
             w["version"] or "-",
@@ -825,7 +890,7 @@ def _fleet_status(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         for w in data["workers"]
     ]
     print(format_table(
-        ["worker", "pid", "port", "proc", "health", "version", "restarts"],
+        ["worker", "pid", "address", "proc", "health", "version", "restarts"],
         rows,
         title=f"Fleet at {url}: serving {data['version']} "
         f"(registry {data['registry']})",

@@ -5,17 +5,25 @@ benchmark suites across worker counts (the fleet suite's ``jobs``
 column counts worker *processes*) and emits schema-validated
 ``BENCH_*.json`` files, so the perf trajectory of the repo is recorded
 as data instead of ad-hoc text; :mod:`repro.perf.compare` diffs two
-such records and flags rows/s regressions (``repro bench compare``,
-nonzero exit for CI). ``repro bench`` is the CLI entry point;
-``benchmarks/harness.py`` is the standalone wrapper.
+such records, flags rows/s regressions and gates fleet scaling
+(``repro bench compare``, nonzero exit for CI);
+:mod:`repro.perf.actions` fetches the previous CI run's bench artifact
+so the gate tracks the real trajectory instead of same-run noise.
+``repro bench`` is the CLI entry point; ``benchmarks/harness.py`` is
+the standalone wrapper.
 """
 
+from .actions import DEFAULT_ARTIFACT_NAME, fetch_baseline, select_artifact
 from .compare import (
     BenchComparison,
     ComparisonRow,
+    FleetGateReport,
+    FleetGateRow,
     compare_bench,
     compare_bench_files,
+    fleet_gate,
     render_comparison,
+    render_fleet_gate,
 )
 from .harness import (
     BENCH_SCHEMA,
@@ -29,15 +37,22 @@ from .harness import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "DEFAULT_ARTIFACT_NAME",
     "BenchComparison",
     "BenchRecord",
     "ComparisonRow",
+    "FleetGateReport",
+    "FleetGateRow",
     "bench_payload",
     "compare_bench",
     "compare_bench_files",
+    "fetch_baseline",
+    "fleet_gate",
     "render_bench",
     "render_comparison",
+    "render_fleet_gate",
     "run_bench",
+    "select_artifact",
     "validate_bench",
     "write_bench",
 ]

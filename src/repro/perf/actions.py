@@ -1,0 +1,152 @@
+"""Fetch the previous CI run's bench artifact via the GitHub actions API.
+
+CI uploads every run's ``BENCH_*.json`` as a workflow artifact; until
+now ``repro bench compare`` could only diff two files from the *same*
+run, so the perf gate measured runner noise, not the trajectory.
+:func:`fetch_baseline` closes the loop: it asks the actions API for the
+most recent artifact with the configured name that came from a
+*different* workflow run, downloads the zip, and extracts the matching
+``BENCH_*.json`` — giving ``repro bench compare --from-actions`` a real
+cross-run baseline.
+
+Everything degrades to ``None`` (caller falls back to a same-run
+baseline) rather than raising: a fork PR without a token, the first run
+of a new repo, an expired artifact, or a flaky API must not fail CI.
+
+Only the standard library is used (``urllib`` + ``zipfile``); the
+``opener`` parameter exists so tests can exercise the selection and
+extraction logic without network access.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zipfile
+from pathlib import Path
+from typing import Any, Callable
+from urllib.error import URLError
+from urllib.request import Request, urlopen
+
+#: Default artifact name ``repro bench compare --from-actions`` looks for.
+DEFAULT_ARTIFACT_NAME = "bench-results"
+
+_API_TIMEOUT_S = 30.0
+
+
+def _request(
+    url: str, token: str, opener: Callable[..., Any], *, accept: str
+) -> bytes:
+    request = Request(
+        url,
+        headers={
+            "Authorization": f"Bearer {token}",
+            "Accept": accept,
+            "X-GitHub-Api-Version": "2022-11-28",
+            "User-Agent": "repro-bench-compare",
+        },
+    )
+    with opener(request, timeout=_API_TIMEOUT_S) as response:
+        return response.read()
+
+
+def select_artifact(
+    artifacts: list[dict[str, Any]], *, current_run_id: str | None
+) -> dict[str, Any] | None:
+    """The newest non-expired artifact from a run other than ours.
+
+    Exposed separately so the choice ("previous run" really means
+    previous) is testable without any network plumbing.
+    """
+    candidates = [
+        artifact
+        for artifact in artifacts
+        if not artifact.get("expired")
+        and artifact.get("archive_download_url")
+        and str(artifact.get("workflow_run", {}).get("id", "")) != str(current_run_id)
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda a: int(a.get("id", 0)))
+
+
+def fetch_baseline(
+    artifact_name: str,
+    member_name: str,
+    dest_dir: str | Path,
+    *,
+    repo: str | None = None,
+    token: str | None = None,
+    api_url: str | None = None,
+    run_id: str | None = None,
+    opener: Callable[..., Any] = urlopen,
+) -> Path | None:
+    """Download the previous run's *member_name* bench file, or ``None``.
+
+    Args:
+        artifact_name: the uploaded artifact's name (e.g.
+            ``bench-records-py3.12``).
+        member_name: the file wanted from inside the artifact zip
+            (e.g. ``BENCH_fleet.json``).
+        dest_dir: where to extract the member (created if needed).
+        repo / token / api_url / run_id: default to the standard actions
+            environment (``GITHUB_REPOSITORY``, ``GITHUB_TOKEN``,
+            ``GITHUB_API_URL``, ``GITHUB_RUN_ID``).
+        opener: ``urllib.request.urlopen``-compatible callable
+            (injectable for tests).
+
+    Returns:
+        Path of the extracted baseline file, or ``None`` with a printed
+        reason when no cross-run baseline is available.
+    """
+    repo = repo or os.environ.get("GITHUB_REPOSITORY")
+    token = token or os.environ.get("GITHUB_TOKEN")
+    api_url = (api_url or os.environ.get("GITHUB_API_URL") or "https://api.github.com").rstrip("/")
+    run_id = run_id if run_id is not None else os.environ.get("GITHUB_RUN_ID")
+    if not repo or not token:
+        print("bench compare: no GITHUB_REPOSITORY/GITHUB_TOKEN; "
+              "skipping artifact fetch")
+        return None
+    list_url = (
+        f"{api_url}/repos/{repo}/actions/artifacts"
+        f"?name={artifact_name}&per_page=50"
+    )
+    try:
+        listing = json.loads(
+            _request(
+                list_url, token, opener, accept="application/vnd.github+json"
+            ).decode("utf-8")
+        )
+        artifact = select_artifact(
+            listing.get("artifacts", []), current_run_id=run_id
+        )
+        if artifact is None:
+            print(f"bench compare: no previous {artifact_name!r} artifact yet")
+            return None
+        archive = _request(
+            artifact["archive_download_url"], token, opener,
+            accept="application/vnd.github+json",
+        )
+        with zipfile.ZipFile(io.BytesIO(archive)) as bundle:
+            names = bundle.namelist()
+            if member_name not in names:
+                print(
+                    f"bench compare: artifact {artifact['id']} has no "
+                    f"{member_name!r} (members: {sorted(names)})"
+                )
+                return None
+            dest_dir = Path(dest_dir)
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            dest = dest_dir / member_name
+            dest.write_bytes(bundle.read(member_name))
+    except (URLError, OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        print(f"bench compare: artifact fetch failed ({exc}); "
+              "falling back to same-run baseline")
+        return None
+    print(
+        f"bench compare: baseline {member_name} from run "
+        f"{artifact.get('workflow_run', {}).get('id', '?')} "
+        f"(artifact {artifact['id']})"
+    )
+    return dest

@@ -133,6 +133,158 @@ def compare_bench_files(
     return compare_bench(baseline, current, threshold=threshold)
 
 
+#: Fleet-gate knobs: the top fleet size must beat the single server by
+#: this factor, and speedup may not drop more than the tolerance allows
+#: between consecutive fleet sizes (shared CI runners are noisy).
+FLEET_GATE_MIN_SPEEDUP = 1.0
+FLEET_GATE_MONOTONE_TOLERANCE = 0.9
+
+
+@dataclass(frozen=True)
+class FleetGateRow:
+    """Fleet-vs-single-server throughput at one (n, fleet size)."""
+
+    n: int
+    jobs: int
+    single_rows_per_s: float
+    fleet_rows_per_s: float
+
+    @property
+    def speedup(self) -> float:
+        if self.single_rows_per_s <= 0:
+            return float("inf")
+        return self.fleet_rows_per_s / self.single_rows_per_s
+
+
+@dataclass(frozen=True)
+class FleetGateReport:
+    """Scaling verdict for one ``BENCH_fleet.json`` payload."""
+
+    rows: list[FleetGateRow] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.rows) and not self.problems
+
+
+def fleet_gate(
+    payload: dict[str, Any],
+    *,
+    min_speedup: float = FLEET_GATE_MIN_SPEEDUP,
+    monotone_tolerance: float = FLEET_GATE_MONOTONE_TOLERANCE,
+) -> FleetGateReport:
+    """Check that the fleet multiplies throughput instead of taxing it.
+
+    For every batch size *n* in a fleet suite payload, the
+    ``fleet_http_npy`` speedup over the same-*n* ``serve_http_single``
+    record must
+
+    * be **> min_speedup at the largest fleet size** — the fleet's whole
+      reason to exist (a 1-worker fleet is a failover device and pays
+      the proxy hop, so it is reported but not held to the bar), and
+    * be **monotone in worker count** up to the tolerance — adding a
+      worker process may never cost throughput.
+
+    Both bars are **hardware-aware**: fleet records carry the recording
+    host's ``cpu_count`` in ``extra``, and worker processes beyond the
+    core count cannot add compute, so the speedup bar applies to the
+    largest fleet size **that fits the cores** and the monotone check
+    stops there too. On a single-core host neither bar is enforceable
+    (every extra process is pure context-switch tax) — the report then
+    carries a ``notes`` entry instead of a failure, and CI's multi-core
+    runners remain the place where the gate bites.
+
+    Returns a report whose ``problems`` list is empty when the gate
+    passes; ``repro bench compare`` exits nonzero otherwise.
+    """
+    validate_bench(payload)
+    singles = {
+        r["n"]: float(r["rows_per_s"])
+        for r in payload["records"]
+        if r["workload"] == "serve_http_single"
+    }
+    fleet_records: dict[int, list[tuple[int, float]]] = {}
+    cpu_count: int | None = None
+    for record in payload["records"]:
+        if record["workload"] == "fleet_http_npy":
+            fleet_records.setdefault(record["n"], []).append(
+                (int(record["jobs"]), float(record["rows_per_s"]))
+            )
+            cores = record.get("extra", {}).get("cpu_count")
+            if isinstance(cores, int) and cores > 0:
+                cpu_count = cores
+    rows: list[FleetGateRow] = []
+    problems: list[str] = []
+    notes: list[str] = []
+    if not fleet_records:
+        problems.append("no fleet_http_npy records to gate on")
+    for n in sorted(fleet_records):
+        single = singles.get(n)
+        if single is None:
+            problems.append(f"n={n}: no serve_http_single baseline record")
+            continue
+        ladder = sorted(fleet_records[n])
+        for jobs, rate in ladder:
+            rows.append(FleetGateRow(n, jobs, single, rate))
+        # Worker processes beyond the recording host's cores cannot add
+        # compute: gate on the largest fleet size the hardware supports.
+        gated = ladder
+        if cpu_count is not None:
+            gated = [(jobs, rate) for jobs, rate in ladder if jobs <= cpu_count]
+        if len(gated) <= 1 < len(ladder):
+            notes.append(
+                f"n={n}: host has {cpu_count} core(s) — fleet scaling is "
+                "not enforceable on this machine, reporting only"
+            )
+            continue
+        top_jobs, top_rate = gated[-1]
+        top_speedup = float("inf") if single <= 0 else top_rate / single
+        if len(gated) > 1 and top_speedup <= min_speedup:
+            problems.append(
+                f"n={n}: fleet of {top_jobs} reaches only "
+                f"{top_speedup:.2f}x the single server (need > "
+                f"{min_speedup:.2f}x) — the fleet is a tax, not a multiplier"
+            )
+        for (jobs_a, rate_a), (jobs_b, rate_b) in zip(gated, gated[1:]):
+            if rate_b < monotone_tolerance * rate_a:
+                problems.append(
+                    f"n={n}: throughput fell from {rate_a / 1e6:.2f} M/s at "
+                    f"{jobs_a} worker(s) to {rate_b / 1e6:.2f} M/s at "
+                    f"{jobs_b} — scaling is not monotone"
+                )
+    return FleetGateReport(rows=rows, problems=problems, notes=notes)
+
+
+def render_fleet_gate(report: FleetGateReport) -> str:
+    """Human-readable fleet-gate table + verdict."""
+    from ..experiments.tables import format_table
+
+    rows = [
+        [
+            f"{row.n:,}",
+            str(row.jobs),
+            f"{row.single_rows_per_s / 1e6:.2f}",
+            f"{row.fleet_rows_per_s / 1e6:.2f}",
+            f"{row.speedup:.2f}x",
+        ]
+        for row in report.rows
+    ]
+    table = format_table(
+        ["n", "workers", "single M/s", "fleet M/s", "speedup"],
+        rows,
+        title="Fleet scaling gate (fleet_http_npy vs serve_http_single)",
+    )
+    lines = [table]
+    lines.extend(f"  note: {note}" for note in report.notes)
+    lines.extend(f"  GATE: {problem}" for problem in report.problems)
+    lines.append(
+        "fleet gate passed" if report.ok else "fleet gate FAILED"
+    )
+    return "\n".join(lines)
+
+
 def render_comparison(comparison: BenchComparison) -> str:
     """Human-readable report (the ``repro bench compare`` output)."""
     from ..experiments.tables import format_table

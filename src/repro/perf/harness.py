@@ -39,13 +39,17 @@ Three suites ship today:
   payloads over HTTP) next to the in-process ``Assigner`` baseline on
   the same points, so ``BENCH_serve.json`` quantifies exactly what the
   HTTP hop costs.
-* **fleet** — multi-process scaling: rows/s through a
-  :class:`~repro.serving.proxy.FleetProxy` fronting 1, 2, ... worker
-  processes (the ``jobs`` column is the fleet size) under a fixed
-  number of concurrent keep-alive clients, next to a single
-  :class:`AssignmentServer` and the in-process ``Assigner`` on the
-  same points — so ``BENCH_fleet.json`` quantifies what adding worker
-  processes buys over one process, at bit-identical labels.
+* **fleet** — multi-process scaling: one streamed request dealt by a
+  :class:`~repro.serving.proxy.FleetProxy` across 1, 2, ... worker
+  processes (the ``jobs`` column is the fleet size), next to the same
+  streamed request into a single :class:`AssignmentServer` and the
+  in-process ``Assigner`` on the same points — so ``BENCH_fleet.json``
+  quantifies what adding worker processes buys over one process, at
+  bit-identical labels. Fleet records carry the host ``cpu_count`` so
+  the scaling gate knows what the hardware allows. A payload-size
+  sweep (``fleet_stream_scatter``) additionally streams single growing
+  requests through the proxy and records ``bytes_per_s`` in ``extra``
+  — the wire format's own ceiling.
 
 Entry points: ``repro bench`` (CLI) and ``benchmarks/harness.py``
 (standalone script).
@@ -460,92 +464,59 @@ def bench_serve(
     return records
 
 
-def _concurrent_assign(
-    url: str, batches: list[np.ndarray], threads: int
-) -> tuple[np.ndarray, set[str]]:
-    """Send *batches* through *url* from *threads* keep-alive clients.
-
-    Returns the reassembled labels (batch order) and the set of serving
-    versions observed — the caller asserts bit-identity and version.
-    """
-    import queue as queue_module
-    import threading as threading_module
-
-    from ..serving.client import ServingClient
-
-    results: list[np.ndarray | None] = [None] * len(batches)
-    versions: set[str] = set()
-    errors: list[Exception] = []
-    work: queue_module.SimpleQueue = queue_module.SimpleQueue()
-    for item in enumerate(batches):
-        work.put(item)
-
-    def drain() -> None:
-        with ServingClient(url=url) as client:
-            while True:
-                try:
-                    index, batch = work.get_nowait()
-                except queue_module.Empty:
-                    return
-                try:
-                    response = client.assign(batch)
-                except Exception as exc:  # noqa: BLE001 — surfaced below
-                    errors.append(exc)
-                    return
-                results[index] = response.labels
-                versions.add(response.version)
-
-    workers = [
-        threading_module.Thread(target=drain, daemon=True)
-        for _ in range(max(1, threads))
-    ]
-    for thread in workers:
-        thread.start()
-    for thread in workers:
-        thread.join()
-    if errors:
-        raise errors[0]
-    return np.concatenate([np.asarray(r) for r in results]), versions
-
-
 def bench_fleet(
     sizes: Sequence[int],
     fleet_sizes: Sequence[int],
     *,
     d: int = 14,
-    k: int = 15,
-    threads: int | None = None,
+    k: int = 64,
     repeats: int = 1,
+    payload_sizes: Sequence[int] | None = None,
 ) -> list[BenchRecord]:
-    """Fleet scaling: proxied rows/s vs single server vs in-process.
+    """Fleet scaling: streamed rows/s vs single server vs in-process.
 
-    Per size *n*, three workloads share one center matrix and one query
-    set (labels asserted bit-identical throughout):
+    Per size *n*, the core workloads share one center matrix and one
+    query set (labels asserted bit-identical throughout), and each
+    measurement is **one streamed request** (`assign_stream`) so the
+    single-server and fleet paths exercise the exact same wire format
+    and pipelining — the only variable is the worker-process count:
 
     * ``assign_inprocess``    — the ``Assigner`` ceiling (jobs=1 row);
-    * ``serve_http_single``   — one in-process
-      :class:`~repro.serving.server.AssignmentServer`, hit by the same
-      concurrent clients the fleet gets (jobs=1 row);
-    * ``fleet_http_npy``      — a real :class:`FleetSupervisor` fleet of
-      ``jobs`` worker *processes* behind a :class:`FleetProxy`, same
-      concurrent clients.
+    * ``serve_http_single``   — one streamed request into one in-process
+      :class:`~repro.serving.server.AssignmentServer` (jobs=1 row);
+    * ``fleet_http_npy``      — the same streamed request into a real
+      :class:`FleetSupervisor` fleet of ``jobs`` worker *processes*
+      behind a dealing :class:`FleetProxy`.
 
-    The client-side concurrency is fixed across fleet sizes (default:
-    ``max(fleet_sizes)`` threads), so the ``fleet_http_npy`` speedup
-    column isolates what adding worker processes buys.
+    The suite defaults to ``k=64``: assignment cost grows with the
+    center count, and the fleet's scatter win is only measurable when
+    per-row compute outweighs per-row transport. Every fleet record's
+    ``extra`` carries the host's ``cpu_count`` — the scaling gate in
+    :func:`repro.perf.compare.fleet_gate` cannot hold a fleet to a
+    speedup bar the hardware makes impossible.
+
+    Each fleet size additionally runs a **payload-size sweep**
+    (``fleet_stream_scatter``): one client streams a single request of
+    ``payload_sizes`` rows (default: 1/8, 1/2 and all of the largest
+    *n*) through the proxy, which deals it across the fleet. Its
+    ``extra`` records ``payload_bytes`` and ``bytes_per_s`` alongside
+    the usual rows/s — the wire's own ceiling as a function of body
+    size.
     """
+    import os
     import tempfile
 
     from ..api.assign import Assigner
     from ..api.config import RunConfig
     from ..api.model import ClusterModel
+    from ..serving.client import ServingClient
     from ..serving.fleet import FleetSupervisor
     from ..serving.proxy import FleetProxy
     from ..serving.registry import ModelRegistry
     from ..serving.server import AssignmentServer
 
     fleet_sizes = [int(w) for w in fleet_sizes]
-    client_threads = int(threads) if threads is not None else max(fleet_sizes)
+    cpu_count = os.cpu_count() or 1
     rng = np.random.default_rng(0)
     centers = rng.normal(size=(k, d)) * 2.0
     model = ClusterModel(centers, RunConfig(method="kmeans", k=k))
@@ -559,8 +530,7 @@ def bench_fleet(
             n = int(n)
             points = rng.normal(size=(n, d))
             expected = assigner.assign(points)
-            split = np.array_split(points, max(1, 2 * client_threads))
-            datasets.append((n, points, expected, [b for b in split if b.size]))
+            datasets.append((n, points, expected))
             wall, _ = _timed(lambda pts=points: assigner.assign(pts), repeats)
             records.append(
                 BenchRecord(
@@ -570,47 +540,84 @@ def bench_fleet(
                 )
             )
         with AssignmentServer(registry=registry) as server:
-            for n, _, expected, batches in datasets:
-                wall, (labels, versions) = _timed(
-                    lambda b=batches: _concurrent_assign(
-                        server.url, b, client_threads
-                    ),
-                    repeats,
-                )
-                _check_fleet_labels("serve_http_single", labels, expected,
-                                    versions, version)
-                records.append(
-                    BenchRecord(
-                        "serve_http_single", n, k, 1,
-                        wall, n / wall if wall > 0 else 0.0,
-                        extra={"d": d, "client_threads": client_threads},
+            with ServingClient(url=server.url) as client:
+                for n, points, expected in datasets:
+                    wall, response = _timed(
+                        lambda p=points: client.assign_stream(p), repeats
                     )
-                )
+                    _check_fleet_labels("serve_http_single", response.labels,
+                                        expected, {response.version}, version)
+                    records.append(
+                        BenchRecord(
+                            "serve_http_single", n, k, 1,
+                            wall, n / wall if wall > 0 else 0.0,
+                            extra={"d": d, "cpu_count": cpu_count},
+                        )
+                    )
         for size in fleet_sizes:
             with FleetSupervisor(
                 registry, workers=size, state_dir=Path(tmp) / f"fleet-{size}"
             ) as fleet:
                 with FleetProxy(fleet) as proxy:
-                    for n, _, expected, batches in datasets:
-                        wall, (labels, versions) = _timed(
-                            lambda b=batches: _concurrent_assign(
-                                proxy.url, b, client_threads
-                            ),
-                            repeats,
-                        )
-                        _check_fleet_labels("fleet_http_npy", labels, expected,
-                                            versions, version)
-                        records.append(
-                            BenchRecord(
-                                "fleet_http_npy", n, k, size,
-                                wall, n / wall if wall > 0 else 0.0,
-                                extra={
-                                    "d": d,
-                                    "client_threads": client_threads,
-                                    "version": version,
-                                },
+                    with ServingClient(url=proxy.url) as streamer:
+                        for n, points, expected in datasets:
+                            wall, response = _timed(
+                                lambda p=points: streamer.assign_stream(p),
+                                repeats,
+                            )
+                            _check_fleet_labels(
+                                "fleet_http_npy", response.labels, expected,
+                                {response.version}, version,
+                            )
+                            records.append(
+                                BenchRecord(
+                                    "fleet_http_npy", n, k, size,
+                                    wall, n / wall if wall > 0 else 0.0,
+                                    extra={
+                                        "d": d,
+                                        "cpu_count": cpu_count,
+                                        "version": version,
+                                    },
+                                )
+                            )
+                        # Payload-size sweep: one streamed request, proxy
+                        # deal across the fleet, bytes/s next to rows/s.
+                        n_top, points_top, expected_top = datasets[-1]
+                        ladder = (
+                            [int(p) for p in payload_sizes]
+                            if payload_sizes is not None
+                            else sorted(
+                                {max(1, n_top // 8), max(1, n_top // 2), n_top}
                             )
                         )
+                        for payload_rows in ladder:
+                            pts = points_top[:payload_rows]
+                            wall, response = _timed(
+                                lambda p=pts: streamer.assign_stream(p), repeats
+                            )
+                            _check_fleet_labels(
+                                "fleet_stream_scatter",
+                                response.labels,
+                                expected_top[:payload_rows],
+                                {response.version},
+                                version,
+                            )
+                            payload_bytes = int(pts.nbytes)
+                            records.append(
+                                BenchRecord(
+                                    "fleet_stream_scatter", payload_rows, k, size,
+                                    wall,
+                                    payload_rows / wall if wall > 0 else 0.0,
+                                    extra={
+                                        "d": d,
+                                        "payload_bytes": payload_bytes,
+                                        "bytes_per_s": (
+                                            payload_bytes / wall if wall > 0 else 0.0
+                                        ),
+                                        "version": version,
+                                    },
+                                )
+                            )
     _speedup_vs_baseline(records)
     return records
 

@@ -20,12 +20,21 @@ deployment only reads geometry):
   monitoring with backoff restarts, and canary rollouts that replay a
   pinned probe batch bit-for-bit before a new version may reach the
   fleet (automatic ``LATEST`` rollback on mismatch).
-* :mod:`repro.serving.proxy` — :class:`FleetProxy`, the round-robin
-  front door: one port, failover past mid-restart workers, every
-  response stamped with worker id + serving version, and the
-  ``/admin/status`` / ``/admin/rollout`` control endpoints.
+* :mod:`repro.serving.wire` — the ``RSW1`` streaming wire format:
+  length-prefixed npy frames with codec negotiation
+  (identity / gzip / zstd when available), zero-copy
+  ``np.frombuffer`` decode, and an incremental :class:`StreamReader`.
+  Both servers, the proxy and the client speak it for
+  ``POST /assign`` streams.
+* :mod:`repro.serving.proxy` — :class:`FleetProxy`, the scatter-gather
+  front door: one port (TCP or Unix socket), streamed bodies dealt
+  across the workers while they upload, npy bodies split into balanced
+  row runs, failover past mid-restart workers, every response stamped
+  with worker id(s) + serving version, and the ``/admin/status`` /
+  ``/admin/rollout`` control endpoints.
 * :mod:`repro.serving.client` — :class:`ServingClient`, a stdlib HTTP
-  client speaking the same JSON / npy-bytes protocol, with transparent
+  client speaking the same JSON / npy-bytes / streamed-wire protocol
+  over TCP or ``http+unix://`` sockets, with transparent
   reconnect-and-retry for idempotent requests (also the engine behind
   ``repro bench serve`` and the proxy's forwarding path).
 
@@ -45,6 +54,15 @@ from .fleet import FleetError, FleetSupervisor, RolloutReport, WorkerStatus
 from .proxy import FleetProxy
 from .registry import LATEST_POINTER, ModelRegistry, RegistryError
 from .server import AssignmentServer, serve_forever
+from .wire import (
+    StreamReader,
+    WireError,
+    WireFormatError,
+    WireFrameSizeError,
+    WireTruncatedError,
+    available_codecs,
+    negotiate_codec,
+)
 
 __all__ = [
     "AssignResponse",
@@ -60,6 +78,13 @@ __all__ = [
     "ServingClientError",
     "ServingTimeoutError",
     "ServingUnavailableError",
+    "StreamReader",
+    "WireError",
+    "WireFormatError",
+    "WireFrameSizeError",
+    "WireTruncatedError",
     "WorkerStatus",
+    "available_codecs",
+    "negotiate_codec",
     "serve_forever",
 ]

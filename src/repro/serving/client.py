@@ -1,10 +1,17 @@
 """Stdlib HTTP client for the assignment server.
 
-:class:`ServingClient` speaks the same two payload formats the server
+:class:`ServingClient` speaks the three payload formats the server
 accepts — JSON for interoperability, raw npy bytes for throughput (one
-``np.save`` in, one ``np.load`` out, no float → decimal-string round
-trip). A single keep-alive connection is reused across calls, so
-``repro bench serve`` measures serving overhead, not TCP handshakes.
+``np.save`` in, zero-copy ``np.frombuffer`` decode out), and the
+streamed frame format (:meth:`ServingClient.assign_stream`): points go
+out as length-prefixed npy frames over a chunked request body while the
+server scores them, and label frames are decoded off the socket as they
+come back — no hop ever holds the full payload. A single keep-alive
+connection is reused across calls, so ``repro bench serve`` measures
+serving overhead, not TCP handshakes. TCP connections disable Nagle
+(``TCP_NODELAY``) — the 40ms Nagle/delayed-ACK interaction otherwise
+dominates small-batch latency — and ``uds=`` (or a ``http+unix://``
+url) connects over a unix-domain socket for co-located servers.
 
 **Reconnect.** A reused keep-alive connection goes stale whenever the
 server restarts (fleet supervisors do this on purpose) or an idle
@@ -26,16 +33,81 @@ from __future__ import annotations
 import http.client
 import io
 import json
+import socket
 import time
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any
 
 import numpy as np
 
-from .server import NPY_CONTENT_TYPE, VERSION_HEADER
+from . import wire
+from .server import NPY_CONTENT_TYPE, STREAM_CONTENT_TYPE, VERSION_HEADER
 
 #: Pause between reconnect attempts inside the ``reconnect_wait`` window.
 RECONNECT_PAUSE_S = 0.05
+
+#: Rows per request frame when the caller does not choose.
+DEFAULT_STREAM_CHUNK = 8192
+
+
+class _TCPConnection(http.client.HTTPConnection):
+    """HTTPConnection with TCP_NODELAY and a separate connect timeout."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float,
+        connect_timeout: float | None,
+    ) -> None:
+        super().__init__(host, port, timeout=timeout)
+        self._connect_timeout = connect_timeout
+
+    def connect(self) -> None:
+        connect_timeout = (
+            self.timeout if self._connect_timeout is None else self._connect_timeout
+        )
+        self.sock = socket.create_connection(
+            (self.host, self.port), timeout=connect_timeout
+        )
+        # A dead host should fail fast (connect_timeout), but a slow
+        # response is governed by the read timeout from here on.
+        self.sock.settimeout(self.timeout)
+        try:
+            self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+
+
+class _UnixConnection(http.client.HTTPConnection):
+    """HTTPConnection over an ``AF_UNIX`` socket (no Nagle to disable)."""
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        timeout: float,
+        connect_timeout: float | None,
+    ) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._uds_path = path
+        self._connect_timeout = connect_timeout
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(
+            self.timeout if self._connect_timeout is None else self._connect_timeout
+        )
+        try:
+            sock.connect(self._uds_path)
+        except OSError:
+            sock.close()
+            raise
+        sock.settimeout(self.timeout)
+        self.sock = sock
 
 
 class ServingClientError(RuntimeError):
@@ -74,10 +146,15 @@ class ServingTimeoutError(ServingClientError):
 
 @dataclass(frozen=True)
 class AssignResponse:
-    """One ``POST /assign`` result: labels plus the version that made them."""
+    """One ``POST /assign`` result: labels plus the version that made them.
+
+    ``distances`` is populated only by streamed requests that asked for
+    it (:meth:`ServingClient.assign_stream` with ``return_distance=True``).
+    """
 
     labels: np.ndarray
     version: str
+    distances: np.ndarray | None = None
 
 
 class ServingClient:
@@ -85,7 +162,15 @@ class ServingClient:
 
     Args:
         host, port: server address (or pass ``url="http://h:p"``).
-        timeout: per-request socket timeout in seconds.
+        url: server url; ``http://host:port`` or ``http+unix:///path``
+            (the spelling :attr:`AssignmentServer.url` produces for a
+            unix-domain-socket bind).
+        uds: connect to a unix-domain socket at this path instead of
+            TCP (co-located serving: no TCP stack on the hot path).
+        timeout: per-request socket (read) timeout in seconds.
+        connect_timeout: timeout for establishing the connection only
+            (default: same as *timeout*). A dead host should fail fast
+            without also capping how long a large batch may take.
         reconnect_wait: extra wall-clock (seconds) to keep retrying a
             connection-refused server before giving up — rides out a
             restart window. The default ``0.0`` still performs the
@@ -101,16 +186,23 @@ class ServingClient:
         port: int = 8000,
         *,
         url: str | None = None,
+        uds: str | Path | None = None,
         timeout: float = 30.0,
+        connect_timeout: float | None = None,
         reconnect_wait: float = 0.0,
     ) -> None:
         if url is not None:
-            stripped = url.removeprefix("http://").rstrip("/")
-            host, _, port_text = stripped.partition(":")
-            port = int(port_text or 80)
+            if url.startswith("http+unix://"):
+                uds = url.removeprefix("http+unix://")
+            else:
+                stripped = url.removeprefix("http://").rstrip("/")
+                host, _, port_text = stripped.partition(":")
+                port = int(port_text or 80)
         self.host = host
         self.port = port
+        self.uds = str(uds) if uds is not None else None
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
         self.reconnect_wait = reconnect_wait
         self._conn: http.client.HTTPConnection | None = None
 
@@ -118,18 +210,33 @@ class ServingClient:
     # Transport                                                           #
     # ------------------------------------------------------------------ #
 
+    @property
+    def address(self) -> str:
+        """Human-readable peer address (host:port or socket path)."""
+        return self.uds if self.uds is not None else f"{self.host}:{self.port}"
+
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
-            )
+            if self.uds is not None:
+                self._conn = _UnixConnection(
+                    self.uds,
+                    timeout=self.timeout,
+                    connect_timeout=self.connect_timeout,
+                )
+            else:
+                self._conn = _TCPConnection(
+                    self.host,
+                    self.port,
+                    timeout=self.timeout,
+                    connect_timeout=self.connect_timeout,
+                )
         return self._conn
 
     def request_raw(
         self,
         method: str,
         path: str,
-        body: bytes | None = None,
+        body: bytes | Callable[[], Iterable[bytes]] | None = None,
         content_type: str = "application/json",
         *,
         retry: bool = True,
@@ -145,14 +252,41 @@ class ServingClient:
         :class:`ServingUnavailableError` is raised.
 
         Args:
+            body: bytes, or a zero-argument callable returning an
+                iterable of byte pieces — the streamed spelling. The
+                pieces are sent with chunked transfer-encoding, and a
+                retry calls the factory again for a fresh iterator (a
+                half-consumed one cannot be re-sent).
             retry: pass ``False`` for calls that must not be re-issued
                 (e.g. a fleet rollout trigger, where a second submission
                 after a socket timeout would run a second rollout).
 
         Raises:
-            ServingUnavailableError: no server reachable at host:port
+            ServingUnavailableError: no server reachable at the address
                 even on a fresh connection (or, with ``retry=False``,
                 on the first transport failure).
+        """
+        status, headers, response = self._exchange(
+            method, path, body, content_type, retry=retry
+        )
+        payload = response.read()
+        return status, headers, payload
+
+    def _exchange(
+        self,
+        method: str,
+        path: str,
+        body: bytes | Callable[[], Iterable[bytes]] | None,
+        content_type: str,
+        *,
+        retry: bool = True,
+    ) -> tuple[int, dict[str, str], http.client.HTTPResponse]:
+        """The retry loop behind :meth:`request_raw`, response unread.
+
+        Streamed callers consume the returned response incrementally;
+        they must read it to the end before the connection can be
+        reused. Transport retries only ever happen before the response
+        line arrives, so a partially-read response is never re-sent.
         """
         headers = {"Content-Type": content_type} if body is not None else {}
         deadline = time.monotonic() + self.reconnect_wait
@@ -160,10 +294,15 @@ class ServingClient:
         while True:
             try:
                 conn = self._connection()
-                conn.request(method, path, body=body, headers=headers)
+                # A callable body yields a fresh piece-iterator per
+                # attempt; http.client sends iterables with chunked
+                # transfer-encoding (no Content-Length to compute).
+                conn.request(
+                    method, path, body=body() if callable(body) else body,
+                    headers=headers,
+                )
                 response = conn.getresponse()
-                payload = response.read()
-                return response.status, dict(response.getheaders()), payload
+                return response.status, dict(response.getheaders()), response
             except (http.client.HTTPException, OSError) as exc:
                 # The connection is unusable either way: drop it so the
                 # next attempt (or the next call) starts clean.
@@ -172,19 +311,19 @@ class ServingClient:
                     # The server accepted the request and is (still)
                     # working on it: retrying would run it again.
                     raise ServingTimeoutError(
-                        f"{self.host}:{self.port} did not answer within "
+                        f"{self.address} did not answer within "
                         f"{self.timeout}s: {exc}"
                     ) from exc
                 attempt += 1
                 if not retry:
                     raise ServingUnavailableError(
-                        f"{self.host}:{self.port}: {exc}"
+                        f"{self.address}: {exc}"
                     ) from exc
                 if attempt == 1:
                     continue  # the single transparent reconnect-and-retry
                 if time.monotonic() >= deadline:
                     raise ServingUnavailableError(
-                        f"{self.host}:{self.port} unreachable after "
+                        f"{self.address} unreachable after "
                         f"{attempt} attempts: {exc}"
                     ) from exc
                 time.sleep(RECONNECT_PAUSE_S)
@@ -272,7 +411,10 @@ class ServingClient:
             if status >= 400:
                 message = json.loads(payload.decode("utf-8")).get("error", "")
                 raise ServingClientError(status, message)
-            labels = np.load(io.BytesIO(payload), allow_pickle=False)
+            # Zero-copy decode: a read-only frombuffer view over the
+            # response bytes (labels are read, compared, concatenated —
+            # never mutated in place).
+            labels = wire.decode_npy(payload)
             return AssignResponse(labels, headers.get(VERSION_HEADER, ""))
         body: dict[str, Any] = {"points": points.tolist()}
         if chunk_size is not None:
@@ -280,4 +422,96 @@ class ServingClient:
         data = self._request_json("POST", "/assign", json.dumps(body).encode("utf-8"))
         return AssignResponse(
             np.asarray(data["labels"], dtype=np.int64), data["version"]
+        )
+
+    def assign_stream(
+        self,
+        source: np.ndarray | Iterable[np.ndarray],
+        *,
+        chunk_size: int | None = None,
+        codec: str = "identity",
+        accept: str | None = None,
+        return_distance: bool = False,
+    ) -> AssignResponse:
+        """``POST /assign`` over the streamed wire format.
+
+        Points go out as length-prefixed npy frames on a chunked
+        request body — the server scores each frame as it arrives, so
+        upload and compute overlap and no hop ever materializes the
+        whole batch. Label frames are decoded off the socket as
+        read-only ``np.frombuffer`` views and concatenated.
+
+        Args:
+            source: one ``(n, d)`` matrix (framed every *chunk_size*
+                rows without copying) or an iterable of point batches.
+                An iterable is listed first so a transport retry can
+                re-send it; pass the matrix spelling for zero-copy.
+            chunk_size: rows per request frame (default
+                :data:`DEFAULT_STREAM_CHUNK`).
+            codec: compression for the request frames (``identity``,
+                ``gzip``, or ``zstd`` where available — see
+                :func:`repro.serving.wire.available_codecs`).
+            accept: codec requested for the response stream (default:
+                same as *codec*; the server may downgrade and names the
+                codec it used in the response header).
+            return_distance: also return squared distances to the
+                assigned centers (``AssignResponse.distances``).
+
+        Returns:
+            :class:`AssignResponse`; ``labels`` (and ``distances``)
+            concatenate identically to in-process ``predict``.
+        """
+        codec = wire.negotiate_codec(codec)  # zstd downgrades where absent
+        chunk = DEFAULT_STREAM_CHUNK if chunk_size is None else chunk_size
+        if isinstance(source, np.ndarray):
+            matrix = np.ascontiguousarray(np.atleast_2d(source), dtype=np.float64)
+
+            def frames() -> Iterable[np.ndarray]:
+                if matrix.shape[0] == 0:
+                    return
+                for start in range(0, matrix.shape[0], chunk):
+                    yield matrix[start : start + chunk]
+        else:
+            batches = [np.ascontiguousarray(b, dtype=np.float64) for b in source]
+
+            def frames() -> Iterable[np.ndarray]:
+                yield from batches
+
+        def body() -> Iterable[bytes]:
+            return wire.iter_encode(
+                frames(), codec, accept=accept, distances=return_distance
+            )
+
+        status, headers, response = self._exchange(
+            "POST", "/assign", body, STREAM_CONTENT_TYPE
+        )
+        try:
+            if status >= 400:
+                payload = response.read()
+                try:
+                    message = json.loads(payload.decode("utf-8")).get("error", "")
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    message = payload.decode("utf-8", "replace")
+                raise ServingClientError(status, message)
+            reader = wire.StreamReader(response.read)
+            arrays = list(reader.frames())
+            # Past the wire terminator the HTTP chunked body still has
+            # its last-chunk marker: drain so keep-alive stays in sync.
+            while response.read(65536):
+                pass
+        except wire.WireError as exc:
+            self.close()  # mid-body failure: the connection is desynced
+            raise ServingClientError(502, f"invalid stream response: {exc}") from exc
+        version = headers.get(VERSION_HEADER, "")
+        if return_distance:
+            labels = arrays[0::2]
+            dists = arrays[1::2]
+            return AssignResponse(
+                np.concatenate(labels) if labels else np.empty(0, dtype=np.int64),
+                version,
+                np.concatenate(dists) if dists else np.empty(0, dtype=np.float64),
+            )
+        return AssignResponse(
+            np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64),
+            version,
         )

@@ -62,6 +62,11 @@ PROBE_SEED = 2020
 #: First restart backoff; doubles per consecutive crash.
 _BACKOFF_INITIAL_S = 0.25
 
+#: Longest worker socket path auto-selection will use. ``AF_UNIX``
+#: paths are capped at ~108 bytes (kernel ``sun_path``); staying well
+#: under keeps room for the platform's terminator and abstract quirks.
+_UDS_PATH_MAX = 90
+
 #: Consecutive failed health checks before a live process is recycled.
 _UNHEALTHY_LIMIT = 3
 
@@ -81,6 +86,8 @@ class WorkerStatus:
     healthy: bool
     version: str | None
     restarts: int
+    uds: str | None = None
+    url: str = ""
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -91,6 +98,8 @@ class WorkerStatus:
             "healthy": self.healthy,
             "version": self.version,
             "restarts": self.restarts,
+            "uds": self.uds,
+            "url": self.url,
         }
 
 
@@ -142,6 +151,8 @@ class _Worker:
     announce_path: Path
     log_path: Path
     client: ServingClient
+    url: str = ""
+    uds: str | None = None
     process: subprocess.Popen | None = None
     log_file: Any = None
     restarts: int = 0
@@ -196,6 +207,13 @@ class FleetSupervisor:
         state_dir: where announce files, worker logs and the fleet state
             file live (default ``<registry>/.fleet`` — the name cannot
             collide with version directories).
+        transport: how the proxy/supervisor reach the workers.
+            ``"auto"`` (default) binds each worker to a unix-domain
+            socket under *state_dir* when the platform supports
+            ``AF_UNIX`` and the path fits the kernel's ~108-byte limit
+            — co-located traffic skips the TCP stack — and falls back
+            to TCP ports otherwise. ``"tcp"`` / ``"uds"`` force one
+            (``"uds"`` raises where unsupported).
         probe: pinned probe batch ``(m, d)`` replayed through the canary
             on every rollout; default: :data:`DEFAULT_PROBE_ROWS`
             standard-normal rows generated with :data:`PROBE_SEED` at
@@ -217,6 +235,7 @@ class FleetSupervisor:
         n_jobs: int | None = None,
         chunk_size: int | None = None,
         state_dir: str | Path | None = None,
+        transport: str = "auto",
         probe: np.ndarray | None = None,
         probe_rows: int = DEFAULT_PROBE_ROWS,
         stagger_s: float = 0.0,
@@ -228,6 +247,10 @@ class FleetSupervisor:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if probe_rows < 1:
             raise ValueError(f"probe_rows must be >= 1, got {probe_rows}")
+        if transport not in ("auto", "tcp", "uds"):
+            raise ValueError(
+                f"transport must be 'auto', 'tcp' or 'uds', got {transport!r}"
+            )
         if not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry)
         self.registry = registry
@@ -238,6 +261,7 @@ class FleetSupervisor:
         self.state_dir = (
             Path(state_dir) if state_dir is not None else registry.root / ".fleet"
         )
+        self.transport = transport
         self.probe = (
             np.ascontiguousarray(probe, dtype=np.float64)
             if probe is not None
@@ -274,15 +298,41 @@ class FleetSupervisor:
         return version
 
     def targets(self) -> list[tuple[int, str, int]]:
-        """``(index, host, port)`` for each worker.
+        """``(index, host, port)`` for each worker (TCP spelling).
 
-        Deliberately lock-free: the worker list and ports are fixed at
-        :meth:`start` (restarts rebind the same port), and the proxy
-        calls this on every request — taking the operations lock here
-        would stall all traffic behind a staggered rollout or a slow
-        health sweep.
+        Deliberately lock-free: the worker list and addresses are fixed
+        at :meth:`start` (restarts rebind the same address), and the
+        proxy calls this on every request — taking the operations lock
+        here would stall all traffic behind a staggered rollout or a
+        slow health sweep. Unix-domain workers report port ``0``; use
+        :meth:`target_urls` for a transport-agnostic address.
         """
         return [(w.index, self.host, w.port) for w in self._workers]
+
+    def target_urls(self) -> list[tuple[int, str]]:
+        """``(index, url)`` for each worker — ``http://host:port`` or
+        ``http+unix:///path`` depending on the resolved transport.
+        Lock-free for the same reason as :meth:`targets`."""
+        return [(w.index, w.url) for w in self._workers]
+
+    def _resolve_uds(self) -> bool:
+        """Whether this fleet's workers bind unix-domain sockets."""
+        if self.transport == "tcp":
+            return False
+        supported = hasattr(socket, "AF_UNIX")
+        sample = self.state_dir / f"worker-{self.n_workers - 1}.sock"
+        fits = len(str(sample)) <= _UDS_PATH_MAX
+        if self.transport == "uds":
+            if not supported:
+                raise FleetError("transport='uds' but AF_UNIX is unsupported here")
+            if not fits:
+                raise FleetError(
+                    f"transport='uds' but {sample} exceeds the "
+                    f"{_UDS_PATH_MAX}-char AF_UNIX path budget; "
+                    "pass a shorter state_dir"
+                )
+            return True
+        return supported and fits
 
     def start(self) -> "FleetSupervisor":
         """Spawn all workers pinned to the current ``LATEST``; monitor them."""
@@ -291,16 +341,29 @@ class FleetSupervisor:
                 raise FleetError("fleet already started")
             self._version = self.registry.latest_version()  # raises if empty
             self.state_dir.mkdir(parents=True, exist_ok=True)
-            ports = _free_ports(self.host, self.n_workers)
+            use_uds = self._resolve_uds()
+            ports = (
+                [0] * self.n_workers
+                if use_uds
+                else _free_ports(self.host, self.n_workers)
+            )
             for index, port in enumerate(ports):
+                uds = (
+                    str(self.state_dir / f"worker-{index}.sock") if use_uds else None
+                )
+                url = (
+                    f"http+unix://{uds}" if use_uds else f"http://{self.host}:{port}"
+                )
                 worker = _Worker(
                     index=index,
                     port=port,
                     announce_path=self.state_dir / f"worker-{index}.json",
                     log_path=self.state_dir / f"worker-{index}.log",
                     client=ServingClient(
-                        self.host, port, timeout=10.0, reconnect_wait=2.0
+                        url=url, timeout=10.0, reconnect_wait=2.0
                     ),
+                    url=url,
+                    uds=uds,
                 )
                 self._workers.append(worker)
                 self._spawn(worker)
@@ -361,15 +424,15 @@ class FleetSupervisor:
             "serve",
             "--registry",
             str(self.registry.root),
-            "--host",
-            self.host,
-            "--port",
-            str(worker.port),
             "--pin",
             str(self._version),
             "--announce",
             str(worker.announce_path),
         ]
+        if worker.uds is not None:
+            command += ["--uds", worker.uds]
+        else:
+            command += ["--host", self.host, "--port", str(worker.port)]
         if self.n_jobs is not None:
             command += ["--jobs", str(self.n_jobs)]
         if self.chunk_size is not None:
@@ -410,11 +473,13 @@ class FleetSupervisor:
         )
 
     def _verify_announce(self, worker: _Worker) -> None:
-        """The healthz answer must come from *our* process on that port.
+        """The healthz answer must come from *our* process on that address.
 
-        The ports were reserved by bind-then-close, so another process
+        TCP ports were reserved by bind-then-close, so another process
         could in principle steal one in the window; the announce file
-        the worker writes at startup names its pid and closes that hole.
+        the worker writes at startup names its pid (and address) and
+        closes that hole. Unix-domain sockets carry the same check for
+        uniformity — a stale or foreign socket file fails it too.
         """
         deadline = time.monotonic() + 5.0
         while time.monotonic() < deadline:
@@ -429,11 +494,15 @@ class FleetSupervisor:
             raise FleetError(
                 f"worker {worker.index} never wrote {worker.announce_path}"
             )
-        if announced.get("pid") != worker.pid or announced.get("port") != worker.port:
+        if worker.uds is not None:
+            address_ok = announced.get("uds") == worker.uds
+        else:
+            address_ok = announced.get("port") == worker.port
+        if announced.get("pid") != worker.pid or not address_ok:
             raise FleetError(
-                f"worker {worker.index}: port {worker.port} is answering as "
+                f"worker {worker.index}: {worker.url} is answering as "
                 f"pid {announced.get('pid')}, expected pid {worker.pid} — "
-                "another process grabbed the reserved port"
+                "another process grabbed the reserved address"
             )
 
     # ------------------------------------------------------------------ #
@@ -463,7 +532,7 @@ class FleetSupervisor:
         """
         if worker.alive:
             try:
-                with ServingClient(self.host, worker.port, timeout=2.0) as probe:
+                with ServingClient(url=worker.url, timeout=2.0) as probe:
                     ok = probe.healthz().get("status") == "ok"
             except ServingClientError:
                 ok = False
@@ -521,7 +590,7 @@ class FleetSupervisor:
             healthy, served = False, None
             if worker.alive:
                 try:
-                    with ServingClient(self.host, worker.port, timeout=5.0) as probe:
+                    with ServingClient(url=worker.url, timeout=5.0) as probe:
                         health = probe.healthz()
                     healthy = health.get("status") == "ok"
                     served = health.get("version")
@@ -536,6 +605,8 @@ class FleetSupervisor:
                     healthy=healthy,
                     version=served,
                     restarts=worker.restarts,
+                    uds=worker.uds,
+                    url=worker.url,
                 )
             )
         return {
@@ -792,7 +863,7 @@ class FleetSupervisor:
                 "version": self._version,
                 "proxy_url": proxy_url,
                 "workers": [
-                    {"index": w.index, "port": w.port, "pid": w.pid}
+                    {"index": w.index, "port": w.port, "pid": w.pid, "uds": w.uds}
                     for w in self._workers
                 ],
             }

@@ -1,16 +1,30 @@
-"""Round-robin fleet front door with failover and admin endpoints.
+"""Fleet front door: scatter-gather for batches, round-robin for the rest.
 
 :class:`FleetProxy` puts one port in front of a
 :class:`~repro.serving.fleet.FleetSupervisor`'s worker processes:
 
-* serving traffic (``POST /assign``, ``GET /healthz``, ``GET /model``)
-  is forwarded round-robin; a worker that is mid-restart (connection
-  refused / dropped) is skipped and the request transparently retried on
-  the next worker — the request only fails when *no* worker is
-  reachable. Every proxied response is stamped with the worker that
-  served it (``X-Fleet-Worker``) and the serving version
-  (``X-Model-Version``, set by the worker), so any label in production
-  is attributable to one process and one artifact;
+* streamed ``POST /assign`` bodies are **dealt while they upload**: the
+  proxy opens one lane per worker and forwards each request frame the
+  moment it arrives (oversized identity frames are resliced into
+  zero-copy row views first, so one giant frame still spreads), which
+  overlaps the client's upload with every worker's compute — the fleet
+  multiplies batch throughput instead of merely taking turns. Frames
+  are retained by reference only: a lane whose worker dies mid-stream
+  replays its frames to the next worker, and the gathered label frames
+  are stitched back in deal order before the first response byte, so
+  the concatenation is exactly what a single worker would have
+  produced. Buffered npy bodies are split into contiguous balanced
+  row runs (``np.frombuffer`` views, never copied) instead. The
+  response names every worker that contributed
+  (``X-Fleet-Worker: 0,1,...``) plus the serving version; a version
+  skew across lanes (a rollout landing mid-scatter) is retried as a
+  buffered scatter and finally degrades to a single-worker run — one
+  response must never mix labels from two models;
+* JSON ``POST /assign``, ``GET /healthz`` and ``GET /model`` are
+  forwarded round-robin; a worker that is mid-restart (connection
+  refused / dropped) is skipped and the request transparently retried
+  on the next worker — the request only fails when *no* worker is
+  reachable;
 * ``GET /admin/status`` reports the supervisor's fleet-wide health;
 * ``POST /admin/rollout`` runs a canary rollout (body:
   ``{"version": ..., "require_identical": ...}``) and returns the
@@ -24,31 +38,61 @@ Failover leans on :class:`~repro.serving.client.ServingClient`'s
 transparent reconnect: a stale keep-alive to a restarted worker is
 retried once on a fresh connection, and only a genuinely unreachable
 worker (:class:`~repro.serving.client.ServingUnavailableError`) moves
-the request to the next one.
+the request (or the scattered run) to the next one.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import queue
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler
 from typing import Any
 
-from .client import ServingClient, ServingTimeoutError, ServingUnavailableError
+import numpy as np
+
+from . import wire
+from .client import (
+    ServingClient,
+    ServingClientError,
+    ServingTimeoutError,
+    ServingUnavailableError,
+)
 from .fleet import FleetSupervisor
 from .server import (
     MAX_BODY_BYTES,
+    NPY_CONTENT_TYPE,
+    STREAM_CONTENT_TYPE,
     VERSION_HEADER,
     ConnectionTrackingServer,
     ServingError,
+    _BoundedBodyReader,
+    _ChunkedBodyReader,
+    _HTTPChunkWriter,
 )
 
-#: Response header naming the worker index that served the request.
+#: Response header naming the worker index(es) that served the request.
 WORKER_HEADER = "X-Fleet-Worker"
+
+#: npy batches below this many rows per additional worker are not split:
+#: the per-run HTTP round trip would cost more than the parallel compute
+#: saves, and small requests are better served round-robin.
+MIN_SCATTER_ROWS = 2048
+
+#: A new stream lane (worker) opens only once every existing lane has
+#: this many payload bytes — tiny streams stay on one worker for the
+#: same reason tiny npy bodies do.
+MIN_DEAL_BYTES = 512 * 1024
+
+#: Identity frames larger than this are resliced into row views before
+#: dealing, so a single giant frame still spreads across the fleet.
+DEAL_SLICE_BYTES = 512 * 1024
 
 
 class FleetProxy(ConnectionTrackingServer):
-    """One-port round-robin front for a running fleet.
+    """One-port scatter-gather + round-robin front for a running fleet.
 
     Args:
         fleet: the supervisor whose workers receive the traffic.
@@ -73,15 +117,27 @@ class FleetProxy(ConnectionTrackingServer):
         self._rr = 0
         self._rr_lock = threading.Lock()
         self._local = threading.local()
+        self._pool_lock = threading.Lock()
+        self._client_pool: dict[str, list[ServingClient]] = {}
+        # One long-lived executor for all scatters: spawning threads per
+        # request would put milliseconds of setup on the hot path.
+        self._scatter_pool = ThreadPoolExecutor(
+            max_workers=32, thread_name_prefix="repro-scatter"
+        )
         super().__init__((host or fleet.host, port), _ProxyHandler)
+
+    def server_close(self) -> None:
+        self._scatter_pool.shutdown(wait=False, cancel_futures=True)
+        super().server_close()
 
     # ------------------------------------------------------------------ #
     # Target selection                                                    #
     # ------------------------------------------------------------------ #
 
-    def target_order(self) -> list[tuple[int, str, int]]:
-        """Workers in this request's try-order (round-robin rotation)."""
-        targets = self.fleet.targets()
+    def target_order(self) -> list[tuple[int, str]]:
+        """``(index, url)`` workers in this request's try-order
+        (round-robin rotation)."""
+        targets = self.fleet.target_urls()
         if not targets:
             return []
         with self._rr_lock:
@@ -89,19 +145,260 @@ class FleetProxy(ConnectionTrackingServer):
             self._rr += 1
         return targets[start:] + targets[:start]
 
-    def client_for(self, index: int, host: str, port: int) -> ServingClient:
-        """Per-thread keep-alive client for one worker."""
-        cache: dict[tuple[int, int], ServingClient] | None
+    def client_for(self, index: int, url: str) -> ServingClient:
+        """Per-thread keep-alive client for one worker (forward path)."""
+        cache: dict[tuple[int, str], ServingClient] | None
         cache = getattr(self._local, "clients", None)
         if cache is None:
             cache = self._local.clients = {}
-        key = (index, port)
+        key = (index, url)
         if key not in cache:
             # reconnect_wait=0: one clean retry per worker, then fail
             # over to the next one — a mid-restart worker should cost
             # milliseconds, not a restart-window stall.
-            cache[key] = ServingClient(host, port, timeout=30.0)
+            cache[key] = ServingClient(url=url, timeout=30.0)
         return cache[key]
+
+    def lease_client(self, url: str) -> ServingClient:
+        """Check a keep-alive client out of the scatter pool.
+
+        Scatter runs execute on short-lived executor threads, so a
+        thread-local cache would reconnect on every request; a shared
+        pool keyed by worker url keeps the connections warm instead.
+        """
+        with self._pool_lock:
+            pooled = self._client_pool.get(url)
+            if pooled:
+                return pooled.pop()
+        return ServingClient(url=url, timeout=30.0)
+
+    def release_client(self, url: str, client: ServingClient) -> None:
+        """Return a leased client to the pool for the next scatter."""
+        with self._pool_lock:
+            self._client_pool.setdefault(url, []).append(client)
+
+
+def _split_runs(count: int, ways: int) -> list[tuple[int, int]]:
+    """Split ``range(count)`` into up to *ways* contiguous, balanced runs."""
+    ways = max(1, min(ways, count)) if count else 1
+    base, extra = divmod(count, ways)
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for i in range(ways):
+        stop = start + base + (1 if i < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+class _ScatterSkew(Exception):
+    """Lanes answered with different serving versions (rollout landed
+    mid-deal); the caller replays the batch as a buffered scatter."""
+
+
+class _ReplaySource:
+    """Queue-fed frame source a lane can iterate more than once.
+
+    The dealing thread ``put``s items as the client uploads them and
+    ``close``s when the stream ends; the lane thread iterates via
+    :meth:`replay`, which first re-yields everything already consumed
+    (failover to the next worker restarts the body) and then drains the
+    live queue. Only the lane thread mutates the replay record, so no
+    lock is needed around it.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self) -> None:
+        self._queue: queue.SimpleQueue[Any] = queue.SimpleQueue()
+        self._seen: list[Any] = []
+        self._done = False
+
+    def put(self, item: Any) -> None:
+        self._queue.put(item)
+
+    def close(self) -> None:
+        self._queue.put(self._SENTINEL)
+
+    def replay(self) -> Any:
+        yield from self._seen
+        while not self._done:
+            item = self._queue.get()
+            if item is self._SENTINEL:
+                self._done = True
+                return
+            self._seen.append(item)
+            yield item
+
+
+class _Dealer:
+    """Deal request frames to worker lanes while the client uploads.
+
+    One lane per worker, opened lazily: a new lane starts only when
+    every open lane already holds :data:`MIN_DEAL_BYTES`, so small
+    streams stay on one worker (the extra HTTP round trips would cost
+    more than the parallelism saves). Oversized identity frames are
+    resliced into zero-copy row views first so one giant frame still
+    spreads. ``finish()`` gathers every lane and raises
+    :class:`_ScatterSkew` if a rollout split the lanes across versions.
+    """
+
+    def __init__(self, server: FleetProxy) -> None:
+        self._server = server
+        self._codec = "identity"
+        self._accept: str | None = None
+        self._distances = False
+        self._targets: list[tuple[int, str]] = []
+        self._sources: list[_ReplaySource] = []
+        self._futures: list[Any] = []
+        self._bytes: list[int] = []
+        self._order: list[int] = []
+
+    @property
+    def order(self) -> list[int]:
+        """Lane index per dealt item, in deal order."""
+        return self._order
+
+    def open(self, *, codec: str, accept: str | None, distances: bool) -> None:
+        self._codec = codec
+        self._accept = accept
+        self._distances = distances
+        self._targets = self._server.target_order()
+        if not self._targets:
+            raise ServingError(503, "no reachable fleet worker")
+
+    def deal(self, payload: bytes) -> None:
+        """Forward one request frame to a lane (reslicing if oversized)."""
+        if self._codec == "identity" and len(payload) > DEAL_SLICE_BYTES:
+            try:
+                array = wire.decode_npy(payload)
+            except wire.WireError:
+                array = None
+            if array is not None and array.ndim == 2 and array.shape[0] > 1:
+                rows = max(
+                    1, DEAL_SLICE_BYTES // max(1, array.nbytes // array.shape[0])
+                )
+                for start in range(0, array.shape[0], rows):
+                    self._deal_item(array[start : start + rows])
+                return
+        self._deal_item(payload)
+
+    def _deal_item(self, item: Any) -> None:
+        size = item.nbytes if isinstance(item, np.ndarray) else len(item)
+        if self._bytes:
+            lane = min(range(len(self._bytes)), key=self._bytes.__getitem__)
+            if (
+                len(self._sources) < len(self._targets)
+                and self._bytes[lane] >= MIN_DEAL_BYTES
+            ):
+                lane = self._open_lane()
+        else:
+            lane = self._open_lane()
+        self._sources[lane].put(item)
+        self._bytes[lane] += size
+        self._order.append(lane)
+
+    def _open_lane(self) -> int:
+        lane = len(self._sources)
+        source = _ReplaySource()
+        self._sources.append(source)
+        self._bytes.append(0)
+        start = lane % len(self._targets)
+        targets = self._targets[start:] + self._targets[:start]
+        self._futures.append(
+            self._server._scatter_pool.submit(self._run_lane, source, targets)
+        )
+        return lane
+
+    def _run_lane(
+        self, source: _ReplaySource, targets: list[tuple[int, str]]
+    ) -> tuple[int, str, str, bool, list[bytes]]:
+        def body() -> Any:
+            def pieces() -> Any:
+                yield wire.encode_header(
+                    self._codec, accept=self._accept, distances=self._distances
+                )
+                for item in source.replay():
+                    if isinstance(item, np.ndarray):
+                        yield from wire.encode_frame(item, "identity")
+                    else:
+                        yield wire.frame_payload(item)
+                yield wire.terminator()
+
+            return pieces()
+
+        last_error: Exception | None = None
+        for index, url in targets:
+            client = self._server.lease_client(url)
+            try:
+                version, codec, distances, payloads = _stream_exchange(client, body)
+            except ServingUnavailableError as exc:
+                last_error = exc
+                continue  # worker mid-restart: replay the lane elsewhere
+            finally:
+                self._server.release_client(url, client)
+            return index, version, codec, distances, payloads
+        raise ServingUnavailableError(
+            f"no reachable fleet worker for dealt lane: {last_error}"
+        )
+
+    def abort(self) -> None:
+        """Stop dealing after a request-side failure.
+
+        Lanes finish the frames already dealt (aborting the HTTP send
+        midway would desync the worker keep-alives) and their results
+        are discarded.
+        """
+        for source in self._sources:
+            source.close()
+
+    def finish(self) -> tuple[list[tuple[int, str, str, bool, list[bytes]]], list[int]]:
+        """Close the lanes and gather ``(results, deal_order)``.
+
+        An empty stream still opens one lane so the response carries a
+        real serving version, mirroring a single worker's answer.
+        """
+        if not self._sources:
+            self._open_lane()
+        for source in self._sources:
+            source.close()
+        results = [future.result() for future in self._futures]
+        if len({result[1] for result in results}) > 1:
+            raise _ScatterSkew()
+        return results, self._order
+
+
+def _dealt_payloads(
+    results: list[tuple[int, str, str, bool, list[bytes]]], order: list[int]
+) -> list[tuple[bytes, str]]:
+    """Stitch lane responses back into deal order.
+
+    Each dealt item produced one label frame (plus one distances frame
+    when requested) on its lane; walking the deal order and taking the
+    next group from that lane reconstructs exactly the stream a single
+    worker would have produced. Returns ``(payload, lane_codec)`` pairs
+    ready for recoding.
+    """
+    positions = [0] * len(results)
+    pairs: list[tuple[bytes, str]] = []
+    for lane in order:
+        _, _, codec, distances, payloads = results[lane]
+        take = 2 if distances else 1
+        position = positions[lane]
+        group = payloads[position : position + take]
+        if len(group) != take:
+            raise ServingError(
+                502,
+                f"fleet worker returned {len(payloads)} frame(s) on a lane "
+                f"dealt {order.count(lane)} item(s)",
+            )
+        positions[lane] = position + take
+        pairs.extend((payload, codec) for payload in group)
+    for (_, _, _, _, payloads), position in zip(results, positions):
+        if position != len(payloads):
+            raise ServingError(502, "fleet worker returned surplus frames")
+    return pairs
+
 
 class _ProxyHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
@@ -146,6 +443,19 @@ class _ProxyHandler(BaseHTTPRequestHandler):
         status = exc.status if isinstance(exc, ServingError) else 400
         self._send_json(status, {"error": str(exc)})
 
+    def _drain_body(self, body: Any) -> None:
+        """Consume the rest of a request body after a failure."""
+        budget = MAX_BODY_BYTES
+        try:
+            while budget > 0:
+                piece = body.read(min(65536, budget))
+                if not piece:
+                    return
+                budget -= len(piece)
+        except Exception:
+            pass
+        self.close_connection = True
+
     # -- endpoints ----------------------------------------------------- #
 
     def do_GET(self) -> None:  # noqa: N802
@@ -168,6 +478,8 @@ class _ProxyHandler(BaseHTTPRequestHandler):
                     "per-worker reload through the proxy would fork the "
                     "fleet version; use POST /admin/rollout",
                 )
+            elif self.path == "/assign":
+                self._do_assign()
             else:
                 self._forward("POST", body=self._read_body())
         except Exception as exc:
@@ -194,8 +506,8 @@ class _ProxyHandler(BaseHTTPRequestHandler):
 
     def _forward(self, method: str, body: bytes | None) -> None:
         content_type = self.headers.get("Content-Type", "application/json")
-        for index, host, port in self.server.target_order():
-            client = self.server.client_for(index, host, port)
+        for index, url in self.server.target_order():
+            client = self.server.client_for(index, url)
             try:
                 status, headers, payload = client.request_raw(
                     method, self.path, body, content_type
@@ -219,3 +531,296 @@ class _ProxyHandler(BaseHTTPRequestHandler):
             )
             return
         raise ServingError(503, "no reachable fleet worker")
+
+    # -- scatter-gather ------------------------------------------------- #
+
+    def _do_assign(self) -> None:
+        content_type = self.headers.get("Content-Type", "application/json")
+        if content_type.startswith(STREAM_CONTENT_TYPE):
+            self._scatter_stream()
+        elif content_type.startswith(NPY_CONTENT_TYPE):
+            self._scatter_npy()
+        else:
+            # JSON stays round-robin: it is the interop path, and its
+            # decimal round trip dwarfs any scatter win.
+            self._forward("POST", body=self._read_body())
+
+    def _stream_body_reader(self) -> Any:
+        if self.headers.get("Transfer-Encoding", "").lower() == "chunked":
+            return _ChunkedBodyReader(self.rfile, MAX_BODY_BYTES)
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            raise ServingError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        return _BoundedBodyReader(self.rfile, length)
+
+    def _scatter_stream(self) -> None:
+        """Deal a streamed request across the fleet as it uploads.
+
+        Each frame is forwarded to a worker lane the moment it arrives,
+        so every worker's compute overlaps the client's upload — the
+        pipelining that makes the fleet a multiplier rather than a
+        buffered double-hop. Frames are retained by reference for two
+        rare paths only: a lane whose worker dies replays them to the
+        next worker, and a version skew across lanes (rollout landing
+        mid-scatter) re-runs the whole batch as a buffered scatter,
+        degrading to a single worker if the fleet is still mid-move.
+        """
+        body = self._stream_body_reader()
+        dealer = _Dealer(self.server)
+        frames: list[bytes] = []
+        try:
+            reader = wire.StreamReader(body.read, max_total_bytes=MAX_BODY_BYTES)
+            reader.read_header()
+            dealer.open(
+                codec=reader.codec,
+                accept=reader.accept,
+                distances=reader.distances,
+            )
+            for payload in reader.raw_frames():
+                frames.append(payload)
+                dealer.deal(payload)
+        except wire.WireError as exc:
+            dealer.abort()
+            self._drain_body(body)
+            raise ServingError(400, str(exc)) from None
+        except Exception:
+            dealer.abort()
+            self._drain_body(body)
+            raise
+        self._drain_body(body)
+
+        try:
+            results, order = dealer.finish()
+            pairs = _dealt_payloads(results, order)
+        except (ServingUnavailableError, _ScatterSkew):
+            # Rare path: a lane ran out of workers, or a rollout split
+            # the lanes across versions. Replay the (referenced) frames
+            # as a buffered contiguous scatter, which retries and then
+            # degrades to a single worker.
+            gathered = self._scatter(
+                len(frames),
+                lambda span, targets: self._relay_run(
+                    frames[span[0] : span[1]],
+                    targets,
+                    codec=reader.codec,
+                    accept=reader.accept,
+                    distances=reader.distances,
+                ),
+            )
+            results = gathered
+            pairs = [
+                (payload, run_codec)
+                for _, _, run_codec, _, payloads in gathered
+                for payload in payloads
+            ]
+        except ServingTimeoutError as exc:
+            raise ServingError(504, str(exc)) from exc
+        except ServingClientError as exc:
+            raise ServingError(exc.status, str(exc)) from exc
+
+        version = results[0][1]
+        workers = ",".join(
+            dict.fromkeys(str(result[0]) for result in results)
+        )
+        # One stream, one codec: recode stragglers to the first lane's
+        # codec (identical negotiation makes this a no-op in practice).
+        response_codec = results[0][2]
+        response_distances = results[0][3]
+        self.send_response(200)
+        self.send_header("Content-Type", STREAM_CONTENT_TYPE)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header(VERSION_HEADER, version)
+        self.send_header(WORKER_HEADER, workers)
+        self.end_headers()
+        writer = _HTTPChunkWriter(self.wfile)
+        writer.write(
+            wire.encode_header(response_codec, distances=response_distances)
+        )
+        for payload, run_codec in pairs:
+            writer.write(
+                wire.frame_payload(
+                    wire.recode_payload(payload, run_codec, response_codec)
+                )
+            )
+        writer.write(wire.terminator())
+        writer.close()
+
+    def _scatter_npy(self) -> None:
+        """Scatter one npy body by row spans; gather one npy response."""
+        raw = self._read_body()
+        try:
+            points = wire.decode_npy(raw)  # zero-copy row views
+        except wire.WireError as exc:
+            raise ServingError(400, f"invalid npy payload: {exc}") from None
+        if points.ndim != 2:
+            raise ServingError(400, f"points must be 2-D, got shape {points.shape}")
+
+        # Tiny batches stay on one worker: a scattered 100-row request
+        # would pay per-run HTTP overhead on every worker for no win.
+        gathered = self._scatter(
+            points.shape[0],
+            lambda span, targets: self._assign_run(points[span[0] : span[1]], targets),
+            max_ways=max(1, points.shape[0] // MIN_SCATTER_ROWS),
+        )
+        version = gathered[0][1]
+        workers = ",".join(str(result[0]) for result in gathered)
+        labels = np.concatenate([result[2] for result in gathered])
+        out = io.BytesIO()
+        np.save(out, labels, allow_pickle=False)
+        self._send(
+            200,
+            out.getvalue(),
+            NPY_CONTENT_TYPE,
+            {VERSION_HEADER: version, WORKER_HEADER: workers},
+        )
+
+    def _scatter(
+        self, count: int, run_one: Any, *, max_ways: int | None = None
+    ) -> list[tuple]:
+        """Dispatch contiguous runs concurrently; gather in order.
+
+        ``run_one(span, targets)`` executes one run against a rotated
+        target list and returns a tuple starting ``(worker_index,
+        version, ...)``. The gather is complete before any response
+        byte is written, which keeps failover simple: a failed run
+        retries on the next worker without the client seeing a partial
+        response. A version skew across runs (rollout mid-scatter) is
+        retried once against the post-rollout fleet; if the fleet is
+        still mid-move the batch degrades to a single-worker run — one
+        response must never mix two models' labels, but a rollout in
+        flight must not turn into client-visible 503s either.
+        """
+        versions: set[str] = set()
+        for attempt in (0, 1, 2):
+            targets = self.server.target_order()
+            if not targets:
+                raise ServingError(503, "no reachable fleet worker")
+            ways = len(targets) if attempt < 2 else 1
+            if max_ways is not None:
+                ways = min(ways, max(1, max_ways))
+            spans = _split_runs(count, ways)
+            rotations = [
+                targets[i % len(targets) :] + targets[: i % len(targets)]
+                for i in range(len(spans))
+            ]
+            try:
+                if len(spans) == 1:
+                    gathered = [run_one(spans[0], rotations[0])]
+                else:
+                    gathered = list(
+                        self.server._scatter_pool.map(run_one, spans, rotations)
+                    )
+            except ServingUnavailableError as exc:
+                raise ServingError(503, str(exc)) from exc
+            except ServingTimeoutError as exc:
+                raise ServingError(504, str(exc)) from exc
+            except ServingClientError as exc:
+                raise ServingError(exc.status, str(exc)) from exc
+            versions = {result[1] for result in gathered}
+            if len(versions) == 1:
+                return gathered
+            # A rollout landed mid-scatter: retry once against the
+            # post-rollout fleet, then fall back to a single run (a
+            # single worker can only answer with a single version).
+        raise ServingError(
+            503,
+            f"fleet version skew during scatter ({sorted(versions)}); retry",
+        )
+
+    def _relay_run(
+        self,
+        frames: list[bytes],
+        targets: list[tuple[int, str]],
+        *,
+        codec: str,
+        accept: str | None,
+        distances: bool,
+    ) -> tuple[int, str, str, bool, list[bytes]]:
+        """One frame-relay run with failover; returns
+        ``(worker, version, response_codec, distances, payloads)``."""
+
+        def body() -> Any:
+            def pieces() -> Any:
+                yield wire.encode_header(codec, accept=accept, distances=distances)
+                for payload in frames:
+                    yield wire.frame_payload(payload)
+                yield wire.terminator()
+
+            return pieces()
+
+        return self._run_with_failover(body, targets)
+
+    def _run_with_failover(
+        self, body: Any, targets: list[tuple[int, str]]
+    ) -> tuple[int, str, str, bool, list[bytes]]:
+        last_error: Exception | None = None
+        for index, url in targets:
+            client = self.server.lease_client(url)
+            try:
+                version, response_codec, response_distances, payloads = (
+                    _stream_exchange(client, body)
+                )
+            except ServingUnavailableError as exc:
+                last_error = exc
+                continue  # worker mid-restart: try the next one
+            finally:
+                self.server.release_client(url, client)
+            return index, version, response_codec, response_distances, payloads
+        raise ServingUnavailableError(
+            f"no reachable fleet worker for scattered run: {last_error}"
+        )
+
+    def _assign_run(
+        self,
+        span_points: np.ndarray,
+        targets: list[tuple[int, str]],
+    ) -> tuple[int, str, np.ndarray]:
+        """One npy run via the streamed client; returns
+        ``(worker, version, labels)``."""
+        last_error: Exception | None = None
+        for index, url in targets:
+            client = self.server.lease_client(url)
+            try:
+                response = client.assign_stream(span_points)
+            except ServingUnavailableError as exc:
+                last_error = exc
+                continue
+            finally:
+                self.server.release_client(url, client)
+            return index, response.version, response.labels
+        raise ServingUnavailableError(
+            f"no reachable fleet worker for scattered run: {last_error}"
+        )
+
+
+def _stream_exchange(
+    client: ServingClient, body: Any
+) -> tuple[str, str, bool, list[bytes]]:
+    """Send one wire-format body factory to a worker; collect raw label
+    frames."""
+    status, headers, response = client._exchange(
+        "POST", "/assign", body, STREAM_CONTENT_TYPE
+    )
+    if status >= 400:
+        payload = response.read()
+        try:
+            message = json.loads(payload.decode("utf-8")).get("error", "")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            message = payload.decode("utf-8", "replace")
+        raise ServingClientError(status, message)
+    try:
+        reader = wire.StreamReader(response.read)
+        reader.read_header()
+        payloads = list(reader.raw_frames())
+        while response.read(65536):  # past the HTTP chunked last-chunk
+            pass
+    except wire.WireError as exc:
+        client.close()  # mid-body failure: the connection is desynced
+        raise ServingClientError(502, f"invalid stream response: {exc}") from exc
+    return (
+        headers.get(VERSION_HEADER, ""),
+        reader.codec,
+        reader.distances,
+        payloads,
+    )

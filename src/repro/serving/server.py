@@ -5,10 +5,16 @@ new dependencies) that keeps one :class:`~repro.api.assign.Assigner`
 hot behind four endpoints:
 
 * ``POST /assign``  — label a batch of points. JSON
-  (``{"points": [[...]], "chunk_size": ...}``) or raw npy bytes
-  (``Content-Type: application/x-npy``) in; the same format comes back.
+  (``{"points": [[...]], "chunk_size": ...}``), raw npy bytes
+  (``Content-Type: application/x-npy``), or the streamed frame format
+  (``Content-Type: application/x-repro-stream``, see
+  :mod:`repro.serving.wire`) in; the same format comes back.
   Requests are chunked through ``Assigner.assign_iter`` so a huge
-  request never materializes more than one ``chunk × k`` block.
+  request never materializes more than one ``chunk × k`` block — and on
+  the streamed path each frame is scored *as it arrives off the
+  socket*, the response is chunked back frame by frame, npy bodies are
+  decoded as ``np.frombuffer`` views (no copy), and the stream header
+  negotiates optional gzip/zstd compression and squared distances.
 * ``GET /healthz``  — liveness + the serving model version.
 * ``GET /model``    — version, method, k, dimensions, artifact summary.
 * ``POST /reload``  — force re-resolution of the registry's ``LATEST``.
@@ -47,10 +53,14 @@ import numpy as np
 
 from ..api.assign import Assigner
 from ..api.model import ClusterModel
+from . import wire
 from .registry import ModelRegistry, RegistryError
 
 #: Content type for raw ``np.save`` payloads (request and response).
 NPY_CONTENT_TYPE = "application/x-npy"
+
+#: Content type for the streamed frame format (:mod:`repro.serving.wire`).
+STREAM_CONTENT_TYPE = "application/x-repro-stream"
 
 #: Response header naming the model version that served the request.
 VERSION_HEADER = "X-Model-Version"
@@ -79,7 +89,7 @@ class ServingError(Exception):
 class ConnectionTrackingServer(ThreadingHTTPServer):
     """ThreadingHTTPServer with a shared embedded-process lifecycle.
 
-    Two additions over the stdlib class, shared by
+    Additions over the stdlib class, shared by
     :class:`AssignmentServer` and :class:`~repro.serving.proxy.FleetProxy`:
 
     * **Severable connections.** ``server_close`` alone only closes the
@@ -91,6 +101,14 @@ class ConnectionTrackingServer(ThreadingHTTPServer):
     * **Daemon-thread serving.** :meth:`start` / :meth:`stop` / context
       manager for tests and embedding; ``port`` / ``url`` for
       ephemeral-port binds.
+    * **TCP_NODELAY.** Every accepted TCP connection disables Nagle:
+      serving responses are written as one small burst (headers + a few
+      frames), and the 40ms delayed-ACK/Nagle interaction dominated
+      small-request latency before.
+    * **Unix-domain sockets.** Pass ``uds=`` to bind a filesystem
+      socket instead of a TCP port — co-located clients skip the whole
+      TCP stack. A stale socket file from a crashed predecessor is
+      unlinked before binding, and unlinked again on close.
     """
 
     daemon_threads = True
@@ -98,18 +116,60 @@ class ConnectionTrackingServer(ThreadingHTTPServer):
     #: Name of the daemon serve thread (subclasses override).
     serve_thread_name = "repro-http"
 
-    def __init__(self, *args: Any, **kwargs: Any) -> None:
+    def __init__(
+        self,
+        server_address: Any,
+        handler_class: Any,
+        *,
+        uds: str | Path | None = None,
+    ) -> None:
         self._open_requests: set[socket.socket] = set()
         self._open_requests_lock = threading.Lock()
         self._serve_thread: threading.Thread | None = None
-        super().__init__(*args, **kwargs)
+        self.uds_path = Path(uds) if uds is not None else None
+        if self.uds_path is not None:
+            if not hasattr(socket, "AF_UNIX"):
+                raise ValueError("unix-domain sockets are not supported here")
+            self.address_family = socket.AF_UNIX
+            server_address = str(self.uds_path)
+        super().__init__(server_address, handler_class)
+
+    def server_bind(self) -> None:
+        if self.uds_path is None:
+            super().server_bind()
+            return
+        # AF_UNIX: no SO_REUSEADDR, and HTTPServer.server_bind would
+        # getfqdn() a path string. Unlink a stale socket file first — a
+        # crashed predecessor leaves one behind and bind() would fail.
+        try:
+            if self.uds_path.is_socket():
+                self.uds_path.unlink()
+        except OSError:
+            pass
+        self.uds_path.parent.mkdir(parents=True, exist_ok=True)
+        self.socket.bind(str(self.uds_path))
+        self.server_address = str(self.uds_path)
+        self.server_name = str(self.uds_path)
+        self.server_port = 0
+
+    def server_close(self) -> None:
+        super().server_close()
+        if self.uds_path is not None:
+            try:
+                self.uds_path.unlink(missing_ok=True)
+            except OSError:
+                pass
 
     @property
     def port(self) -> int:
+        if self.uds_path is not None:
+            return 0
         return self.server_address[1]
 
     @property
     def url(self) -> str:
+        if self.uds_path is not None:
+            return f"http+unix://{self.uds_path}"
         return f"http://{self.server_address[0]}:{self.port}"
 
     def start(self) -> "ConnectionTrackingServer":
@@ -137,6 +197,11 @@ class ConnectionTrackingServer(ThreadingHTTPServer):
 
     def get_request(self) -> tuple[socket.socket, Any]:
         request, client_address = super().get_request()
+        if self.address_family in (socket.AF_INET, getattr(socket, "AF_INET6", None)):
+            try:
+                request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass  # an exotic transport without Nagle is already fine
         with self._open_requests_lock:
             self._open_requests.add(request)
         return request, client_address
@@ -183,6 +248,9 @@ class AssignmentServer(ConnectionTrackingServer):
             the same directory).
         host, port: bind address (``port=0`` picks an ephemeral port —
             read it back from ``server.port``).
+        uds: bind a unix-domain socket at this path instead of a TCP
+            port (co-located clients connect with
+            ``ServingClient(uds=...)``; ``repro serve --uds``).
         n_jobs: worker threads per assignment call (1 serial, -1 one
             per CPU); labels are bit-identical for every value.
         chunk_size: default rows per scored block (requests may
@@ -207,6 +275,7 @@ class AssignmentServer(ConnectionTrackingServer):
         model_path: str | Path | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        uds: str | Path | None = None,
         n_jobs: int | None = None,
         chunk_size: int | None = None,
         follow: bool = True,
@@ -229,7 +298,7 @@ class AssignmentServer(ConnectionTrackingServer):
         self._lock = threading.RLock()
         self._snapshot: _Snapshot | None = None
         self._pointer_mtime_ns: int | None = None
-        super().__init__((host, port), _Handler)
+        super().__init__((host, port), _Handler, uds=uds)
         try:
             self.reload(force=True, version=pin_version)
         except BaseException:
@@ -354,6 +423,120 @@ def serve_forever(server: AssignmentServer) -> None:
 # --------------------------------------------------------------------- #
 
 
+class _BoundedBodyReader:
+    """``read(n)`` over a Content-Length request body, never past it."""
+
+    def __init__(self, rfile: Any, length: int) -> None:
+        self._rfile = rfile
+        self._remaining = length
+
+    def read(self, n: int) -> bytes:
+        if self._remaining <= 0:
+            return b""
+        data = self._rfile.read(min(n, self._remaining))
+        self._remaining -= len(data)
+        return data
+
+
+class _ChunkedBodyReader:
+    """``read(n)`` over a ``Transfer-Encoding: chunked`` request body.
+
+    ``BaseHTTPRequestHandler`` leaves chunked request bodies undecoded
+    on ``rfile``; streaming clients (``http.client`` with an iterator
+    body) send exactly that, so the server de-chunks here — incremen-
+    tally, enforcing the cumulative body cap as bytes arrive rather
+    than after buffering them.
+    """
+
+    def __init__(self, rfile: Any, max_bytes: int) -> None:
+        self._rfile = rfile
+        self._max_bytes = max_bytes
+        self._remaining = 0
+        self._total = 0
+        self._done = False
+
+    def _start_chunk(self) -> None:
+        line = self._rfile.readline(34)
+        if not line.endswith(b"\n"):
+            raise wire.WireTruncatedError("chunked body ended mid-size-line")
+        try:
+            size = int(line.split(b";", 1)[0].strip() or b"x", 16)
+        except ValueError:
+            raise ServingError(
+                400, f"invalid chunked encoding size line {line!r}"
+            ) from None
+        if size == 0:
+            # Trailers (rare) run until a blank line.
+            while True:
+                trailer = self._rfile.readline(1024)
+                if trailer in (b"\r\n", b"\n", b""):
+                    break
+            self._done = True
+            return
+        self._total += size
+        if self._total > self._max_bytes:
+            raise ServingError(413, f"request body exceeds {self._max_bytes} bytes")
+        self._remaining = size
+
+    def _consume_crlf(self) -> None:
+        trailer = self._rfile.read(2)
+        if trailer not in (b"\r\n",):
+            raise ServingError(400, f"chunked encoding missing CRLF, got {trailer!r}")
+
+    def read(self, n: int) -> bytes:
+        while not self._done and self._remaining == 0:
+            self._start_chunk()
+        if self._done:
+            return b""
+        data = self._rfile.read(min(n, self._remaining))
+        if not data:
+            raise wire.WireTruncatedError("chunked body ended mid-chunk")
+        self._remaining -= len(data)
+        if self._remaining == 0:
+            self._consume_crlf()
+        return data
+
+
+class _HTTPChunkWriter:
+    """Chunked-transfer response writer that coalesces small pieces.
+
+    Wire streams interleave tiny pieces (8-byte length prefixes,
+    ~120-byte npy headers) with large data views; one HTTP chunk per
+    piece would syscall three times per frame. Small pieces accumulate
+    in a buffer; large ones flush it and go out as their own chunk,
+    keeping the data path copy-free.
+    """
+
+    COALESCE = 64 * 1024
+
+    def __init__(self, wfile: Any) -> None:
+        self._wfile = wfile
+        self._buffer = bytearray()
+
+    def write(self, piece: bytes | memoryview) -> None:
+        if len(piece) >= self.COALESCE:
+            self.flush()
+            self._emit(piece)
+            return
+        self._buffer += piece
+        if len(self._buffer) >= self.COALESCE:
+            self.flush()
+
+    def _emit(self, data: bytes | bytearray | memoryview) -> None:
+        self._wfile.write(f"{len(data):X}\r\n".encode("ascii"))
+        self._wfile.write(data)
+        self._wfile.write(b"\r\n")
+
+    def flush(self) -> None:
+        if self._buffer:
+            self._emit(self._buffer)
+            self._buffer = bytearray()
+
+    def close(self) -> None:
+        self.flush()
+        self._wfile.write(b"0\r\n\r\n")
+
+
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server: AssignmentServer  # narrowed for type checkers
@@ -363,6 +546,11 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if not self.server.quiet:
             super().log_message(format, *args)
+
+    def address_string(self) -> str:
+        client = self.client_address
+        # AF_UNIX peers have no (host, port) pair — client_address is ''.
+        return client[0] if isinstance(client, tuple) and client else "uds"
 
     def _send(
         self, status: int, body: bytes, content_type: str, version: str | None = None
@@ -425,6 +613,11 @@ class _Handler(BaseHTTPRequestHandler):
                         "n_features": snap.model.n_features,
                         "attributes": snap.model.attribute_names,
                         "summary": snap.model.summary(),
+                        "stream": {
+                            "content_type": STREAM_CONTENT_TYPE,
+                            "codecs": list(wire.available_codecs()),
+                            "distances": True,
+                        },
                     },
                     snap.version,
                 )
@@ -454,8 +647,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _do_assign(self) -> None:
         snap = self.server.snapshot()  # pinned: a mid-request swap cannot move it
-        body = self._read_body()
         content_type = self.headers.get("Content-Type", "application/json")
+        if content_type.startswith(STREAM_CONTENT_TYPE):
+            self._do_assign_stream(snap)
+            return
+        body = self._read_body()
         chunk_size = self.server.chunk_size
         if content_type.startswith(NPY_CONTENT_TYPE):
             points = _decode_npy(body)
@@ -482,6 +678,105 @@ class _Handler(BaseHTTPRequestHandler):
                 snap.version,
             )
 
+    def _stream_body_reader(self) -> Any:
+        """``read(n)`` callable over the raw request body bytes."""
+        if self.headers.get("Transfer-Encoding", "").lower() == "chunked":
+            return _ChunkedBodyReader(self.rfile, MAX_BODY_BYTES)
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            raise ServingError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        return _BoundedBodyReader(self.rfile, length)
+
+    def _drain_body(self, body: Any) -> None:
+        """Consume the rest of a request body after a failure."""
+        budget = MAX_BODY_BYTES
+        try:
+            while budget > 0:
+                piece = body.read(min(65536, budget))
+                if not piece:
+                    return
+                budget -= len(piece)
+        except Exception:
+            pass
+        self.close_connection = True
+
+    def _do_assign_stream(self, snap: _Snapshot) -> None:
+        """Streamed assign: score request frames as they arrive.
+
+        Request frames feed ``assign_iter`` lazily, so scoring overlaps
+        the network receive; the resulting label frames (8 bytes/row —
+        ~d× smaller than the points) are buffered until the request
+        terminator and only then streamed back. Writing the response
+        while the client is still sending would deadlock once both
+        socket buffers fill, and buffering only the small side keeps the
+        server O(labels), not O(points). A useful consequence: every
+        failure — bad frame, wrong width, truncated stream — happens
+        before any response byte, so the client always gets a clean 400
+        and never a partial 200.
+        """
+        body = self._stream_body_reader()
+        try:
+            reader = wire.StreamReader(body.read, max_total_bytes=MAX_BODY_BYTES)
+            reader.read_header()
+            response_codec = wire.negotiate_codec(
+                reader.codec if reader.accept is None else reader.accept
+            )
+            want_distance = reader.distances
+
+            def frames() -> Any:
+                for array in reader.frames():
+                    if array.ndim != 2:
+                        raise ServingError(
+                            400,
+                            f"stream frames must be 2-D, got shape {array.shape}",
+                        )
+                    yield array
+
+            results: list[Any] = []
+            try:
+                for item in snap.assigner.assign_iter(
+                    frames(),
+                    chunk_size=self.server.chunk_size,
+                    return_distance=want_distance,
+                ):
+                    results.append(item)
+            except ValueError as exc:  # wire errors and feature mismatches alike
+                raise ServingError(
+                    400, f"invalid stream payload: {exc}"
+                ) from None
+        except Exception:
+            # A failure can leave request bytes unread (e.g. the stream
+            # terminator after a bad frame); a keep-alive client would
+            # then desync by parsing them as its next request line.
+            # Drain what remains — or sever the connection if we can't.
+            self._drain_body(body)
+            raise
+        # Success leaves bytes too: the wire terminator is *inside* the
+        # HTTP body, so a chunked request's last-chunk marker is still
+        # on the socket. Consume through end-of-body before responding.
+        self._drain_body(body)
+
+        def arrays() -> Any:
+            for item in results:
+                if want_distance:
+                    yield item[0]
+                    yield item[1]
+                else:
+                    yield item
+
+        self.send_response(200)
+        self.send_header("Content-Type", STREAM_CONTENT_TYPE)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header(VERSION_HEADER, snap.version)
+        self.end_headers()
+        writer = _HTTPChunkWriter(self.wfile)
+        for piece in wire.iter_encode(
+            arrays(), codec=response_codec, distances=want_distance
+        ):
+            writer.write(piece)
+        writer.close()
+
 
 def _decode_reload(body: bytes) -> str | None:
     """Optional ``{"version": "v0007"}`` body of ``POST /reload``."""
@@ -500,9 +795,11 @@ def _decode_reload(body: bytes) -> str | None:
 
 
 def _decode_npy(body: bytes) -> np.ndarray:
+    # A read-only np.frombuffer view over the request bytes — the
+    # Assigner only reads rows, so no copy is ever made server-side.
     try:
-        return np.load(io.BytesIO(body), allow_pickle=False)
-    except Exception as exc:
+        return wire.decode_npy(body)
+    except wire.WireError as exc:
         raise ServingError(400, f"invalid npy payload: {exc}") from None
 
 

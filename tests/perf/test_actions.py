@@ -1,0 +1,171 @@
+"""Cross-run baseline fetch: artifact selection and fail-soft download."""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+
+import pytest
+
+from repro.perf import fetch_baseline, select_artifact
+
+
+def _artifact(id, run_id, *, expired=False, url=True):
+    return {
+        "id": id,
+        "expired": expired,
+        "archive_download_url": f"https://api.test/zip/{id}" if url else None,
+        "workflow_run": {"id": run_id},
+    }
+
+
+# --------------------------------------------------------------------- #
+# select_artifact: "previous run" must really mean previous               #
+# --------------------------------------------------------------------- #
+
+
+def test_select_newest_from_other_run():
+    artifacts = [
+        _artifact(1, "100"),
+        _artifact(3, "300"),
+        _artifact(2, "200"),
+    ]
+    chosen = select_artifact(artifacts, current_run_id="999")
+    assert chosen["id"] == 3
+
+
+def test_select_skips_current_run_expired_and_urlless():
+    artifacts = [
+        _artifact(9, "999"),  # ours — same run
+        _artifact(8, "300", expired=True),
+        _artifact(7, "200", url=False),
+        _artifact(5, "100"),
+    ]
+    chosen = select_artifact(artifacts, current_run_id="999")
+    assert chosen["id"] == 5
+
+
+def test_select_returns_none_when_nothing_qualifies():
+    assert select_artifact([], current_run_id="1") is None
+    assert select_artifact([_artifact(1, "42")], current_run_id="42") is None
+
+
+# --------------------------------------------------------------------- #
+# fetch_baseline: happy path and every fail-soft branch                   #
+# --------------------------------------------------------------------- #
+
+
+def _zip_bytes(members: dict[str, bytes]) -> bytes:
+    out = io.BytesIO()
+    with zipfile.ZipFile(out, "w") as bundle:
+        for name, payload in members.items():
+            bundle.writestr(name, payload)
+    return out.getvalue()
+
+
+class _FakeResponse:
+    def __init__(self, payload: bytes) -> None:
+        self._payload = payload
+
+    def read(self) -> bytes:
+        return self._payload
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def _opener(responses):
+    """urlopen stand-in mapping url substrings to response bytes."""
+    calls = []
+
+    def open(request, timeout=None):
+        calls.append(request)
+        for fragment, payload in responses.items():
+            if fragment in request.full_url:
+                if isinstance(payload, Exception):
+                    raise payload
+                return _FakeResponse(payload)
+        raise AssertionError(f"unexpected url {request.full_url}")
+
+    open.calls = calls
+    return open
+
+
+def test_fetch_baseline_happy_path(tmp_path, capsys):
+    listing = json.dumps(
+        {"artifacts": [_artifact(5, "100"), _artifact(9, "999")]}
+    ).encode()
+    archive = _zip_bytes({"BENCH_fleet.json": b'{"ok": true}'})
+    opener = _opener({"/actions/artifacts?": listing, "/zip/5": archive})
+    dest = fetch_baseline(
+        "bench-records", "BENCH_fleet.json", tmp_path / "baseline",
+        repo="org/repo", token="tok", api_url="https://api.test",
+        run_id="999", opener=opener,
+    )
+    assert dest == tmp_path / "baseline" / "BENCH_fleet.json"
+    assert dest.read_bytes() == b'{"ok": true}'
+    assert "from run 100" in capsys.readouterr().out
+    # Auth went out on both the listing and the download.
+    assert all(
+        request.get_header("Authorization") == "Bearer tok"
+        for request in opener.calls
+    )
+
+
+def test_fetch_baseline_without_token_skips(tmp_path, capsys, monkeypatch):
+    monkeypatch.delenv("GITHUB_REPOSITORY", raising=False)
+    monkeypatch.delenv("GITHUB_TOKEN", raising=False)
+    assert fetch_baseline("a", "b.json", tmp_path) is None
+    assert "skipping artifact fetch" in capsys.readouterr().out
+
+
+def test_fetch_baseline_no_previous_artifact(tmp_path, capsys):
+    listing = json.dumps({"artifacts": [_artifact(9, "999")]}).encode()
+    opener = _opener({"/actions/artifacts?": listing})
+    assert fetch_baseline(
+        "bench-records", "BENCH_fleet.json", tmp_path,
+        repo="org/repo", token="tok", api_url="https://api.test",
+        run_id="999", opener=opener,
+    ) is None
+    assert "no previous" in capsys.readouterr().out
+
+
+def test_fetch_baseline_member_missing(tmp_path, capsys):
+    listing = json.dumps({"artifacts": [_artifact(5, "100")]}).encode()
+    archive = _zip_bytes({"BENCH_serve.json": b"{}"})
+    opener = _opener({"/actions/artifacts?": listing, "/zip/5": archive})
+    assert fetch_baseline(
+        "bench-records", "BENCH_fleet.json", tmp_path,
+        repo="org/repo", token="tok", api_url="https://api.test",
+        run_id="999", opener=opener,
+    ) is None
+    assert "has no 'BENCH_fleet.json'" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("failure", ["unparseable-json", "network-error"])
+def test_fetch_baseline_api_failures_fail_soft(tmp_path, capsys, failure):
+    from urllib.error import URLError
+
+    bad = b"not json" if failure == "unparseable-json" else URLError("api down")
+    opener = _opener({"/actions/artifacts?": bad})
+    assert fetch_baseline(
+        "bench-records", "BENCH_fleet.json", tmp_path,
+        repo="org/repo", token="tok", api_url="https://api.test",
+        run_id="999", opener=opener,
+    ) is None
+    assert "falling back to same-run baseline" in capsys.readouterr().out
+
+
+def test_fetch_baseline_corrupt_zip_fails_soft(tmp_path, capsys):
+    listing = json.dumps({"artifacts": [_artifact(5, "100")]}).encode()
+    opener = _opener({"/actions/artifacts?": listing, "/zip/5": b"PK garbage"})
+    assert fetch_baseline(
+        "bench-records", "BENCH_fleet.json", tmp_path,
+        repo="org/repo", token="tok", api_url="https://api.test",
+        run_id="999", opener=opener,
+    ) is None
+    assert "falling back" in capsys.readouterr().out

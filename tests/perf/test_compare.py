@@ -9,7 +9,9 @@ from repro.perf import (
     bench_payload,
     compare_bench,
     compare_bench_files,
+    fleet_gate,
     render_comparison,
+    render_fleet_gate,
     write_bench,
 )
 
@@ -93,3 +95,93 @@ def test_compare_bench_files_round_trip(tmp_path):
     comparison = compare_bench_files(base, curr)
     assert comparison.ok and len(comparison.rows) == 1
     assert "1.00x" in render_comparison(comparison)
+
+
+# --------------------------------------------------------------------- #
+# The fleet scaling gate                                                  #
+# --------------------------------------------------------------------- #
+
+
+def _fleet_payload(single, ladder, *, cpu_count=8, n=1000):
+    """Fleet payload: one single-server rate, {jobs: rate} fleet ladder."""
+    records = [BenchRecord("serve_http_single", n, 5, 1, 0.1, float(single))]
+    records += [
+        BenchRecord(
+            "fleet_http_npy", n, 5, jobs, 0.1, float(rate),
+            extra={"cpu_count": cpu_count},
+        )
+        for jobs, rate in ladder.items()
+    ]
+    return bench_payload("fleet", records)
+
+
+def test_fleet_gate_passes_on_real_scaling():
+    report = fleet_gate(_fleet_payload(1000.0, {1: 900.0, 2: 1600.0, 4: 2800.0}))
+    assert report.ok
+    assert [row.speedup for row in report.rows] == pytest.approx([0.9, 1.6, 2.8])
+    assert "fleet gate passed" in render_fleet_gate(report)
+
+
+def test_fleet_gate_fails_when_fleet_is_a_tax():
+    report = fleet_gate(_fleet_payload(1000.0, {1: 800.0, 2: 900.0}))
+    assert not report.ok
+    assert any("tax, not a multiplier" in p for p in report.problems)
+    assert "fleet gate FAILED" in render_fleet_gate(report)
+
+
+def test_fleet_gate_fails_when_scaling_is_not_monotone():
+    # Top size clears the bar but the 2 -> 4 step collapses.
+    report = fleet_gate(
+        _fleet_payload(1000.0, {1: 900.0, 2: 2500.0, 4: 1100.0}),
+        monotone_tolerance=0.9,
+    )
+    assert not report.ok
+    assert any("not monotone" in p for p in report.problems)
+
+
+def test_fleet_gate_tolerates_runner_noise():
+    # A 5% dip between sizes is within the monotone tolerance.
+    report = fleet_gate(
+        _fleet_payload(1000.0, {1: 900.0, 2: 2000.0, 4: 1900.0}),
+        monotone_tolerance=0.9,
+    )
+    assert report.ok
+
+
+def test_fleet_gate_exempts_single_worker_fleet():
+    # A 1-worker fleet is a failover device: reported, not gated.
+    report = fleet_gate(_fleet_payload(1000.0, {1: 700.0}))
+    assert report.ok
+    assert report.rows[0].speedup == pytest.approx(0.7)
+
+
+def test_fleet_gate_is_hardware_aware():
+    # Single-core host: no fleet can multiply compute — note, don't fail.
+    report = fleet_gate(
+        _fleet_payload(1000.0, {1: 800.0, 2: 600.0}, cpu_count=1)
+    )
+    assert report.ok
+    assert any("not enforceable" in note for note in report.notes)
+    assert "note:" in render_fleet_gate(report)
+    # Two cores, fleet of 4: gate on the largest size the cores support.
+    report = fleet_gate(
+        _fleet_payload(1000.0, {1: 900.0, 2: 1700.0, 4: 1500.0}, cpu_count=2)
+    )
+    assert report.ok  # the 2->4 drop beyond the cores is not a failure
+
+
+def test_fleet_gate_requires_records():
+    report = fleet_gate(
+        bench_payload(
+            "fleet", [BenchRecord("serve_http_single", 10, 2, 1, 0.1, 1.0)]
+        )
+    )
+    assert not report.ok
+    assert any("no fleet_http_npy records" in p for p in report.problems)
+
+    missing_single = bench_payload(
+        "fleet", [BenchRecord("fleet_http_npy", 10, 2, 2, 0.1, 1.0)]
+    )
+    report = fleet_gate(missing_single)
+    assert not report.ok
+    assert any("no serve_http_single baseline" in p for p in report.problems)

@@ -130,6 +130,19 @@ def test_bench_fleet_measures_processes_against_in_process(tmp_path):
         r for r in records if r.workload == "fleet_http_npy" and r.jobs == 1
     )
     assert fleet_base.speedup == 1.0
+    # The gate needs to know the recording host's core budget.
+    assert all(
+        r.extra["cpu_count"] >= 1
+        for r in records
+        if r.workload == "fleet_http_npy"
+    )
+    # The payload-size sweep records the wire's bytes/s ceiling.
+    sweep = [r for r in records if r.workload == "fleet_stream_scatter"]
+    assert {r.jobs for r in sweep} == {1, 2}
+    assert {r.n for r in sweep} == {250, 1000, 2000}
+    for r in sweep:
+        assert r.extra["payload_bytes"] > 0
+        assert r.extra["bytes_per_s"] > 0
 
 
 def test_cli_bench_smoke_writes_validated_files(tmp_path, capsys):

@@ -227,8 +227,8 @@ def test_crashed_worker_restarts_pinned_to_fleet_version(setup):
         assert status["version"] == v1
         assert all(w["version"] == v1 for w in status["workers"])
         # The restarted worker serves the same bits as before the crash.
-        port = status["workers"][0]["port"]
-        with ServingClient(port=port) as client:
+        url = status["workers"][0]["url"]
+        with ServingClient(url=url) as client:
             response = client.assign(probe)
             assert response.version == v1
             np.testing.assert_array_equal(response.labels, model_a.predict(probe))

@@ -1,0 +1,232 @@
+"""The RSW1 wire format: round trips, rejection, zero-copy decode."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import wire
+
+CODECS = wire.available_codecs()
+
+
+# --------------------------------------------------------------------- #
+# Round trips                                                             #
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def arrays(draw):
+    """Small 1-D / 2-D arrays across the dtypes the protocol ships."""
+    dtype = draw(st.sampled_from([np.float64, np.float32, np.int64, np.int32]))
+    if draw(st.booleans()):
+        shape = (draw(st.integers(0, 17)),)
+    else:
+        shape = (draw(st.integers(0, 9)), draw(st.integers(1, 5)))
+    if np.issubdtype(dtype, np.floating):
+        values = draw(
+            st.lists(
+                st.floats(allow_nan=False, width=32),
+                min_size=int(np.prod(shape)),
+                max_size=int(np.prod(shape)),
+            )
+        )
+    else:
+        values = draw(
+            st.lists(
+                st.integers(-(2**31), 2**31 - 1),
+                min_size=int(np.prod(shape)),
+                max_size=int(np.prod(shape)),
+            )
+        )
+    return np.asarray(values, dtype=dtype).reshape(shape)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    batches=st.lists(arrays(), max_size=4),
+    codec=st.sampled_from(CODECS),
+    distances=st.booleans(),
+)
+def test_stream_round_trip_property(batches, codec, distances):
+    """encode → decode returns the same arrays, header intact."""
+    data = wire.encode_stream(batches, codec, distances=distances)
+    decoded, reader = wire.decode_stream(data)
+    assert reader.codec == codec
+    assert reader.distances == distances
+    assert len(decoded) == len(batches)
+    for got, sent in zip(decoded, batches):
+        assert got.dtype == sent.dtype
+        assert got.shape == sent.shape
+        np.testing.assert_array_equal(got, sent)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    codec=st.sampled_from(CODECS),
+    accept=st.one_of(st.none(), st.sampled_from(CODECS)),
+    distances=st.booleans(),
+)
+def test_header_round_trip_property(codec, accept, distances):
+    header = wire.encode_header(codec, accept=accept, distances=distances)
+    assert len(header) == wire.HEADER_LEN
+    assert wire.decode_header(header) == (codec, accept, distances)
+
+
+def test_raw_frames_relay_and_reframe():
+    """raw_frames + frame_payload reproduce the original stream bytes."""
+    batches = [np.arange(6, dtype=np.float64).reshape(2, 3), np.zeros((0, 3))]
+    data = wire.encode_stream(batches, "gzip", distances=True)
+    reader = wire.StreamReader(io.BytesIO(data).read)
+    payloads = list(reader.raw_frames())
+    rebuilt = (
+        wire.encode_header(reader.codec, accept=reader.accept, distances=True)
+        + b"".join(wire.frame_payload(p) for p in payloads)
+        + wire.terminator()
+    )
+    assert rebuilt == data
+
+
+def test_recode_payload_between_codecs():
+    array = np.arange(12, dtype=np.float64).reshape(3, 4)
+    identity = b"".join(wire.encode_frame(array, "identity"))[8:]
+    gz = wire.recode_payload(identity, "identity", "gzip")
+    assert gz != identity
+    back = wire.recode_payload(gz, "gzip", "identity")
+    np.testing.assert_array_equal(wire.decode_npy(back), array)
+    assert wire.recode_payload(identity, "identity", "identity") is identity
+
+
+def test_empty_stream_has_no_frames():
+    decoded, reader = wire.decode_stream(wire.encode_stream([]))
+    assert decoded == []
+    assert reader.codec == "identity"
+
+
+# --------------------------------------------------------------------- #
+# Rejection: truncation, oversize, malformed                              #
+# --------------------------------------------------------------------- #
+
+
+def test_truncation_at_every_boundary_is_typed():
+    """A cut anywhere before the terminator raises WireTruncatedError."""
+    data = wire.encode_stream([np.ones((4, 2))])
+    for cut in (0, 3, wire.HEADER_LEN - 1, wire.HEADER_LEN + 2, len(data) - 9):
+        with pytest.raises(wire.WireTruncatedError):
+            wire.decode_stream(data[:cut])
+
+
+def test_missing_terminator_is_truncation():
+    data = wire.encode_stream([np.ones((4, 2))])
+    with pytest.raises(wire.WireTruncatedError):
+        wire.decode_stream(data[: -len(wire.terminator())])
+
+
+def test_bad_magic_rejected():
+    data = b"XXXX" + wire.encode_stream([np.ones(3)])[4:]
+    with pytest.raises(wire.WireFormatError, match="magic"):
+        wire.decode_stream(data)
+
+
+def test_unknown_codec_ids_rejected():
+    header = bytearray(wire.encode_header("identity"))
+    header[4] = 200
+    with pytest.raises(wire.WireFormatError, match="codec id"):
+        wire.decode_header(bytes(header))
+    header = bytearray(wire.encode_header("identity"))
+    header[5] = 200
+    with pytest.raises(wire.WireFormatError, match="accept"):
+        wire.decode_header(bytes(header))
+
+
+def test_frame_size_cap_enforced():
+    data = wire.encode_stream([np.ones((64, 4))])
+    reader = wire.StreamReader(io.BytesIO(data).read, max_frame_bytes=64)
+    with pytest.raises(wire.WireFrameSizeError, match="frame cap"):
+        list(reader.frames())
+
+
+def test_total_body_cap_enforced():
+    data = wire.encode_stream([np.ones((64, 4)) for _ in range(4)])
+    reader = wire.StreamReader(io.BytesIO(data).read, max_total_bytes=3000)
+    with pytest.raises(wire.WireFrameSizeError, match="body cap"):
+        list(reader.frames())
+
+
+def test_oversized_length_prefix_rejected_before_read():
+    """A hostile 1 EiB length prefix must fail fast, not allocate."""
+    stream = wire.encode_header("identity") + wire._LENGTH.pack(2**60)
+    reader = wire.StreamReader(io.BytesIO(stream).read)
+    with pytest.raises(wire.WireFrameSizeError):
+        list(reader.frames())
+
+
+def test_garbage_frame_payload_rejected():
+    stream = (
+        wire.encode_header("identity")
+        + wire.frame_payload(b"not an npy document")
+        + wire.terminator()
+    )
+    with pytest.raises(wire.WireFormatError):
+        wire.decode_stream(stream)
+
+
+def test_corrupt_gzip_payload_rejected():
+    stream = (
+        wire.encode_header("gzip")
+        + wire.frame_payload(b"\x1f\x8b garbage")
+        + wire.terminator()
+    )
+    with pytest.raises(wire.WireFormatError, match="decompress"):
+        wire.decode_stream(stream)
+
+
+def test_negotiate_codec_downgrades_and_rejects():
+    assert wire.negotiate_codec(None) == "identity"
+    assert wire.negotiate_codec("gzip") == "gzip"
+    assert wire.negotiate_codec("zstd") in ("zstd", "gzip")
+    if "zstd" not in CODECS:
+        assert wire.negotiate_codec("zstd") == "gzip"
+    with pytest.raises(wire.WireFormatError, match="unknown codec"):
+        wire.negotiate_codec("brotli")
+
+
+# --------------------------------------------------------------------- #
+# decode_npy: zero-copy views                                             #
+# --------------------------------------------------------------------- #
+
+
+def test_decode_npy_is_a_readonly_view():
+    array = np.arange(20, dtype=np.float64).reshape(4, 5)
+    payload = wire.npy_header_bytes(array) + array.tobytes()
+    view = wire.decode_npy(payload)
+    np.testing.assert_array_equal(view, array)
+    assert not view.flags.writeable
+    # Shares the payload's buffer: no copy was made.
+    assert view.base is not None
+
+
+def test_decode_npy_writable_copies():
+    array = np.arange(6, dtype=np.int64)
+    payload = wire.npy_header_bytes(array) + array.tobytes()
+    copy = wire.decode_npy(payload, writable=True)
+    copy[0] = 99  # must not raise
+    assert copy[0] == 99
+
+
+def test_decode_npy_rejects_object_arrays():
+    buffer = io.BytesIO()
+    np.save(buffer, np.array([{"a": 1}], dtype=object), allow_pickle=True)
+    with pytest.raises(wire.WireFormatError, match="pickled"):
+        wire.decode_npy(buffer.getvalue())
+
+
+def test_decode_npy_rejects_short_payload():
+    array = np.arange(8, dtype=np.float64)
+    payload = wire.npy_header_bytes(array) + array.tobytes()
+    with pytest.raises(wire.WireTruncatedError, match="promises"):
+        wire.decode_npy(payload[:-4])
