@@ -18,7 +18,7 @@ KMeans and all four baselines share one fit/save/load/assign lifecycle.
 """
 
 from .assign import DEFAULT_CHUNK_SIZE, Assigner, batched_assign
-from .config import ENGINES, RunConfig
+from .config import BACKENDS, ENGINES, RunConfig
 from .facade import attribute_schema, evaluate_model, fit, load
 from .model import ARTIFACT_FORMAT, ARTIFACT_VERSION, ClusterModel
 from .registry import (
@@ -33,6 +33,7 @@ __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
     "Assigner",
+    "BACKENDS",
     "ClusterModel",
     "DEFAULT_CHUNK_SIZE",
     "ENGINES",

@@ -21,6 +21,9 @@ from typing import Any
 #: Valid FairKM sweep strategies (mirrors ``repro.core.engine``).
 ENGINES = ("sequential", "chunked", "minibatch")
 
+#: Valid training execution backends (mirrors ``repro.backend``).
+BACKENDS = ("local", "multiprocess", "remote-stub")
+
 
 @dataclass(frozen=True)
 class RunConfig:
@@ -44,7 +47,21 @@ class RunConfig:
             every value — the knob only trades wall-clock. A
             host-execution knob: ``ClusterModel.save`` does not persist
             it, so loaded artifacts serve serially unless the host
-            passes ``assign(n_jobs=...)`` explicitly.
+            passes ``assign(n_jobs=...)`` explicitly. For training it
+            is the backward-compatible alias of the execution spec:
+            ``workers`` inherits it when unset.
+        backend: training execution backend (one of :data:`BACKENDS`):
+            ``"local"`` scores in a thread pool (default),
+            ``"multiprocess"`` in worker processes over one
+            shared-memory data placement (bit-identical results at
+            every worker count), ``"remote-stub"`` through the
+            multi-host wire-protocol sketch. A host-execution knob like
+            ``n_jobs`` — not persisted by ``ClusterModel.save``.
+        workers: worker count for *backend* — an integer >= 1, -1 or
+            ``"auto"`` (one per usable CPU, honoring the
+            ``REPRO_CORE_BUDGET`` env cap); ``None`` (default) inherits
+            ``n_jobs``. Results are bit-identical for every value. Not
+            persisted by ``ClusterModel.save``.
         seed: RNG seed (one fit is fully deterministic given the seed).
         scale_features: z-score numeric features when fitting from a
             ``Dataset`` (True for Adult; False for embedding spaces).
@@ -59,6 +76,8 @@ class RunConfig:
     engine: str = "sequential"
     chunk_size: int | None = None
     n_jobs: int = 1
+    backend: str = "local"
+    workers: int | str | None = None
     seed: int = 0
     scale_features: bool = True
     sensitive: tuple[str, ...] | None = None
@@ -79,11 +98,20 @@ class RunConfig:
             raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
         if self.chunk_size is not None and self.chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {self.chunk_size}")
-        from ..core.parallel import validate_n_jobs
+        from ..core.parallel import validate_n_jobs, validate_workers
 
         validate_n_jobs(self.n_jobs)
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.workers is not None:
+            validate_workers(self.workers, field="workers")
         if self.sensitive is not None:
             object.__setattr__(self, "sensitive", tuple(str(s) for s in self.sensitive))
+
+    @property
+    def effective_workers(self) -> int | str:
+        """Training worker spec: ``workers``, or its ``n_jobs`` alias."""
+        return self.workers if self.workers is not None else self.n_jobs
 
     # ------------------------------------------------------------------ #
     # JSON round trip                                                     #

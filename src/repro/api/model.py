@@ -170,14 +170,16 @@ class ClusterModel:
         """
         directory = Path(path)
         directory.mkdir(parents=True, exist_ok=True)
-        # n_jobs is a host-execution knob, not part of the model's
-        # identity: persisting it would change the v1 config wire format
-        # (older strict readers reject unknown keys) and leak the
-        # training box's thread count into serving defaults. Loaded
-        # artifacts therefore always carry n_jobs=1; serving hosts opt
-        # into parallelism explicitly via assign(n_jobs=...).
+        # n_jobs / backend / workers are host-execution knobs, not part
+        # of the model's identity: persisting them would change the v1
+        # config wire format (older strict readers reject unknown keys)
+        # and leak the training box's core count into serving defaults.
+        # Loaded artifacts therefore always carry the serial defaults;
+        # serving hosts opt into parallelism via assign(n_jobs=...).
         config = self.config.to_dict()
         config.pop("n_jobs", None)
+        config.pop("backend", None)
+        config.pop("workers", None)
         payload = {
             "format": ARTIFACT_FORMAT,
             "version": self.version,

@@ -110,6 +110,8 @@ register_method(
         engine=cfg.engine,
         chunk_size=cfg.chunk_size,
         n_jobs=cfg.n_jobs,
+        backend=cfg.backend,
+        workers=cfg.workers,
         seed=cfg.seed,
     ),
 )
@@ -121,6 +123,8 @@ register_method(
         lambda_=cfg.lambda_,
         max_iter=cfg.max_iter,
         n_jobs=cfg.n_jobs,
+        backend=cfg.backend,
+        workers=cfg.workers,
         seed=cfg.seed,
     ),
 )

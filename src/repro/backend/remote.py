@@ -1,0 +1,119 @@
+"""Remote backend stub: the multi-host protocol, minus the hosts.
+
+``RemoteBackend`` sketches how a fit would fan shards out to the
+serving fleet's worker plumbing. Each scoring round it encodes exactly
+what a remote scorer would need — the shard's row indices and labels
+plus the round's additive statistics — as a ``repro.serving.wire``
+stream (the same length-prefixed npy frame format the fleet already
+speaks), decodes it back as the peer would, and scores from the
+*decoded* arrays. The wire round trip is therefore load-bearing, not
+decorative: a fit through this backend proves the protocol carries
+everything needed for a bit-identical remote fit, and meters the bytes
+a real deployment would move.
+
+Actual multi-host dispatch (HTTP POST per shard to ``targets`` — e.g.
+the worker URLs in a fleet's ``fleet.json``) is deliberately left as
+:meth:`dispatch` raising ``NotImplementedError``; the fleet's registry
+and transport are reused, only the server-side scoring endpoint is
+missing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from .base import Backend, BackendError
+
+
+class RemoteBackend(Backend):
+    """Wire-format round-trip scorer standing in for remote workers."""
+
+    name = "remote-stub"
+
+    def __init__(
+        self,
+        workers: int | str | None = None,
+        targets: Sequence[str] = (),
+        codec: str = "identity",
+    ) -> None:
+        super().__init__(workers)
+        self.targets = tuple(targets)
+        self.codec = codec
+        #: Bytes a real deployment would have moved (requests only).
+        self.bytes_encoded = 0
+        self.frames_encoded = 0
+        self._started = False
+
+    @classmethod
+    def from_fleet_state(cls, fleet_state: dict[str, Any], **kwargs: Any) -> "RemoteBackend":
+        """Build from a fleet's ``fleet.json`` payload (worker URLs)."""
+        targets = [w["url"] for w in fleet_state.get("workers", []) if w.get("url")]
+        return cls(targets=targets, **kwargs)
+
+    def start(self, state: Any) -> None:
+        self._started = True
+
+    def shutdown(self) -> None:
+        self._started = False
+
+    def plan(self, shards: Sequence[np.ndarray]) -> list[dict[str, Any]]:
+        """Round-robin shard→target placement a real dispatch would use."""
+        return [
+            {
+                "shard": i,
+                "rows": int(shard.shape[0]),
+                "target": self.targets[i % len(self.targets)] if self.targets else None,
+            }
+            for i, shard in enumerate(shards)
+        ]
+
+    def dispatch(self, target: str, payload: bytes) -> bytes:
+        """POST *payload* to a remote scoring endpoint. Not implemented:
+
+        the fleet workers do not expose a ``/score`` route yet; when
+        they do, this is the only method a real ``RemoteBackend`` needs
+        to override (everything else — encoding, ordering, merging —
+        is already exercised by the stub's local round trip).
+        """
+        raise NotImplementedError(
+            f"remote dispatch to {target!r} is sketched only; "
+            "fleet workers expose no scoring endpoint yet"
+        )
+
+    def map_score(
+        self, state: Any, shards: Sequence[np.ndarray], lambda_: float
+    ) -> list[np.ndarray]:
+        if not self._started:
+            raise BackendError("RemoteBackend.map_score before start()")
+        from ..serving.wire import decode_stream, encode_stream
+
+        stats = state.export_scoring_stats()
+        stat_arrays = [
+            np.asarray(stats["sums"]),
+            np.asarray(stats["sum_sqnorm"]),
+            np.asarray(stats["sizes_f"]),
+            *[np.asarray(a) for a in stats["cat_counts"]],
+            *[np.asarray(a) for a in stats["cat_h"]],
+            *[np.asarray(a) for a in stats["num_d"]],
+        ]
+        lam = float(lambda_)
+        parts: list[np.ndarray] = []
+        for shard in shards:
+            request = [
+                np.asarray(shard, dtype=np.int64),
+                np.asarray(state.labels[shard], dtype=np.int64),
+                np.asarray([lam], dtype=np.float64),
+                *stat_arrays,
+            ]
+            payload = encode_stream(request, codec=self.codec)
+            self.bytes_encoded += len(payload)
+            self.frames_encoded += len(request)
+            decoded, _ = decode_stream(payload)
+            if len(decoded) != len(request):  # pragma: no cover - wire bug guard
+                raise BackendError("remote-stub wire round trip dropped frames")
+            # Score from the decoded arrays, as the remote peer would.
+            indices = np.asarray(decoded[0])
+            parts.append(state.batch_move_deltas(indices, float(decoded[2][0])))
+        return parts

@@ -36,7 +36,7 @@ from typing import Any
 
 import numpy as np
 
-from .api import ENGINES, ClusterModel, METHOD_REGISTRY, RunConfig
+from .api import BACKENDS, ENGINES, ClusterModel, METHOD_REGISTRY, RunConfig
 from .api import fit as api_fit
 from .experiments.paper import EXPERIMENTS, BenchSettings, bench_scale
 
@@ -61,6 +61,22 @@ def jobs_value(text: str) -> int:
 
     try:
         return validate_n_jobs(int(text))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def workers_value(text: str) -> int | str:
+    """argparse type: worker count — a positive integer, -1, or 'auto'."""
+    from .core.parallel import validate_workers
+
+    try:
+        value: int | str = text if text == "auto" else int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f'workers must be a positive integer, -1, or "auto", got {text!r}'
+        ) from None
+    try:
+        return validate_workers(value, field="workers")
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
@@ -146,6 +162,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for the parallel scoring paths (default 1; "
         "-1 = one per CPU; results are identical for every value)",
     )
+    p_fit.add_argument(
+        "--backend", choices=list(BACKENDS), default=None,
+        help="training execution backend: 'local' (thread pool, default), "
+        "'multiprocess' (worker processes over shared memory; bit-identical "
+        "results) or 'remote-stub' (multi-host wire-protocol sketch)",
+    )
+    p_fit.add_argument(
+        "--workers", type=workers_value, default=None,
+        help="worker count for --backend (positive int, -1 or 'auto' = one "
+        "per usable CPU; default: inherit --jobs)",
+    )
     p_fit.add_argument("--max-iter", type=positive_int, default=None)
     p_fit.add_argument("--seed", type=int, default=None, help="RNG seed (default 0)")
     p_fit.add_argument(
@@ -228,16 +255,16 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run the perf suites and emit machine-readable BENCH_*.json; "
         "'bench compare' diffs two records",
-        description="Run the engine/assignment/serving/fleet benchmark "
-        "suites across worker counts, write schema-validated "
+        description="Run the engine/assignment/serving/fleet/backend "
+        "benchmark suites across worker counts, write schema-validated "
         "BENCH_engine.json / BENCH_assign.json / BENCH_serve.json / "
-        "BENCH_fleet.json under results/, and print the rendered tables. "
-        "'repro bench compare BASELINE CURRENT' diffs two bench files and "
-        "exits nonzero on rows/s regressions.",
+        "BENCH_fleet.json / BENCH_backend.json under results/, and print "
+        "the rendered tables. 'repro bench compare BASELINE CURRENT' diffs "
+        "two bench files and exits nonzero on rows/s regressions.",
     )
     p_bench.add_argument(
         "suite", nargs="?",
-        choices=["engine", "assign", "serve", "fleet", "all", "compare"],
+        choices=["engine", "assign", "serve", "fleet", "backend", "all", "compare"],
         default="all",
         help="suite to run (default all), or 'compare' to diff two records",
     )
@@ -551,6 +578,8 @@ def _cmd_fit(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         engine=args.engine,
         chunk_size=args.chunk_size,
         n_jobs=args.jobs,
+        backend=args.backend,
+        workers=args.workers,
         max_iter=args.max_iter,
         seed=args.seed,
         scale_features=False if args.no_scale else None,
@@ -680,8 +709,10 @@ def _bench_compare(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
 
     from .perf.compare import (
         DEFAULT_THRESHOLD,
+        backend_gate,
         compare_bench_files,
         fleet_gate,
+        render_backend_gate,
         render_comparison,
         render_fleet_gate,
     )
@@ -724,6 +755,13 @@ def _bench_compare(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
         # processes must multiply throughput, monotonically.
         report = fleet_gate(current_payload)
         print(render_fleet_gate(report))
+        ok = ok and report.ok
+    if current_payload.get("suite") == "backend":
+        # Same idea for training: the multiprocess backend must beat the
+        # single-process fit at gate-worthy n (hardware-aware, like the
+        # fleet gate: impossible bars become notes, not failures).
+        report = backend_gate(current_payload)
+        print(render_backend_gate(report))
         ok = ok and report.ok
     return 0 if ok else 1
 

@@ -42,7 +42,7 @@ from ..cluster.init import initial_labels
 from .attributes import CategoricalSpec, NumericSpec
 from .config import FairKMConfig, FairKMResult
 from .lambda_heuristic import resolve_lambda
-from .parallel import FrozenScoringView, WorkerPool, resolve_n_jobs
+from .parallel import resolve_n_jobs, resolve_workers
 from .state import ClusterState
 
 
@@ -106,6 +106,20 @@ class SequentialSweep(SweepStrategy):
         return moves
 
 
+def _resolve_backend(backend, workers: int):
+    """Normalize a sweep's ``backend`` argument to a Backend instance.
+
+    Imported lazily: ``repro.backend`` depends on ``repro.core`` (the
+    other direction of this call), so the import must not run at this
+    module's import time.
+    """
+    from ..backend import Backend, make_backend
+
+    if isinstance(backend, Backend):
+        return backend
+    return make_backend(backend, workers)
+
+
 class ChunkedSweep(SweepStrategy):
     """Vectorized chunked-exact sweep.
 
@@ -159,6 +173,12 @@ class ChunkedSweep(SweepStrategy):
         n_jobs: worker threads scoring windows concurrently (``1``
             serial, ``-1`` one per CPU). Decisions are identical for
             every value.
+        backend: execution backend scoring the window groups — a
+            :class:`repro.backend.Backend` instance, a name for
+            :func:`repro.backend.make_backend`, or ``None`` for the
+            default thread-pool :class:`~repro.backend.LocalBackend`
+            at ``n_jobs`` width. Decisions are identical for every
+            backend (see ``tests/backend/``).
     """
 
     name = "chunked"
@@ -178,6 +198,7 @@ class ChunkedSweep(SweepStrategy):
         chunk_size: int = 256,
         dense_threshold: float = 0.4,
         n_jobs: int = 1,
+        backend=None,
     ) -> None:
         super().__init__()
         if chunk_size <= 0:
@@ -188,8 +209,9 @@ class ChunkedSweep(SweepStrategy):
             )
         self.chunk_size = int(chunk_size)
         self.dense_threshold = float(dense_threshold)
-        self.n_jobs = resolve_n_jobs(n_jobs)
-        self._pool = WorkerPool(self.n_jobs)
+        self.backend = _resolve_backend(backend, resolve_n_jobs(n_jobs))
+        #: Mirrors the backend's worker width (kept for compatibility).
+        self.n_jobs = self.backend.workers
         self._sequential = SequentialSweep()
         self._prev_rate: float | None = None
 
@@ -218,12 +240,15 @@ class ChunkedSweep(SweepStrategy):
             "mode": "chunked",
             "window": window,
             "n_jobs": self.n_jobs,
+            "backend": self.backend.name,
+            "workers": self.backend.workers,
             "scoring_s": 0.0,
             "repair_s": 0.0,
         }
         # One parallel round scans this many objects: a single window
-        # serially, a prefetched group of windows when n_jobs > 1.
-        stride = window if self.n_jobs == 1 else window * self.PREFETCH_WINDOWS
+        # serially, a prefetched group of windows when the backend is
+        # wider than one worker.
+        stride = window if self.backend.workers == 1 else window * self.PREFETCH_WINDOWS
         moves = 0
         for start in range(0, n, stride):
             # Mid-sweep safety valve: if this sweep turned out dense
@@ -249,21 +274,17 @@ class ChunkedSweep(SweepStrategy):
     ) -> np.ndarray:
         """Score every window of *group* against the frozen statistics.
 
-        The window partition is identical for every ``n_jobs``; workers
-        only decide *where* each per-window ``batch_move_deltas`` call
-        runs, so the stacked result is the same array serial scoring
-        would produce.
+        The window partition (:meth:`Backend.shard`) is identical for
+        every worker count and backend; the backend only decides
+        *where* each per-window ``batch_move_deltas`` call runs, so the
+        merged result is the same array serial scoring would produce.
         """
         start = time.perf_counter()
-        if self.n_jobs == 1 or group.shape[0] <= window:
+        if self.backend.workers == 1 or group.shape[0] <= window:
             deltas = state.batch_move_deltas(group, lam)
         else:
-            view = FrozenScoringView(state)
-            slices = [
-                group[off : off + window] for off in range(0, group.shape[0], window)
-            ]
-            parts = self._pool.map(lambda sl: view.batch_move_deltas(sl, lam), slices)
-            deltas = np.vstack(parts)
+            parts = self.backend.map_score(state, self.backend.shard(group, window), lam)
+            deltas = self.backend.merge_stats(parts)
         stats["scoring_s"] += time.perf_counter() - start
         return deltas
 
@@ -329,14 +350,16 @@ class MiniBatchSweep(SweepStrategy):
     are rebuilt once.
 
     With ``n_jobs > 1`` the frozen-snapshot scoring of each batch is
-    *sharded*: workers score fixed-size shards of the batch concurrently
-    against the frozen statistics, the shard deltas are stacked back in
+    *sharded*: the execution backend scores fixed-size shards of the
+    batch concurrently against the frozen statistics (threads by
+    default; worker processes over a shared-memory data placement with
+    ``backend="multiprocess"``), the shard deltas are stacked back in
     visit order, and the accepted moves are merged serially through the
     additive sufficient statistics (``sums``, ``sum_sqnorm``,
     per-attribute ``counts``/``h`` deltas via ``apply_move``) followed by
     the batch's single resync — exactly the single-threaded decision and
     merge sequence. Shard boundaries depend only on the batch size,
-    never on the worker count.
+    never on the worker count or backend.
     """
 
     name = "minibatch"
@@ -347,31 +370,37 @@ class MiniBatchSweep(SweepStrategy):
     #: Maximum shards per batch (bounds per-batch task overhead).
     MAX_SHARDS = 8
 
-    def __init__(self, batch_size: int = 256, n_jobs: int | None = 1) -> None:
+    def __init__(self, batch_size: int = 256, n_jobs: int | None = 1, backend=None) -> None:
         super().__init__()
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.batch_size = int(batch_size)
-        self.n_jobs = resolve_n_jobs(n_jobs)
-        self._pool = WorkerPool(self.n_jobs)
+        self.backend = _resolve_backend(backend, resolve_n_jobs(n_jobs))
+        #: Mirrors the backend's worker width (kept for compatibility).
+        self.n_jobs = self.backend.workers
+        self._shards = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._shards = 0
 
     def _score_batch(self, state: ClusterState, batch: np.ndarray, lam: float) -> np.ndarray:
         """Frozen-snapshot deltas for one batch, sharded when wide.
 
         The shard partition depends only on the batch size — a batch
         wider than one shard is scored shard-by-shard even at
-        ``n_jobs=1`` — so every worker count performs the identical
-        per-shard calls and bit-identity is structural, not an
-        assumption about BLAS reductions being shape-independent.
+        ``n_jobs=1`` — so every worker count and backend performs the
+        identical per-shard calls and bit-identity is structural, not
+        an assumption about BLAS reductions being shape-independent.
         """
         b = batch.shape[0]
         shard = max(self.MIN_SHARD, -(-b // self.MAX_SHARDS))  # ceil division
         if b <= shard:
             return state.batch_move_deltas(batch, lam)
-        view = FrozenScoringView(state)
-        shards = [batch[off : off + shard] for off in range(0, b, shard)]
-        parts = self._pool.map(lambda sl: view.batch_move_deltas(sl, lam), shards)
-        return np.vstack(parts)
+        shards = self.backend.shard(batch, shard)
+        self._shards += len(shards)
+        parts = self.backend.map_score(state, shards, lam)
+        return self.backend.merge_stats(parts)
 
     def sweep(
         self, state: ClusterState, order: np.ndarray, lam: float, cfg: FairKMConfig
@@ -380,9 +409,12 @@ class MiniBatchSweep(SweepStrategy):
             "mode": "minibatch",
             "batch_size": self.batch_size,
             "n_jobs": self.n_jobs,
+            "backend": self.backend.name,
+            "workers": self.backend.workers,
             "scoring_s": 0.0,
             "merge_s": 0.0,
         }
+        shards_before = self._shards
         moves = 0
         for start in range(0, order.shape[0], self.batch_size):
             batch = order[start : start + self.batch_size]
@@ -405,6 +437,7 @@ class MiniBatchSweep(SweepStrategy):
                 state.resync()
             stats["merge_s"] += time.perf_counter() - t1
             moves += batch_moves
+        stats["shards"] = self._shards - shards_before
         self.last_stats = stats
         return moves
 
@@ -423,6 +456,7 @@ def make_sweep(
     *,
     chunk_size: int | None = None,
     n_jobs: int | None = None,
+    backend=None,
 ) -> SweepStrategy:
     """Resolve an ``engine`` argument into a :class:`SweepStrategy`.
 
@@ -433,30 +467,35 @@ def make_sweep(
             size for ``"minibatch"``. ``None`` keeps each strategy's
             default. Rejected alongside a strategy *instance* — the
             instance already carries its own sizing.
-        n_jobs: scoring worker threads for the ``"chunked"`` and
-            ``"minibatch"`` strategies (``None``/1 serial, -1 per-CPU).
-            Ignored by ``"sequential"``, whose decision loop is
-            inherently serial; like ``chunk_size``, rejected alongside a
-            strategy instance.
+        n_jobs: scoring worker count for the ``"chunked"`` and
+            ``"minibatch"`` strategies (``None``/1 serial, -1 or
+            ``"auto"`` one per usable CPU). Ignored by
+            ``"sequential"``, whose decision loop is inherently serial;
+            like ``chunk_size``, rejected alongside a strategy instance.
+        backend: execution backend for the parallel strategies — a
+            :class:`repro.backend.Backend` instance or a
+            :data:`repro.backend.BACKEND_NAMES` name (``None`` keeps
+            the thread-pool default). Ignored by ``"sequential"``;
+            rejected alongside a strategy instance.
     """
     if isinstance(engine, SweepStrategy):
-        if chunk_size is not None or n_jobs is not None:
+        if chunk_size is not None or n_jobs is not None or backend is not None:
             raise ValueError(
-                "chunk_size/n_jobs cannot be combined with a SweepStrategy "
-                "instance; configure the instance directly"
+                "chunk_size/n_jobs/backend cannot be combined with a "
+                "SweepStrategy instance; configure the instance directly"
             )
         return engine
-    jobs = resolve_n_jobs(n_jobs)
+    jobs = resolve_workers(n_jobs, field="n_jobs")
     if engine == SequentialSweep.name:
         return SequentialSweep()
     if engine == ChunkedSweep.name:
         if chunk_size is None:
-            return ChunkedSweep(n_jobs=jobs)
-        return ChunkedSweep(chunk_size, n_jobs=jobs)
+            return ChunkedSweep(n_jobs=jobs, backend=backend)
+        return ChunkedSweep(chunk_size, n_jobs=jobs, backend=backend)
     if engine == MiniBatchSweep.name:
         if chunk_size is None:
-            return MiniBatchSweep(n_jobs=jobs)
-        return MiniBatchSweep(chunk_size, n_jobs=jobs)
+            return MiniBatchSweep(n_jobs=jobs, backend=backend)
+        return MiniBatchSweep(chunk_size, n_jobs=jobs, backend=backend)
     raise ValueError(
         f"unknown engine {engine!r}; expected one of {sorted(SWEEP_STRATEGIES)} "
         "or a SweepStrategy instance"
@@ -546,27 +585,39 @@ class OptimizerEngine:
         sweep_stats: list[dict] = []
         converged = False
         n_iter = 0
-        for n_iter in range(1, cfg.max_iter + 1):
-            order = self._rng.permutation(n) if cfg.shuffle else np.arange(n)
-            moves = self.sweep_strategy.sweep(state, order, lam, cfg)
-            moves_per_iter.append(moves)
-            sweep_stats.append(
-                {
-                    "iteration": n_iter,
-                    "moves": moves,
-                    "move_rate": moves / n,
-                    **self.sweep_strategy.last_stats,
-                }
-            )
-            if cfg.resync_every and n_iter % cfg.resync_every == 0:
-                state.resync()
-            # Recorded after the periodic resync: reported objectives
-            # never carry incremental floating-point drift.
-            objective_history.append(state.objective(lam))
-            if moves == 0:
-                converged = True
-                break
+        # The sweep's execution backend owns the fit's data placement
+        # (e.g. shared-memory segments): started once per fit, torn
+        # down unconditionally so a failed fit leaks nothing.
+        backend = getattr(self.sweep_strategy, "backend", None)
+        if backend is not None:
+            backend.start(state)
+        try:
+            for n_iter in range(1, cfg.max_iter + 1):
+                order = self._rng.permutation(n) if cfg.shuffle else np.arange(n)
+                moves = self.sweep_strategy.sweep(state, order, lam, cfg)
+                moves_per_iter.append(moves)
+                sweep_stats.append(
+                    {
+                        "iteration": n_iter,
+                        "moves": moves,
+                        "move_rate": moves / n,
+                        **self.sweep_strategy.last_stats,
+                    }
+                )
+                if cfg.resync_every and n_iter % cfg.resync_every == 0:
+                    state.resync()
+                # Recorded after the periodic resync: reported objectives
+                # never carry incremental floating-point drift.
+                objective_history.append(state.objective(lam))
+                if moves == 0:
+                    converged = True
+                    break
+        finally:
+            if backend is not None:
+                backend.shutdown()
         diagnostics = {"engine": self.sweep_strategy.name, "sweeps": sweep_stats}
+        if backend is not None:
+            diagnostics["backend"] = backend.describe()
         return build_result(
             state, lam, n_iter, converged, moves_per_iter, objective_history, diagnostics
         )

@@ -70,6 +70,16 @@ class FairKM(EstimatorMixin):
             ``"chunked"`` and ``"minibatch"`` engines (1 serial, -1 one
             per CPU). Results are identical for every value; ignored by
             ``"sequential"``.
+        backend: execution backend for those parallel scoring paths —
+            ``"local"`` (thread pool, default), ``"multiprocess"``
+            (worker processes over a shared-memory data placement;
+            bit-identical results) or ``"remote-stub"`` (the multi-host
+            wire-protocol sketch), or a
+            :class:`repro.backend.Backend` instance. Ignored by
+            ``"sequential"``.
+        workers: worker count for *backend* (int >= 1, -1 or
+            ``"auto"`` for one per usable CPU); ``None`` inherits
+            ``n_jobs``. Results are identical for every value.
         seed: RNG seed or generator for initialization and shuffling.
     """
 
@@ -87,6 +97,8 @@ class FairKM(EstimatorMixin):
         engine: str | SweepStrategy = "sequential",
         chunk_size: int | None = None,
         n_jobs: int | None = None,
+        backend: str | None = None,
+        workers: int | str | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         self.config = FairKMConfig(
@@ -99,7 +111,12 @@ class FairKM(EstimatorMixin):
             shuffle=shuffle,
             resync_every=resync_every,
         )
-        self.sweep = make_sweep(engine, chunk_size=chunk_size, n_jobs=n_jobs)
+        self.sweep = make_sweep(
+            engine,
+            chunk_size=chunk_size,
+            n_jobs=workers if workers is not None else n_jobs,
+            backend=backend,
+        )
         self._rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
     def fit(

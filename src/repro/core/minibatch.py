@@ -53,6 +53,8 @@ class MiniBatchFairKM(FairKM):
         shuffle: bool = True,
         resync_every: int = 1,
         n_jobs: int | None = None,
+        backend: str | None = None,
+        workers: int | str | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         if batch_size <= 0:
@@ -67,6 +69,10 @@ class MiniBatchFairKM(FairKM):
             allow_empty=allow_empty,
             shuffle=shuffle,
             resync_every=resync_every,
-            engine=MiniBatchSweep(batch_size, n_jobs=n_jobs),
+            engine=MiniBatchSweep.name,
+            chunk_size=self.batch_size,
+            n_jobs=n_jobs,
+            backend=backend,
+            workers=workers,
             seed=seed,
         )

@@ -36,31 +36,94 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+#: Environment variable capping ``"auto"``/``-1`` worker resolution.
+#: CI runners advertise more cores than a job may use; setting e.g.
+#: ``REPRO_CORE_BUDGET=2`` keeps auto-sized pools inside the budget.
+CORE_BUDGET_ENV = "REPRO_CORE_BUDGET"
+
+
+def core_budget() -> int:
+    """Usable core count: ``os.cpu_count()`` capped by the CI budget.
+
+    ``$REPRO_CORE_BUDGET``, when set, must be a positive integer and
+    caps (never raises) the detected CPU count.
+    """
+    cores = os.cpu_count() or 1
+    raw = os.environ.get(CORE_BUDGET_ENV)
+    if raw:
+        try:
+            budget = int(raw)
+        except ValueError:
+            raise ValueError(f"{CORE_BUDGET_ENV} must be a positive integer, got {raw!r}") from None
+        if budget < 1:
+            raise ValueError(f"{CORE_BUDGET_ENV} must be a positive integer, got {budget}")
+        cores = min(cores, budget)
+    return cores
+
+
+def validate_workers(
+    value: int | str | None, *, field: str = "workers", allow_auto: bool = True
+) -> int | str:
+    """Check a worker-count knob without resolving ``-1``/``"auto"``.
+
+    The single definition of the domain — an integral count >= 1, -1
+    (one worker per usable CPU), or, when *allow_auto*, the string
+    ``"auto"`` (same meaning as -1) — shared by ``n_jobs``, the backend
+    execution spec, and the CLI. ``None`` normalizes to 1 (serial).
+    Error messages name *field* so config validation points at the
+    offending key.
+    """
+    domain = 'a positive integer, -1, or "auto"' if allow_auto else "a positive integer or -1"
+    if value is None:
+        return 1
+    if isinstance(value, str):
+        if allow_auto and value == "auto":
+            return "auto"
+        raise ValueError(f"{field} must be {domain}, got {value!r}")
+    if isinstance(value, bool):
+        raise ValueError(f"{field} must be {domain}, got {value!r}")
+    try:
+        as_int = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{field} must be {domain}, got {value!r}") from None
+    if as_int != value:  # rejects non-integral floats like 2.5
+        raise ValueError(f"{field} must be an integral count, got {value!r}")
+    if as_int != -1 and as_int < 1:
+        raise ValueError(f"{field} must be {domain}, got {as_int}")
+    return as_int
+
+
+def resolve_workers(
+    value: int | str | None, *, field: str = "workers", allow_auto: bool = True
+) -> int:
+    """Normalize a worker-count knob to a concrete count.
+
+    ``None`` and ``1`` mean serial; ``-1`` and ``"auto"`` mean one
+    worker per usable CPU (:func:`core_budget`, which honors
+    ``$REPRO_CORE_BUDGET``); any other positive integer is literal.
+    """
+    value = validate_workers(value, field=field, allow_auto=allow_auto)
+    if value == "auto" or value == -1:
+        return core_budget()
+    return int(value)
+
+
 def validate_n_jobs(n_jobs: int | None) -> int:
     """Check an ``n_jobs`` knob without resolving -1.
 
-    The single definition of the knob's domain — a positive integer or
-    -1 (one worker per CPU) — shared by the CLI, :class:`RunConfig` and
-    :func:`resolve_n_jobs`. ``None`` normalizes to 1 (serial).
+    Thin wrapper over :func:`validate_workers` (the shared domain
+    check) keeping the historical ``n_jobs`` spelling in errors.
     """
-    if n_jobs is None:
-        return 1
-    n_jobs = int(n_jobs)
-    if n_jobs != -1 and n_jobs <= 0:
-        raise ValueError(f"n_jobs must be a positive integer or -1, got {n_jobs}")
-    return n_jobs
+    return int(validate_workers(n_jobs, field="n_jobs", allow_auto=False))
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
     """Normalize an ``n_jobs`` knob to a concrete worker count.
 
-    ``None`` and ``1`` mean serial; ``-1`` means one worker per
-    available CPU; any other positive integer is taken literally.
+    ``None`` and ``1`` mean serial; ``-1`` means one worker per usable
+    CPU; any other positive integer is taken literally.
     """
-    n_jobs = validate_n_jobs(n_jobs)
-    if n_jobs == -1:
-        return os.cpu_count() or 1
-    return n_jobs
+    return resolve_workers(n_jobs, field="n_jobs", allow_auto=False)
 
 
 class WorkerPool:

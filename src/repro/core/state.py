@@ -163,6 +163,45 @@ class ClusterState:
             num.d.fill(0.0)
             np.add.at(num.d, labels, num.centered)
 
+    def export_scoring_stats(self) -> dict[str, object]:
+        """Everything :meth:`batch_move_deltas` reads besides the data.
+
+        Returns the live per-cluster sufficient statistics — the arrays
+        a remote scorer must install next to its own copy of the static
+        data (points + attribute specs) to reproduce this state's
+        scoring bit for bit. The values are *live views*, frozen only
+        by the no-mutation-during-scoring protocol; callers shipping
+        them across a process boundary get copies from serialization.
+        """
+        return {
+            "sums": self.sums,
+            "sum_sqnorm": self.sum_sqnorm,
+            "sizes_f": self._sizes_f,
+            "cat_counts": [cat.counts for cat in self._cat],
+            "cat_h": [cat.h for cat in self._cat],
+            "num_d": [num.d for num in self._num],
+        }
+
+    def install_scoring_stats(self, stats: dict[str, object]) -> None:
+        """Install a peer's :meth:`export_scoring_stats` snapshot.
+
+        Used by backend worker processes: the static data (points,
+        specs) lives in shared memory, only these additive statistics
+        travel per scoring round. Scoring after install is bit-identical
+        to the exporting state's because :meth:`batch_move_deltas` reads
+        exactly these arrays (plus labels, which the caller scatters).
+        """
+        self.sums = np.ascontiguousarray(stats["sums"], dtype=np.float64)
+        self.sum_sqnorm = np.ascontiguousarray(stats["sum_sqnorm"], dtype=np.float64)
+        self._sizes_f = np.ascontiguousarray(stats["sizes_f"], dtype=np.float64)
+        self.sizes = self._sizes_f.astype(np.int64)
+        for cat, counts, h in zip(self._cat, stats["cat_counts"], stats["cat_h"]):
+            cat.counts = np.ascontiguousarray(counts, dtype=np.float64)
+            cat.h = np.ascontiguousarray(h, dtype=np.float64)
+        for num, d in zip(self._num, stats["num_d"]):
+            num.d = np.ascontiguousarray(d, dtype=np.float64)
+        self.mutations += 1
+
     def consistency_error(self) -> float:
         """Max absolute difference between live caches and a fresh rebuild."""
         snapshot = ClusterState(

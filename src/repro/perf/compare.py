@@ -285,6 +285,153 @@ def render_fleet_gate(report: FleetGateReport) -> str:
     return "\n".join(lines)
 
 
+#: Backend-gate knobs: multiprocess training must beat the single-process
+#: fit, but only at sizes where compute outweighs IPC — CI smoke sizes
+#: (thousands of rows) sit below the floor and are reported, not gated.
+BACKEND_GATE_MIN_SPEEDUP = 1.0
+BACKEND_GATE_MIN_N = 100_000
+
+
+@dataclass(frozen=True)
+class BackendGateRow:
+    """Multiprocess-vs-local fit throughput at one (n, worker count)."""
+
+    n: int
+    jobs: int
+    local_rows_per_s: float
+    multiprocess_rows_per_s: float
+
+    @property
+    def speedup(self) -> float:
+        if self.local_rows_per_s <= 0:
+            return float("inf")
+        return self.multiprocess_rows_per_s / self.local_rows_per_s
+
+
+@dataclass(frozen=True)
+class BackendGateReport:
+    """Scaling verdict for one ``BENCH_backend.json`` payload."""
+
+    rows: list[BackendGateRow] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.rows) and not self.problems
+
+
+def backend_gate(
+    payload: dict[str, Any],
+    *,
+    min_speedup: float = BACKEND_GATE_MIN_SPEEDUP,
+    min_n: int = BACKEND_GATE_MIN_N,
+) -> BackendGateReport:
+    """Check that the multiprocess backend buys wall-clock, not just IPC.
+
+    For every size *n* in a backend suite payload, the
+    ``backend_multiprocess_fit`` speedup over the same-*n* jobs=1
+    ``backend_local_fit`` record must be **> min_speedup at the largest
+    worker count** — shipping shards to worker processes has to beat
+    scoring them in-process, or the backend is pure overhead.
+
+    The bar is **hardware- and size-aware**, mirroring
+    :func:`fleet_gate`: records carry the recording host's ``cpu_count``
+    in ``extra``, and worker processes beyond the core count cannot add
+    compute, so the bar applies to the largest worker count **that fits
+    the cores**; a single-core host gets a ``notes`` entry instead of a
+    failure. Sizes below *min_n* (CI smoke runs) are reported but not
+    gated — at a few thousand rows the per-shard pickling round trip
+    dominates the arithmetic it ships, and a "regression" there would
+    only measure IPC, not the backend.
+
+    Returns a report whose ``problems`` list is empty when the gate
+    passes; ``repro bench compare`` exits nonzero otherwise.
+    """
+    validate_bench(payload)
+    locals_: dict[int, float] = {}
+    for record in payload["records"]:
+        if record["workload"] == "backend_local_fit" and record["jobs"] == 1:
+            locals_[record["n"]] = float(record["rows_per_s"])
+    mp_records: dict[int, list[tuple[int, float]]] = {}
+    cpu_count: int | None = None
+    for record in payload["records"]:
+        if record["workload"] == "backend_multiprocess_fit":
+            mp_records.setdefault(record["n"], []).append(
+                (int(record["jobs"]), float(record["rows_per_s"]))
+            )
+            cores = record.get("extra", {}).get("cpu_count")
+            if isinstance(cores, int) and cores > 0:
+                cpu_count = cores
+    rows: list[BackendGateRow] = []
+    problems: list[str] = []
+    notes: list[str] = []
+    if not mp_records:
+        problems.append("no backend_multiprocess_fit records to gate on")
+    for n in sorted(mp_records):
+        local = locals_.get(n)
+        if local is None:
+            problems.append(f"n={n}: no jobs=1 backend_local_fit baseline record")
+            continue
+        ladder = sorted(mp_records[n])
+        for jobs, rate in ladder:
+            rows.append(BackendGateRow(n, jobs, local, rate))
+        if n < min_n:
+            notes.append(
+                f"n={n:,}: below the gating floor ({min_n:,} rows) — IPC "
+                "dominates at smoke sizes, reporting only"
+            )
+            continue
+        # Workers beyond the recording host's cores cannot add compute:
+        # gate on the largest worker count the hardware supports.
+        gated = ladder
+        if cpu_count is not None:
+            gated = [(jobs, rate) for jobs, rate in ladder if jobs <= cpu_count]
+        if not any(jobs > 1 for jobs, _ in gated):
+            notes.append(
+                f"n={n:,}: host has {cpu_count} core(s) — multiprocess "
+                "scaling is not enforceable on this machine, reporting only"
+            )
+            continue
+        top_jobs, top_rate = gated[-1]
+        top_speedup = float("inf") if local <= 0 else top_rate / local
+        if top_speedup <= min_speedup:
+            problems.append(
+                f"n={n:,}: {top_jobs} worker process(es) reach only "
+                f"{top_speedup:.2f}x the single-process fit (need > "
+                f"{min_speedup:.2f}x) — the backend is a tax, not a multiplier"
+            )
+    return BackendGateReport(rows=rows, problems=problems, notes=notes)
+
+
+def render_backend_gate(report: BackendGateReport) -> str:
+    """Human-readable backend-gate table + verdict."""
+    from ..experiments.tables import format_table
+
+    rows = [
+        [
+            f"{row.n:,}",
+            str(row.jobs),
+            f"{row.local_rows_per_s / 1e6:.2f}",
+            f"{row.multiprocess_rows_per_s / 1e6:.2f}",
+            f"{row.speedup:.2f}x",
+        ]
+        for row in report.rows
+    ]
+    table = format_table(
+        ["n", "workers", "local M/s", "multiproc M/s", "speedup"],
+        rows,
+        title="Backend scaling gate (backend_multiprocess_fit vs backend_local_fit)",
+    )
+    lines = [table]
+    lines.extend(f"  note: {note}" for note in report.notes)
+    lines.extend(f"  GATE: {problem}" for problem in report.problems)
+    lines.append(
+        "backend gate passed" if report.ok else "backend gate FAILED"
+    )
+    return "\n".join(lines)
+
+
 def render_comparison(comparison: BenchComparison) -> str:
     """Human-readable report (the ``repro bench compare`` output)."""
     from ..experiments.tables import format_table

@@ -50,6 +50,16 @@ Three suites ship today:
   sweep (``fleet_stream_scatter``) additionally streams single growing
   requests through the proxy and records ``bytes_per_s`` in ``extra``
   — the wire format's own ceiling.
+* **backend** — distributed-training scaling: one large-batch
+  mini-batch FairKM fit per worker count through the
+  :class:`~repro.backend.MultiprocessBackend` (data placed in shared
+  memory once, shard stats scored in worker processes), next to the
+  same fit through the default thread-pool
+  :class:`~repro.backend.LocalBackend` — so ``BENCH_backend.json``
+  quantifies what worker *processes* buy over in-process scoring, at
+  bit-identical labels. Records carry the host ``cpu_count`` so the
+  scaling gate (:func:`repro.perf.compare.backend_gate`) knows what
+  the hardware allows.
 
 Entry points: ``repro bench`` (CLI) and ``benchmarks/harness.py``
 (standalone script).
@@ -69,7 +79,7 @@ import numpy as np
 BENCH_SCHEMA = "repro.bench/v1"
 
 #: Known suite names (one output file per suite).
-SUITES = ("engine", "assign", "serve", "fleet")
+SUITES = ("engine", "assign", "serve", "fleet", "backend")
 
 #: Required record fields and their types (``extra`` is optional).
 _RECORD_FIELDS: dict[str, type] = {
@@ -622,6 +632,102 @@ def bench_fleet(
     return records
 
 
+def bench_backend(
+    sizes: Sequence[int],
+    workers: Sequence[int],
+    *,
+    k: int = 5,
+    max_iter: int = 10,
+    batch_size: int = 16_384,
+    repeats: int = 1,
+) -> list[BenchRecord]:
+    """Training-backend scaling: multiprocess fit vs the local baseline.
+
+    Per size *n*, one large-batch mini-batch FairKM fit on the standard
+    Adult-shaped workload through each backend:
+
+    * ``backend_local_fit``        — the default thread-pool
+      :class:`~repro.backend.LocalBackend` at jobs=1 (the
+      single-process baseline the gate measures against);
+    * ``backend_multiprocess_fit`` — the same fit through the
+      :class:`~repro.backend.MultiprocessBackend` at each worker count
+      (the ``jobs`` column is the worker-*process* count).
+
+    The batch size is large (default 16384) so every batch shards into
+    many per-worker scoring tasks — the section the backend
+    parallelizes. Labels and centers are asserted bit-identical to the
+    local baseline at every worker count (the backend contract), and
+    every record's ``extra`` carries the backend name and the host's
+    ``cpu_count`` — :func:`repro.perf.compare.backend_gate` cannot hold
+    the backend to a speedup bar the hardware makes impossible.
+    """
+    import os
+
+    from ..core import MiniBatchFairKM
+
+    cpu_count = os.cpu_count() or 1
+    records: list[BenchRecord] = []
+    for n in sizes:
+        points, cats, nums = _engine_problem(int(n))
+        n_real = points.shape[0]
+        lam = (n_real / k) ** 2
+
+        def fit(backend: str, jobs: int):
+            return MiniBatchFairKM(
+                k, batch_size=batch_size, lambda_=lam, seed=0,
+                max_iter=max_iter, backend=backend, workers=jobs,
+            ).fit(points, categorical=cats, numeric=nums)
+
+        wall, base = _timed(lambda: fit("local", 1), repeats)
+        records.append(
+            BenchRecord(
+                "backend_local_fit", n_real, k, 1,
+                wall, n_real * base.n_iter / wall if wall > 0 else 0.0,
+                extra={
+                    "backend": "local",
+                    "cpu_count": cpu_count,
+                    "n_iter": base.n_iter,
+                    "batch_size": batch_size,
+                },
+            )
+        )
+        for j in workers:
+            wall, result = _timed(lambda j=j: fit("multiprocess", int(j)), repeats)
+            if not np.array_equal(result.labels, base.labels):
+                raise AssertionError(
+                    f"multiprocess workers={j} changed the labels"
+                )
+            if not np.array_equal(result.centers, base.centers):
+                raise AssertionError(
+                    f"multiprocess workers={j} changed the centers"
+                )
+            records.append(
+                BenchRecord(
+                    "backend_multiprocess_fit", n_real, k, int(j),
+                    wall, n_real * result.n_iter / wall if wall > 0 else 0.0,
+                    extra={
+                        "backend": "multiprocess",
+                        "cpu_count": cpu_count,
+                        "n_iter": result.n_iter,
+                        "batch_size": batch_size,
+                    },
+                )
+            )
+    # speedup is measured against the single-process *local* fit, not
+    # each workload's own jobs=1 record: the whole question the suite
+    # answers is whether worker processes beat in-process scoring.
+    locals_ = {
+        (r.n, r.k): r.wall_s
+        for r in records
+        if r.workload == "backend_local_fit" and r.jobs == 1
+    }
+    for r in records:
+        base_wall = locals_.get((r.n, r.k))
+        if base_wall and r.wall_s > 0:
+            r.speedup = base_wall / r.wall_s
+    return records
+
+
 def _check_fleet_labels(
     workload: str,
     labels: np.ndarray,
@@ -665,11 +771,12 @@ def run_bench(
     """Run the requested suite(s); write and validate ``BENCH_*.json``.
 
     Args:
-        suite: ``"engine"``, ``"assign"``, ``"serve"``, ``"fleet"`` or
-            ``"all"``.
+        suite: ``"engine"``, ``"assign"``, ``"serve"``, ``"fleet"``,
+            ``"backend"`` or ``"all"``.
         smoke: small sizes for CI (seconds, not minutes).
         max_jobs: top of the worker-count ladder (always includes 1; the
-            fleet suite reuses it as the worker-*process* ladder).
+            fleet and backend suites reuse it as the worker-*process*
+            ladder).
         out_dir: output directory (default: the results dir, honoring
             ``REPRO_RESULTS_DIR``).
         repeats: timing repeats, best-of (default: 1 engine / 3
@@ -690,6 +797,9 @@ def run_bench(
     # serve_http_json floor alongside the large npy-only measurement.
     serve_sizes = (20_000,) if smoke else (50_000, 500_000)
     fleet_sizes_n = (20_000,) if smoke else (50_000, 500_000)
+    # 100k is the backend gate's floor: below it shard IPC dominates the
+    # arithmetic it ships, so smoke runs are reported but never gated.
+    backend_sizes = (2_000,) if smoke else (100_000,)
     written: dict[str, Path] = {}
     if suite in ("engine", "all"):
         records = bench_engine(
@@ -719,4 +829,12 @@ def run_bench(
             repeats=(1 if smoke else 3) if repeats is None else repeats,
         )
         written["fleet"] = write_bench(out / "BENCH_fleet.json", "fleet", records)
+    if suite in ("backend", "all"):
+        # The jobs ladder doubles as the worker-process ladder here too.
+        records = bench_backend(
+            backend_sizes, jobs, repeats=repeats if repeats is not None else 1
+        )
+        written["backend"] = write_bench(
+            out / "BENCH_backend.json", "backend", records
+        )
     return written

@@ -1,0 +1,199 @@
+"""MultiprocessBackend: bit-identity, lifecycle, and crash containment.
+
+The backend's correctness bar is structural — shard partition and merge
+order never depend on the worker count — so every test here compares
+whole fits (labels *and* centers) against the local thread-pool run
+with ``np.array_equal``, not ``allclose``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import METHOD_REGISTRY, RunConfig, fit
+from repro.backend import BackendError, MultiprocessBackend
+from repro.core import CategoricalSpec, MiniBatchFairKM, NumericSpec
+from repro.core.state import ClusterState
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _problem(n, dim=5, seed=0, n_values=3):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, dim))
+    cats = [CategoricalSpec("g", rng.integers(0, n_values, n), n_values=n_values)]
+    nums = [NumericSpec("z", rng.normal(size=n))]
+    return points, cats, nums
+
+
+def _assert_no_leaked_segments(names):
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+# --------------------------------------------------------------------- #
+# Bit-identity                                                            #
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def mp_problems(draw):
+    seed = draw(st.integers(0, 1000))
+    n = draw(st.integers(560, 900))  # > MIN_SHARD so batches really shard
+    k = draw(st.integers(2, 5))
+    workers = draw(st.sampled_from(WORKER_COUNTS))
+    return seed, n, k, workers
+
+
+@given(mp_problems())
+@settings(max_examples=5, deadline=None)
+def test_multiprocess_fit_is_bit_identical_to_local(problem):
+    seed, n, k, workers = problem
+    points, cats, nums = _problem(n, seed=seed)
+    batch = max(520, n - 40)
+
+    def run(backend, w):
+        return MiniBatchFairKM(
+            k, batch_size=batch, seed=seed, max_iter=5,
+            backend=backend, workers=w,
+        ).fit(points, categorical=cats, numeric=nums)
+
+    local = run("local", 1)
+    mp = run("multiprocess", workers)
+    assert np.array_equal(local.labels, mp.labels)
+    assert np.array_equal(local.centers, mp.centers)
+    assert np.array_equal(local.objective_history, mp.objective_history)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("method", sorted(METHOD_REGISTRY))
+def test_every_registered_method_is_backend_invariant(method, workers):
+    # Engine-family methods route shard scoring through the backend; the
+    # combinatorial baselines never touch it — either way the contract
+    # is the same: the backend spec may not change a single bit.
+    engine_family = method in ("fairkm", "minibatch_fairkm")
+    n = 700 if engine_family else 90
+    points, cats, nums = _problem(n, n_values=2)
+    # Categorical only: bera constrains categorical attributes and the
+    # per-attribute baselines filter by kind anyway.
+    sensitive = {"g": cats[0].codes}
+    base_cfg = RunConfig(method=method, k=3, seed=0, max_iter=5)
+    if method == "minibatch_fairkm":
+        base_cfg = base_cfg.with_overrides(chunk_size=600)
+    elif method == "fairkm":
+        base_cfg = base_cfg.with_overrides(engine="chunked")
+    local = fit(base_cfg, points, sensitive=sensitive)
+    mp = fit(
+        base_cfg.with_overrides(backend="multiprocess", workers=workers),
+        points,
+        sensitive=sensitive,
+    )
+    assert np.array_equal(local.centers, mp.centers)
+    assert np.array_equal(local.assign(points), mp.assign(points))
+
+
+def test_result_diagnostics_record_the_backend():
+    points, cats, nums = _problem(700)
+    result = MiniBatchFairKM(
+        3, batch_size=600, seed=0, max_iter=4,
+        backend="multiprocess", workers=2,
+    ).fit(points, categorical=cats, numeric=nums)
+    assert result.diagnostics["backend"] == {"name": "multiprocess", "workers": 2}
+    sweeps = result.diagnostics["sweeps"]
+    assert sweeps and all(s["backend"] == "multiprocess" for s in sweeps)
+    assert all(s["workers"] == 2 for s in sweeps)
+    assert any(s["shards"] > 0 for s in sweeps)
+    assert all(s["merge_s"] >= 0.0 for s in sweeps)
+
+
+# --------------------------------------------------------------------- #
+# Shared-memory lifecycle                                                 #
+# --------------------------------------------------------------------- #
+
+
+def test_shutdown_unlinks_every_placed_segment():
+    points, cats, nums = _problem(600)
+    backend = MultiprocessBackend(2)
+    model = MiniBatchFairKM(
+        3, batch_size=560, seed=0, max_iter=3, backend=backend
+    )
+    model.fit(points, categorical=cats, numeric=nums)
+    # The engine's finally already shut the backend down.
+    names = backend.segment_names()
+    _assert_no_leaked_segments(names)
+    backend.shutdown()  # idempotent
+
+
+def test_backend_restarts_cleanly_across_fits():
+    points, cats, nums = _problem(620)
+    backend = MultiprocessBackend(2)
+    runs = [
+        MiniBatchFairKM(
+            3, batch_size=560, seed=0, max_iter=3, backend=backend
+        ).fit(points, categorical=cats, numeric=nums)
+        for _ in range(2)
+    ]
+    assert np.array_equal(runs[0].labels, runs[1].labels)
+    _assert_no_leaked_segments(backend.segment_names())
+
+
+def test_sigkilled_worker_surfaces_backend_error_and_leaks_nothing():
+    points, cats, nums = _problem(200)
+    state = ClusterState(
+        points, np.zeros(200, dtype=np.int64), 3, cats, nums
+    )
+    backend = MultiprocessBackend(2)
+    backend.start(state)
+    try:
+        names = backend.segment_names()
+        assert names  # the data really was placed in shared memory
+        shards = backend.shard(np.arange(200), 64)
+        backend.map_score(state, shards, 10.0)  # spins the workers up
+        pids = backend.worker_pids()
+        assert pids
+        os.kill(pids[0], signal.SIGKILL)
+        with pytest.raises(BackendError, match="worker died"):
+            for _ in range(50):  # the pool may need a round to notice
+                backend.map_score(state, shards, 10.0)
+    finally:
+        backend.shutdown()
+    _assert_no_leaked_segments(names)
+
+
+def test_sigkilled_worker_mid_fit_cleans_up_the_placement():
+    points, cats, nums = _problem(1200)
+
+    class Sabotaged(MultiprocessBackend):
+        scored = 0
+
+        def map_score(self, state, shards, lambda_):
+            parts = super().map_score(state, shards, lambda_)
+            Sabotaged.scored += 1
+            if Sabotaged.scored == 1:
+                os.kill(self.worker_pids()[0], signal.SIGKILL)
+            return parts
+
+    backend = Sabotaged(2)
+    with pytest.raises(BackendError, match="worker died"):
+        MiniBatchFairKM(
+            3, batch_size=1100, seed=0, max_iter=5, backend=backend
+        ).fit(points, categorical=cats, numeric=nums)
+    assert Sabotaged.scored >= 1
+    # The engine's finally ran shutdown: nothing left in /dev/shm.
+    _assert_no_leaked_segments(backend.segment_names())
+
+
+def test_map_score_before_start_is_an_error():
+    points, cats, nums = _problem(100)
+    state = ClusterState(points, np.zeros(100, dtype=np.int64), 2, cats, nums)
+    backend = MultiprocessBackend(2)
+    with pytest.raises(BackendError, match="start"):
+        backend.map_score(state, [np.arange(100)], 1.0)

@@ -6,10 +6,12 @@ import pytest
 
 from repro.perf import (
     BenchRecord,
+    backend_gate,
     bench_payload,
     compare_bench,
     compare_bench_files,
     fleet_gate,
+    render_backend_gate,
     render_comparison,
     render_fleet_gate,
     write_bench,
@@ -185,3 +187,90 @@ def test_fleet_gate_requires_records():
     report = fleet_gate(missing_single)
     assert not report.ok
     assert any("no serve_http_single baseline" in p for p in report.problems)
+
+
+# --------------------------------------------------------------------- #
+# The training-backend scaling gate                                       #
+# --------------------------------------------------------------------- #
+
+
+def _backend_payload(local, ladder, *, cpu_count=8, n=200_000):
+    """Backend payload: one local jobs=1 rate, {jobs: rate} mp ladder."""
+    records = [
+        BenchRecord(
+            "backend_local_fit", n, 5, 1, 0.1, float(local),
+            extra={"backend": "local", "cpu_count": cpu_count},
+        )
+    ]
+    records += [
+        BenchRecord(
+            "backend_multiprocess_fit", n, 5, jobs, 0.1, float(rate),
+            extra={"backend": "multiprocess", "cpu_count": cpu_count},
+        )
+        for jobs, rate in ladder.items()
+    ]
+    return bench_payload("backend", records)
+
+
+def test_backend_gate_passes_when_workers_multiply():
+    report = backend_gate(
+        _backend_payload(1000.0, {1: 800.0, 2: 1500.0, 4: 2600.0})
+    )
+    assert report.ok
+    assert [row.speedup for row in report.rows] == pytest.approx([0.8, 1.5, 2.6])
+    assert "backend gate passed" in render_backend_gate(report)
+
+
+def test_backend_gate_fails_when_backend_is_a_tax():
+    report = backend_gate(_backend_payload(1000.0, {1: 700.0, 2: 900.0}))
+    assert not report.ok
+    assert any("tax, not a multiplier" in p for p in report.problems)
+    assert "backend gate FAILED" in render_backend_gate(report)
+
+
+def test_backend_gate_reports_smoke_sizes_without_gating():
+    # Below the floor IPC dominates: a "failing" speedup is a note only.
+    report = backend_gate(_backend_payload(1000.0, {1: 400.0, 2: 600.0}, n=2000))
+    assert report.ok
+    assert len(report.rows) == 2
+    assert any("below the gating floor" in note for note in report.notes)
+    assert "note:" in render_backend_gate(report)
+
+
+def test_backend_gate_is_hardware_aware():
+    # Single-core host: worker processes cannot multiply — note, not fail.
+    report = backend_gate(
+        _backend_payload(1000.0, {1: 700.0, 2: 500.0}, cpu_count=1)
+    )
+    assert report.ok
+    assert any("not enforceable" in note for note in report.notes)
+    # Two cores, ladder to 4: gate on the largest size the cores support.
+    report = backend_gate(
+        _backend_payload(1000.0, {1: 900.0, 2: 1700.0, 4: 900.0}, cpu_count=2)
+    )
+    assert report.ok
+
+
+def test_backend_gate_requires_records():
+    report = backend_gate(
+        bench_payload(
+            "backend", [BenchRecord("backend_local_fit", 10, 2, 1, 0.1, 1.0)]
+        )
+    )
+    assert not report.ok
+    assert any("no backend_multiprocess_fit records" in p for p in report.problems)
+
+
+def test_backend_gate_requires_local_baseline():
+    payload = bench_payload(
+        "backend",
+        [
+            BenchRecord(
+                "backend_multiprocess_fit", 200_000, 5, 2, 0.1, 1000.0,
+                extra={"cpu_count": 8},
+            )
+        ],
+    )
+    report = backend_gate(payload)
+    assert not report.ok
+    assert any("no jobs=1 backend_local_fit baseline" in p for p in report.problems)

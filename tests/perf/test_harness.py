@@ -15,6 +15,7 @@ from repro.perf import (
 )
 from repro.perf.harness import (
     bench_assign,
+    bench_backend,
     bench_engine,
     bench_fleet,
     bench_serve,
@@ -163,3 +164,19 @@ def test_cli_bench_smoke_writes_validated_files(tmp_path, capsys):
     # Library-level orchestration covers the engine suite the same way.
     written = run_bench("engine", smoke=True, max_jobs=2, out_dir=tmp_path)
     validate_bench(json.loads(written["engine"].read_text()))
+
+
+def test_bench_backend_measures_multiprocess_against_local():
+    records = bench_backend((600,), (1, 2), max_iter=3, batch_size=560)
+    by_key = {(r.workload, r.jobs) for r in records}
+    assert ("backend_local_fit", 1) in by_key
+    assert ("backend_multiprocess_fit", 1) in by_key
+    assert ("backend_multiprocess_fit", 2) in by_key
+    assert all(r.rows_per_s > 0 for r in records)
+    # speedup is anchored at the single-process *local* fit, the
+    # question the suite answers — not each workload's own baseline.
+    local = next(r for r in records if r.workload == "backend_local_fit")
+    assert local.speedup == 1.0
+    for r in records:
+        assert r.extra["cpu_count"] >= 1
+        assert r.extra["backend"] in ("local", "multiprocess")
