@@ -49,6 +49,7 @@ START_METHOD_ENV = "REPRO_MP_START_METHOD"
 # Worker-process globals, set once by _init_worker.
 _WORKER_STATE: Any = None
 _WORKER_SEGMENTS: list[shared_memory.SharedMemory] = []
+_WORKER_INJECTOR: Any = False  # False = not yet resolved; None = no plan
 
 
 def _pick_context():
@@ -112,8 +113,31 @@ def _init_worker(spec: dict[str, Any]) -> None:
     _WORKER_STATE = ClusterState(points, np.zeros(n, dtype=np.int64), spec["k"], cats, nums)
 
 
+def _worker_injector() -> Any:
+    """Lazily resolve the env-gated fault injector for this worker.
+
+    Resolved once per process from ``REPRO_FAULT_PLAN`` (the injector's
+    per-site counters must persist across shards to hit ``at`` indices),
+    and only inside worker processes — the parent's hot path never pays
+    for it.
+    """
+    global _WORKER_INJECTOR
+    if _WORKER_INJECTOR is False:
+        from ..faults.plan import FaultInjector
+
+        _WORKER_INJECTOR = FaultInjector.from_env()
+    return _WORKER_INJECTOR
+
+
 def _score_shard(task: tuple[np.ndarray, np.ndarray, dict[str, Any], float]) -> np.ndarray:
     """Worker-side: install the round's stats, scatter labels, score."""
+    injector = _worker_injector()
+    if injector is not None:
+        event = injector.fire("backend.score")
+        if event is not None and event.kind == "sigkill":
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)  # pool breaks; map_score raises
     indices, labels, stats, lam = task
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - initializer always ran

@@ -306,6 +306,46 @@ def build_parser() -> argparse.ArgumentParser:
         "(default bench-results)",
     )
 
+    # ----------------------------------------------------------- chaos #
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run seeded fault-injection soaks against a live fleet",
+        description="Spin up a throwaway worker fleet behind the proxy "
+        "and soak it with a seed-derived fault schedule (a SIGSTOP'd "
+        "frozen worker, a SIGKILL'd crashed worker, injected worker-side "
+        "delays), measuring availability and p50/p99 latency while "
+        "asserting every successful response is bit-identical to "
+        "in-process predict. Writes schema-validated "
+        "results/BENCH_chaos.json with the breaker-on soak next to the "
+        "identical breaker-off soak; exits nonzero when the breaker-on "
+        "soak misses the availability gate or any answer was wrong.",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-schedule seed (same seed, same schedule; default 0)",
+    )
+    p_chaos.add_argument(
+        "--smoke", action="store_true",
+        help="single short breaker-on soak for CI (seconds, not minutes)",
+    )
+    p_chaos.add_argument(
+        "--requests", type=positive_int, default=None,
+        help="requests per soak (default 80 smoke / 250 full)",
+    )
+    p_chaos.add_argument(
+        "--workers", type=positive_int, default=2,
+        help="fleet worker processes (default 2)",
+    )
+    p_chaos.add_argument(
+        "--out", "-o", type=Path, default=None,
+        help="output directory (default results/, or REPRO_RESULTS_DIR)",
+    )
+    p_chaos.add_argument(
+        "--min-availability", type=float, default=None, metavar="FRACTION",
+        help="availability gate for the breaker-on soak "
+        "(default 0.99 full / 0.90 smoke)",
+    )
+
     # ----------------------------------------------------------- serve #
     p_serve = sub.add_parser(
         "serve",
@@ -883,17 +923,48 @@ def _fleet_up(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from .faults.chaos import render_chaos, run_chaos_suite
+
+    try:
+        outcome = run_chaos_suite(
+            seed=args.seed,
+            smoke=args.smoke,
+            requests=args.requests,
+            workers=args.workers,
+            out_dir=args.out,
+            min_availability=args.min_availability,
+        )
+    except (OSError, ValueError) as exc:
+        parser.error(str(exc))
+        raise AssertionError("unreachable")
+    print(f"wrote {outcome['path']}")
+    print(render_chaos(outcome["path"]))
+    if not outcome["ok"]:
+        for reason in outcome["reasons"]:
+            print(f"chaos gate FAILED: {reason}", file=sys.stderr)
+        return 1
+    print("chaos gate passed: availability within budget, zero wrong answers")
+    return 0
+
+
+def _fleet_state_path(args: argparse.Namespace) -> Path | None:
+    """The fleet state file implied by --state-dir/--registry, if any."""
+    if getattr(args, "state_dir", None) is not None:
+        return args.state_dir / "fleet.json"
+    if getattr(args, "registry", None) is not None:
+        return args.registry / ".fleet" / "fleet.json"
+    return None
+
+
 def _fleet_url(args: argparse.Namespace, parser: argparse.ArgumentParser) -> str:
     """Resolve the proxy URL from --url or the fleet state file."""
     import json
 
     if args.url:
         return args.url
-    if args.state_dir is not None:
-        state_path = args.state_dir / "fleet.json"
-    elif args.registry is not None:
-        state_path = args.registry / ".fleet" / "fleet.json"
-    else:
+    state_path = _fleet_state_path(args)
+    if state_path is None:
         parser.error("one of --url, --registry or --state-dir is required")
         raise AssertionError("unreachable")
     if not state_path.is_file():
@@ -902,6 +973,56 @@ def _fleet_url(args: argparse.Namespace, parser: argparse.ArgumentParser) -> str
     if not url:
         parser.error(f"{state_path} records no proxy URL (is the fleet up?)")
     return url
+
+
+def _pid_alive(pid: Any) -> bool:
+    """True when *pid* names a live process we can see (signal-0 probe)."""
+    import os
+
+    try:
+        os.kill(int(pid), 0)
+    except (ProcessLookupError, TypeError, ValueError, OverflowError):
+        return False
+    except PermissionError:  # pragma: no cover - alive but not ours
+        return True
+    return True
+
+
+def _fleet_stale_report(
+    args: argparse.Namespace, url: str, exc: Exception
+) -> str | None:
+    """Diagnose an unreachable fleet via the PIDs its state file recorded.
+
+    Returns a human-readable staleness report when the state file's
+    supervisor (and workers) are dead — the usual aftermath of a
+    SIGKILLed ``repro fleet up`` that never got to clean up — or
+    ``None`` when there is no state file to consult or the recorded
+    processes still look alive (a genuine connection problem).
+    """
+    import json
+
+    state_path = _fleet_state_path(args)
+    if state_path is None or not state_path.is_file():
+        return None
+    try:
+        state = json.loads(state_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    supervisor_pid = state.get("pid")
+    worker_pids = [w.get("pid") for w in state.get("workers", [])]
+    supervisor_alive = supervisor_pid is not None and _pid_alive(supervisor_pid)
+    live_workers = [p for p in worker_pids if p is not None and _pid_alive(p)]
+    if supervisor_alive or live_workers:
+        return None
+    dead = [p for p in [supervisor_pid, *worker_pids] if p is not None]
+    return (
+        f"fleet state at {state_path} is STALE: {url} is unreachable ({exc}) "
+        f"and none of its recorded processes are alive "
+        f"(dead pids: {', '.join(str(p) for p in dead) or 'none recorded'}).\n"
+        f"The fleet was likely killed without cleanup; start a new one with "
+        f"'repro fleet up' (which rewrites the state file) or delete "
+        f"{state_path}."
+    )
 
 
 def _fleet_status(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -913,6 +1034,10 @@ def _fleet_status(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         try:
             data = client.request_json("GET", "/admin/status")
         except ServingClientError as exc:
+            stale = _fleet_stale_report(args, url, exc)
+            if stale is not None:
+                print(stale, file=sys.stderr)
+                return 1
             parser.error(f"{url}: {exc}")
             raise AssertionError("unreachable")
     rows = [
@@ -1018,6 +1143,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "paper": _cmd_paper,
     "bench": _cmd_bench,
+    "chaos": _cmd_chaos,
     "serve": _cmd_serve,
     "fleet": _cmd_fleet,
     "registry": _cmd_registry,

@@ -1,0 +1,34 @@
+"""Deterministic fault injection for the serving stack.
+
+``repro.faults`` is how this repo *proves* its failure handling instead
+of asserting it: a :class:`FaultPlan` schedules faults (delays,
+connect-refusals, mid-stream disconnects, truncated/corrupted wire
+frames, slow-loris reads, worker signals) at exact invocation counts of
+named sites, a :class:`FaultInjector` fires them at runtime, and every
+serving component (:class:`~repro.serving.server.AssignmentServer`,
+:class:`~repro.serving.proxy.FleetProxy`,
+:class:`~repro.serving.client.ServingClient`,
+:class:`~repro.backend.multiprocess.MultiprocessBackend`) accepts one
+through an injectable hook — or, for subprocess workers, via the
+``REPRO_FAULT_PLAN`` environment variable.
+
+The :mod:`repro.faults.chaos` module turns plans into seeded soak
+scenarios against a live fleet (``repro chaos``), measuring
+availability and tail latency under fault while asserting that every
+successful response stays bit-identical to in-process ``predict``.
+"""
+
+from .chaos import ChaosReport, ChaosScenario, run_chaos, run_chaos_suite
+from .plan import FAULT_KINDS, PLAN_ENV, FaultEvent, FaultInjector, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "PLAN_ENV",
+    "ChaosReport",
+    "ChaosScenario",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "run_chaos",
+    "run_chaos_suite",
+]

@@ -37,10 +37,17 @@ deployment only reads geometry):
   over TCP or ``http+unix://`` sockets, with transparent
   reconnect-and-retry for idempotent requests (also the engine behind
   ``repro bench serve`` and the proxy's forwarding path).
+* :mod:`repro.serving.resilience` — the failure-budget primitives the
+  rest of the stack composes: :class:`Deadline` (per-request budget,
+  propagated via the ``X-Deadline-Ms`` header and decremented across
+  retries), :func:`backoff_delays` (jittered exponential reconnect
+  pacing) and :class:`CircuitBreaker` / :class:`BreakerBoard`
+  (per-worker-lane trip / half-open-probe / close state machines used
+  by :class:`FleetProxy`).
 
 CLI entry points: ``repro serve``, ``repro fleet up|status|rollout``,
-``repro registry publish|list|rollback|prune`` and
-``repro bench serve|fleet``.
+``repro registry publish|list|rollback|prune``,
+``repro bench serve|fleet`` and ``repro chaos``.
 """
 
 from .client import (
@@ -53,6 +60,13 @@ from .client import (
 from .fleet import FleetError, FleetSupervisor, RolloutReport, WorkerStatus
 from .proxy import FleetProxy
 from .registry import LATEST_POINTER, ModelRegistry, RegistryError
+from .resilience import (
+    DEADLINE_HEADER,
+    BreakerBoard,
+    CircuitBreaker,
+    Deadline,
+    backoff_delays,
+)
 from .server import AssignmentServer, serve_forever
 from .wire import (
     StreamReader,
@@ -67,6 +81,10 @@ from .wire import (
 __all__ = [
     "AssignResponse",
     "AssignmentServer",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "DEADLINE_HEADER",
+    "Deadline",
     "FleetError",
     "FleetProxy",
     "FleetSupervisor",
@@ -85,6 +103,7 @@ __all__ = [
     "WireTruncatedError",
     "WorkerStatus",
     "available_codecs",
+    "backoff_delays",
     "negotiate_codec",
     "serve_forever",
 ]

@@ -33,6 +33,7 @@ from __future__ import annotations
 import http.client
 import io
 import json
+import random
 import socket
 import time
 from collections.abc import Callable, Iterable
@@ -42,10 +43,13 @@ from typing import Any
 
 import numpy as np
 
+from ..faults.plan import FaultInjector
 from . import wire
+from .resilience import DEADLINE_HEADER, Deadline, backoff_delays
 from .server import NPY_CONTENT_TYPE, STREAM_CONTENT_TYPE, VERSION_HEADER
 
-#: Pause between reconnect attempts inside the ``reconnect_wait`` window.
+#: Base (first full) delay of the jittered exponential backoff between
+#: reconnect attempts inside the ``reconnect_wait`` window.
 RECONNECT_PAUSE_S = 0.05
 
 #: Rows per request frame when the caller does not choose.
@@ -175,6 +179,17 @@ class ServingClient:
             connection-refused server before giving up — rides out a
             restart window. The default ``0.0`` still performs the
             single transparent retry on a stale keep-alive connection.
+        backoff_base: first (full) reconnect pause in seconds; later
+            pauses double up to *backoff_cap*, each jittered down by up
+            to half so concurrent clients don't reconnect in lockstep
+            (see :func:`repro.serving.resilience.backoff_delays`).
+        backoff_cap: ceiling on the un-jittered reconnect pause.
+        backoff_seed: seed the backoff jitter for reproducible retry
+            timing (tests, chaos runs); default draws from the ambient
+            :mod:`random` generator.
+        fault_injector: a :class:`repro.faults.FaultInjector` fired at
+            the ``client.request`` site before every attempt (chaos
+            testing); default: no injection.
 
     Usable as a context manager; the underlying connection is opened
     lazily and reused until :meth:`close`.
@@ -190,6 +205,10 @@ class ServingClient:
         timeout: float = 30.0,
         connect_timeout: float | None = None,
         reconnect_wait: float = 0.0,
+        backoff_base: float = RECONNECT_PAUSE_S,
+        backoff_cap: float = 1.0,
+        backoff_seed: int | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if url is not None:
             if url.startswith("http+unix://"):
@@ -204,6 +223,12 @@ class ServingClient:
         self.timeout = timeout
         self.connect_timeout = connect_timeout
         self.reconnect_wait = reconnect_wait
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._backoff_rng = (
+            random.Random(backoff_seed) if backoff_seed is not None else None
+        )
+        self.fault_injector = fault_injector
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------ #
@@ -240,6 +265,8 @@ class ServingClient:
         content_type: str = "application/json",
         *,
         retry: bool = True,
+        headers: dict[str, str] | None = None,
+        deadline_ms: float | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         """One HTTP exchange; returns ``(status, headers, payload)``.
 
@@ -248,8 +275,8 @@ class ServingClient:
         half-closed connection) is retried exactly once on a fresh
         connection — safe because every server endpoint is idempotent.
         Within ``reconnect_wait`` seconds further reconnects are
-        attempted with short pauses (restart window); after that a
-        :class:`ServingUnavailableError` is raised.
+        attempted with jittered exponential pauses (restart window);
+        after that a :class:`ServingUnavailableError` is raised.
 
         Args:
             body: bytes, or a zero-argument callable returning an
@@ -260,17 +287,40 @@ class ServingClient:
             retry: pass ``False`` for calls that must not be re-issued
                 (e.g. a fleet rollout trigger, where a second submission
                 after a socket timeout would run a second rollout).
+            headers: extra request headers merged over the defaults.
+            deadline_ms: total wall-clock budget for this request. Sent
+                to the server as ``X-Deadline-Ms`` with the *remaining*
+                budget at every attempt (decremented across retries) so
+                the whole chain — proxy hops included — spends from one
+                allowance; an exhausted budget raises
+                :class:`ServingTimeoutError` instead of retrying on.
 
         Raises:
             ServingUnavailableError: no server reachable at the address
                 even on a fresh connection (or, with ``retry=False``,
                 on the first transport failure).
         """
-        status, headers, response = self._exchange(
-            method, path, body, content_type, retry=retry
+        status, response_headers, response = self._exchange(
+            method,
+            path,
+            body,
+            content_type,
+            retry=retry,
+            headers=headers,
+            deadline=Deadline.after_ms(deadline_ms) if deadline_ms is not None else None,
         )
-        payload = response.read()
-        return status, headers, payload
+        try:
+            payload = response.read()
+        except (http.client.HTTPException, OSError) as exc:
+            self.close()  # mid-body failure: the connection is desynced
+            if isinstance(exc, TimeoutError):
+                raise ServingTimeoutError(
+                    f"{self.address} stalled mid-response: {exc}"
+                ) from exc
+            raise ServingUnavailableError(
+                f"{self.address} cut the response short: {exc}"
+            ) from exc
+        return status, response_headers, payload
 
     def _exchange(
         self,
@@ -280,6 +330,8 @@ class ServingClient:
         content_type: str,
         *,
         retry: bool = True,
+        headers: dict[str, str] | None = None,
+        deadline: Deadline | None = None,
     ) -> tuple[int, dict[str, str], http.client.HTTPResponse]:
         """The retry loop behind :meth:`request_raw`, response unread.
 
@@ -288,18 +340,46 @@ class ServingClient:
         reused. Transport retries only ever happen before the response
         line arrives, so a partially-read response is never re-sent.
         """
-        headers = {"Content-Type": content_type} if body is not None else {}
-        deadline = time.monotonic() + self.reconnect_wait
+        request_headers = {"Content-Type": content_type} if body is not None else {}
+        if headers:
+            request_headers.update(headers)
+        window = time.monotonic() + self.reconnect_wait
+        delays = backoff_delays(
+            base=self.backoff_base, cap=self.backoff_cap, rng=self._backoff_rng
+        )
         attempt = 0
         while True:
+            if deadline is not None and deadline.expired:
+                raise ServingTimeoutError(
+                    f"{self.address}: request deadline exhausted after "
+                    f"{attempt} attempt(s)"
+                )
             try:
+                if self.fault_injector is not None:
+                    event = self.fault_injector.fire("client.request")
+                    if event is not None and event.kind == "refuse":
+                        raise ConnectionRefusedError("injected fault: refuse")
                 conn = self._connection()
+                # The read timeout honors the deadline: a stalled/frozen
+                # server must fail the request at the budget, not at the
+                # (much larger) configured socket timeout — that is what
+                # lets a proxy's circuit breaker learn about the stall
+                # while the budget is still worth protecting.
+                limit = self.timeout
+                if deadline is not None:
+                    # Re-stamped per attempt: the budget shrinks as real
+                    # time passes, so a retry offers the server less.
+                    request_headers[DEADLINE_HEADER] = deadline.header_value()
+                    limit = max(0.05, min(self.timeout, deadline.remaining_s()))
+                conn.timeout = limit
+                if conn.sock is not None:
+                    conn.sock.settimeout(limit)
                 # A callable body yields a fresh piece-iterator per
                 # attempt; http.client sends iterables with chunked
                 # transfer-encoding (no Content-Length to compute).
                 conn.request(
                     method, path, body=body() if callable(body) else body,
-                    headers=headers,
+                    headers=request_headers,
                 )
                 response = conn.getresponse()
                 return response.status, dict(response.getheaders()), response
@@ -321,12 +401,16 @@ class ServingClient:
                     ) from exc
                 if attempt == 1:
                     continue  # the single transparent reconnect-and-retry
-                if time.monotonic() >= deadline:
+                now = time.monotonic()
+                if now >= window:
                     raise ServingUnavailableError(
                         f"{self.address} unreachable after "
                         f"{attempt} attempts: {exc}"
                     ) from exc
-                time.sleep(RECONNECT_PAUSE_S)
+                pause = min(next(delays), window - now)
+                if deadline is not None:
+                    pause = min(pause, deadline.remaining_s())
+                time.sleep(max(0.0, pause))
 
     # Backwards-compatible internal spelling.
     _request = request_raw
@@ -392,6 +476,7 @@ class ServingClient:
         *,
         npy: bool = True,
         chunk_size: int | None = None,
+        deadline_ms: float | None = None,
     ) -> AssignResponse:
         """``POST /assign`` — label *points*, returning labels + version.
 
@@ -400,13 +485,17 @@ class ServingClient:
             npy: ship raw npy bytes (fast path) instead of JSON.
             chunk_size: server-side rows per scored block (JSON mode
                 only; npy mode uses the server default).
+            deadline_ms: total request budget, propagated to the server
+                (and through a fleet proxy to its workers) as
+                ``X-Deadline-Ms`` — see :meth:`request_raw`.
         """
         points = np.ascontiguousarray(points, dtype=np.float64)
         if npy:
             buffer = io.BytesIO()
             np.save(buffer, points, allow_pickle=False)
             status, headers, payload = self.request_raw(
-                "POST", "/assign", buffer.getvalue(), NPY_CONTENT_TYPE
+                "POST", "/assign", buffer.getvalue(), NPY_CONTENT_TYPE,
+                deadline_ms=deadline_ms,
             )
             if status >= 400:
                 message = json.loads(payload.decode("utf-8")).get("error", "")
@@ -419,7 +508,13 @@ class ServingClient:
         body: dict[str, Any] = {"points": points.tolist()}
         if chunk_size is not None:
             body["chunk_size"] = chunk_size
-        data = self._request_json("POST", "/assign", json.dumps(body).encode("utf-8"))
+        status, _, payload = self.request_raw(
+            "POST", "/assign", json.dumps(body).encode("utf-8"),
+            deadline_ms=deadline_ms,
+        )
+        data = json.loads(payload.decode("utf-8"))
+        if status >= 400:
+            raise ServingClientError(status, data.get("error", ""))
         return AssignResponse(
             np.asarray(data["labels"], dtype=np.int64), data["version"]
         )
@@ -432,6 +527,7 @@ class ServingClient:
         codec: str = "identity",
         accept: str | None = None,
         return_distance: bool = False,
+        deadline_ms: float | None = None,
     ) -> AssignResponse:
         """``POST /assign`` over the streamed wire format.
 
@@ -456,6 +552,8 @@ class ServingClient:
                 codec it used in the response header).
             return_distance: also return squared distances to the
                 assigned centers (``AssignResponse.distances``).
+            deadline_ms: total request budget, sent as ``X-Deadline-Ms``
+                (see :meth:`request_raw`).
 
         Returns:
             :class:`AssignResponse`; ``labels`` (and ``distances``)
@@ -483,7 +581,11 @@ class ServingClient:
             )
 
         status, headers, response = self._exchange(
-            "POST", "/assign", body, STREAM_CONTENT_TYPE
+            "POST",
+            "/assign",
+            body,
+            STREAM_CONTENT_TYPE,
+            deadline=Deadline.after_ms(deadline_ms) if deadline_ms is not None else None,
         )
         try:
             if status >= 400:
@@ -502,6 +604,18 @@ class ServingClient:
         except wire.WireError as exc:
             self.close()  # mid-body failure: the connection is desynced
             raise ServingClientError(502, f"invalid stream response: {exc}") from exc
+        except (http.client.HTTPException, OSError) as exc:
+            # The response body was cut (or stalled) mid-stream: the
+            # request is idempotent and no partial result escapes, so
+            # surface the retryable/timeout taxonomy like request_raw.
+            self.close()
+            if isinstance(exc, TimeoutError):
+                raise ServingTimeoutError(
+                    f"{self.address} stalled mid-stream: {exc}"
+                ) from exc
+            raise ServingUnavailableError(
+                f"{self.address} cut the stream short: {exc}"
+            ) from exc
         version = headers.get(VERSION_HEADER, "")
         if return_distance:
             labels = arrays[0::2]

@@ -160,6 +160,7 @@ class _Worker:
     next_restart_at: float = 0.0
     unhealthy_count: int = 0
     spawned_at: float = 0.0
+    ready: bool = False
 
     @property
     def pid(self) -> int | None:
@@ -221,6 +222,12 @@ class FleetSupervisor:
         stagger_s: pause between post-canary worker reloads.
         heartbeat_s: health-monitor poll interval.
         start_timeout_s: per-worker startup deadline.
+        health_timeout_s: how long a health probe waits for
+            ``/healthz`` before the sweep counts a strike. This is the
+            knob that catches *frozen* workers (``SIGSTOP``, GC death
+            spiral, D-state I/O): the process is alive, accepts the
+            TCP connection, and then never answers — only a response
+            deadline turns that into a failed check.
         max_backoff_s: restart backoff ceiling.
 
     Use as a context manager, or pair :meth:`start` / :meth:`stop`.
@@ -241,6 +248,7 @@ class FleetSupervisor:
         stagger_s: float = 0.0,
         heartbeat_s: float = 0.5,
         start_timeout_s: float = 30.0,
+        health_timeout_s: float = 2.0,
         max_backoff_s: float = 10.0,
     ) -> None:
         if workers < 1:
@@ -271,6 +279,7 @@ class FleetSupervisor:
         self.stagger_s = stagger_s
         self.heartbeat_s = heartbeat_s
         self.start_timeout_s = start_timeout_s
+        self.health_timeout_s = health_timeout_s
         self.max_backoff_s = max_backoff_s
         self._workers: list[_Worker] = []
         self._version: str | None = None
@@ -314,6 +323,15 @@ class FleetSupervisor:
         ``http+unix:///path`` depending on the resolved transport.
         Lock-free for the same reason as :meth:`targets`."""
         return [(w.index, w.url) for w in self._workers]
+
+    def worker_pids(self) -> list[int | None]:
+        """Current pid per worker index (``None`` while respawning).
+
+        Lock-free snapshot for chaos harnesses that deliver signals to
+        specific workers; a pid may be recycled by the monitor right
+        after this returns, so callers must tolerate ``ProcessLookupError``.
+        """
+        return [w.pid for w in self._workers]
 
     def _resolve_uds(self) -> bool:
         """Whether this fleet's workers bind unix-domain sockets."""
@@ -448,6 +466,7 @@ class FleetSupervisor:
         )
         worker.unhealthy_count = 0
         worker.spawned_at = time.monotonic()
+        worker.ready = False
 
     def _wait_ready(self, worker: _Worker) -> None:
         deadline = time.monotonic() + self.start_timeout_s
@@ -465,6 +484,7 @@ class FleetSupervisor:
                 continue
             if health.get("status") == "ok":
                 self._verify_announce(worker)
+                worker.ready = True
                 return
             time.sleep(0.05)
         raise FleetError(
@@ -532,16 +552,29 @@ class FleetSupervisor:
         """
         if worker.alive:
             try:
-                with ServingClient(url=worker.url, timeout=2.0) as probe:
+                with ServingClient(
+                    url=worker.url, timeout=self.health_timeout_s
+                ) as probe:
                     ok = probe.healthz().get("status") == "ok"
             except ServingClientError:
+                # Covers refused connects *and* probes that accepted the
+                # connection but blew the health_timeout_s response
+                # deadline — a SIGSTOP'd worker looks exactly like that.
                 ok = False
             if ok:
+                worker.ready = True
                 worker.unhealthy_count = 0
                 worker.backoff_s = _BACKOFF_INITIAL_S
                 return
-            if time.monotonic() - worker.spawned_at < self.start_timeout_s:
-                return  # still booting (interpreter + numpy import): no strike
+            if (
+                not worker.ready
+                and time.monotonic() - worker.spawned_at < self.start_timeout_s
+            ):
+                # Still booting (interpreter + numpy import): no strike.
+                # Only pre-ready workers get this grace — a worker that
+                # has answered healthz once and then goes dark is frozen,
+                # not booting, and must accrue strikes immediately.
+                return
             worker.unhealthy_count += 1
             if worker.unhealthy_count < _UNHEALTHY_LIMIT:
                 return
@@ -862,6 +895,7 @@ class FleetSupervisor:
                 "registry": str(self.registry.root),
                 "version": self._version,
                 "proxy_url": proxy_url,
+                "pid": os.getpid(),
                 "workers": [
                     {"index": w.index, "port": w.port, "pid": w.pid, "uds": w.uds}
                     for w in self._workers

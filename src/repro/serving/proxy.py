@@ -43,6 +43,7 @@ the request (or the scattered run) to the next one.
 
 from __future__ import annotations
 
+import http.client
 import io
 import json
 import queue
@@ -53,6 +54,7 @@ from typing import Any
 
 import numpy as np
 
+from ..faults.plan import FaultInjector
 from . import wire
 from .client import (
     ServingClient,
@@ -61,6 +63,7 @@ from .client import (
     ServingUnavailableError,
 )
 from .fleet import FleetSupervisor
+from .resilience import DEADLINE_HEADER, BreakerBoard, Deadline
 from .server import (
     MAX_BODY_BYTES,
     NPY_CONTENT_TYPE,
@@ -100,6 +103,20 @@ class FleetProxy(ConnectionTrackingServer):
         port: bind port (``0`` picks an ephemeral port — read it back
             from ``proxy.port``).
         quiet: suppress per-request access logging.
+        breaker: enable the per-worker-lane circuit breaker. After
+            ``breaker_failures`` consecutive failures a lane is skipped
+            in target ordering (instead of eating one timeout per
+            request); after ``breaker_reset_s`` one half-open probe is
+            let through, and a success closes the breaker. With
+            ``False`` outcomes are still recorded (``/admin/status``
+            shows lane states) but nothing is skipped — the knob the
+            chaos harness flips to measure the breaker's availability
+            contribution.
+        breaker_failures: consecutive failures that open a lane.
+        breaker_reset_s: cool-down before the half-open probe.
+        fault_injector: a :class:`repro.faults.FaultInjector` fired at
+            the proxy's ``proxy.lane{n}.frame`` / ``proxy.lane.version``
+            sites (chaos testing); default: no injection.
     """
 
     serve_thread_name = "repro-fleet-proxy"
@@ -111,9 +128,20 @@ class FleetProxy(ConnectionTrackingServer):
         host: str | None = None,
         port: int = 0,
         quiet: bool = True,
+        breaker: bool = True,
+        breaker_failures: int = 3,
+        breaker_reset_s: float = 2.0,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         self.fleet = fleet
         self.quiet = quiet
+        self.breakers = BreakerBoard(
+            enabled=breaker,
+            failures_to_open=breaker_failures,
+            reset_after_s=breaker_reset_s,
+        )
+        self.breaker_reset_s = breaker_reset_s
+        self.fault_injector = fault_injector
         self._rr = 0
         self._rr_lock = threading.Lock()
         self._local = threading.local()
@@ -135,15 +163,32 @@ class FleetProxy(ConnectionTrackingServer):
     # ------------------------------------------------------------------ #
 
     def target_order(self) -> list[tuple[int, str]]:
-        """``(index, url)`` workers in this request's try-order
-        (round-robin rotation)."""
+        """``(index, url)`` workers in this request's try-order.
+
+        Round-robin rotation, then circuit-breaker ordering: lanes
+        whose breaker is open are *demoted* to the tail of the order
+        rather than dropped. The failover loop stops at the first
+        success, so an open lane (which would eat a full timeout per
+        attempt) is only ever tried after every allowed lane has
+        already failed — the last rung of the degradation ladder
+        before a typed 503. A fleet whose allowed lanes just died must
+        not refuse service while a recovered-but-still-open lane could
+        answer.
+        """
         targets = self.fleet.target_urls()
         if not targets:
             return []
         with self._rr_lock:
             start = self._rr % len(targets)
             self._rr += 1
-        return targets[start:] + targets[:start]
+        rotated = targets[start:] + targets[:start]
+        allowed = [
+            target for target in rotated if self.breakers.allow(target[1])
+        ]
+        if not allowed:
+            return rotated
+        demoted = [target for target in rotated if target not in allowed]
+        return allowed + demoted
 
     def client_for(self, index: int, url: str) -> ServingClient:
         """Per-thread keep-alive client for one worker (forward path)."""
@@ -194,6 +239,15 @@ def _split_runs(count: int, ways: int) -> list[tuple[int, int]]:
 class _ScatterSkew(Exception):
     """Lanes answered with different serving versions (rollout landed
     mid-deal); the caller replays the batch as a buffered scatter."""
+
+
+class _InjectedDisconnect(ConnectionError):
+    """Internal: a fault event killed this lane's worker connection.
+
+    A :class:`ConnectionError` so the client's transport-retry loop
+    treats it exactly like a worker that died mid-send; the poisoned
+    url keeps failing the transparent retry the way a dead process
+    would, and the lane fails over with a replay."""
 
 
 class _ReplaySource:
@@ -248,6 +302,7 @@ class _Dealer:
         self._codec = "identity"
         self._accept: str | None = None
         self._distances = False
+        self._deadline: Deadline | None = None
         self._targets: list[tuple[int, str]] = []
         self._sources: list[_ReplaySource] = []
         self._futures: list[Any] = []
@@ -259,13 +314,25 @@ class _Dealer:
         """Lane index per dealt item, in deal order."""
         return self._order
 
-    def open(self, *, codec: str, accept: str | None, distances: bool) -> None:
+    def open(
+        self,
+        *,
+        codec: str,
+        accept: str | None,
+        distances: bool,
+        deadline: Deadline | None = None,
+    ) -> None:
         self._codec = codec
         self._accept = accept
         self._distances = distances
+        self._deadline = deadline
         self._targets = self._server.target_order()
         if not self._targets:
-            raise ServingError(503, "no reachable fleet worker")
+            raise ServingError(
+                503,
+                "no reachable fleet worker",
+                retry_after_s=self._server.breaker_reset_s,
+            )
 
     def deal(self, payload: bytes) -> None:
         """Forward one request frame to a lane (reslicing if oversized)."""
@@ -306,37 +373,82 @@ class _Dealer:
         start = lane % len(self._targets)
         targets = self._targets[start:] + self._targets[:start]
         self._futures.append(
-            self._server._scatter_pool.submit(self._run_lane, source, targets)
+            self._server._scatter_pool.submit(self._run_lane, lane, source, targets)
         )
         return lane
 
     def _run_lane(
-        self, source: _ReplaySource, targets: list[tuple[int, str]]
+        self, lane: int, source: _ReplaySource, targets: list[tuple[int, str]]
     ) -> tuple[int, str, str, bool, list[bytes]]:
-        def body() -> Any:
-            def pieces() -> Any:
-                yield wire.encode_header(
-                    self._codec, accept=self._accept, distances=self._distances
-                )
-                for item in source.replay():
-                    if isinstance(item, np.ndarray):
-                        yield from wire.encode_frame(item, "identity")
-                    else:
-                        yield wire.frame_payload(item)
-                yield wire.terminator()
+        injector = self._server.fault_injector
+        site = f"proxy.lane{lane}.frame"
 
-            return pieces()
+        def body_for(url: str) -> Any:
+            def body() -> Any:
+                def pieces() -> Any:
+                    if injector is not None and injector.poisoned(url):
+                        # A previous injected disconnect "killed" this
+                        # worker; keep failing its retries like a dead
+                        # process would.
+                        raise _InjectedDisconnect(f"poisoned lane url {url}")
+                    yield wire.encode_header(
+                        self._codec, accept=self._accept, distances=self._distances
+                    )
+                    for item in source.replay():
+                        if injector is not None:
+                            event = injector.fire(site)
+                            if event is not None and event.kind == "disconnect":
+                                injector.poison(url)
+                                raise _InjectedDisconnect(
+                                    f"injected disconnect on {url} at lane "
+                                    f"{lane}"
+                                )
+                        if isinstance(item, np.ndarray):
+                            yield from wire.encode_frame(item, "identity")
+                        else:
+                            yield wire.frame_payload(item)
+                    yield wire.terminator()
+
+                return pieces()
+
+            return body
 
         last_error: Exception | None = None
+        breakers = self._server.breakers
         for index, url in targets:
+            if self._deadline is not None and self._deadline.expired:
+                raise ServingTimeoutError(
+                    "request deadline exhausted during dealt scatter"
+                )
+            if injector is not None and injector.poisoned(url):
+                last_error = ServingUnavailableError(f"poisoned lane url {url}")
+                breakers.failure(url)
+                continue
+            headers = (
+                {DEADLINE_HEADER: self._deadline.header_value()}
+                if self._deadline is not None
+                else None
+            )
             client = self._server.lease_client(url)
             try:
-                version, codec, distances, payloads = _stream_exchange(client, body)
+                version, codec, distances, payloads = _stream_exchange(
+                    client, body_for(url), headers=headers,
+                    deadline=self._deadline,
+                )
             except ServingUnavailableError as exc:
+                breakers.failure(url)
                 last_error = exc
                 continue  # worker mid-restart: replay the lane elsewhere
+            except ServingTimeoutError:
+                breakers.failure(url)
+                raise
             finally:
                 self._server.release_client(url, client)
+            breakers.success(url)
+            if injector is not None:
+                skew = injector.fire("proxy.lane.version")
+                if skew is not None and skew.kind == "skew":
+                    version = f"{version}+skewed"
             return index, version, codec, distances, payloads
         raise ServingUnavailableError(
             f"no reachable fleet worker for dealt lane: {last_error}"
@@ -441,7 +553,29 @@ class _ProxyHandler(BaseHTTPRequestHandler):
 
     def _fail(self, exc: Exception) -> None:
         status = exc.status if isinstance(exc, ServingError) else 400
-        self._send_json(status, {"error": str(exc)})
+        extra: dict[str, str] | None = None
+        retry_after = getattr(exc, "retry_after_s", None)
+        if retry_after is not None:
+            extra = {"Retry-After": str(max(1, round(retry_after)))}
+        self._send_json(status, {"error": str(exc)}, extra)
+
+    def _request_deadline(self) -> Deadline | None:
+        """Parse + pre-enforce the ``X-Deadline-Ms`` budget at ingress.
+
+        The same budget object is decremented across every downstream
+        hop this request makes (lanes, failovers, scatter retries) —
+        each hop sends the *remaining* milliseconds.
+        """
+        try:
+            deadline = Deadline.from_header(self.headers.get(DEADLINE_HEADER))
+        except ValueError as exc:
+            raise ServingError(
+                400, f"invalid {DEADLINE_HEADER} header: {exc}"
+            ) from None
+        if deadline is not None and deadline.expired:
+            self.close_connection = True
+            raise ServingError(504, "deadline exhausted before processing")
+        return deadline
 
     def _drain_body(self, body: Any) -> None:
         """Consume the rest of a request body after a failure."""
@@ -461,7 +595,9 @@ class _ProxyHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802
         try:
             if self.path == "/admin/status":
-                self._send_json(200, self.server.fleet.status())
+                payload = self.server.fleet.status()
+                payload["breakers"] = self.server.breakers.snapshot()
+                self._send_json(200, payload)
             else:
                 self._forward("GET", body=None)
         except Exception as exc:
@@ -506,19 +642,34 @@ class _ProxyHandler(BaseHTTPRequestHandler):
 
     def _forward(self, method: str, body: bytes | None) -> None:
         content_type = self.headers.get("Content-Type", "application/json")
+        deadline = self._request_deadline()
+        breakers = self.server.breakers
         for index, url in self.server.target_order():
+            if deadline is not None and deadline.expired:
+                raise ServingError(504, "deadline exhausted during failover")
+            request_headers = (
+                {DEADLINE_HEADER: deadline.header_value()}
+                if deadline is not None
+                else None
+            )
             client = self.server.client_for(index, url)
             try:
                 status, headers, payload = client.request_raw(
-                    method, self.path, body, content_type
+                    method, self.path, body, content_type, headers=request_headers
                 )
             except ServingTimeoutError as exc:
-                # The worker is alive and computing — re-running the
-                # same request on every other worker would multiply the
-                # load fleet-wide and still be reported as a failure.
+                # The worker is alive but not answering — count it
+                # against the lane's breaker (a hung worker must stop
+                # eating one timeout per request), then surface the 504:
+                # re-running the same request on every other worker
+                # would multiply the load fleet-wide and still be
+                # reported as a failure.
+                breakers.failure(url)
                 raise ServingError(504, str(exc)) from exc
             except ServingUnavailableError:
+                breakers.failure(url)
                 continue  # worker mid-restart: fail over to the next one
+            breakers.success(url)
             extra = {WORKER_HEADER: str(index)}
             version = headers.get(VERSION_HEADER)
             if version is not None:
@@ -530,16 +681,20 @@ class _ProxyHandler(BaseHTTPRequestHandler):
                 extra,
             )
             return
-        raise ServingError(503, "no reachable fleet worker")
+        raise ServingError(
+            503,
+            "no reachable fleet worker",
+            retry_after_s=self.server.breaker_reset_s,
+        )
 
     # -- scatter-gather ------------------------------------------------- #
 
     def _do_assign(self) -> None:
         content_type = self.headers.get("Content-Type", "application/json")
         if content_type.startswith(STREAM_CONTENT_TYPE):
-            self._scatter_stream()
+            self._scatter_stream(self._request_deadline())
         elif content_type.startswith(NPY_CONTENT_TYPE):
-            self._scatter_npy()
+            self._scatter_npy(self._request_deadline())
         else:
             # JSON stays round-robin: it is the interop path, and its
             # decimal round trip dwarfs any scatter win.
@@ -554,7 +709,7 @@ class _ProxyHandler(BaseHTTPRequestHandler):
             raise ServingError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
         return _BoundedBodyReader(self.rfile, length)
 
-    def _scatter_stream(self) -> None:
+    def _scatter_stream(self, deadline: Deadline | None = None) -> None:
         """Deal a streamed request across the fleet as it uploads.
 
         Each frame is forwarded to a worker lane the moment it arrives,
@@ -576,6 +731,7 @@ class _ProxyHandler(BaseHTTPRequestHandler):
                 codec=reader.codec,
                 accept=reader.accept,
                 distances=reader.distances,
+                deadline=deadline,
             )
             for payload in reader.raw_frames():
                 frames.append(payload)
@@ -606,6 +762,7 @@ class _ProxyHandler(BaseHTTPRequestHandler):
                     codec=reader.codec,
                     accept=reader.accept,
                     distances=reader.distances,
+                    deadline=deadline,
                 ),
             )
             results = gathered
@@ -646,7 +803,7 @@ class _ProxyHandler(BaseHTTPRequestHandler):
         writer.write(wire.terminator())
         writer.close()
 
-    def _scatter_npy(self) -> None:
+    def _scatter_npy(self, deadline: Deadline | None = None) -> None:
         """Scatter one npy body by row spans; gather one npy response."""
         raw = self._read_body()
         try:
@@ -660,7 +817,9 @@ class _ProxyHandler(BaseHTTPRequestHandler):
         # would pay per-run HTTP overhead on every worker for no win.
         gathered = self._scatter(
             points.shape[0],
-            lambda span, targets: self._assign_run(points[span[0] : span[1]], targets),
+            lambda span, targets: self._assign_run(
+                points[span[0] : span[1]], targets, deadline=deadline
+            ),
             max_ways=max(1, points.shape[0] // MIN_SCATTER_ROWS),
         )
         version = gathered[0][1]
@@ -695,7 +854,11 @@ class _ProxyHandler(BaseHTTPRequestHandler):
         for attempt in (0, 1, 2):
             targets = self.server.target_order()
             if not targets:
-                raise ServingError(503, "no reachable fleet worker")
+                raise ServingError(
+                    503,
+                    "no reachable fleet worker",
+                    retry_after_s=self.server.breaker_reset_s,
+                )
             ways = len(targets) if attempt < 2 else 1
             if max_ways is not None:
                 ways = min(ways, max(1, max_ways))
@@ -726,6 +889,7 @@ class _ProxyHandler(BaseHTTPRequestHandler):
         raise ServingError(
             503,
             f"fleet version skew during scatter ({sorted(versions)}); retry",
+            retry_after_s=self.server.breaker_reset_s,
         )
 
     def _relay_run(
@@ -736,6 +900,7 @@ class _ProxyHandler(BaseHTTPRequestHandler):
         codec: str,
         accept: str | None,
         distances: bool,
+        deadline: Deadline | None = None,
     ) -> tuple[int, str, str, bool, list[bytes]]:
         """One frame-relay run with failover; returns
         ``(worker, version, response_codec, distances, payloads)``."""
@@ -749,23 +914,42 @@ class _ProxyHandler(BaseHTTPRequestHandler):
 
             return pieces()
 
-        return self._run_with_failover(body, targets)
+        return self._run_with_failover(body, targets, deadline=deadline)
 
     def _run_with_failover(
-        self, body: Any, targets: list[tuple[int, str]]
+        self,
+        body: Any,
+        targets: list[tuple[int, str]],
+        *,
+        deadline: Deadline | None = None,
     ) -> tuple[int, str, str, bool, list[bytes]]:
         last_error: Exception | None = None
+        breakers = self.server.breakers
         for index, url in targets:
+            if deadline is not None and deadline.expired:
+                raise ServingTimeoutError(
+                    "request deadline exhausted during scatter failover"
+                )
+            headers = (
+                {DEADLINE_HEADER: deadline.header_value()}
+                if deadline is not None
+                else None
+            )
             client = self.server.lease_client(url)
             try:
                 version, response_codec, response_distances, payloads = (
-                    _stream_exchange(client, body)
+                    _stream_exchange(client, body, headers=headers, deadline=deadline)
                 )
             except ServingUnavailableError as exc:
+                breakers.failure(url)
                 last_error = exc
                 continue  # worker mid-restart: try the next one
+            except ServingTimeoutError:
+                breakers.failure(url)
+                raise
             finally:
                 self.server.release_client(url, client)
+            breakers.success(url)
             return index, version, response_codec, response_distances, payloads
         raise ServingUnavailableError(
             f"no reachable fleet worker for scattered run: {last_error}"
@@ -775,19 +959,36 @@ class _ProxyHandler(BaseHTTPRequestHandler):
         self,
         span_points: np.ndarray,
         targets: list[tuple[int, str]],
+        *,
+        deadline: Deadline | None = None,
     ) -> tuple[int, str, np.ndarray]:
         """One npy run via the streamed client; returns
         ``(worker, version, labels)``."""
         last_error: Exception | None = None
+        breakers = self.server.breakers
         for index, url in targets:
+            if deadline is not None and deadline.expired:
+                raise ServingTimeoutError(
+                    "request deadline exhausted during scatter failover"
+                )
             client = self.server.lease_client(url)
             try:
-                response = client.assign_stream(span_points)
+                response = client.assign_stream(
+                    span_points,
+                    deadline_ms=(
+                        deadline.remaining_ms() if deadline is not None else None
+                    ),
+                )
             except ServingUnavailableError as exc:
+                breakers.failure(url)
                 last_error = exc
                 continue
+            except ServingTimeoutError:
+                breakers.failure(url)
+                raise
             finally:
                 self.server.release_client(url, client)
+            breakers.success(url)
             return index, response.version, response.labels
         raise ServingUnavailableError(
             f"no reachable fleet worker for scattered run: {last_error}"
@@ -795,12 +996,16 @@ class _ProxyHandler(BaseHTTPRequestHandler):
 
 
 def _stream_exchange(
-    client: ServingClient, body: Any
+    client: ServingClient,
+    body: Any,
+    headers: dict[str, str] | None = None,
+    deadline: Deadline | None = None,
 ) -> tuple[str, str, bool, list[bytes]]:
     """Send one wire-format body factory to a worker; collect raw label
     frames."""
-    status, headers, response = client._exchange(
-        "POST", "/assign", body, STREAM_CONTENT_TYPE
+    status, headers_out, response = client._exchange(
+        "POST", "/assign", body, STREAM_CONTENT_TYPE, headers=headers,
+        deadline=deadline,
     )
     if status >= 400:
         payload = response.read()
@@ -818,8 +1023,19 @@ def _stream_exchange(
     except wire.WireError as exc:
         client.close()  # mid-body failure: the connection is desynced
         raise ServingClientError(502, f"invalid stream response: {exc}") from exc
+    except (http.client.HTTPException, OSError) as exc:
+        # The worker died (or was killed) mid-response: the run is
+        # replayable, so surface the failover-triggering type.
+        client.close()
+        if isinstance(exc, TimeoutError):
+            raise ServingTimeoutError(
+                f"{client.address} stalled mid-stream: {exc}"
+            ) from exc
+        raise ServingUnavailableError(
+            f"{client.address} cut the stream short: {exc}"
+        ) from exc
     return (
-        headers.get(VERSION_HEADER, ""),
+        headers_out.get(VERSION_HEADER, ""),
         reader.codec,
         reader.distances,
         payloads,

@@ -39,6 +39,13 @@ LATEST_POINTER = "LATEST"
 #: Version directories: zero-padded index + optional ``-label`` suffix.
 _VERSION_RE = re.compile(r"^v(\d{4,})(?:-([A-Za-z0-9._-]+))?$")
 
+#: Staging directories used by :meth:`ModelRegistry.publish` while an
+#: artifact is being written. The prefix can never match
+#: :data:`_VERSION_RE`, so a publish that dies mid-write leaves a
+#: directory that is *invisible* to version listing and resolution —
+#: only :meth:`ModelRegistry.prune` ever touches it again.
+_STAGING_PREFIX = ".tmp-"
+
 #: Allowed characters in a publish label (becomes part of a dir name).
 _LABEL_RE = re.compile(r"^[A-Za-z0-9._-]+$")
 
@@ -47,16 +54,54 @@ class RegistryError(RuntimeError):
     """A registry invariant is broken (missing pointer, stale target, ...)."""
 
 
-def atomic_write_text(path: Path, text: str) -> None:
-    """Write *text* to *path* atomically (write-temp + ``os.replace``).
+def _fsync_path(path: Path) -> None:
+    """fsync one file or directory; ignore filesystems that refuse.
 
-    Readers never observe a partial file, and on POSIX the replace also
-    bumps the target's mtime in one step — the property the ``LATEST``
-    pointer, fleet state files and worker announce files all rely on.
+    Directory fsync is what makes a rename durable on POSIX; some
+    filesystems (and some CI sandboxes) raise ``EINVAL``/``EACCES`` for
+    it, where skipping is the only option.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _fsync_tree(root: Path) -> None:
+    """fsync every file and directory under *root* (and *root* itself)."""
+    for current, _dirs, files in os.walk(root):
+        base = Path(current)
+        for name in files:
+            _fsync_path(base / name)
+        _fsync_path(base)
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write *text* to *path* atomically and durably.
+
+    Write-temp + fsync + ``os.replace`` + parent-directory fsync:
+    readers never observe a partial file, the replace bumps the
+    target's mtime in one step (the property the ``LATEST`` pointer,
+    fleet state files and worker announce files all rely on), and a
+    power cut right after return cannot roll the pointer back to its
+    previous target.
     """
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text, encoding="utf-8")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        try:
+            os.fsync(handle.fileno())
+        except OSError:
+            pass
     os.replace(tmp, path)
+    _fsync_path(path.parent)
 
 
 def _version_index(version: str) -> int:
@@ -134,7 +179,10 @@ class ModelRegistry:
         if version is None:
             version = self.latest_version()
         path = self.root / version
-        if not path.is_dir():
+        # The name gate keeps non-version directories — `.tmp-*` staging
+        # left by a crashed publish, the `.fleet` state dir — from ever
+        # resolving, even though they exist on disk.
+        if not _VERSION_RE.match(version) or not path.is_dir():
             raise RegistryError(
                 f"{self.root}: version {version!r} is not published; "
                 f"available: {self.list_versions() or '(none)'}"
@@ -174,6 +222,14 @@ class ModelRegistry:
 
         Returns:
             The new version id.
+
+        Crash safety: the artifact is written into a ``.tmp-`` staging
+        directory (invisible to :meth:`list_versions`), fsynced file by
+        file, and renamed into place before the pointer moves — a
+        publish killed at any instant leaves either no new version or a
+        complete one, never a half-written directory that ``LATEST``
+        could name. Orphaned staging directories from crashed publishes
+        are reaped by :meth:`prune`.
         """
         if label is not None and not _LABEL_RE.match(label):
             raise ValueError(
@@ -183,12 +239,20 @@ class ModelRegistry:
         index = _version_index(versions[-1]) + 1 if versions else 1
         version = f"v{index:04d}" + (f"-{label}" if label else "")
         target = self.root / version
+        staging = self.root / f"{_STAGING_PREFIX}{version}-{os.getpid()}"
         self.root.mkdir(parents=True, exist_ok=True)
-        if isinstance(model, (str, Path)):
-            ClusterModel.load(model)  # validate before it can become LATEST
-            shutil.copytree(Path(model), target)
-        else:
-            model.save(target)
+        try:
+            if isinstance(model, (str, Path)):
+                ClusterModel.load(model)  # validate before it can become LATEST
+                shutil.copytree(Path(model), staging)
+            else:
+                model.save(staging)
+            _fsync_tree(staging)
+            os.rename(staging, target)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        _fsync_path(self.root)
         if set_latest:
             self.set_latest(version)
         return version
@@ -234,7 +298,9 @@ class ModelRegistry:
 
         The ``LATEST`` target is always kept, even if it is older than
         the retention window (a rollback must never be invalidated by a
-        cleanup job). Returns the deleted version ids, oldest first.
+        cleanup job). Staging directories orphaned by a publish that
+        crashed mid-write (``.tmp-*``) are reaped too. Returns the
+        deleted version ids, oldest first (orphaned staging dirs last).
         """
         if retention < 1:
             raise ValueError(f"retention must be >= 1, got {retention}")
@@ -249,4 +315,9 @@ class ModelRegistry:
             if version not in keep:
                 shutil.rmtree(self.root / version)
                 deleted.append(version)
+        if self.root.is_dir():
+            for entry in sorted(self.root.iterdir()):
+                if entry.is_dir() and entry.name.startswith(_STAGING_PREFIX):
+                    shutil.rmtree(entry, ignore_errors=True)
+                    deleted.append(entry.name)
         return deleted

@@ -1,0 +1,261 @@
+"""Resilience primitives shared by the serving stack.
+
+Three small, composable pieces that the fault-injection layer
+(:mod:`repro.faults`) forced into existence:
+
+* :class:`Deadline` — a per-request wall-clock budget. The client sets
+  it, the proxy forwards the *remaining* budget to workers via the
+  ``X-Deadline-Ms`` header (so retries and failover attempts spend from
+  one shared allowance instead of resetting it), and servers refuse
+  work whose budget is already spent **before** reading or allocating
+  the request body.
+* :func:`backoff_delays` — jittered exponential backoff. Replaces
+  fixed-pause reconnect loops: the exponent bounds total retry load,
+  the jitter de-synchronizes clients so a restarting worker is not hit
+  by a thundering herd on the same 50ms beat.
+* :class:`CircuitBreaker` / :class:`BreakerBoard` — per-worker-lane
+  failure tracking for the fleet proxy. ``N`` consecutive failures open
+  the breaker (the lane is skipped instead of timing out every
+  request); after a cool-down a single half-open probe is allowed
+  through, and one success closes the breaker again.
+
+Everything here is stdlib-only, thread-safe where shared, and takes an
+injectable clock so tests never sleep.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from collections.abc import Callable, Iterator
+
+#: Header carrying the remaining request budget, in milliseconds.
+#: Decremented at every hop: each sender writes ``remaining_ms()`` at
+#: send time, so a retry after a 2s stall offers the worker 2s less.
+DEADLINE_HEADER = "X-Deadline-Ms"
+
+
+class Deadline:
+    """A monotonic wall-clock budget for one logical request.
+
+    Created once at the edge (client or proxy ingress) and *carried*
+    through retries and failover attempts — ``remaining_ms()`` shrinks
+    as real time passes, which is what makes the budget a budget.
+    """
+
+    __slots__ = ("_expires_at",)
+
+    def __init__(self, expires_at: float) -> None:
+        self._expires_at = expires_at
+
+    @classmethod
+    def after_ms(cls, budget_ms: float) -> "Deadline":
+        """A deadline *budget_ms* milliseconds from now."""
+        return cls(time.monotonic() + budget_ms / 1000.0)
+
+    @classmethod
+    def from_header(cls, value: str | None) -> "Deadline | None":
+        """Parse an ``X-Deadline-Ms`` header into a deadline.
+
+        Returns ``None`` for an absent header. Raises :class:`ValueError`
+        for a malformed or negative value — a garbled budget must be a
+        400, not silently unlimited.
+        """
+        if value is None:
+            return None
+        budget_ms = float(value.strip())  # ValueError propagates
+        if not math.isfinite(budget_ms) or budget_ms < 0:
+            raise ValueError(f"invalid deadline budget: {value!r}")
+        return cls.after_ms(budget_ms)
+
+    def remaining_ms(self) -> float:
+        """Milliseconds left on the budget (never negative)."""
+        return max(0.0, (self._expires_at - time.monotonic()) * 1000.0)
+
+    def remaining_s(self) -> float:
+        """Seconds left on the budget (never negative)."""
+        return self.remaining_ms() / 1000.0
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expires_at
+
+    def header_value(self) -> str:
+        """The remaining budget, formatted for ``X-Deadline-Ms``."""
+        return f"{self.remaining_ms():.0f}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining_ms={self.remaining_ms():.0f})"
+
+
+def backoff_delays(
+    *,
+    base: float = 0.05,
+    cap: float = 2.0,
+    rng: random.Random | None = None,
+) -> Iterator[float]:
+    """Infinite jittered exponential backoff delays.
+
+    Yields ``u * min(cap, base * 2**attempt)`` with ``u`` uniform on
+    ``[0.5, 1.0]`` (equal jitter: a guaranteed floor keeps retry count
+    bounded, the jitter half de-synchronizes concurrent clients).
+
+    Args:
+        base: first delay's full value, seconds.
+        cap: ceiling on the un-jittered delay, seconds.
+        rng: injectable randomness for deterministic tests
+            (default: the module-level :mod:`random` generator).
+    """
+    draw = rng.random if rng is not None else random.random
+    attempt = 0
+    while True:
+        top = min(cap, base * (2.0**attempt))
+        yield top * (0.5 + 0.5 * draw())
+        if top < cap:
+            attempt += 1
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe.
+
+    States:
+
+    * ``closed`` — traffic flows; ``failures_to_open`` *consecutive*
+      failures trip it open (any success resets the streak).
+    * ``open`` — :meth:`allow` answers ``False`` until ``reset_after_s``
+      has passed, so a hung or dead lane stops eating one timeout per
+      request.
+    * ``half-open`` — after the cool-down exactly one probe request is
+      let through; success closes the breaker, failure re-opens it. A
+      probe slot that is granted but never reported back (the caller
+      ended up not using the lane) expires after another
+      ``reset_after_s`` rather than wedging the breaker half-open.
+
+    Thread-safe; *clock* is injectable so tests never sleep.
+    """
+
+    def __init__(
+        self,
+        *,
+        failures_to_open: int = 3,
+        reset_after_s: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failures_to_open < 1:
+            raise ValueError("failures_to_open must be >= 1")
+        self.failures_to_open = failures_to_open
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._streak = 0  # consecutive failures while closed
+        self._retry_at = 0.0  # when open -> half-open probe is allowed
+        self._probe_expires = 0.0  # when an unreported probe slot lapses
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request use this lane right now?
+
+        In the open state this is where the half-open transition
+        happens: the first call after the cool-down claims the single
+        probe slot.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            now = self._clock()
+            if self._state == "open":
+                if now < self._retry_at:
+                    return False
+                self._state = "half-open"
+                self._probe_expires = now + self.reset_after_s
+                return True
+            # half-open: one probe in flight; grant another only if the
+            # previous slot was never reported back and has lapsed.
+            if now >= self._probe_expires:
+                self._probe_expires = now + self.reset_after_s
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = "closed"
+            self._streak = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == "half-open":
+                self._trip()
+                return
+            self._streak += 1
+            if self._streak >= self.failures_to_open:
+                self._trip()
+
+    def _trip(self) -> None:
+        # caller holds the lock
+        self._state = "open"
+        self._streak = 0
+        self._retry_at = self._clock() + self.reset_after_s
+
+
+class BreakerBoard:
+    """A lazily-populated map of breakers, one per worker lane url.
+
+    The proxy asks :meth:`allow` when ordering targets and reports
+    outcomes via :meth:`success` / :meth:`failure`. With
+    ``enabled=False`` the board still *records* outcomes (so
+    ``/admin/status`` can show lane states) but :meth:`allow` always
+    answers ``True`` — the knob the chaos harness flips to measure the
+    breaker's availability contribution.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        failures_to_open: int = 3,
+        reset_after_s: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.enabled = enabled
+        self._failures_to_open = failures_to_open
+        self._reset_after_s = reset_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def _breaker(self, key: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = self._breakers[key] = CircuitBreaker(
+                    failures_to_open=self._failures_to_open,
+                    reset_after_s=self._reset_after_s,
+                    clock=self._clock,
+                )
+            return breaker
+
+    def allow(self, key: str) -> bool:
+        if not self.enabled:
+            return True
+        return self._breaker(key).allow()
+
+    def success(self, key: str) -> None:
+        self._breaker(key).record_success()
+
+    def failure(self, key: str) -> None:
+        self._breaker(key).record_failure()
+
+    def state(self, key: str) -> str:
+        return self._breaker(key).state
+
+    def snapshot(self) -> dict[str, str]:
+        """Lane url -> breaker state, for status endpoints."""
+        with self._lock:
+            return {key: breaker.state for key, breaker in self._breakers.items()}

@@ -53,8 +53,10 @@ import numpy as np
 
 from ..api.assign import Assigner
 from ..api.model import ClusterModel
+from ..faults.plan import FaultEvent, FaultInjector
 from . import wire
 from .registry import ModelRegistry, RegistryError
+from .resilience import DEADLINE_HEADER, Deadline
 
 #: Content type for raw ``np.save`` payloads (request and response).
 NPY_CONTENT_TYPE = "application/x-npy"
@@ -79,11 +81,27 @@ class _Snapshot:
 
 
 class ServingError(Exception):
-    """Request-level failure carrying an HTTP status."""
+    """Request-level failure carrying an HTTP status.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after_s`` (when set) becomes a ``Retry-After`` response
+    header — the bottom rung of the proxy's degradation ladder tells
+    clients *when* trying again is worthwhile instead of just failing.
+    """
+
+    def __init__(
+        self, status: int, message: str, *, retry_after_s: float | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after_s = retry_after_s
+
+
+class _InjectedSever(Exception):
+    """Internal: a fault event asked for the connection to be cut dead.
+
+    Raised past the JSON-error path on purpose — the peer must see a
+    socket-level failure (like a crashed worker), not a tidy 4xx.
+    """
 
 
 class ConnectionTrackingServer(ThreadingHTTPServer):
@@ -264,6 +282,12 @@ class AssignmentServer(ConnectionTrackingServer):
             ``LATEST`` target (registry mode only; implies
             ``follow=False``).
         quiet: suppress per-request access logging.
+        fault_injector: a :class:`repro.faults.FaultInjector` whose
+            plan this server fires at its ``server.assign`` /
+            ``server.stream`` sites (chaos testing). Default: built
+            from the ``REPRO_FAULT_PLAN`` environment variable when
+            set — which is how a supervisor-spawned fleet worker picks
+            up a fault plan — else no injection at all.
     """
 
     serve_thread_name = "repro-serve"
@@ -281,6 +305,7 @@ class AssignmentServer(ConnectionTrackingServer):
         follow: bool = True,
         pin_version: str | None = None,
         quiet: bool = True,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if (registry is None) == (model_path is None):
             raise ValueError("exactly one of registry= or model_path= is required")
@@ -294,6 +319,9 @@ class AssignmentServer(ConnectionTrackingServer):
         self.chunk_size = chunk_size
         self.follow = follow and pin_version is None
         self.quiet = quiet
+        self.fault_injector = (
+            fault_injector if fault_injector is not None else FaultInjector.from_env()
+        )
         self.started_at = time.monotonic()
         self._lock = threading.RLock()
         self._snapshot: _Snapshot | None = None
@@ -581,7 +609,46 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _fail(self, exc: Exception) -> None:
         status = exc.status if isinstance(exc, ServingError) else 400
-        self._send_json(status, {"error": str(exc)})
+        body = json.dumps({"error": str(exc)}).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        retry_after = getattr(exc, "retry_after_s", None)
+        if retry_after is not None:
+            self.send_header("Retry-After", str(max(1, round(retry_after))))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _sever_connection(self) -> None:
+        """Cut the socket dead mid-exchange (injected fault only)."""
+        self.close_connection = True
+        try:
+            self.wfile.flush()
+        except OSError:
+            pass
+        try:
+            self.connection.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+
+    def _request_deadline(self) -> Deadline | None:
+        """Parse and pre-enforce the request's ``X-Deadline-Ms`` budget.
+
+        Runs before the body is read or any buffer allocated: work
+        whose budget is already spent is refused with a 504 — the
+        client gave up, so computing the answer only burns capacity.
+        The unread body would desync keep-alive, hence the sever.
+        """
+        try:
+            deadline = Deadline.from_header(self.headers.get(DEADLINE_HEADER))
+        except ValueError as exc:
+            raise ServingError(
+                400, f"invalid {DEADLINE_HEADER} header: {exc}"
+            ) from None
+        if deadline is not None and deadline.expired:
+            self.close_connection = True
+            raise ServingError(504, "deadline exhausted before processing")
+        return deadline
 
     # -- endpoints ----------------------------------------------------- #
 
@@ -642,10 +709,18 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             else:
                 raise ServingError(404, f"unknown path {self.path!r}")
+        except _InjectedSever:
+            self._sever_connection()
         except Exception as exc:
             self._fail(exc)
 
     def _do_assign(self) -> None:
+        self._request_deadline()  # refuse spent budgets pre-allocation
+        injector = self.server.fault_injector
+        if injector is not None:
+            event = injector.fire("server.assign")  # sleeps through delays
+            if event is not None and event.kind == "refuse":
+                raise _InjectedSever()
         snap = self.server.snapshot()  # pinned: a mid-request swap cannot move it
         content_type = self.headers.get("Content-Type", "application/json")
         if content_type.startswith(STREAM_CONTENT_TYPE):
@@ -715,6 +790,8 @@ class _Handler(BaseHTTPRequestHandler):
         before any response byte, so the client always gets a clean 400
         and never a partial 200.
         """
+        injector = self.server.fault_injector
+        stream_event = injector.fire("server.stream") if injector is not None else None
         body = self._stream_body_reader()
         try:
             reader = wire.StreamReader(body.read, max_total_bytes=MAX_BODY_BYTES)
@@ -771,10 +848,60 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header(VERSION_HEADER, snap.version)
         self.end_headers()
         writer = _HTTPChunkWriter(self.wfile)
+        if stream_event is not None and stream_event.kind in (
+            "disconnect",
+            "truncate",
+            "corrupt",
+            "slow",
+        ):
+            self._write_faulted_stream(
+                writer, arrays(), response_codec, want_distance, stream_event
+            )
+            return
         for piece in wire.iter_encode(
             arrays(), codec=response_codec, distances=want_distance
         ):
             writer.write(piece)
+        writer.close()
+
+    def _write_faulted_stream(
+        self,
+        writer: "_HTTPChunkWriter",
+        arrays: Any,
+        codec: str,
+        distances: bool,
+        event: FaultEvent,
+    ) -> None:
+        """Mangle the response stream per one injected fault event.
+
+        ``event.arg`` selects the 0-based response frame to fault.
+        ``disconnect`` severs cleanly at that frame boundary;
+        ``truncate`` severs mid-frame; ``corrupt`` flips a byte inside
+        the frame's npy magic (so decoders *detect* it — payload-data
+        corruption is undetectable without checksums and deliberately
+        not injected); ``slow`` instead trickles every frame with
+        ``arg`` seconds of sleep (slow-loris).
+        """
+        writer.write(wire.encode_header(codec, distances=distances))
+        target = int(event.arg or 0)
+        for index, array in enumerate(arrays):
+            frame = b"".join(wire.encode_frame(array, codec))
+            if event.kind == "slow":
+                time.sleep(float(event.arg or 0.0))
+            elif index == target:
+                if event.kind == "disconnect":
+                    writer.flush()
+                    raise _InjectedSever()
+                if event.kind == "truncate":
+                    writer.write(frame[: max(1, len(frame) // 2)])
+                    writer.flush()
+                    raise _InjectedSever()
+                if event.kind == "corrupt":
+                    mangled = bytearray(frame)
+                    mangled[8] ^= 0xFF  # first payload byte past the prefix
+                    frame = bytes(mangled)
+            writer.write(frame)
+        writer.write(wire.terminator())
         writer.close()
 
 

@@ -1,0 +1,68 @@
+"""Chaos scenarios: deterministic schedules and a live micro-soak."""
+
+from __future__ import annotations
+
+import json
+
+from repro.faults import ChaosScenario, run_chaos
+from repro.faults.chaos import CHAOS_SUITE
+from repro.perf import validate_bench
+
+
+def test_schedule_is_seed_deterministic():
+    a = ChaosScenario(seed=9, requests=200).schedule()
+    b = ChaosScenario(seed=9, requests=200).schedule()
+    c = ChaosScenario(seed=10, requests=200).schedule()
+    assert a == b
+    assert a != c
+
+
+def test_schedule_shape():
+    schedule = ChaosScenario(seed=0, requests=200, workers=2).schedule()
+    kinds = [kind for _, kind, _ in schedule]
+    assert kinds == ["sigstop", "sigcont", "sigkill"]
+    indices = [index for index, _, _ in schedule]
+    assert indices == sorted(indices)
+    assert all(0 <= index < 200 for index in indices)
+    (_, _, frozen), (_, _, thawed), (_, _, killed) = schedule
+    assert frozen == thawed  # the SIGCONT heals the worker we froze
+    assert killed != frozen  # ...and the kill hits a different one
+
+
+def test_single_worker_schedule_skips_the_kill():
+    schedule = ChaosScenario(seed=0, requests=200, workers=1).schedule()
+    assert [kind for _, kind, _ in schedule] == ["sigstop", "sigcont"]
+
+
+def test_worker_plan_is_seed_deterministic():
+    a = ChaosScenario(seed=4).worker_plan()
+    b = ChaosScenario(seed=4).worker_plan()
+    assert a == b
+    assert all(event.kind == "delay" for event in a.events)
+    assert all(event.site == "server.assign" for event in a.events)
+
+
+def test_micro_soak_zero_wrong_answers(tmp_path):
+    """A tiny live soak: faults cost requests, never answers."""
+    scenario = ChaosScenario(
+        seed=0, requests=24, rows=128, dim=6, k=3, workers=2, deadline_ms=500.0
+    )
+    report = run_chaos(scenario, state_root=tmp_path)
+    assert report.succeeded + report.failed == 24
+    assert report.wrong == 0
+    assert report.succeeded > 0
+    record = report.to_record()
+    assert record.workload == "chaos_soak_breaker_on"
+    assert record.extra["seed"] == 0
+    # The record round-trips through the standard bench schema.
+    validate_bench(
+        json.loads(
+            json.dumps(
+                {
+                    "schema": "repro.bench/v1",
+                    "suite": CHAOS_SUITE,
+                    "records": [record.to_dict()],
+                }
+            )
+        )
+    )

@@ -1,0 +1,151 @@
+"""FaultPlan / FaultInjector: deterministic, portable fault schedules."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import FAULT_KINDS, PLAN_ENV, FaultEvent, FaultInjector, FaultPlan
+
+
+# --------------------------------------------------------------------- #
+# FaultEvent                                                            #
+# --------------------------------------------------------------------- #
+
+
+def test_event_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="kind"):
+        FaultEvent(site="server.assign", at=0, kind="gremlin")
+
+
+def test_event_rejects_negative_at():
+    with pytest.raises(ValueError):
+        FaultEvent(site="server.assign", at=-1, kind="delay")
+
+
+def test_event_dict_round_trip():
+    event = FaultEvent(site="server.stream", at=3, kind="truncate", arg=1)
+    assert FaultEvent.from_dict(event.to_dict()) == event
+
+
+# --------------------------------------------------------------------- #
+# FaultPlan                                                             #
+# --------------------------------------------------------------------- #
+
+
+def test_plan_rejects_duplicate_site_and_index():
+    a = FaultEvent(site="s", at=2, kind="delay", arg=0.01)
+    b = FaultEvent(site="s", at=2, kind="refuse")
+    with pytest.raises(ValueError, match="duplicate"):
+        FaultPlan([a, b])
+
+
+def test_plan_json_round_trip():
+    plan = FaultPlan(
+        [
+            FaultEvent(site="server.assign", at=0, kind="refuse"),
+            FaultEvent(site="proxy.lane0.frame", at=2, kind="disconnect"),
+            FaultEvent(site="server.stream", at=1, kind="slow", arg=0.05),
+        ]
+    )
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored == plan
+    assert len(restored) == 3
+
+
+def test_plan_from_seed_is_deterministic():
+    kwargs = dict(
+        site="server.assign",
+        length=200,
+        rates={"delay": 0.1},
+        args={"delay": (0.01, 0.05)},
+    )
+    a = FaultPlan.from_seed(42, **kwargs)
+    b = FaultPlan.from_seed(42, **kwargs)
+    c = FaultPlan.from_seed(43, **kwargs)
+    assert a == b
+    assert a != c  # a different seed is a different schedule
+    assert 0 < len(a) < 200
+    assert all(event.kind in FAULT_KINDS for event in a.events)
+
+
+def test_plan_for_site_filters():
+    plan = FaultPlan(
+        [
+            FaultEvent(site="a", at=0, kind="delay", arg=0.01),
+            FaultEvent(site="b", at=0, kind="refuse"),
+        ]
+    )
+    assert [event.site for event in plan.for_site("a")] == ["a"]
+
+
+# --------------------------------------------------------------------- #
+# FaultInjector                                                         #
+# --------------------------------------------------------------------- #
+
+
+def test_injector_fires_at_exact_invocation_counts():
+    plan = FaultPlan(
+        [
+            FaultEvent(site="s", at=1, kind="refuse"),
+            FaultEvent(site="s", at=3, kind="disconnect"),
+        ]
+    )
+    injector = FaultInjector(plan)
+    hits = [injector.check("s") for _ in range(5)]
+    assert [event.kind if event else None for event in hits] == [
+        None,
+        "refuse",
+        None,
+        "disconnect",
+        None,
+    ]
+    assert injector.count("s") == 5
+    assert injector.check("other") is None  # sites count independently
+
+
+def test_injector_poison_is_sticky():
+    injector = FaultInjector(FaultPlan([]))
+    assert not injector.poisoned("http://w0")
+    injector.poison("http://w0")
+    assert injector.poisoned("http://w0")
+    assert not injector.poisoned("http://w1")
+
+
+def test_injector_from_env_absent_is_none():
+    assert FaultInjector.from_env(environ={}) is None
+
+
+def test_injector_from_env_inline_json():
+    plan = FaultPlan([FaultEvent(site="s", at=0, kind="refuse")])
+    injector = FaultInjector.from_env(environ={PLAN_ENV: plan.to_json()})
+    assert injector is not None
+    assert injector.plan == plan
+
+
+def test_injector_from_env_file_path(tmp_path):
+    plan = FaultPlan([FaultEvent(site="s", at=1, kind="truncate", arg=0)])
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json(), encoding="utf-8")
+    injector = FaultInjector.from_env(environ={PLAN_ENV: f"@{path}"})
+    assert injector is not None
+    assert injector.plan == plan
+
+
+def test_injector_from_env_garbage_raises():
+    with pytest.raises(ValueError):
+        FaultInjector.from_env(environ={PLAN_ENV: "not json"})
+    with pytest.raises(ValueError):
+        FaultInjector.from_env(
+            environ={PLAN_ENV: json.dumps({"events": [{"site": "s"}]})}
+        )
+
+
+def test_injector_to_env_round_trips():
+    plan = FaultPlan([FaultEvent(site="s", at=0, kind="sigkill")])
+    injector = FaultInjector(plan)
+    environ = {PLAN_ENV: injector.to_env()}
+    restored = FaultInjector.from_env(environ=environ)
+    assert restored is not None
+    assert restored.plan == plan

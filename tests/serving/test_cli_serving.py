@@ -114,3 +114,45 @@ def test_bench_run_rejects_compare_only_flags(tmp_path, capsys):
         main(["bench", "assign", "--threshold", "0.5"])
     assert excinfo.value.code == 2
     assert "only for 'bench compare'" in capsys.readouterr().err
+
+
+def test_fleet_status_reports_stale_state_file(tmp_path, capsys):
+    """A fleet.json whose supervisor was SIGKILLed (all recorded PIDs
+    dead) must produce a clear STALE report, not a raw connection error."""
+    registry = tmp_path / "registry"
+    state_dir = registry / ".fleet"
+    state_dir.mkdir(parents=True)
+    # Recently-exited PIDs are hard to fake portably; PID ranges well
+    # above pid_max-as-configured are reliably dead on CI hosts.
+    (state_dir / "fleet.json").write_text(json.dumps({
+        "proxy_url": "http://127.0.0.1:1",  # reserved port: nothing listens
+        "pid": 2 ** 22 + 1,
+        "workers": [
+            {"index": 0, "port": 1, "pid": 2 ** 22 + 2},
+            {"index": 1, "port": 1, "pid": 2 ** 22 + 3},
+        ],
+    }))
+    assert main(["fleet", "status", "--registry", str(registry)]) == 1
+    err = capsys.readouterr().err
+    assert "STALE" in err
+    assert "fleet.json" in err
+    assert "repro fleet up" in err
+
+
+def test_fleet_status_live_pids_keep_the_connection_error(tmp_path, capsys):
+    """If the recorded supervisor is alive, an unreachable proxy is a
+    genuine connectivity problem and must stay a loud usage error."""
+    import os
+
+    registry = tmp_path / "registry"
+    state_dir = registry / ".fleet"
+    state_dir.mkdir(parents=True)
+    (state_dir / "fleet.json").write_text(json.dumps({
+        "proxy_url": "http://127.0.0.1:1",
+        "pid": os.getpid(),  # very much alive
+        "workers": [],
+    }))
+    with pytest.raises(SystemExit) as excinfo:
+        main(["fleet", "status", "--registry", str(registry)])
+    assert excinfo.value.code == 2
+    assert "127.0.0.1:1" in capsys.readouterr().err

@@ -234,6 +234,47 @@ def test_crashed_worker_restarts_pinned_to_fleet_version(setup):
             np.testing.assert_array_equal(response.labels, model_a.predict(probe))
 
 
+def test_frozen_worker_is_detected_and_restarted(setup):
+    """Regression: a SIGSTOP'd worker is alive but silent.
+
+    Liveness checks (``process.poll()``) see a healthy process and the
+    old boot-grace window shielded it from probe failures for the full
+    ``start_timeout_s``. The health probe must instead time out within
+    ``health_timeout_s``, strike the worker out, and recycle it —
+    SIGKILL works on a stopped process, so the replacement always comes
+    up thawed.
+    """
+    registry, model_a, _, v1, probe = setup
+    with FleetSupervisor(
+        registry, workers=WORKERS, heartbeat_s=0.1, health_timeout_s=0.5
+    ) as fleet:
+        victim = fleet.status()["workers"][0]
+        os.kill(victim["pid"], signal.SIGSTOP)
+        try:
+
+            def recovered() -> bool:
+                status = fleet.status()["workers"][0]
+                return (
+                    status["healthy"]
+                    and status["restarts"] >= 1
+                    and status["pid"] != victim["pid"]
+                )
+
+            assert wait_until(recovered, timeout=30.0), fleet.status()
+        finally:
+            # The SIGKILL recycle makes this a no-op; belt and braces
+            # so a regression cannot leak a stopped process.
+            try:
+                os.kill(victim["pid"], signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+        status = fleet.status()
+        assert all(w["version"] == v1 for w in status["workers"])
+        with ServingClient(url=status["workers"][0]["url"]) as client:
+            response = client.assign(probe)
+            np.testing.assert_array_equal(response.labels, model_a.predict(probe))
+
+
 def test_fleet_requires_published_model(tmp_path):
     from repro.serving import RegistryError
 

@@ -163,3 +163,61 @@ def test_model_publish_and_from_registry_helpers(registry):
     np.testing.assert_array_equal(
         ClusterModel.from_registry(registry.root, version).centers, model.centers
     )
+
+
+# --------------------------------------------------------------------- #
+# Crash safety                                                          #
+# --------------------------------------------------------------------- #
+
+
+def test_orphaned_staging_dir_is_invisible_to_list_versions(registry):
+    registry.publish(make_model(0))
+    orphan = registry.root / ".tmp-v0002-12345"
+    orphan.mkdir()
+    (orphan / "model.json").write_text("{}")
+    assert registry.list_versions() == ["v0001"]
+    assert registry.latest_version() == "v0001"
+    # A half-published directory never resolves as a version either.
+    with pytest.raises(RegistryError):
+        registry.resolve(".tmp-v0002-12345")
+
+
+def test_prune_reaps_orphaned_staging_dirs(registry):
+    for seed in range(3):
+        registry.publish(make_model(seed))
+    orphan = registry.root / ".tmp-v0004-999"
+    orphan.mkdir()
+    (orphan / "model.npz").write_bytes(b"partial")
+    deleted = registry.prune(retention=2)
+    assert deleted == ["v0001", ".tmp-v0004-999"]
+    assert not orphan.exists()
+    assert registry.list_versions() == ["v0002", "v0003"]
+
+
+def test_failed_publish_leaves_no_staging_debris(registry, monkeypatch):
+    registry.publish(make_model(0))
+
+    def explode(self, path):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(ClusterModel, "save", explode)
+    with pytest.raises(OSError, match="disk full"):
+        registry.publish(make_model(1))
+    # No .tmp-* debris, no new version, pointer untouched.
+    leftovers = [p.name for p in registry.root.iterdir() if p.name.startswith(".tmp-")]
+    assert leftovers == []
+    assert registry.list_versions() == ["v0001"]
+    assert registry.latest_version() == "v0001"
+
+
+def test_publish_is_all_or_nothing_on_disk(registry):
+    """After a successful publish the version dir is complete and the
+    pointer names it — the rename-into-place contract."""
+    model = make_model(3)
+    version = registry.publish(model, label="atomic")
+    target = registry.root / version
+    assert (target / "model.json").is_file()
+    assert (target / "model.npz").is_file()
+    assert registry.latest_version() == version
+    staging = [p for p in registry.root.iterdir() if p.name.startswith(".tmp-")]
+    assert staging == []

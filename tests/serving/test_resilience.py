@@ -1,0 +1,182 @@
+"""Resilience primitives: deadlines, jittered backoff, circuit breakers."""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+
+import pytest
+
+from repro.serving import (
+    BreakerBoard,
+    CircuitBreaker,
+    DEADLINE_HEADER,
+    Deadline,
+    backoff_delays,
+)
+
+
+# --------------------------------------------------------------------- #
+# Deadline                                                              #
+# --------------------------------------------------------------------- #
+
+
+def test_deadline_counts_down_and_expires():
+    deadline = Deadline.after_ms(50)
+    assert not deadline.expired
+    assert 0 < deadline.remaining_ms() <= 50
+    time.sleep(0.06)
+    assert deadline.expired
+    assert deadline.remaining_ms() == 0.0  # never negative
+    assert deadline.remaining_s() == 0.0
+
+
+def test_deadline_header_round_trip():
+    deadline = Deadline.after_ms(5000)
+    header = deadline.header_value()
+    parsed = Deadline.from_header(header)
+    assert parsed is not None
+    # The round trip loses only transit time, never gains budget.
+    assert parsed.remaining_ms() <= 5000
+    assert parsed.remaining_ms() > 4000
+    assert DEADLINE_HEADER == "X-Deadline-Ms"
+
+
+def test_deadline_from_header_absent_is_none():
+    assert Deadline.from_header(None) is None
+
+
+@pytest.mark.parametrize("bad", ["soon", "", "1e1000", "-5", "nan"])
+def test_deadline_from_header_malformed_raises(bad):
+    with pytest.raises(ValueError):
+        Deadline.from_header(bad)
+
+
+# --------------------------------------------------------------------- #
+# backoff_delays                                                        #
+# --------------------------------------------------------------------- #
+
+
+def test_backoff_grows_exponentially_within_jitter_bounds():
+    delays = list(itertools.islice(backoff_delays(base=0.1, cap=10.0), 6))
+    for attempt, delay in enumerate(delays):
+        top = min(10.0, 0.1 * 2**attempt)
+        assert top / 2 <= delay <= top
+
+
+def test_backoff_respects_cap():
+    delays = list(itertools.islice(backoff_delays(base=1.0, cap=2.0), 10))
+    assert all(delay <= 2.0 for delay in delays)
+    # Late attempts draw from [cap/2, cap], not ever-growing windows.
+    assert all(delay >= 1.0 for delay in delays[2:])
+
+
+def test_backoff_seeded_rng_is_reproducible():
+    a = list(itertools.islice(backoff_delays(rng=random.Random(7)), 8))
+    b = list(itertools.islice(backoff_delays(rng=random.Random(7)), 8))
+    assert a == b
+
+
+# --------------------------------------------------------------------- #
+# CircuitBreaker                                                        #
+# --------------------------------------------------------------------- #
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_breaker_opens_after_consecutive_failures():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failures_to_open=3, reset_after_s=5.0, clock=clock)
+    assert breaker.state == "closed"
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == "closed"  # streak not yet at the limit
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert not breaker.allow()
+
+
+def test_breaker_success_resets_the_failure_streak():
+    breaker = CircuitBreaker(failures_to_open=2, reset_after_s=5.0)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == "closed"  # non-consecutive failures don't trip
+
+
+def test_breaker_half_open_probe_then_close_on_success():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failures_to_open=1, reset_after_s=5.0, clock=clock)
+    breaker.record_failure()
+    assert not breaker.allow()
+    clock.advance(5.1)
+    assert breaker.allow()  # the single half-open probe slot
+    assert breaker.state == "half-open"
+    assert not breaker.allow()  # no second concurrent probe
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.allow()
+
+
+def test_breaker_half_open_probe_failure_reopens():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failures_to_open=3, reset_after_s=5.0, clock=clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(5.1)
+    assert breaker.allow()
+    breaker.record_failure()  # probe failed: straight back to open
+    assert breaker.state == "open"
+    assert not breaker.allow()
+
+
+def test_breaker_unreported_probe_slot_lapses():
+    """A prober that dies without reporting must not wedge half-open."""
+    clock = FakeClock()
+    breaker = CircuitBreaker(failures_to_open=1, reset_after_s=5.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(5.1)
+    assert breaker.allow()  # probe granted ... and never reported
+    assert not breaker.allow()
+    clock.advance(5.1)
+    assert breaker.allow()  # the lapsed slot is re-granted
+
+
+# --------------------------------------------------------------------- #
+# BreakerBoard                                                          #
+# --------------------------------------------------------------------- #
+
+
+def test_board_tracks_lanes_independently():
+    board = BreakerBoard(failures_to_open=2, reset_after_s=5.0)
+    for _ in range(2):
+        board.failure("http://a")
+    assert not board.allow("http://a")
+    assert board.allow("http://b")  # untouched lane stays closed
+    assert board.state("http://a") == "open"
+    assert board.state("http://b") == "closed"
+
+
+def test_board_disabled_records_but_always_allows():
+    board = BreakerBoard(enabled=False, failures_to_open=1, reset_after_s=5.0)
+    board.failure("http://a")
+    assert board.allow("http://a")  # measurement mode: never enforced
+    assert board.state("http://a") == "open"  # ...but the state is honest
+
+
+def test_board_snapshot_names_every_seen_lane():
+    board = BreakerBoard(failures_to_open=1, reset_after_s=5.0)
+    board.success("http://a")
+    board.failure("http://b")
+    snapshot = board.snapshot()
+    assert snapshot == {"http://a": "closed", "http://b": "open"}

@@ -1,0 +1,136 @@
+"""Injected server faults map to typed client errors — never wrong answers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ClusterModel, RunConfig
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.serving import (
+    AssignmentServer,
+    ModelRegistry,
+    ServingClient,
+    ServingClientError,
+    ServingTimeoutError,
+    ServingUnavailableError,
+)
+
+D, K = 5, 3
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    rng = np.random.default_rng(11)
+    model = ClusterModel(rng.normal(size=(K, D)) * 2, RunConfig(method="kmeans", k=K))
+    registry = ModelRegistry(tmp_path_factory.mktemp("registry"))
+    registry.publish(model, label="faulty")
+    probe = rng.normal(size=(40, D))
+    return registry, model, probe
+
+
+def _server(registry, plan):
+    return AssignmentServer(registry=registry, fault_injector=FaultInjector(plan))
+
+
+def test_one_severed_request_is_absorbed_by_the_free_retry(artifacts):
+    registry, model, probe = artifacts
+    plan = FaultPlan([FaultEvent(site="server.assign", at=0, kind="refuse")])
+    with _server(registry, plan) as server:
+        with ServingClient(port=server.port) as client:
+            # The sever kills attempt 1; the transparent retry lands on
+            # a healthy counter index and the caller never notices.
+            response = client.assign(probe)
+            np.testing.assert_array_equal(response.labels, model.predict(probe))
+
+
+def test_consecutive_severs_surface_as_unavailable(artifacts):
+    registry, _, probe = artifacts
+    plan = FaultPlan(
+        [
+            FaultEvent(site="server.assign", at=0, kind="refuse"),
+            FaultEvent(site="server.assign", at=1, kind="refuse"),
+        ]
+    )
+    with _server(registry, plan) as server:
+        with ServingClient(port=server.port) as client:
+            with pytest.raises(ServingUnavailableError) as excinfo:
+                client.assign(probe)
+            assert excinfo.value.status == 503
+            # The server survives its own injected faults: the next
+            # request (fault counters exhausted) serves normally.
+            assert client.healthz()["status"] == "ok"
+
+
+@pytest.mark.parametrize("kind", ["disconnect", "truncate"])
+def test_cut_response_stream_is_a_typed_error(artifacts, kind):
+    registry, model, probe = artifacts
+    plan = FaultPlan([FaultEvent(site="server.stream", at=0, kind=kind, arg=1)])
+    with _server(registry, plan) as server:
+        with ServingClient(port=server.port) as client:
+            with pytest.raises(ServingClientError) as excinfo:
+                client.assign_stream(probe, chunk_size=8)
+            assert excinfo.value.status in (502, 503)
+            # Next stream (no event at counter 1) is served and correct.
+            response = client.assign_stream(probe, chunk_size=8)
+            np.testing.assert_array_equal(response.labels, model.predict(probe))
+
+
+def test_corrupted_response_frame_is_detected_never_returned(artifacts):
+    registry, _, probe = artifacts
+    plan = FaultPlan(
+        [FaultEvent(site="server.stream", at=0, kind="corrupt", arg=0)]
+    )
+    with _server(registry, plan) as server:
+        with ServingClient(port=server.port) as client:
+            # The flipped npy magic byte fails decode client-side: a
+            # typed 502, not silently garbled labels.
+            with pytest.raises(ServingClientError) as excinfo:
+                client.assign_stream(probe, chunk_size=8)
+            assert excinfo.value.status == 502
+
+
+def test_slow_loris_response_exceeds_deadline(artifacts):
+    registry, _, probe = artifacts
+    plan = FaultPlan(
+        [FaultEvent(site="server.stream", at=0, kind="slow", arg=0.4)]
+    )
+    with _server(registry, plan) as server:
+        # 5 frames x 0.4s of trickle against a 300ms budget.
+        with ServingClient(port=server.port, timeout=5.0) as client:
+            with pytest.raises(ServingTimeoutError):
+                client.assign_stream(probe, chunk_size=8, deadline_ms=300.0)
+
+
+def test_spent_deadline_is_refused_before_processing(artifacts):
+    registry, _, probe = artifacts
+    with AssignmentServer(registry=registry) as server:
+        with ServingClient(port=server.port) as client:
+            with pytest.raises(ServingTimeoutError) as excinfo:
+                client.assign(probe, deadline_ms=0.0)
+            assert excinfo.value.status == 504
+
+
+def test_malformed_deadline_header_is_a_400(artifacts):
+    registry, _, _ = artifacts
+    with AssignmentServer(registry=registry) as server:
+        with ServingClient(port=server.port) as client:
+            status, _, payload = client.request_raw(
+                "POST",
+                "/assign",
+                b'{"points": [[0,0,0,0,0]]}',
+                headers={"X-Deadline-Ms": "soon"},
+            )
+            assert status == 400
+            assert b"X-Deadline-Ms" in payload
+
+
+def test_injected_delay_slows_but_does_not_fail(artifacts):
+    registry, model, probe = artifacts
+    plan = FaultPlan(
+        [FaultEvent(site="server.assign", at=0, kind="delay", arg=0.2)]
+    )
+    with _server(registry, plan) as server:
+        with ServingClient(port=server.port) as client:
+            response = client.assign(probe)
+            np.testing.assert_array_equal(response.labels, model.predict(probe))
