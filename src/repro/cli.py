@@ -192,6 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", "-o", type=Path, default=Path("results/model"),
         help="artifact output directory (default results/model)",
     )
+    p_fit.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="FILE",
+        help="write the run's telemetry profile (per-sweep counters, "
+        "move rates, phase wall-time histograms) as JSON to FILE",
+    )
 
     # --------------------------------------------------------- predict #
     p_pred = sub.add_parser(
@@ -486,6 +491,28 @@ def build_parser() -> argparse.ArgumentParser:
                 "fleet's labels on the probe (bit-identity republish mode)",
             )
 
+    # ----------------------------------------------------------- trace #
+    p_trace = sub.add_parser(
+        "trace",
+        help="render request traces from a span sink as trees",
+        description="Read the JSONL span sink written by traced serving "
+        "requests (REPRO_TRACE_SINK) and render each X-Trace-Id's spans "
+        "as a parent/child tree: proxy ingress, per-worker lanes "
+        "(including dead-lane replays), and server-side assignment.",
+    )
+    p_trace.add_argument(
+        "sink", type=Path,
+        help="span sink file (the path REPRO_TRACE_SINK pointed at)",
+    )
+    p_trace.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="render only this trace (default: every trace in the sink)",
+    )
+    p_trace.add_argument(
+        "--list", action="store_true", dest="list_traces",
+        help="one summary line per trace instead of full trees",
+    )
+
     # -------------------------------------------------------- registry #
     p_registry = sub.add_parser(
         "registry",
@@ -626,10 +653,29 @@ def _cmd_fit(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         sensitive=sensitive_names,
     )
     data, sensitive = _resolve_fit_inputs(args, parser, config)
+    if args.metrics_out is not None:
+        # The engine publishes per-sweep diagnostics into the process
+        # registry; reset it first so the profile covers this fit only.
+        from .obs import get_registry, reset_registry
+
+        reset_registry()
     model = api_fit(config, data, sensitive=sensitive)
     path = model.save(args.out)
     print(model.summary())
     print(f"saved: {path}")
+    if args.metrics_out is not None:
+        import json
+
+        profile = {
+            "schema": "repro.fit-profile/v1",
+            "metrics": get_registry().snapshot(),
+            "diagnostics": model.diagnostics,
+        }
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics_out.write_text(
+            json.dumps(profile, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"metrics profile written to {args.metrics_out}")
     return 0
 
 
@@ -752,9 +798,11 @@ def _bench_compare(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
         backend_gate,
         compare_bench_files,
         fleet_gate,
+        obs_gate,
         render_backend_gate,
         render_comparison,
         render_fleet_gate,
+        render_obs_gate,
     )
 
     if args.from_actions:
@@ -802,6 +850,12 @@ def _bench_compare(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
         # fleet gate: impossible bars become notes, not failures).
         report = backend_gate(current_payload)
         print(render_backend_gate(report))
+        ok = ok and report.ok
+    if current_payload.get("suite") == "serve":
+        # The serve suite measures an uninstrumented twin alongside the
+        # default server: telemetry on the hot path must stay near-free.
+        report = obs_gate(current_payload)
+        print(render_obs_gate(report))
         ok = ok and report.ok
     return 0 if ok else 1
 
@@ -1040,6 +1094,7 @@ def _fleet_status(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
                 return 1
             parser.error(f"{url}: {exc}")
             raise AssertionError("unreachable")
+        telemetry = _fleet_telemetry(client)
     rows = [
         [
             str(w["index"]),
@@ -1049,17 +1104,85 @@ def _fleet_status(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
             "ok" if w["healthy"] else "UNHEALTHY",
             w["version"] or "-",
             str(w["restarts"]),
+            *_telemetry_cells(telemetry.get(str(w["index"]))),
         ]
         for w in data["workers"]
     ]
     print(format_table(
-        ["worker", "pid", "address", "proc", "health", "version", "restarts"],
+        ["worker", "pid", "address", "proc", "health", "version", "restarts",
+         "reqs", "errs", "p50ms", "p99ms"],
         rows,
         title=f"Fleet at {url}: serving {data['version']} "
         f"(registry {data['registry']})",
     ))
     healthy = all(w["healthy"] for w in data["workers"])
     return 0 if healthy else 1
+
+
+def _fleet_telemetry(client: Any) -> dict[str, dict[str, float]]:
+    """Per-worker request/error/latency stats from ``/admin/metrics``.
+
+    Returns ``{worker_label: {"requests", "errors", "p50", "p99"}}``
+    (latencies in seconds; absent keys mean no samples). A fleet built
+    before this endpoint existed — or mid-outage — yields ``{}`` and
+    the status table simply shows dashes.
+    """
+    from .obs import parse_text, quantile_from_buckets
+    from .serving import ServingClientError
+
+    try:
+        status, _, payload = client.request_raw("GET", "/admin/metrics", retry=False)
+    except ServingClientError:
+        return {}
+    if status != 200:
+        return {}
+    try:
+        families = parse_text(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return {}
+    stats: dict[str, dict[str, float]] = {}
+    buckets: dict[str, dict[float, float]] = {}
+    for family in families:
+        if family.name == "repro_http_requests_total":
+            for sample in family.samples:
+                worker = sample.labels.get("worker")
+                if worker is None:
+                    continue
+                per = stats.setdefault(worker, {})
+                per["requests"] = per.get("requests", 0.0) + sample.value
+                if sample.labels.get("code", "").startswith(("4", "5")):
+                    per["errors"] = per.get("errors", 0.0) + sample.value
+        elif family.name == "repro_assign_latency_seconds":
+            for sample in family.samples:
+                worker = sample.labels.get("worker")
+                if worker is None or not sample.name.endswith("_bucket"):
+                    continue
+                le = sample.labels.get("le")
+                if le is None:
+                    continue
+                bound = float("inf") if le == "+Inf" else float(le)
+                per_bounds = buckets.setdefault(worker, {})
+                # Cumulative counts sum across modes bound-by-bound.
+                per_bounds[bound] = per_bounds.get(bound, 0.0) + sample.value
+    for worker, per_bounds in buckets.items():
+        per = stats.setdefault(worker, {})
+        for q, key in ((0.5, "p50"), (0.99, "p99")):
+            value = quantile_from_buckets(per_bounds.items(), q)
+            if value is not None:
+                per[key] = value
+    return stats
+
+
+def _telemetry_cells(per: dict[str, float] | None) -> list[str]:
+    """Render one worker's telemetry as table cells (dashes when absent)."""
+    if not per:
+        return ["-", "-", "-", "-"]
+    return [
+        str(int(per.get("requests", 0.0))),
+        str(int(per.get("errors", 0.0))),
+        f"{per['p50'] * 1000:.1f}" if "p50" in per else "-",
+        f"{per['p99'] * 1000:.1f}" if "p99" in per else "-",
+    ]
 
 
 def _fleet_rollout(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -1098,6 +1221,29 @@ def _fleet_rollout(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
     print(f"workers reverted: {report['workers_reloaded'] or 'none'}; "
           f"LATEST rolled back: {report['rolled_back']}")
     return 1
+
+
+def _cmd_trace(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from .obs.trace import load_spans, render_trace_tree
+
+    spans = load_spans(args.sink)
+    if not spans:
+        print(f"{args.sink}: no spans recorded", file=sys.stderr)
+        return 1
+    if args.list_traces:
+        by_trace: dict[str, int] = {}
+        for span in spans:
+            by_trace[span.trace_id] = by_trace.get(span.trace_id, 0) + 1
+        for trace_id in sorted(by_trace):
+            print(f"{trace_id}  {by_trace[trace_id]} span(s)")
+        return 0
+    if args.trace_id is not None and not any(
+        span.trace_id == args.trace_id for span in spans
+    ):
+        print(f"{args.sink}: no spans for trace {args.trace_id}", file=sys.stderr)
+        return 1
+    print(render_trace_tree(spans, trace_id=args.trace_id))
+    return 0
 
 
 def _cmd_registry(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -1147,6 +1293,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "fleet": _cmd_fleet,
     "registry": _cmd_registry,
+    "trace": _cmd_trace,
 }
 
 #: Pre-subcommand spellings still accepted at the front of argv.
@@ -1178,7 +1325,16 @@ def main(argv: list[str] | None = None) -> int:
     argv = _rewrite_legacy_argv(list(sys.argv[1:] if argv is None else argv))
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args, parser)
+    try:
+        return _COMMANDS[args.command](args, parser)
+    except BrokenPipeError:
+        # Downstream pager closed the pipe (`repro trace ... | head`):
+        # detach stdout so the interpreter's exit flush cannot raise
+        # again, and exit the POSIX way (128 + SIGPIPE).
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

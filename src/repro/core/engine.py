@@ -39,6 +39,7 @@ import time
 import numpy as np
 
 from ..cluster.init import initial_labels
+from ..obs.metrics import record_fit_sweep
 from .attributes import CategoricalSpec, NumericSpec
 from .config import FairKMConfig, FairKMResult
 from .lambda_heuristic import resolve_lambda
@@ -604,6 +605,7 @@ class OptimizerEngine:
                         **self.sweep_strategy.last_stats,
                     }
                 )
+                record_fit_sweep(sweep_stats[-1], engine=self.sweep_strategy.name)
                 if cfg.resync_every and n_iter % cfg.resync_every == 0:
                     state.resync()
                 # Recorded after the periodic resync: reported objectives

@@ -244,6 +244,16 @@ class FaultInjector:
             state = self._sites.get(site)
             return state.count if state is not None else 0
 
+    def counts(self) -> dict[str, int]:
+        """Hit counts for every site touched so far.
+
+        The telemetry collector (:func:`repro.obs.fault_collector`)
+        reads this at scrape time — a live view, not a copy kept in
+        sync.
+        """
+        with self._lock:
+            return {site: state.count for site, state in self._sites.items()}
+
     def poison(self, key: str) -> None:
         """Mark a lane (worker url) as sticky-dead for this injector."""
         with self._lock:

@@ -1,0 +1,84 @@
+"""Fleet-wide telemetry: metrics registry, exposition, request tracing.
+
+``repro.obs`` is the zero-dependency observability layer. It has three
+parts and no opinions about who uses them:
+
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket latency
+  histograms in a thread-safe :class:`MetricsRegistry`, plus
+  *collectors* that expose live state (breaker boards, fault
+  injectors) as series without copying it.
+* :mod:`repro.obs.prometheus` — text exposition format 0.0.4 rendering
+  and a strict parser, used by ``GET /metrics``, the supervisor-side
+  ``/admin/metrics`` aggregation, and the conformance tests.
+* :mod:`repro.obs.trace` — ``X-Trace-Id`` / ``X-Parent-Span`` request
+  tracing with a bounded JSONL span sink and tree rendering for the
+  ``repro trace`` CLI.
+"""
+
+from .metrics import (
+    BREAKER_STATE_CODES,
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    breaker_collector,
+    fault_collector,
+    get_registry,
+    merge_histograms,
+    quantile_from_buckets,
+    record_fit_sweep,
+    reset_registry,
+    resolve_registry,
+)
+from .prometheus import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    merge_scrapes,
+    parse_text,
+    render_families,
+    render_registry,
+)
+from .trace import (
+    PARENT_HEADER,
+    SINK_ENV,
+    TRACE_HEADER,
+    Span,
+    TraceSink,
+    get_sink,
+    load_spans,
+    new_span_id,
+    new_trace_id,
+    render_trace_tree,
+    start_span,
+)
+
+__all__ = [
+    "BREAKER_STATE_CODES",
+    "DEFAULT_LATENCY_BUCKETS",
+    "NULL_REGISTRY",
+    "MetricsRegistry",
+    "NullRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
+    "PARENT_HEADER",
+    "SINK_ENV",
+    "TRACE_HEADER",
+    "Span",
+    "TraceSink",
+    "breaker_collector",
+    "fault_collector",
+    "get_registry",
+    "get_sink",
+    "load_spans",
+    "merge_histograms",
+    "merge_scrapes",
+    "new_span_id",
+    "new_trace_id",
+    "parse_text",
+    "quantile_from_buckets",
+    "record_fit_sweep",
+    "render_families",
+    "render_registry",
+    "render_trace_tree",
+    "reset_registry",
+    "resolve_registry",
+    "start_span",
+]

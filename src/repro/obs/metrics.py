@@ -1,0 +1,576 @@
+"""Process-local metrics registry: counters, gauges, latency histograms.
+
+Zero-dependency telemetry core for the serving stack and the training
+loop. Three instrument kinds, all thread-safe and cheap enough for the
+assign hot path (one lock acquire plus a dict lookup per update):
+
+* :class:`Counter` — monotone float totals (requests, rows, bytes).
+* :class:`Gauge` — a settable point-in-time value (move rate, workers).
+* :class:`Histogram` — fixed-bucket latency distribution; buckets are
+  chosen at registration, observations are a ``bisect`` into them, and
+  snapshots export *cumulative* counts per upper bound the way the
+  Prometheus text format wants them.
+
+Instruments are *families*: ``registry.counter(name, ...)`` registers
+(or re-fetches — registration is idempotent) the family, and
+``family.labels(path="/assign")`` returns the per-label-set child that
+actually holds the value. Families with no label names act as their own
+child, so ``registry.counter("x", "...").inc()`` works directly.
+
+Two registry flavours exist on purpose:
+
+* :func:`get_registry` — the process-wide registry. The training loop
+  and CLI publish here; a ``repro serve`` worker process therefore has
+  exactly one of these.
+* per-instance registries — :class:`~repro.serving.server.AssignmentServer`
+  and :class:`~repro.serving.proxy.FleetProxy` default to a *private*
+  registry each, because tests (and the bench harness) run several
+  servers plus a proxy inside one process and their series must not
+  bleed together. Pass ``metrics=<registry>`` to share one explicitly,
+  or ``metrics=False`` for the null registry (every update is a no-op —
+  the uninstrumented baseline the overhead gate benches against).
+
+Live state that already has an owner — breaker boards, fault
+injectors — is exported through *collectors*: callables registered via
+:meth:`MetricsRegistry.register_collector` that produce family
+snapshots at scrape time. The gauge is a view over the same object the
+``/admin/status`` JSON reads; nothing is double-tracked.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Iterable
+
+#: Default latency buckets, seconds. Spans sub-millisecond in-process
+#: assigns up to multi-second scatter-gather requests under chaos.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Breaker state -> gauge value, shared by the proxy collector and the
+#: fleet-status renderer so dashboards and CLI agree on the encoding.
+BREAKER_STATE_CODES: dict[str, int] = {"closed": 0, "half-open": 1, "open": 2}
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_KINDS = frozenset({"counter", "gauge", "histogram"})
+
+
+def _check_name(name: str) -> str:
+    if not _METRIC_NAME.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labelnames(labelnames: Iterable[str]) -> tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not _LABEL_NAME.match(label) or label.startswith("__"):
+            raise ValueError(f"invalid label name {label!r}")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate label names in {names!r}")
+    return names
+
+
+class _Child:
+    """One labelled series of a counter or gauge family."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class _HistogramChild:
+    """One labelled series of a histogram family."""
+
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        # one slot per finite bound plus the +Inf overflow slot
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        """Cumulative ``[upper_bound, count]`` pairs plus sum/count."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            acc_sum = self._sum
+        buckets: list[list[float]] = []
+        running = 0
+        for bound, count in zip(self._bounds, counts):
+            running += count
+            buckets.append([bound, running])
+        buckets.append([math.inf, total])
+        return {"buckets": buckets, "sum": acc_sum, "count": total}
+
+
+class _Family:
+    """A named instrument family holding per-label-set children."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] = (),
+    ) -> None:
+        self.name = _check_name(name)
+        self.kind = kind
+        self.help = help_text
+        self.labelnames = labelnames
+        self.buckets = buckets
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], Any] = {}
+        if not labelnames:
+            self._children[()] = self._new_child()
+
+    def _new_child(self) -> Any:
+        if self.kind == "histogram":
+            return _HistogramChild(self.buckets)
+        return _Child()
+
+    def labels(self, **labels: str) -> Any:
+        if tuple(sorted(labels)) != tuple(sorted(self.labelnames)):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._new_child()
+            return child
+
+    # -- unlabelled families proxy straight to their single child ------
+    def inc(self, amount: float = 1.0) -> None:
+        self._children[()].inc(amount)
+
+    def set(self, value: float) -> None:
+        self._children[()].set(value)
+
+    def observe(self, value: float) -> None:
+        self._children[()].observe(value)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            items = list(self._children.items())
+        series = []
+        for key, child in items:
+            labels = dict(zip(self.labelnames, key))
+            if self.kind == "histogram":
+                series.append({"labels": labels, **child.snapshot()})
+            else:
+                series.append({"labels": labels, "value": child.value})
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "series": series,
+        }
+
+
+class MetricsRegistry:
+    """A thread-safe collection of instrument families plus collectors.
+
+    Registration is idempotent: asking for an already-registered name
+    returns the existing family, provided kind/labels/buckets agree —
+    a mismatch is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+        self._collectors: list[Callable[[], Iterable[dict[str, Any]]]] = []
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labelnames: Iterable[str],
+        buckets: tuple[float, ...] = (),
+    ) -> _Family:
+        names = _check_labelnames(labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != names or (
+                    kind == "histogram" and family.buckets != buckets
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered with a "
+                        f"different kind, labels, or buckets"
+                    )
+                return family
+            family = _Family(name, kind, help_text, names, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Iterable[str] = ()
+    ) -> _Family:
+        return self._register(name, "counter", help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Iterable[str] = ()
+    ) -> _Family:
+        return self._register(name, "gauge", help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> _Family:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (+Inf is implied)")
+        return self._register(name, "histogram", help_text, labelnames, bounds)
+
+    def register_collector(
+        self, collector: Callable[[], Iterable[dict[str, Any]]]
+    ) -> None:
+        """Add a callable producing family snapshots at scrape time.
+
+        Collectors are how live state with an existing owner (breaker
+        boards, fault injectors) shows up in the exposition without
+        being copied into the registry: the callable reads the owner
+        and returns dicts shaped like :meth:`_Family.snapshot`.
+        """
+        with self._lock:
+            self._collectors.append(collector)
+
+    def collect(self) -> list[dict[str, Any]]:
+        """All family snapshots (registered first, then collectors)."""
+        with self._lock:
+            families = list(self._families.values())
+            collectors = list(self._collectors)
+        out = [family.snapshot() for family in families]
+        for collector in collectors:
+            for snap in collector():
+                if snap.get("kind") not in _KINDS:
+                    raise ValueError(
+                        f"collector produced invalid kind {snap.get('kind')!r}"
+                    )
+                _check_name(str(snap.get("name", "")))
+                out.append(snap)
+        return sorted(out, key=lambda snap: snap["name"])
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able dump of every family (``repro fit --metrics-out``)."""
+        return {"schema": "repro.metrics/v1", "families": self.collect()}
+
+
+class _NullInstrument:
+    """No-op stand-in for a family and all its children."""
+
+    __slots__ = ()
+
+    def labels(self, **labels: str) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """A registry whose instruments do nothing.
+
+    The uninstrumented baseline: servers built with ``metrics=False``
+    get this, so the overhead gate can bench telemetry against its
+    true absence rather than against commented-out code.
+    """
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def counter(self, *args: Any, **kwargs: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, *args: Any, **kwargs: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, *args: Any, **kwargs: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def register_collector(self, collector: Any) -> None:
+        pass
+
+    def collect(self) -> list[dict[str, Any]]:
+        return []
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"schema": "repro.metrics/v1", "families": []}
+
+
+NULL_REGISTRY = NullRegistry()
+
+_GLOBAL_LOCK = threading.Lock()
+_GLOBAL: MetricsRegistry | None = None
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (training loop, CLI run profiles)."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        if _GLOBAL is None:
+            _GLOBAL = MetricsRegistry()
+        return _GLOBAL
+
+
+def reset_registry() -> MetricsRegistry:
+    """Swap in a fresh process-wide registry (test isolation hook)."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        _GLOBAL = MetricsRegistry()
+        return _GLOBAL
+
+
+def resolve_registry(
+    metrics: "MetricsRegistry | NullRegistry | bool | None",
+) -> "MetricsRegistry | NullRegistry":
+    """Normalize a component's ``metrics=`` constructor argument.
+
+    ``None`` -> a fresh private registry, ``False`` -> the null
+    registry, ``True`` -> the process-wide registry, a registry ->
+    itself.
+    """
+    if metrics is None:
+        return MetricsRegistry()
+    if metrics is False:
+        return NULL_REGISTRY
+    if metrics is True:
+        return get_registry()
+    return metrics
+
+
+def merge_histograms(*snapshots: dict[str, Any]) -> dict[str, Any]:
+    """Merge histogram series snapshots taken over identical buckets.
+
+    Cumulative bucket counts, sums and counts are additive, so merging
+    per-writer (or per-worker) histograms is exact — the property the
+    hypothesis round-trip test exercises and ``/admin/metrics``
+    aggregation relies on.
+    """
+    if not snapshots:
+        raise ValueError("nothing to merge")
+    bounds = [b for b, _ in snapshots[0]["buckets"]]
+    for snap in snapshots[1:]:
+        if [b for b, _ in snap["buckets"]] != bounds:
+            raise ValueError("histogram bucket bounds differ; cannot merge")
+    buckets = [
+        [bound, sum(snap["buckets"][i][1] for snap in snapshots)]
+        for i, bound in enumerate(bounds)
+    ]
+    return {
+        "buckets": buckets,
+        "sum": sum(snap["sum"] for snap in snapshots),
+        "count": sum(snap["count"] for snap in snapshots),
+    }
+
+
+def quantile_from_buckets(
+    buckets: Iterable[Iterable[float]], q: float
+) -> float | None:
+    """Estimate quantile *q* from cumulative histogram buckets.
+
+    Linear interpolation inside the winning bucket, the same estimate
+    ``histogram_quantile`` makes. Returns ``None`` for an empty
+    histogram; an answer in the +Inf bucket clamps to the largest
+    finite bound.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    pairs = [(float(b), float(c)) for b, c in buckets]
+    if not pairs:
+        return None
+    pairs.sort(key=lambda pair: pair[0])
+    total = pairs[-1][1]
+    if total <= 0:
+        return None
+    rank = q * total
+    lower_bound = 0.0
+    lower_count = 0.0
+    for bound, count in pairs:
+        if count >= rank:
+            if math.isinf(bound):
+                return lower_bound if lower_bound > 0 else None
+            if count == lower_count:
+                return bound
+            frac = (rank - lower_count) / (count - lower_count)
+            return lower_bound + frac * (bound - lower_bound)
+        lower_bound, lower_count = bound, count
+    return pairs[-1][0] if math.isfinite(pairs[-1][0]) else None
+
+
+def breaker_collector(board: Any) -> Callable[[], list[dict[str, Any]]]:
+    """A collector exposing a ``BreakerBoard`` as a state gauge.
+
+    One ``repro_breaker_state{url=...}`` series per lane the board has
+    seen, valued by :data:`BREAKER_STATE_CODES`. Reads the *same*
+    ``snapshot()`` that ``/admin/status`` serves — a view, not a copy.
+    """
+
+    def collect() -> list[dict[str, Any]]:
+        series = [
+            {
+                "labels": {"url": url},
+                "value": float(BREAKER_STATE_CODES.get(state, -1)),
+            }
+            for url, state in sorted(board.snapshot().items())
+        ]
+        if not series:
+            return []
+        return [
+            {
+                "name": "repro_breaker_state",
+                "kind": "gauge",
+                "help": "Circuit breaker state per worker lane "
+                "(0=closed, 1=half-open, 2=open).",
+                "series": series,
+            }
+        ]
+
+    return collect
+
+
+def fault_collector(injector: Any) -> Callable[[], list[dict[str, Any]]]:
+    """A collector exposing a ``FaultInjector``'s per-site hit counts."""
+
+    def collect() -> list[dict[str, Any]]:
+        series = [
+            {"labels": {"site": site}, "value": float(count)}
+            for site, count in sorted(injector.counts().items())
+        ]
+        if not series:
+            return []
+        return [
+            {
+                "name": "repro_fault_site_hits_total",
+                "kind": "counter",
+                "help": "Fault-injection site hit counts "
+                "(every check, fired or not).",
+                "series": series,
+            }
+        ]
+
+    return collect
+
+
+def record_fit_sweep(
+    stats: dict[str, Any],
+    *,
+    engine: str,
+    registry: "MetricsRegistry | NullRegistry | None" = None,
+) -> None:
+    """Publish one optimizer sweep's diagnostics into the registry.
+
+    Mirrors the per-sweep dict the engine already appends to its
+    ``diagnostics`` — counters for sweeps/moves, a gauge for the latest
+    move rate, and per-phase wall-time histograms for any ``*_s`` /
+    ``*_wall_s`` keys the sweep strategy reported (scoring, repair,
+    merge, ...).
+    """
+    reg = registry if registry is not None else get_registry()
+    if not reg.enabled:
+        return
+    mode = str(stats.get("mode", ""))
+    reg.counter(
+        "repro_fit_sweeps_total",
+        "Optimizer sweeps completed.",
+        ("engine", "mode"),
+    ).labels(engine=engine, mode=mode).inc()
+    reg.counter(
+        "repro_fit_moves_total",
+        "Point reassignments applied across sweeps.",
+        ("engine",),
+    ).labels(engine=engine).inc(float(stats.get("moves", 0)))
+    if "move_rate" in stats:
+        reg.gauge(
+            "repro_fit_move_rate",
+            "Fraction of points moved in the latest sweep.",
+            ("engine",),
+        ).labels(engine=engine).set(float(stats["move_rate"]))
+    if "workers" in stats:
+        reg.gauge(
+            "repro_fit_backend_workers",
+            "Training-backend worker count for the latest sweep.",
+            ("engine",),
+        ).labels(engine=engine).set(float(stats["workers"]))
+    walls = reg.histogram(
+        "repro_fit_phase_seconds",
+        "Wall time per optimizer phase per sweep.",
+        ("engine", "phase"),
+    )
+    for key, value in stats.items():
+        phase = None
+        if key.endswith("_wall_s"):
+            phase = key[: -len("_wall_s")]
+        elif key.endswith("_s") and key not in ("moves_s",):
+            phase = key[: -len("_s")]
+        if phase and isinstance(value, (int, float)):
+            walls.labels(engine=engine, phase=phase).observe(float(value))

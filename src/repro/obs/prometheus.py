@@ -1,0 +1,360 @@
+"""Prometheus text exposition format 0.0.4: render, parse, aggregate.
+
+The renderer turns :meth:`~repro.obs.metrics.MetricsRegistry.collect`
+snapshots into the plain-text format every Prometheus-compatible
+scraper understands (``# HELP`` / ``# TYPE`` preambles, one sample per
+line, histogram ``_bucket``/``_sum``/``_count`` expansion, label value
+escaping).
+
+The parser exists because this repo *consumes* its own exposition in
+three places — the supervisor-side ``/admin/metrics`` aggregation,
+``repro fleet status``'s latency columns, and the conformance tests
+that hold every emitted line to the grammar — and a round-trip through
+one strict parser keeps all of them honest.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from .metrics import _METRIC_NAME
+
+#: Content type a ``/metrics`` response must carry.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_SAMPLE_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_SCAN = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+_RESERVED_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def format_value(value: float) -> str:
+    """A sample value that survives the round-trip.
+
+    Integral values print as integers (the common case for counters),
+    infinities as ``+Inf``/``-Inf``, everything else via ``repr``.
+    """
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    parts = ",".join(
+        f'{name}="{_escape_label_value(str(labels[name]))}"'
+        for name in sorted(labels)
+    )
+    return "{" + parts + "}"
+
+
+def render_families(
+    families: Iterable[dict[str, Any]],
+    *,
+    extra_labels: Mapping[str, str] | None = None,
+) -> str:
+    """Render family snapshots to exposition text.
+
+    ``extra_labels`` are merged into every sample (the supervisor uses
+    this to stamp ``worker="0"`` onto scraped worker series); a clash
+    with an existing label name raises rather than silently dropping a
+    dimension.
+    """
+    extra = dict(extra_labels or {})
+    lines: list[str] = []
+    for family in families:
+        name = family["name"]
+        kind = family["kind"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in family["series"]:
+            labels = dict(series.get("labels") or {})
+            for key, value in extra.items():
+                if key in labels:
+                    raise ValueError(
+                        f"extra label {key!r} collides on metric {name!r}"
+                    )
+                labels[key] = value
+            if kind == "histogram":
+                for bound, count in series["buckets"]:
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = format_value(float(bound))
+                    lines.append(
+                        f"{name}_bucket{_render_labels(bucket_labels)}"
+                        f" {format_value(count)}"
+                    )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)}"
+                    f" {format_value(series['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels)}"
+                    f" {format_value(series['count'])}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_render_labels(labels)}"
+                    f" {format_value(series['value'])}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_registry(
+    registry: Any, *, extra_labels: Mapping[str, str] | None = None
+) -> str:
+    """Render a registry's full collection to exposition text."""
+    return render_families(registry.collect(), extra_labels=extra_labels)
+
+
+@dataclass
+class ParsedSample:
+    """One exposition line: full sample name, labels, value."""
+
+    name: str
+    labels: dict[str, str]
+    value: float
+
+
+@dataclass
+class ParsedFamily:
+    """One metric family recovered from exposition text."""
+
+    name: str
+    kind: str = "untyped"
+    help: str = ""
+    samples: list[ParsedSample] = field(default_factory=list)
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                raise ValueError(f"invalid escape \\{nxt} in label value")
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_value(text: str) -> float:
+    text = text.strip()
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        match = _LABEL_SCAN.match(text, i)
+        if not match:
+            raise ValueError(f"invalid label name at ...{text[i:]!r}")
+        name = match.group(0)
+        i += len(name)
+        if not text[i:].startswith('="'):
+            raise ValueError('expected ="..." after label %r' % name)
+        i += 2
+        start = i
+        while i < len(text):
+            if text[i] == "\\":
+                i += 2
+                continue
+            if text[i] == '"':
+                break
+            i += 1
+        if i >= len(text):
+            raise ValueError("unterminated label value")
+        labels[name] = _unescape_label_value(text[start:i])
+        i += 1
+        if i < len(text) and text[i] == ",":
+            i += 1
+            while i < len(text) and text[i] == " ":
+                i += 1
+    return labels
+
+
+def base_name(sample_name: str) -> str:
+    """Strip histogram sample suffixes back to the family name."""
+    for suffix in _RESERVED_SUFFIXES:
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_text(text: str) -> list[ParsedFamily]:
+    """Parse exposition text, strictly.
+
+    Raises :class:`ValueError` on any line that does not match the
+    0.0.4 grammar — the conformance tests feed every byte the servers
+    emit through here. Families are returned in first-seen order;
+    histogram samples stay attached to their base family.
+    """
+    families: dict[str, ParsedFamily] = {}
+    order: list[str] = []
+
+    def family_for(name: str) -> ParsedFamily:
+        fam = families.get(name)
+        if fam is None:
+            fam = families[name] = ParsedFamily(name=name)
+            order.append(name)
+        return fam
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line.strip():
+            continue
+        try:
+            if line.startswith("# HELP "):
+                rest = line[len("# HELP ") :]
+                name, _, help_text = rest.partition(" ")
+                if not _METRIC_NAME.match(name):
+                    raise ValueError(f"invalid metric name {name!r}")
+                family_for(name).help = help_text
+                continue
+            if line.startswith("# TYPE "):
+                rest = line[len("# TYPE ") :]
+                parts = rest.split(" ")
+                if len(parts) != 2:
+                    raise ValueError(f"malformed TYPE line {line!r}")
+                name, kind = parts
+                if not _METRIC_NAME.match(name):
+                    raise ValueError(f"invalid metric name {name!r}")
+                if kind not in (
+                    "counter",
+                    "gauge",
+                    "histogram",
+                    "summary",
+                    "untyped",
+                ):
+                    raise ValueError(f"unknown metric type {kind!r}")
+                family_for(name).kind = kind
+                continue
+            if line.startswith("#"):
+                continue  # free-form comment
+            match = _SAMPLE_NAME.match(line)
+            if not match:
+                raise ValueError(f"invalid sample name in {line!r}")
+            sample_name = match.group(0)
+            rest = line[len(sample_name) :]
+            labels: dict[str, str] = {}
+            if rest.startswith("{"):
+                end = _find_label_end(rest)
+                labels = _parse_labels(rest[1:end])
+                rest = rest[end + 1 :]
+            if not rest.startswith(" "):
+                raise ValueError(f"expected space before value in {line!r}")
+            fields = rest.split()
+            if len(fields) not in (1, 2):  # value [timestamp]
+                raise ValueError(f"trailing garbage in {line!r}")
+            value = _parse_value(fields[0])
+            fam = family_for(base_name(sample_name))
+            fam.samples.append(ParsedSample(sample_name, labels, value))
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: {exc}") from exc
+    return [families[name] for name in order]
+
+
+def _find_label_end(rest: str) -> int:
+    i = 1
+    while i < len(rest):
+        if rest[i] == "\\":
+            i += 2
+            continue
+        if rest[i] == '"':
+            i += 1
+            while i < len(rest) and rest[i] != '"':
+                if rest[i] == "\\":
+                    i += 1
+                i += 1
+            if i >= len(rest):
+                raise ValueError("unterminated label value")
+        elif rest[i] == "}":
+            return i
+        i += 1
+    raise ValueError("unterminated label set")
+
+
+def merge_scrapes(
+    scrapes: Iterable[tuple[Mapping[str, str], str]]
+) -> str:
+    """Aggregate several expositions into one, per-source labelled.
+
+    Each ``(extra_labels, text)`` pair is parsed and its samples are
+    re-emitted with the extra labels merged in; families with the same
+    name across sources are unified under a single ``# TYPE`` block,
+    which is what makes the output itself valid exposition text. The
+    supervisor feeds this its own registry plus one scrape per live
+    worker.
+    """
+    merged: dict[str, ParsedFamily] = {}
+    order: list[str] = []
+    for extra, text in scrapes:
+        for family in parse_text(text):
+            target = merged.get(family.name)
+            if target is None:
+                target = merged[family.name] = ParsedFamily(
+                    name=family.name, kind=family.kind, help=family.help
+                )
+                order.append(family.name)
+            elif target.kind == "untyped" and family.kind != "untyped":
+                target.kind = family.kind
+            if not target.help:
+                target.help = family.help
+            for sample in family.samples:
+                labels = dict(sample.labels)
+                for key, value in extra.items():
+                    if key in labels:
+                        raise ValueError(
+                            f"label {key!r} collides on {sample.name!r}"
+                        )
+                    labels[key] = str(value)
+                target.samples.append(
+                    ParsedSample(sample.name, labels, sample.value)
+                )
+    lines: list[str] = []
+    for name in order:
+        family = merged[name]
+        if family.help:
+            lines.append(f"# HELP {name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        for sample in family.samples:
+            lines.append(
+                f"{sample.name}{_render_labels(sample.labels)}"
+                f" {format_value(sample.value)}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""

@@ -432,6 +432,140 @@ def render_backend_gate(report: BackendGateReport) -> str:
     return "\n".join(lines)
 
 
+#: Observability-gate knobs: telemetry on the serving hot path must cost
+#: at most this fraction of the uninstrumented wall time. Sizes below the
+#: floor measure HTTP fixed costs, not the per-row instrumentation, and
+#: are reported rather than gated.
+OBS_GATE_MAX_OVERHEAD = 0.02
+OBS_GATE_MIN_N = 50_000
+
+
+@dataclass(frozen=True)
+class ObsGateRow:
+    """Instrumented-vs-raw serving wall time at one (n, worker count)."""
+
+    n: int
+    jobs: int
+    instrumented_wall_s: float
+    raw_wall_s: float
+
+    @property
+    def overhead(self) -> float:
+        """Fractional slowdown of the instrumented server (0.02 = 2%)."""
+        if self.raw_wall_s <= 0:
+            return 0.0
+        return self.instrumented_wall_s / self.raw_wall_s - 1.0
+
+
+@dataclass(frozen=True)
+class ObsGateReport:
+    """Instrumentation-overhead verdict for one ``BENCH_serve.json``."""
+
+    rows: list[ObsGateRow] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def obs_gate(
+    payload: dict[str, Any],
+    *,
+    max_overhead: float = OBS_GATE_MAX_OVERHEAD,
+    min_n: int = OBS_GATE_MIN_N,
+) -> ObsGateReport:
+    """Check that telemetry is near-free on the serving fast path.
+
+    Pairs each ``serve_http_npy`` record (metrics on, the default) with
+    the same-(n, k, jobs) ``serve_http_npy_raw`` record (a second
+    server with ``metrics=False``) and requires the instrumented wall
+    time to stay within *max_overhead* of the raw one at gate-worthy
+    sizes. Below *min_n* the measurement is dominated by fixed HTTP
+    costs, so undersized rows land in ``notes`` instead of
+    ``problems`` — the same size-aware posture as :func:`fleet_gate`
+    and :func:`backend_gate`. A payload with no raw records (an old
+    bench file) gets a note, not a failure.
+    """
+    validate_bench(payload)
+    raw: dict[tuple[int, int, int], float] = {}
+    for record in payload["records"]:
+        if record["workload"] == "serve_http_npy_raw":
+            key = (record["n"], record["k"], record["jobs"])
+            raw[key] = float(record["wall_s"])
+    rows: list[ObsGateRow] = []
+    problems: list[str] = []
+    notes: list[str] = []
+    if not raw:
+        notes.append(
+            "no serve_http_npy_raw records — instrumentation overhead "
+            "not measured in this payload"
+        )
+        return ObsGateReport(rows=rows, problems=problems, notes=notes)
+    paired = 0
+    for record in payload["records"]:
+        if record["workload"] != "serve_http_npy":
+            continue
+        key = (record["n"], record["k"], record["jobs"])
+        raw_wall = raw.get(key)
+        if raw_wall is None:
+            continue
+        paired += 1
+        row = ObsGateRow(
+            int(record["n"]), int(record["jobs"]),
+            float(record["wall_s"]), raw_wall,
+        )
+        rows.append(row)
+        if row.n < min_n:
+            notes.append(
+                f"n={row.n:,}: below the gating floor ({min_n:,} rows) — "
+                "fixed HTTP costs dominate, reporting only"
+            )
+            continue
+        if row.overhead > max_overhead:
+            problems.append(
+                f"n={row.n:,} jobs={row.jobs}: instrumentation costs "
+                f"{row.overhead * 100:.1f}% of the raw serving wall "
+                f"(budget {max_overhead * 100:.0f}%) — the telemetry is "
+                "no longer near-free"
+            )
+    if not paired:
+        problems.append(
+            "serve_http_npy_raw records present but none paired with a "
+            "serve_http_npy record at the same (n, k, jobs)"
+        )
+    return ObsGateReport(rows=rows, problems=problems, notes=notes)
+
+
+def render_obs_gate(report: ObsGateReport) -> str:
+    """Human-readable instrumentation-overhead table + verdict."""
+    from ..experiments.tables import format_table
+
+    rows = [
+        [
+            f"{row.n:,}",
+            str(row.jobs),
+            f"{row.instrumented_wall_s * 1000:.1f}",
+            f"{row.raw_wall_s * 1000:.1f}",
+            f"{row.overhead * 100:+.1f}%",
+        ]
+        for row in report.rows
+    ]
+    table = format_table(
+        ["n", "jobs", "instrumented ms", "raw ms", "overhead"],
+        rows,
+        title="Instrumentation overhead gate (serve_http_npy vs serve_http_npy_raw)",
+    )
+    lines = [table]
+    lines.extend(f"  note: {note}" for note in report.notes)
+    lines.extend(f"  GATE: {problem}" for problem in report.problems)
+    lines.append(
+        "observability gate passed" if report.ok else "observability gate FAILED"
+    )
+    return "\n".join(lines)
+
+
 def render_comparison(comparison: BenchComparison) -> str:
     """Human-readable report (the ``repro bench compare`` output)."""
     from ..experiments.tables import format_table

@@ -401,7 +401,12 @@ def bench_serve(
       only at n ≤ 50k, past which the body size benchmarks the json
       module rather than serving);
     * ``assign_inprocess`` — ``Assigner.assign`` on the same points in
-      the same process (the ceiling the HTTP hop is measured against).
+      the same process (the ceiling the HTTP hop is measured against);
+    * ``serve_http_npy_raw`` — the npy workload against a second server
+      with telemetry disabled (``metrics=False``): the instrumentation
+      overhead guard. The npy record's ``extra["obs_overhead_ratio"]``
+      carries instrumented/raw wall time, which ``repro bench compare``
+      gates at ≤ 2%.
 
     Served labels are asserted bit-identical to the in-process baseline
     at every worker count, and the server's reported model version is
@@ -424,8 +429,13 @@ def bench_serve(
         version = registry.publish(model, label="bench")
         for j in jobs:
             server = AssignmentServer(registry=registry, n_jobs=int(j)).start()
+            raw_server = AssignmentServer(
+                registry=registry, n_jobs=int(j), metrics=False
+            ).start()
             try:
-                with ServingClient(port=server.port) as client:
+                with ServingClient(port=server.port) as client, ServingClient(
+                    port=raw_server.port
+                ) as raw_client:
                     for n in sizes:
                         n = int(n)
                         points = rng.normal(size=(n, d))
@@ -446,6 +456,7 @@ def bench_serve(
                             # text; past ~50k rows the 100MB+ bodies only
                             # measure the json module, not serving.
                             payloads.append(("serve_http_json", False))
+                        npy_record: BenchRecord | None = None
                         for workload, npy in payloads:
                             wall, response = _timed(
                                 lambda npy=npy: client.assign(points, npy=npy),
@@ -461,15 +472,39 @@ def bench_serve(
                                     f"{workload} served version {response.version!r},"
                                     f" expected {version!r}"
                                 )
-                            records.append(
-                                BenchRecord(
-                                    workload, n, k, int(j),
-                                    wall, n / wall if wall > 0 else 0.0,
-                                    extra={"d": d, "version": version},
-                                )
+                            record = BenchRecord(
+                                workload, n, k, int(j),
+                                wall, n / wall if wall > 0 else 0.0,
+                                extra={"d": d, "version": version},
+                            )
+                            records.append(record)
+                            if workload == "serve_http_npy":
+                                npy_record = record
+                        # Same rows against the telemetry-off twin: the
+                        # instrumentation must be near-free on the fast
+                        # path, and this pair is what proves it.
+                        raw_wall, raw_response = _timed(
+                            lambda: raw_client.assign(points, npy=True), repeats
+                        )
+                        if not np.array_equal(raw_response.labels, baseline):
+                            raise AssertionError(
+                                f"serve_http_npy_raw n_jobs={j} labels diverged "
+                                "from in-process assign"
+                            )
+                        raw_record = BenchRecord(
+                            "serve_http_npy_raw", n, k, int(j),
+                            raw_wall, n / raw_wall if raw_wall > 0 else 0.0,
+                            extra={"d": d, "version": version,
+                                   "instrumentation": "off"},
+                        )
+                        records.append(raw_record)
+                        if npy_record is not None and raw_wall > 0:
+                            npy_record.extra["obs_overhead_ratio"] = (
+                                npy_record.wall_s / raw_wall
                             )
             finally:
                 server.stop()
+                raw_server.stop()
     _speedup_vs_baseline(records)
     return records
 

@@ -44,6 +44,14 @@ from typing import Any
 import numpy as np
 
 from ..faults.plan import FaultInjector
+from ..obs.trace import (
+    PARENT_HEADER,
+    TRACE_HEADER,
+    TraceSink,
+    get_sink,
+    new_trace_id,
+    start_span,
+)
 from . import wire
 from .resilience import DEADLINE_HEADER, Deadline, backoff_delays
 from .server import NPY_CONTENT_TYPE, STREAM_CONTENT_TYPE, VERSION_HEADER
@@ -190,6 +198,14 @@ class ServingClient:
         fault_injector: a :class:`repro.faults.FaultInjector` fired at
             the ``client.request`` site before every attempt (chaos
             testing); default: no injection.
+        trace_sink: a :class:`repro.obs.TraceSink` receiving one span
+            per request (default: the sink named by the
+            ``REPRO_TRACE_SINK`` environment variable, looked up per
+            request so tests can flip it; ``None`` there means no
+            spans). Every request carries an ``X-Trace-Id`` regardless
+            — minted here unless the caller supplied one via
+            ``headers`` — and :attr:`last_trace_id` remembers it so
+            errors can be correlated with the trace sink.
 
     Usable as a context manager; the underlying connection is opened
     lazily and reused until :meth:`close`.
@@ -209,6 +225,7 @@ class ServingClient:
         backoff_cap: float = 1.0,
         backoff_seed: int | None = None,
         fault_injector: FaultInjector | None = None,
+        trace_sink: TraceSink | None = None,
     ) -> None:
         if url is not None:
             if url.startswith("http+unix://"):
@@ -229,7 +246,38 @@ class ServingClient:
             random.Random(backoff_seed) if backoff_seed is not None else None
         )
         self.fault_injector = fault_injector
+        self._trace_sink = trace_sink
+        #: Trace id of the most recent request (minted or caller-given).
+        self.last_trace_id: str | None = None
         self._conn: http.client.HTTPConnection | None = None
+
+    @property
+    def trace_sink(self) -> TraceSink | None:
+        return self._trace_sink if self._trace_sink is not None else get_sink()
+
+    def _trace_context(
+        self, headers: dict[str, str] | None, name: str
+    ) -> tuple[dict[str, str], str, Any]:
+        """Headers with trace propagation applied, plus an open span.
+
+        Mints a trace id unless the caller already set ``X-Trace-Id``.
+        When a sink is configured, opens a span whose parent is the
+        incoming ``X-Parent-Span`` (set by a proxy threading this
+        client into a larger trace) and advertises the new span as the
+        parent for the server's own span.
+        """
+        merged = dict(headers or {})
+        trace_id = merged.get(TRACE_HEADER)
+        if not trace_id:
+            trace_id = new_trace_id()
+            merged[TRACE_HEADER] = trace_id
+        self.last_trace_id = trace_id
+        span = start_span(
+            self.trace_sink, name, trace_id, merged.get(PARENT_HEADER)
+        )
+        if span is not None:
+            merged[PARENT_HEADER] = span.span_id
+        return merged, trace_id, span
 
     # ------------------------------------------------------------------ #
     # Transport                                                           #
@@ -300,27 +348,42 @@ class ServingClient:
                 even on a fresh connection (or, with ``retry=False``,
                 on the first transport failure).
         """
-        status, response_headers, response = self._exchange(
-            method,
-            path,
-            body,
-            content_type,
-            retry=retry,
-            headers=headers,
-            deadline=Deadline.after_ms(deadline_ms) if deadline_ms is not None else None,
-        )
+        merged, trace_id, span = self._trace_context(headers, "client.request")
+        status: int | None = None
         try:
-            payload = response.read()
-        except (http.client.HTTPException, OSError) as exc:
-            self.close()  # mid-body failure: the connection is desynced
-            if isinstance(exc, TimeoutError):
-                raise ServingTimeoutError(
-                    f"{self.address} stalled mid-response: {exc}"
+            status, response_headers, response = self._exchange(
+                method,
+                path,
+                body,
+                content_type,
+                retry=retry,
+                headers=merged,
+                deadline=Deadline.after_ms(deadline_ms)
+                if deadline_ms is not None
+                else None,
+            )
+            try:
+                payload = response.read()
+            except (http.client.HTTPException, OSError) as exc:
+                self.close()  # mid-body failure: the connection is desynced
+                if isinstance(exc, TimeoutError):
+                    raise ServingTimeoutError(
+                        f"{self.address} stalled mid-response: {exc}"
+                        f" [trace {trace_id}]"
+                    ) from exc
+                raise ServingUnavailableError(
+                    f"{self.address} cut the response short: {exc}"
+                    f" [trace {trace_id}]"
                 ) from exc
-            raise ServingUnavailableError(
-                f"{self.address} cut the response short: {exc}"
-            ) from exc
-        return status, response_headers, payload
+            return status, response_headers, payload
+        finally:
+            if span is not None:
+                span.finish(
+                    method=method,
+                    path=path,
+                    status=status if status is not None else "error",
+                    bytes_out=len(body) if isinstance(body, bytes) else 0,
+                )
 
     def _exchange(
         self,
@@ -343,6 +406,14 @@ class ServingClient:
         request_headers = {"Content-Type": content_type} if body is not None else {}
         if headers:
             request_headers.update(headers)
+        trace_id = request_headers.get(TRACE_HEADER)
+        if not trace_id:
+            # Direct _exchange callers (the proxy's relay path) either
+            # propagate an id via headers or get a fresh one here, so
+            # every wire request — and every error message — has one.
+            trace_id = new_trace_id()
+            request_headers[TRACE_HEADER] = trace_id
+        self.last_trace_id = trace_id
         window = time.monotonic() + self.reconnect_wait
         delays = backoff_delays(
             base=self.backoff_base, cap=self.backoff_cap, rng=self._backoff_rng
@@ -352,7 +423,7 @@ class ServingClient:
             if deadline is not None and deadline.expired:
                 raise ServingTimeoutError(
                     f"{self.address}: request deadline exhausted after "
-                    f"{attempt} attempt(s)"
+                    f"{attempt} attempt(s) [trace {trace_id}]"
                 )
             try:
                 if self.fault_injector is not None:
@@ -392,12 +463,12 @@ class ServingClient:
                     # working on it: retrying would run it again.
                     raise ServingTimeoutError(
                         f"{self.address} did not answer within "
-                        f"{self.timeout}s: {exc}"
+                        f"{self.timeout}s: {exc} [trace {trace_id}]"
                     ) from exc
                 attempt += 1
                 if not retry:
                     raise ServingUnavailableError(
-                        f"{self.address}: {exc}"
+                        f"{self.address}: {exc} [trace {trace_id}]"
                     ) from exc
                 if attempt == 1:
                     continue  # the single transparent reconnect-and-retry
@@ -405,7 +476,7 @@ class ServingClient:
                 if now >= window:
                     raise ServingUnavailableError(
                         f"{self.address} unreachable after "
-                        f"{attempt} attempts: {exc}"
+                        f"{attempt} attempts: {exc} [trace {trace_id}]"
                     ) from exc
                 pause = min(next(delays), window - now)
                 if deadline is not None:
@@ -426,8 +497,16 @@ class ServingClient:
         status, _, payload = self.request_raw(method, path, body)
         data = json.loads(payload.decode("utf-8"))
         if status >= 400:
-            raise ServingClientError(status, data.get("error", payload.decode("utf-8")))
+            raise ServingClientError(
+                status, self._with_trace(data.get("error", payload.decode("utf-8")))
+            )
         return data
+
+    def _with_trace(self, message: str) -> str:
+        """Stamp the last request's trace id onto an error message."""
+        if self.last_trace_id:
+            return f"{message} [trace {self.last_trace_id}]"
+        return message
 
     # Pre-public spelling, kept for callers written against it.
     _request_json = request_json
@@ -499,7 +578,7 @@ class ServingClient:
             )
             if status >= 400:
                 message = json.loads(payload.decode("utf-8")).get("error", "")
-                raise ServingClientError(status, message)
+                raise ServingClientError(status, self._with_trace(message))
             # Zero-copy decode: a read-only frombuffer view over the
             # response bytes (labels are read, compared, concatenated —
             # never mutated in place).
@@ -514,7 +593,7 @@ class ServingClient:
         )
         data = json.loads(payload.decode("utf-8"))
         if status >= 400:
-            raise ServingClientError(status, data.get("error", ""))
+            raise ServingClientError(status, self._with_trace(data.get("error", "")))
         return AssignResponse(
             np.asarray(data["labels"], dtype=np.int64), data["version"]
         )
@@ -528,6 +607,7 @@ class ServingClient:
         accept: str | None = None,
         return_distance: bool = False,
         deadline_ms: float | None = None,
+        headers: dict[str, str] | None = None,
     ) -> AssignResponse:
         """``POST /assign`` over the streamed wire format.
 
@@ -554,6 +634,8 @@ class ServingClient:
                 assigned centers (``AssignResponse.distances``).
             deadline_ms: total request budget, sent as ``X-Deadline-Ms``
                 (see :meth:`request_raw`).
+            headers: extra request headers (a proxy threads its trace
+                context through here).
 
         Returns:
             :class:`AssignResponse`; ``labels`` (and ``distances``)
@@ -580,52 +662,74 @@ class ServingClient:
                 frames(), codec, accept=accept, distances=return_distance
             )
 
-        status, headers, response = self._exchange(
-            "POST",
-            "/assign",
-            body,
-            STREAM_CONTENT_TYPE,
-            deadline=Deadline.after_ms(deadline_ms) if deadline_ms is not None else None,
+        merged, trace_id, span = self._trace_context(
+            headers, "client.assign_stream"
         )
+        status: int | None = None
+        result: AssignResponse | None = None
         try:
-            if status >= 400:
-                payload = response.read()
-                try:
-                    message = json.loads(payload.decode("utf-8")).get("error", "")
-                except (UnicodeDecodeError, json.JSONDecodeError):
-                    message = payload.decode("utf-8", "replace")
-                raise ServingClientError(status, message)
-            reader = wire.StreamReader(response.read)
-            arrays = list(reader.frames())
-            # Past the wire terminator the HTTP chunked body still has
-            # its last-chunk marker: drain so keep-alive stays in sync.
-            while response.read(65536):
-                pass
-        except wire.WireError as exc:
-            self.close()  # mid-body failure: the connection is desynced
-            raise ServingClientError(502, f"invalid stream response: {exc}") from exc
-        except (http.client.HTTPException, OSError) as exc:
-            # The response body was cut (or stalled) mid-stream: the
-            # request is idempotent and no partial result escapes, so
-            # surface the retryable/timeout taxonomy like request_raw.
-            self.close()
-            if isinstance(exc, TimeoutError):
-                raise ServingTimeoutError(
-                    f"{self.address} stalled mid-stream: {exc}"
-                ) from exc
-            raise ServingUnavailableError(
-                f"{self.address} cut the stream short: {exc}"
-            ) from exc
-        version = headers.get(VERSION_HEADER, "")
-        if return_distance:
-            labels = arrays[0::2]
-            dists = arrays[1::2]
-            return AssignResponse(
-                np.concatenate(labels) if labels else np.empty(0, dtype=np.int64),
-                version,
-                np.concatenate(dists) if dists else np.empty(0, dtype=np.float64),
+            status, response_headers, response = self._exchange(
+                "POST",
+                "/assign",
+                body,
+                STREAM_CONTENT_TYPE,
+                headers=merged,
+                deadline=Deadline.after_ms(deadline_ms)
+                if deadline_ms is not None
+                else None,
             )
-        return AssignResponse(
-            np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64),
-            version,
-        )
+            try:
+                if status >= 400:
+                    payload = response.read()
+                    try:
+                        message = json.loads(payload.decode("utf-8")).get("error", "")
+                    except (UnicodeDecodeError, json.JSONDecodeError):
+                        message = payload.decode("utf-8", "replace")
+                    raise ServingClientError(status, self._with_trace(message))
+                reader = wire.StreamReader(response.read)
+                arrays = list(reader.frames())
+                # Past the wire terminator the HTTP chunked body still has
+                # its last-chunk marker: drain so keep-alive stays in sync.
+                while response.read(65536):
+                    pass
+            except wire.WireError as exc:
+                self.close()  # mid-body failure: the connection is desynced
+                raise ServingClientError(
+                    502, self._with_trace(f"invalid stream response: {exc}")
+                ) from exc
+            except (http.client.HTTPException, OSError) as exc:
+                # The response body was cut (or stalled) mid-stream: the
+                # request is idempotent and no partial result escapes, so
+                # surface the retryable/timeout taxonomy like request_raw.
+                self.close()
+                if isinstance(exc, TimeoutError):
+                    raise ServingTimeoutError(
+                        f"{self.address} stalled mid-stream: {exc}"
+                        f" [trace {trace_id}]"
+                    ) from exc
+                raise ServingUnavailableError(
+                    f"{self.address} cut the stream short: {exc}"
+                    f" [trace {trace_id}]"
+                ) from exc
+            version = response_headers.get(VERSION_HEADER, "")
+            if return_distance:
+                labels = arrays[0::2]
+                dists = arrays[1::2]
+                result = AssignResponse(
+                    np.concatenate(labels) if labels else np.empty(0, dtype=np.int64),
+                    version,
+                    np.concatenate(dists) if dists else np.empty(0, dtype=np.float64),
+                )
+            else:
+                result = AssignResponse(
+                    np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64),
+                    version,
+                )
+            return result
+        finally:
+            if span is not None:
+                span.finish(
+                    status=status if status is not None else "error",
+                    codec=codec,
+                    rows=int(result.labels.shape[0]) if result is not None else 0,
+                )

@@ -51,6 +51,7 @@ import numpy as np
 from ..api.model import ClusterModel
 from .client import ServingClient, ServingClientError
 from .registry import ModelRegistry, RegistryError, atomic_write_text
+from .server import WORKER_INDEX_ENV
 
 #: Rows in the auto-generated probe batch replayed through the canary.
 DEFAULT_PROBE_ROWS = 64
@@ -458,11 +459,15 @@ class FleetSupervisor:
         worker.announce_path.unlink(missing_ok=True)  # no stale pid claims
         if worker.log_file is None:
             worker.log_file = open(worker.log_path, "ab")
+        env = _worker_env()
+        # Workers stamp this index into their trace spans, so one trace
+        # tree names every fleet process it crossed.
+        env[WORKER_INDEX_ENV] = str(worker.index)
         worker.process = subprocess.Popen(
             command,
             stdout=worker.log_file,
             stderr=subprocess.STDOUT,
-            env=_worker_env(),
+            env=env,
         )
         worker.unhealthy_count = 0
         worker.spawned_at = time.monotonic()

@@ -48,6 +48,7 @@ import io
 import json
 import queue
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler
 from typing import Any
@@ -55,6 +56,9 @@ from typing import Any
 import numpy as np
 
 from ..faults.plan import FaultInjector
+from ..obs import metrics as obs_metrics
+from ..obs import prometheus as obs_prometheus
+from ..obs.trace import TRACE_HEADER, PARENT_HEADER, TraceSink, get_sink, start_span
 from . import wire
 from .client import (
     ServingClient,
@@ -74,6 +78,7 @@ from .server import (
     _BoundedBodyReader,
     _ChunkedBodyReader,
     _HTTPChunkWriter,
+    _TelemetryMixin,
 )
 
 #: Response header naming the worker index(es) that served the request.
@@ -117,6 +122,15 @@ class FleetProxy(ConnectionTrackingServer):
         fault_injector: a :class:`repro.faults.FaultInjector` fired at
             the proxy's ``proxy.lane{n}.frame`` / ``proxy.lane.version``
             sites (chaos testing); default: no injection.
+        metrics: telemetry registry for the proxy's own counters and
+            lane gauges, served at ``GET /metrics`` (``/admin/metrics``
+            additionally scrapes and aggregates every worker). Default
+            ``None`` builds a private registry; ``False`` disables
+            instrumentation (see :class:`~repro.serving.server.
+            AssignmentServer`).
+        trace_sink: a :class:`repro.obs.TraceSink` receiving proxy
+            ingress and lane spans for traced requests. Default: the
+            sink named by ``REPRO_TRACE_SINK``, if any.
     """
 
     serve_thread_name = "repro-fleet-proxy"
@@ -132,6 +146,8 @@ class FleetProxy(ConnectionTrackingServer):
         breaker_failures: int = 3,
         breaker_reset_s: float = 2.0,
         fault_injector: FaultInjector | None = None,
+        metrics: Any = None,
+        trace_sink: TraceSink | None = None,
     ) -> None:
         self.fleet = fleet
         self.quiet = quiet
@@ -142,6 +158,37 @@ class FleetProxy(ConnectionTrackingServer):
         )
         self.breaker_reset_s = breaker_reset_s
         self.fault_injector = fault_injector
+        self.metrics = obs_metrics.resolve_registry(metrics)
+        self._trace_sink = trace_sink
+        self._m_requests = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests handled, by endpoint and status code.",
+            ("path", "method", "code"),
+        )
+        self._m_latency = self.metrics.histogram(
+            "repro_assign_latency_seconds",
+            "Wall time spent handling one /assign request.",
+            ("mode",),
+        )
+        self._m_lane_requests = self.metrics.counter(
+            "repro_proxy_lane_requests_total",
+            "Downstream worker requests completed, by worker index.",
+            ("target",),
+        )
+        self._m_lane_failures = self.metrics.counter(
+            "repro_proxy_lane_failures_total",
+            "Downstream worker requests that failed, by worker index.",
+            ("target",),
+        )
+        self._m_lane_replays = self.metrics.counter(
+            "repro_proxy_lane_replays_total",
+            "Lane attempts replayed onto another worker after a dead lane.",
+        )
+        # The breaker gauge is a *view* over the same BreakerBoard that
+        # /admin/status serializes — the JSON shape there is unchanged.
+        self.metrics.register_collector(obs_metrics.breaker_collector(self.breakers))
+        if fault_injector is not None:
+            self.metrics.register_collector(obs_metrics.fault_collector(fault_injector))
         self._rr = 0
         self._rr_lock = threading.Lock()
         self._local = threading.local()
@@ -221,6 +268,44 @@ class FleetProxy(ConnectionTrackingServer):
         """Return a leased client to the pool for the next scatter."""
         with self._pool_lock:
             self._client_pool.setdefault(url, []).append(client)
+
+    # ------------------------------------------------------------------ #
+    # Telemetry                                                           #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def trace_sink(self) -> TraceSink | None:
+        """The span sink: explicit, or named by ``REPRO_TRACE_SINK``."""
+        return self._trace_sink if self._trace_sink is not None else get_sink()
+
+    def aggregate_metrics(self) -> str:
+        """Fleet-wide exposition: proxy series + one scrape per worker.
+
+        Every sample is stamped with a ``worker`` label (``proxy`` for
+        the proxy's own registry, the worker index for scraped worker
+        series); same-named families across sources share one ``TYPE``
+        block so the output is itself valid exposition text. A worker
+        that cannot be scraped is skipped — ``/admin/metrics`` must
+        answer precisely when parts of the fleet are down.
+        """
+        scrapes: list[tuple[dict[str, str], str]] = [
+            ({"worker": "proxy"}, obs_prometheus.render_registry(self.metrics))
+        ]
+        for index, url in self.fleet.target_urls():
+            client = self.lease_client(url)
+            try:
+                status, _, payload = client.request_raw(
+                    "GET", "/metrics", retry=False
+                )
+                if status == 200:
+                    scrapes.append(
+                        ({"worker": str(index)}, payload.decode("utf-8"))
+                    )
+            except ServingClientError:
+                continue
+            finally:
+                self.release_client(url, client)
+        return obs_prometheus.merge_scrapes(scrapes)
 
 
 def _split_runs(count: int, ways: int) -> list[tuple[int, int]]:
@@ -303,6 +388,8 @@ class _Dealer:
         self._accept: str | None = None
         self._distances = False
         self._deadline: Deadline | None = None
+        self._trace_id: str | None = None
+        self._parent_id: str | None = None
         self._targets: list[tuple[int, str]] = []
         self._sources: list[_ReplaySource] = []
         self._futures: list[Any] = []
@@ -321,11 +408,15 @@ class _Dealer:
         accept: str | None,
         distances: bool,
         deadline: Deadline | None = None,
+        trace_id: str | None = None,
+        parent_id: str | None = None,
     ) -> None:
         self._codec = codec
         self._accept = accept
         self._distances = distances
         self._deadline = deadline
+        self._trace_id = trace_id
+        self._parent_id = parent_id
         self._targets = self._server.target_order()
         if not self._targets:
             raise ServingError(
@@ -415,36 +506,62 @@ class _Dealer:
 
         last_error: Exception | None = None
         breakers = self._server.breakers
-        for index, url in targets:
+        for attempt, (index, url) in enumerate(targets):
             if self._deadline is not None and self._deadline.expired:
                 raise ServingTimeoutError(
                     "request deadline exhausted during dealt scatter"
                 )
+            if attempt > 0:
+                # This lane's previous worker died mid-stream: the
+                # frames are being replayed onto a replacement.
+                self._server._m_lane_replays.inc()
             if injector is not None and injector.poisoned(url):
                 last_error = ServingUnavailableError(f"poisoned lane url {url}")
                 breakers.failure(url)
+                self._server._m_lane_failures.labels(target=str(index)).inc()
                 continue
-            headers = (
-                {DEADLINE_HEADER: self._deadline.header_value()}
-                if self._deadline is not None
-                else None
+            headers: dict[str, str] = {}
+            if self._deadline is not None:
+                headers[DEADLINE_HEADER] = self._deadline.header_value()
+            span = start_span(
+                self._server.trace_sink, "proxy.lane", self._trace_id, self._parent_id
             )
+            if self._trace_id:
+                headers[TRACE_HEADER] = self._trace_id
+                parent = span.span_id if span is not None else self._parent_id
+                if parent:
+                    headers[PARENT_HEADER] = parent
+            if span is not None:
+                span.set(lane=lane, worker=index, replay=attempt > 0)
             client = self._server.lease_client(url)
             try:
                 version, codec, distances, payloads = _stream_exchange(
-                    client, body_for(url), headers=headers,
+                    client, body_for(url), headers=headers or None,
                     deadline=self._deadline,
                 )
             except ServingUnavailableError as exc:
                 breakers.failure(url)
+                self._server._m_lane_failures.labels(target=str(index)).inc()
+                if span is not None:
+                    span.finish(error=type(exc).__name__)
                 last_error = exc
                 continue  # worker mid-restart: replay the lane elsewhere
-            except ServingTimeoutError:
+            except ServingTimeoutError as exc:
                 breakers.failure(url)
+                self._server._m_lane_failures.labels(target=str(index)).inc()
+                if span is not None:
+                    span.finish(error=type(exc).__name__)
                 raise
             finally:
                 self._server.release_client(url, client)
             breakers.success(url)
+            self._server._m_lane_requests.labels(target=str(index)).inc()
+            if span is not None:
+                span.finish(
+                    codec=codec,
+                    bytes=self._bytes[lane] if lane < len(self._bytes) else 0,
+                    version=version,
+                )
             if injector is not None:
                 skew = injector.fire("proxy.lane.version")
                 if skew is not None and skew.kind == "skew":
@@ -512,9 +629,22 @@ def _dealt_payloads(
     return pairs
 
 
-class _ProxyHandler(BaseHTTPRequestHandler):
+class _ProxyHandler(_TelemetryMixin, BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server: FleetProxy  # narrowed for type checkers
+
+    _METRIC_PATHS = frozenset(
+        {
+            "/assign",
+            "/healthz",
+            "/model",
+            "/reload",
+            "/metrics",
+            "/admin/status",
+            "/admin/rollout",
+            "/admin/metrics",
+        }
+    )
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if not self.server.quiet:
@@ -590,11 +720,48 @@ class _ProxyHandler(BaseHTTPRequestHandler):
             pass
         self.close_connection = True
 
+    def _hop_span(self, name: str) -> Any:
+        """Open a child span for one downstream hop (None when untraced)."""
+        return start_span(
+            self.server.trace_sink,
+            name,
+            getattr(self, "_trace_id", None),
+            getattr(self, "_parent_span", None),
+        )
+
+    def _trace_headers(self, headers: dict[str, str], span: Any) -> None:
+        """Propagate this request's trace context onto a downstream hop.
+
+        The hop's own span id becomes the downstream parent, so worker
+        spans hang off the proxy hop that carried them.
+        """
+        trace_id = getattr(self, "_trace_id", None)
+        if not trace_id:
+            return
+        headers[TRACE_HEADER] = trace_id
+        parent = (
+            span.span_id if span is not None else getattr(self, "_parent_span", None)
+        )
+        if parent:
+            headers[PARENT_HEADER] = parent
+
     # -- endpoints ----------------------------------------------------- #
 
     def do_GET(self) -> None:  # noqa: N802
+        self._observed(self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._observed(self._handle_post)
+
+    def _handle_get(self) -> None:
         try:
-            if self.path == "/admin/status":
+            if self.path == "/metrics":
+                body = obs_prometheus.render_registry(self.server.metrics)
+                self._send(200, body.encode("utf-8"), obs_prometheus.CONTENT_TYPE)
+            elif self.path == "/admin/metrics":
+                body = self.server.aggregate_metrics()
+                self._send(200, body.encode("utf-8"), obs_prometheus.CONTENT_TYPE)
+            elif self.path == "/admin/status":
                 payload = self.server.fleet.status()
                 payload["breakers"] = self.server.breakers.snapshot()
                 self._send_json(200, payload)
@@ -603,7 +770,7 @@ class _ProxyHandler(BaseHTTPRequestHandler):
         except Exception as exc:
             self._fail(exc)
 
-    def do_POST(self) -> None:  # noqa: N802
+    def _handle_post(self) -> None:
         try:
             if self.path == "/admin/rollout":
                 self._do_rollout()
@@ -647,15 +814,18 @@ class _ProxyHandler(BaseHTTPRequestHandler):
         for index, url in self.server.target_order():
             if deadline is not None and deadline.expired:
                 raise ServingError(504, "deadline exhausted during failover")
-            request_headers = (
-                {DEADLINE_HEADER: deadline.header_value()}
-                if deadline is not None
-                else None
-            )
+            request_headers: dict[str, str] = {}
+            if deadline is not None:
+                request_headers[DEADLINE_HEADER] = deadline.header_value()
+            span = self._hop_span("proxy.forward")
+            if span is not None:
+                span.set(worker=index, path=self.path)
+            self._trace_headers(request_headers, span)
             client = self.server.client_for(index, url)
             try:
                 status, headers, payload = client.request_raw(
-                    method, self.path, body, content_type, headers=request_headers
+                    method, self.path, body, content_type,
+                    headers=request_headers or None,
                 )
             except ServingTimeoutError as exc:
                 # The worker is alive but not answering — count it
@@ -665,11 +835,20 @@ class _ProxyHandler(BaseHTTPRequestHandler):
                 # would multiply the load fleet-wide and still be
                 # reported as a failure.
                 breakers.failure(url)
+                self.server._m_lane_failures.labels(target=str(index)).inc()
+                if span is not None:
+                    span.finish(error=type(exc).__name__)
                 raise ServingError(504, str(exc)) from exc
-            except ServingUnavailableError:
+            except ServingUnavailableError as exc:
                 breakers.failure(url)
+                self.server._m_lane_failures.labels(target=str(index)).inc()
+                if span is not None:
+                    span.finish(error=type(exc).__name__)
                 continue  # worker mid-restart: fail over to the next one
             breakers.success(url)
+            self.server._m_lane_requests.labels(target=str(index)).inc()
+            if span is not None:
+                span.finish(status=status, bytes=len(payload))
             extra = {WORKER_HEADER: str(index)}
             version = headers.get(VERSION_HEADER)
             if version is not None:
@@ -692,13 +871,37 @@ class _ProxyHandler(BaseHTTPRequestHandler):
     def _do_assign(self) -> None:
         content_type = self.headers.get("Content-Type", "application/json")
         if content_type.startswith(STREAM_CONTENT_TYPE):
-            self._scatter_stream(self._request_deadline())
+            mode = "stream"
         elif content_type.startswith(NPY_CONTENT_TYPE):
-            self._scatter_npy(self._request_deadline())
+            mode = "npy"
         else:
-            # JSON stays round-robin: it is the interop path, and its
-            # decimal round trip dwarfs any scatter win.
-            self._forward("POST", body=self._read_body())
+            mode = "forward"
+        start = time.perf_counter()
+        span = self._hop_span("proxy.assign")
+        if span is not None:
+            # Lane and forward spans hang off the ingress span.
+            self._parent_span = span.span_id
+            span.set(mode=mode)
+        try:
+            if mode == "stream":
+                self._scatter_stream(self._request_deadline())
+            elif mode == "npy":
+                self._scatter_npy(self._request_deadline())
+            else:
+                # JSON stays round-robin: it is the interop path, and
+                # its decimal round trip dwarfs any scatter win.
+                self._forward("POST", body=self._read_body())
+        except BaseException as exc:
+            if span is not None:
+                span.finish(error=type(exc).__name__)
+            raise
+        else:
+            if span is not None:
+                span.finish()
+        finally:
+            self.server._m_latency.labels(mode=mode).observe(
+                time.perf_counter() - start
+            )
 
     def _stream_body_reader(self) -> Any:
         if self.headers.get("Transfer-Encoding", "").lower() == "chunked":
@@ -732,6 +935,8 @@ class _ProxyHandler(BaseHTTPRequestHandler):
                 accept=reader.accept,
                 distances=reader.distances,
                 deadline=deadline,
+                trace_id=getattr(self, "_trace_id", None),
+                parent_id=getattr(self, "_parent_span", None),
             )
             for payload in reader.raw_frames():
                 frames.append(payload)
@@ -925,31 +1130,44 @@ class _ProxyHandler(BaseHTTPRequestHandler):
     ) -> tuple[int, str, str, bool, list[bytes]]:
         last_error: Exception | None = None
         breakers = self.server.breakers
-        for index, url in targets:
+        for attempt, (index, url) in enumerate(targets):
             if deadline is not None and deadline.expired:
                 raise ServingTimeoutError(
                     "request deadline exhausted during scatter failover"
                 )
-            headers = (
-                {DEADLINE_HEADER: deadline.header_value()}
-                if deadline is not None
-                else None
-            )
+            headers: dict[str, str] = {}
+            if deadline is not None:
+                headers[DEADLINE_HEADER] = deadline.header_value()
+            span = self._hop_span("proxy.lane")
+            if span is not None:
+                span.set(worker=index, replay=attempt > 0)
+            self._trace_headers(headers, span)
             client = self.server.lease_client(url)
             try:
                 version, response_codec, response_distances, payloads = (
-                    _stream_exchange(client, body, headers=headers, deadline=deadline)
+                    _stream_exchange(
+                        client, body, headers=headers or None, deadline=deadline
+                    )
                 )
             except ServingUnavailableError as exc:
                 breakers.failure(url)
+                self.server._m_lane_failures.labels(target=str(index)).inc()
+                if span is not None:
+                    span.finish(error=type(exc).__name__)
                 last_error = exc
                 continue  # worker mid-restart: try the next one
-            except ServingTimeoutError:
+            except ServingTimeoutError as exc:
                 breakers.failure(url)
+                self.server._m_lane_failures.labels(target=str(index)).inc()
+                if span is not None:
+                    span.finish(error=type(exc).__name__)
                 raise
             finally:
                 self.server.release_client(url, client)
             breakers.success(url)
+            self.server._m_lane_requests.labels(target=str(index)).inc()
+            if span is not None:
+                span.finish(codec=response_codec, version=version)
             return index, version, response_codec, response_distances, payloads
         raise ServingUnavailableError(
             f"no reachable fleet worker for scattered run: {last_error}"
@@ -966,11 +1184,18 @@ class _ProxyHandler(BaseHTTPRequestHandler):
         ``(worker, version, labels)``."""
         last_error: Exception | None = None
         breakers = self.server.breakers
-        for index, url in targets:
+        for attempt, (index, url) in enumerate(targets):
             if deadline is not None and deadline.expired:
                 raise ServingTimeoutError(
                     "request deadline exhausted during scatter failover"
                 )
+            hop_span = self._hop_span("proxy.lane")
+            if hop_span is not None:
+                hop_span.set(
+                    worker=index, replay=attempt > 0, rows=int(span_points.shape[0])
+                )
+            request_headers: dict[str, str] = {}
+            self._trace_headers(request_headers, hop_span)
             client = self.server.lease_client(url)
             try:
                 response = client.assign_stream(
@@ -978,17 +1203,27 @@ class _ProxyHandler(BaseHTTPRequestHandler):
                     deadline_ms=(
                         deadline.remaining_ms() if deadline is not None else None
                     ),
+                    headers=request_headers or None,
                 )
             except ServingUnavailableError as exc:
                 breakers.failure(url)
+                self.server._m_lane_failures.labels(target=str(index)).inc()
+                if hop_span is not None:
+                    hop_span.finish(error=type(exc).__name__)
                 last_error = exc
                 continue
-            except ServingTimeoutError:
+            except ServingTimeoutError as exc:
                 breakers.failure(url)
+                self.server._m_lane_failures.labels(target=str(index)).inc()
+                if hop_span is not None:
+                    hop_span.finish(error=type(exc).__name__)
                 raise
             finally:
                 self.server.release_client(url, client)
             breakers.success(url)
+            self.server._m_lane_requests.labels(target=str(index)).inc()
+            if hop_span is not None:
+                hop_span.finish(version=response.version)
             return index, response.version, response.labels
         raise ServingUnavailableError(
             f"no reachable fleet worker for scattered run: {last_error}"

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import socket
 import threading
 import time
@@ -54,9 +55,16 @@ import numpy as np
 from ..api.assign import Assigner
 from ..api.model import ClusterModel
 from ..faults.plan import FaultEvent, FaultInjector
+from ..obs import metrics as obs_metrics
+from ..obs import prometheus as obs_prometheus
+from ..obs.trace import PARENT_HEADER, TRACE_HEADER, TraceSink, get_sink, start_span
 from . import wire
 from .registry import ModelRegistry, RegistryError
 from .resilience import DEADLINE_HEADER, Deadline
+
+#: Environment variable carrying a fleet worker's index; the supervisor
+#: sets it at spawn so metrics and trace spans can name the worker.
+WORKER_INDEX_ENV = "REPRO_WORKER_INDEX"
 
 #: Content type for raw ``np.save`` payloads (request and response).
 NPY_CONTENT_TYPE = "application/x-npy"
@@ -288,6 +296,17 @@ class AssignmentServer(ConnectionTrackingServer):
             from the ``REPRO_FAULT_PLAN`` environment variable when
             set — which is how a supervisor-spawned fleet worker picks
             up a fault plan — else no injection at all.
+        metrics: telemetry registry for this server's counters and
+            latency histograms, served at ``GET /metrics``. Default
+            ``None`` builds a private
+            :class:`~repro.obs.MetricsRegistry`; pass a registry to
+            share one, or ``False`` for the no-op null registry (the
+            uninstrumented baseline ``repro bench serve`` measures
+            overhead against).
+        trace_sink: a :class:`repro.obs.TraceSink` receiving one span
+            per traced ``/assign`` (requests carrying ``X-Trace-Id``).
+            Default: the sink named by the ``REPRO_TRACE_SINK``
+            environment variable, if any.
     """
 
     serve_thread_name = "repro-serve"
@@ -306,6 +325,8 @@ class AssignmentServer(ConnectionTrackingServer):
         pin_version: str | None = None,
         quiet: bool = True,
         fault_injector: FaultInjector | None = None,
+        metrics: Any = None,
+        trace_sink: TraceSink | None = None,
     ) -> None:
         if (registry is None) == (model_path is None):
             raise ValueError("exactly one of registry= or model_path= is required")
@@ -322,6 +343,42 @@ class AssignmentServer(ConnectionTrackingServer):
         self.fault_injector = (
             fault_injector if fault_injector is not None else FaultInjector.from_env()
         )
+        # metrics=None -> a private registry per server instance (tests
+        # and the bench harness run several servers in one process and
+        # their series must not bleed); metrics=False -> the null
+        # registry, the uninstrumented baseline the overhead gate
+        # measures against.
+        self.metrics = obs_metrics.resolve_registry(metrics)
+        self._trace_sink = trace_sink
+        self.worker_index = os.environ.get(WORKER_INDEX_ENV, "")
+        self._m_requests = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests handled, by endpoint and status code.",
+            ("path", "method", "code"),
+        )
+        self._m_latency = self.metrics.histogram(
+            "repro_assign_latency_seconds",
+            "Wall time spent handling one /assign request.",
+            ("mode",),
+        )
+        self._m_rows = self.metrics.counter(
+            "repro_assign_rows_total",
+            "Points labeled by /assign.",
+            ("mode",),
+        )
+        self._m_bytes = self.metrics.counter(
+            "repro_http_bytes_total",
+            "Request/response body bytes moved by /assign.",
+            ("direction",),
+        )
+        self._m_reloads = self.metrics.counter(
+            "repro_model_reloads_total",
+            "Model reloads that changed the serving version.",
+        )
+        if self.fault_injector is not None:
+            self.metrics.register_collector(
+                obs_metrics.fault_collector(self.fault_injector)
+            )
         self.started_at = time.monotonic()
         self._lock = threading.RLock()
         self._snapshot: _Snapshot | None = None
@@ -332,6 +389,11 @@ class AssignmentServer(ConnectionTrackingServer):
         except BaseException:
             self.server_close()  # don't leak the bound socket
             raise
+
+    @property
+    def trace_sink(self) -> TraceSink | None:
+        """The span sink: explicit, or named by ``REPRO_TRACE_SINK``."""
+        return self._trace_sink if self._trace_sink is not None else get_sink()
 
     # ------------------------------------------------------------------ #
     # Model lifecycle                                                     #
@@ -408,6 +470,8 @@ class AssignmentServer(ConnectionTrackingServer):
             )
             self._snapshot = snapshot
             self._pointer_mtime_ns = mtime_ns
+        if changed:
+            self._m_reloads.inc()
         return changed
 
     def _pointer_moved(self) -> bool:
@@ -565,7 +629,43 @@ class _HTTPChunkWriter:
         self._wfile.write(b"0\r\n\r\n")
 
 
-class _Handler(BaseHTTPRequestHandler):
+class _TelemetryMixin:
+    """Request counting + trace-id stamping shared by server and proxy.
+
+    The owning server object must expose ``_m_requests`` (a labelled
+    counter family); handlers route ``do_GET``/``do_POST`` through
+    :meth:`_observed`.
+    """
+
+    #: Paths kept as-is in the request-counter label; anything else is
+    #: folded into ``other`` so scanners can't mint unbounded series.
+    _METRIC_PATHS = frozenset({"/assign", "/healthz", "/model", "/reload", "/metrics"})
+
+    def send_response(self, code: int, message: str | None = None) -> None:
+        # One chokepoint stamps every response — JSON errors, npy
+        # bodies, and chunked streams alike — with the request's trace
+        # id, and remembers the code for the request counter.
+        super().send_response(code, message)
+        self._sent_status = code
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header(TRACE_HEADER, trace_id)
+
+    def _observed(self, inner: Any) -> None:
+        """Run one request handler with counting + trace context."""
+        self._sent_status = 0
+        self._trace_id = self.headers.get(TRACE_HEADER) or None
+        self._parent_span = self.headers.get(PARENT_HEADER) or None
+        try:
+            inner()
+        finally:
+            path = self.path if self.path in self._METRIC_PATHS else "other"
+            self.server._m_requests.labels(
+                path=path, method=self.command, code=str(self._sent_status)
+            ).inc()
+
+
+class _Handler(_TelemetryMixin, BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server: AssignmentServer  # narrowed for type checkers
 
@@ -653,7 +753,19 @@ class _Handler(BaseHTTPRequestHandler):
     # -- endpoints ----------------------------------------------------- #
 
     def do_GET(self) -> None:  # noqa: N802
+        self._observed(self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._observed(self._handle_post)
+
+    def _handle_get(self) -> None:
         try:
+            if self.path == "/metrics":
+                # Served even with no model loaded: a scrape must not
+                # depend on the thing it exists to observe.
+                body = obs_prometheus.render_registry(self.server.metrics)
+                self._send(200, body.encode("utf-8"), obs_prometheus.CONTENT_TYPE)
+                return
             self.server.maybe_reload()
             if self.path == "/healthz":
                 snap = self.server.snapshot()
@@ -693,7 +805,7 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # every failure becomes a JSON error
             self._fail(exc)
 
-    def do_POST(self) -> None:  # noqa: N802
+    def _handle_post(self) -> None:
         try:
             if self.path == "/assign":
                 self.server.maybe_reload()
@@ -716,21 +828,41 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _do_assign(self) -> None:
         self._request_deadline()  # refuse spent budgets pre-allocation
+        span = start_span(
+            self.server.trace_sink,
+            "server.assign",
+            getattr(self, "_trace_id", None),
+            getattr(self, "_parent_span", None),
+        )
+        if span is None:
+            self._assign_work(None)
+            return
+        if self.server.worker_index:
+            span.set(worker=self.server.worker_index)
+        with span:
+            self._assign_work(span)
+
+    def _assign_work(self, span: Any) -> None:
+        start = time.perf_counter()
         injector = self.server.fault_injector
         if injector is not None:
             event = injector.fire("server.assign")  # sleeps through delays
             if event is not None and event.kind == "refuse":
                 raise _InjectedSever()
         snap = self.server.snapshot()  # pinned: a mid-request swap cannot move it
+        if span is not None:
+            span.set(version=snap.version)
         content_type = self.headers.get("Content-Type", "application/json")
         if content_type.startswith(STREAM_CONTENT_TYPE):
-            self._do_assign_stream(snap)
+            self._do_assign_stream(snap, start, span)
             return
         body = self._read_body()
         chunk_size = self.server.chunk_size
         if content_type.startswith(NPY_CONTENT_TYPE):
+            mode = "npy"
             points = _decode_npy(body)
         else:
+            mode = "json"
             points, chunk_size = _decode_json(body, chunk_size)
         chunks = list(snap.assigner.assign_iter(points, chunk_size=chunk_size))
         # An empty (0, d) batch yields no chunks; in-process assign
@@ -738,19 +870,31 @@ class _Handler(BaseHTTPRequestHandler):
         labels = (
             np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
         )
-        if content_type.startswith(NPY_CONTENT_TYPE):
+        if mode == "npy":
             out = io.BytesIO()
             np.save(out, labels, allow_pickle=False)
-            self._send(200, out.getvalue(), NPY_CONTENT_TYPE, snap.version)
+            payload = out.getvalue()
+            self._send(200, payload, NPY_CONTENT_TYPE, snap.version)
         else:
-            self._send_json(
-                200,
+            payload = json.dumps(
                 {
                     "version": snap.version,
                     "n": int(labels.shape[0]),
                     "labels": labels.tolist(),
-                },
-                snap.version,
+                }
+            ).encode("utf-8")
+            self._send(200, payload, "application/json", snap.version)
+        server = self.server
+        server._m_latency.labels(mode=mode).observe(time.perf_counter() - start)
+        server._m_rows.labels(mode=mode).inc(float(labels.shape[0]))
+        server._m_bytes.labels(direction="in").inc(float(len(body)))
+        server._m_bytes.labels(direction="out").inc(float(len(payload)))
+        if span is not None:
+            span.set(
+                mode=mode,
+                rows=int(labels.shape[0]),
+                bytes_in=len(body),
+                bytes_out=len(payload),
             )
 
     def _stream_body_reader(self) -> Any:
@@ -776,7 +920,9 @@ class _Handler(BaseHTTPRequestHandler):
             pass
         self.close_connection = True
 
-    def _do_assign_stream(self, snap: _Snapshot) -> None:
+    def _do_assign_stream(
+        self, snap: _Snapshot, start: float, span: Any
+    ) -> None:
         """Streamed assign: score request frames as they arrive.
 
         Request frames feed ``assign_iter`` lazily, so scoring overlaps
@@ -863,6 +1009,20 @@ class _Handler(BaseHTTPRequestHandler):
         ):
             writer.write(piece)
         writer.close()
+        rows = sum(
+            int((item[0] if want_distance else item).shape[0]) for item in results
+        )
+        server = self.server
+        server._m_latency.labels(mode="stream").observe(time.perf_counter() - start)
+        server._m_rows.labels(mode="stream").inc(float(rows))
+        server._m_bytes.labels(direction="in").inc(float(reader.total_bytes))
+        if span is not None:
+            span.set(
+                mode="stream",
+                rows=rows,
+                codec=response_codec,
+                bytes_in=reader.total_bytes,
+            )
 
     def _write_faulted_stream(
         self,

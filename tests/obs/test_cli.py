@@ -1,0 +1,81 @@
+"""CLI surfaces for telemetry: ``repro trace`` and
+``repro fit --metrics-out``."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.obs.trace import Span, TraceSink
+
+
+@pytest.fixture
+def sink(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    writer = TraceSink(path)
+    writer.emit(Span("t" * 32, "root", "client.assign", start_s=1.0, wall_s=0.5))
+    writer.emit(
+        Span("t" * 32, "lane", "proxy.lane", parent_id="root", start_s=1.1,
+             wall_s=0.2, attrs={"worker": "0"})
+    )
+    writer.emit(Span("u" * 32, "other", "client.assign", start_s=9.0))
+    return path
+
+
+def test_trace_renders_tree(sink, capsys):
+    assert cli.main(["trace", str(sink)]) == 0
+    out = capsys.readouterr().out
+    assert "trace " + "t" * 32 in out
+    assert "trace " + "u" * 32 in out
+    assert "proxy.lane" in out
+    assert "worker=0" in out
+
+
+def test_trace_filters_by_id_and_lists(sink, capsys):
+    assert cli.main(["trace", str(sink), "--trace-id", "t" * 32]) == 0
+    out = capsys.readouterr().out
+    assert "trace " + "t" * 32 in out
+    assert "u" * 32 not in out
+
+    assert cli.main(["trace", str(sink), "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "t" * 32 in out and "2 span(s)" in out
+    assert "u" * 32 in out and "1 span(s)" in out
+
+
+def test_trace_errors_on_empty_or_unknown(tmp_path, sink, capsys):
+    assert cli.main(["trace", str(tmp_path / "absent.jsonl")]) == 1
+    assert "no spans" in capsys.readouterr().err
+    assert cli.main(["trace", str(sink), "--trace-id", "nope"]) == 1
+    capsys.readouterr()
+
+
+def test_fit_metrics_out_writes_run_profile(tmp_path, capsys):
+    rng = np.random.default_rng(3)
+    data_path = tmp_path / "data.npz"
+    np.savez(
+        data_path,
+        points=rng.normal(size=(90, 3)),
+        sensitive_group=rng.integers(0, 2, 90),
+    )
+    profile_path = tmp_path / "profile.json"
+    assert cli.main([
+        "fit", "--data", str(data_path), "-k", "3", "--seed", "0",
+        "--out", str(tmp_path / "model"),
+        "--metrics-out", str(profile_path),
+    ]) == 0
+    assert "metrics profile written" in capsys.readouterr().out
+    profile = json.loads(profile_path.read_text())
+    assert profile["schema"] == "repro.fit-profile/v1"
+    names = {f["name"] for f in profile["metrics"]["families"]}
+    assert "repro_fit_sweeps_total" in names
+    assert "repro_fit_moves_total" in names
+    sweeps = next(
+        f for f in profile["metrics"]["families"]
+        if f["name"] == "repro_fit_sweeps_total"
+    )
+    assert sum(s["value"] for s in sweeps["series"]) >= 1
+    assert isinstance(profile["diagnostics"], dict)

@@ -1,0 +1,266 @@
+"""The metrics registry: instruments, snapshots, collectors, quantiles."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    BREAKER_STATE_CODES,
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    breaker_collector,
+    fault_collector,
+    get_registry,
+    merge_histograms,
+    quantile_from_buckets,
+    record_fit_sweep,
+    reset_registry,
+    resolve_registry,
+)
+
+
+def test_counter_inc_and_snapshot():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_things_total", "Things.", ("kind",))
+    c.labels(kind="a").inc()
+    c.labels(kind="a").inc(2)
+    c.labels(kind="b").inc()
+    snap = reg.snapshot()
+    assert snap["schema"] == "repro.metrics/v1"
+    family = next(f for f in snap["families"] if f["name"] == "repro_things_total")
+    values = {tuple(s["labels"].items()): s["value"] for s in family["series"]}
+    assert values[(("kind", "a"),)] == 3
+    assert values[(("kind", "b"),)] == 1
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_n_total", "N.")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_set():
+    reg = MetricsRegistry()
+    g = reg.gauge("repro_level", "Level.")
+    g.set(4.5)
+    g.set(-1.0)
+    (family,) = reg.collect()
+    assert family["series"][0]["value"] == -1.0
+
+
+def test_registered_instrument_is_idempotent_but_mismatch_raises():
+    reg = MetricsRegistry()
+    a = reg.counter("repro_x_total", "X.", ("p",))
+    b = reg.counter("repro_x_total", "X.", ("p",))
+    assert a is b
+    with pytest.raises(ValueError):
+        reg.counter("repro_x_total", "X.", ("q",))
+    with pytest.raises(ValueError):
+        reg.gauge("repro_x_total", "X.", ("p",))
+
+
+def test_invalid_names_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("9bad", "Bad.")
+    c = reg.counter("repro_ok_total", "Ok.", ("kind",))
+    with pytest.raises(ValueError):
+        c.labels(wrong="x")
+
+
+def test_histogram_le_inclusive_bucketing():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_lat_seconds", "Lat.", buckets=(0.1, 1.0))
+    h.observe(0.1)   # == bound: belongs to the 0.1 bucket
+    h.observe(0.5)
+    h.observe(5.0)   # above every finite bound: +Inf only
+    (family,) = reg.collect()
+    series = family["series"][0]
+    buckets = {bound: count for bound, count in series["buckets"]}
+    assert buckets[0.1] == 1
+    assert buckets[1.0] == 2  # cumulative
+    assert buckets[float("inf")] == 3
+    assert series["count"] == 3
+    assert series["sum"] == pytest.approx(5.6)
+
+
+def test_null_registry_is_free_and_disabled():
+    assert not NULL_REGISTRY.enabled
+    c = NULL_REGISTRY.counter("repro_x_total", "X.", ("p",))
+    c.labels(p="a").inc()  # no-op, no validation, no error
+    NULL_REGISTRY.histogram("repro_h", "H.").observe(1.0)
+    assert NULL_REGISTRY.collect() == []
+
+
+def test_resolve_registry_contract():
+    private = resolve_registry(None)
+    assert isinstance(private, MetricsRegistry)
+    assert private is not resolve_registry(None)
+    assert resolve_registry(False) is NULL_REGISTRY
+    assert resolve_registry(True) is get_registry()
+    mine = MetricsRegistry()
+    assert resolve_registry(mine) is mine
+
+
+def test_collector_snapshot_views():
+    class Board:
+        def snapshot(self):
+            return {"http://a": "open", "http://b": "closed"}
+
+    class Injector:
+        def counts(self):
+            return {"proxy.lane0.frame": 3}
+
+    reg = MetricsRegistry()
+    reg.register_collector(breaker_collector(Board()))
+    reg.register_collector(fault_collector(Injector()))
+    families = {f["name"]: f for f in reg.collect()}
+    states = {
+        s["labels"]["url"]: s["value"]
+        for s in families["repro_breaker_state"]["series"]
+    }
+    assert states == {
+        "http://a": BREAKER_STATE_CODES["open"],
+        "http://b": BREAKER_STATE_CODES["closed"],
+    }
+    hits = families["repro_fault_site_hits_total"]["series"][0]
+    assert hits["labels"] == {"site": "proxy.lane0.frame"}
+    assert hits["value"] == 3
+
+
+def test_merge_histograms_adds_counts():
+    reg1, reg2 = MetricsRegistry(), MetricsRegistry()
+    for reg, values in ((reg1, (0.05, 0.2)), (reg2, (0.05, 3.0))):
+        h = reg.histogram("repro_l_seconds", "L.", buckets=(0.1, 1.0))
+        for v in values:
+            h.observe(v)
+    snaps = [
+        next(f for f in reg.collect() if f["name"] == "repro_l_seconds")["series"][0]
+        for reg in (reg1, reg2)
+    ]
+    merged = merge_histograms(*snaps)
+    assert merged["count"] == 4
+    buckets = {bound: count for bound, count in merged["buckets"]}
+    assert buckets[0.1] == 2
+    assert buckets[float("inf")] == 4
+
+
+def test_merge_histograms_rejects_mismatched_bounds():
+    a = {"buckets": [[0.1, 1], [float("inf"), 1]], "sum": 0.1, "count": 1}
+    b = {"buckets": [[0.5, 1], [float("inf"), 1]], "sum": 0.5, "count": 1}
+    with pytest.raises(ValueError):
+        merge_histograms(a, b)
+
+
+def test_quantile_from_buckets_interpolates():
+    buckets = [(0.1, 10), (1.0, 20), (float("inf"), 20)]
+    assert quantile_from_buckets(buckets, 0.5) == pytest.approx(0.1)
+    p75 = quantile_from_buckets(buckets, 0.75)
+    assert 0.1 < p75 <= 1.0
+    assert quantile_from_buckets([], 0.5) is None
+    # An answer in the +Inf bucket clamps to the largest finite bound.
+    assert quantile_from_buckets([(0.1, 0), (float("inf"), 4)], 0.5) == 0.1
+
+
+def test_quantile_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        quantile_from_buckets([(1.0, 1)], 1.5)
+
+
+def test_process_registry_reset():
+    reset_registry()
+    reg = get_registry()
+    reg.counter("repro_once_total", "Once.").inc()
+    assert get_registry() is reg
+    reset_registry()
+    assert get_registry() is not reg
+    assert get_registry().collect() == []
+
+
+def test_record_fit_sweep_publishes_counters_and_phases():
+    reg = MetricsRegistry()
+    stats = {
+        "iteration": 1,
+        "moves": 40,
+        "move_rate": 0.4,
+        "mode": "exact",
+        "workers": 4,
+        "scoring_wall_s": 0.25,
+    }
+    record_fit_sweep(stats, engine="chunked", registry=reg)
+    record_fit_sweep({"moves": 10, "move_rate": 0.1}, engine="chunked", registry=reg)
+    families = {f["name"]: f for f in reg.collect()}
+    sweeps = families["repro_fit_sweeps_total"]["series"]
+    assert sum(s["value"] for s in sweeps) == 2
+    moves = families["repro_fit_moves_total"]["series"][0]
+    assert moves["value"] == 50
+    assert families["repro_fit_move_rate"]["series"][0]["value"] == 0.1
+    assert families["repro_fit_backend_workers"]["series"][0]["value"] == 4
+    phases = families["repro_fit_phase_seconds"]["series"]
+    assert phases[0]["labels"]["phase"] == "scoring"
+
+
+def test_record_fit_sweep_noop_on_null_registry():
+    record_fit_sweep({"moves": 1}, engine="x", registry=NULL_REGISTRY)
+    assert NULL_REGISTRY.collect() == []
+
+
+@given(
+    observations=st.lists(
+        st.lists(
+            st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+            max_size=30,
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_histogram_merge_equals_single_writer(observations):
+    """Merging per-registry histograms == one histogram fed everything."""
+    partials = []
+    combined = MetricsRegistry().histogram("repro_m_seconds", "M.")
+    for chunk in observations:
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_m_seconds", "M.")
+        for value in chunk:
+            h.observe(value)
+            combined.observe(value)
+        partials.append(
+            next(f for f in reg.collect() if f["name"] == "repro_m_seconds")[
+                "series"
+            ][0]
+        )
+    merged = merge_histograms(*partials)
+    expected = combined.snapshot()["series"][0]
+    assert merged["count"] == expected["count"]
+    assert merged["buckets"] == expected["buckets"]
+    assert merged["sum"] == pytest.approx(expected["sum"])
+
+
+def test_histogram_concurrent_writers_lose_nothing():
+    """N threads hammering one histogram: counts add up exactly."""
+    reg = MetricsRegistry()
+    h = reg.histogram(
+        "repro_c_seconds", "C.", buckets=tuple(DEFAULT_LATENCY_BUCKETS)
+    )
+    per_thread, threads = 500, 8
+
+    def work(seed: int) -> None:
+        for i in range(per_thread):
+            h.observe((seed * per_thread + i) % 97 / 10.0)
+
+    pool = [threading.Thread(target=work, args=(t,)) for t in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    (family,) = reg.collect()
+    series = family["series"][0]
+    assert series["count"] == per_thread * threads
+    assert series["buckets"][-1][1] == per_thread * threads

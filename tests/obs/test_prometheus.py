@@ -1,0 +1,140 @@
+"""Exposition format 0.0.4: rendering, strict parsing, aggregation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    base_name,
+    format_value,
+    merge_scrapes,
+    parse_text,
+    render_registry,
+)
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("repro_http_requests_total", "Requests.", ("path", "code"))
+    c.labels(path="/assign", code="200").inc(7)
+    c.labels(path="/assign", code="503").inc()
+    reg.gauge("repro_level", "Level.").set(0.25)
+    h = reg.histogram("repro_lat_seconds", "Lat.", ("mode",), buckets=(0.1, 1.0))
+    h.labels(mode="npy").observe(0.05)
+    h.labels(mode="npy").observe(0.5)
+    return reg
+
+
+def test_content_type_pins_version():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_format_value_round_trips():
+    assert format_value(3.0) == "3"
+    assert format_value(math.inf) == "+Inf"
+    assert format_value(-math.inf) == "-Inf"
+    assert format_value(0.25) == "0.25"
+    assert format_value(float("nan")) == "NaN"
+
+
+def test_render_parse_round_trip():
+    text = render_registry(_populated_registry())
+    families = {f.name: f for f in parse_text(text)}
+    requests = families["repro_http_requests_total"]
+    assert requests.kind == "counter"
+    assert requests.help == "Requests."
+    values = {
+        (s.labels["path"], s.labels["code"]): s.value for s in requests.samples
+    }
+    assert values[("/assign", "200")] == 7
+    hist = families["repro_lat_seconds"]
+    assert hist.kind == "histogram"
+    by_name: dict[str, float] = {}
+    for sample in hist.samples:
+        assert base_name(sample.name) == "repro_lat_seconds"
+        if sample.name.endswith("_bucket"):
+            by_name[sample.labels["le"]] = sample.value
+        elif sample.name.endswith("_count"):
+            assert sample.value == 2
+    assert by_name == {"0.1": 1, "1": 2, "+Inf": 2}
+
+
+def test_every_emitted_line_matches_the_grammar():
+    """Conformance: each line is a comment, HELP/TYPE, or a sample."""
+    text = render_registry(_populated_registry())
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        assert line == line.rstrip()
+        if line.startswith("#"):
+            assert line.startswith(("# HELP ", "# TYPE "))
+        else:
+            parse_text(line + "\n")  # any bad sample line raises
+
+
+def test_label_value_escaping_round_trips():
+    reg = MetricsRegistry()
+    tricky = 'a"b\\c\nd'
+    reg.counter("repro_esc_total", "Esc.", ("path",)).labels(path=tricky).inc()
+    (family,) = parse_text(render_registry(reg))
+    assert family.samples[0].labels["path"] == tricky
+
+
+def test_parser_rejects_malformed_lines():
+    for bad in (
+        "repro_x{path=/assign} 1\n",      # unquoted label value
+        "repro_x{path=\"a\"} \n",          # missing value
+        "repro_x 1 2 3\n",                 # trailing garbage
+        "# TYPE repro_x wat\n",            # unknown type
+        "9repro_x 1\n",                    # bad sample name
+        "repro_x{path=\"a\" 1\n",          # unterminated label set
+    ):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_text(bad)
+
+
+def test_extra_labels_stamped_and_collisions_rejected():
+    reg = MetricsRegistry()
+    reg.counter("repro_x_total", "X.", ("worker",)).labels(worker="9").inc()
+    with pytest.raises(ValueError):
+        render_registry(reg, extra_labels={"worker": "proxy"})
+    text = render_registry(reg, extra_labels={"zone": "a"})
+    (family,) = parse_text(text)
+    assert family.samples[0].labels == {"worker": "9", "zone": "a"}
+
+
+def test_merge_scrapes_unifies_families_and_stays_parseable():
+    reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+    for reg, n in ((reg_a, 3), (reg_b, 5)):
+        reg.counter("repro_http_requests_total", "Requests.", ("path",)).labels(
+            path="/assign"
+        ).inc(n)
+        h = reg.histogram("repro_lat_seconds", "Lat.", buckets=(0.1,))
+        h.observe(0.05)
+    merged = merge_scrapes(
+        [
+            ({"worker": "proxy"}, render_registry(reg_a)),
+            ({"worker": "0"}, render_registry(reg_b)),
+        ]
+    )
+    families = parse_text(merged)
+    requests = next(f for f in families if f.name == "repro_http_requests_total")
+    per_worker = {s.labels["worker"]: s.value for s in requests.samples}
+    assert per_worker == {"proxy": 3, "0": 5}
+    # One TYPE block per family name, even across sources.
+    type_lines = [
+        line
+        for line in merged.splitlines()
+        if line.startswith("# TYPE repro_http_requests_total ")
+    ]
+    assert len(type_lines) == 1
+
+
+def test_merge_scrapes_rejects_label_collision():
+    reg = MetricsRegistry()
+    reg.counter("repro_x_total", "X.", ("worker",)).labels(worker="1").inc()
+    with pytest.raises(ValueError):
+        merge_scrapes([({"worker": "proxy"}, render_registry(reg))])

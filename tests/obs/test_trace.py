@@ -1,0 +1,144 @@
+"""Trace ids, spans, the bounded JSONL sink, and tree rendering."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs.trace import (
+    SINK_ENV,
+    Span,
+    TraceSink,
+    get_sink,
+    load_spans,
+    new_span_id,
+    new_trace_id,
+    render_trace_tree,
+    start_span,
+)
+
+
+def test_ids_are_fresh_hex():
+    a, b = new_trace_id(), new_trace_id()
+    assert a != b and len(a) == 32 and int(a, 16) >= 0
+    s, t = new_span_id(), new_span_id()
+    assert s != t and len(s) == 16 and int(s, 16) >= 0
+
+
+def test_span_round_trips_through_dict():
+    span = Span(
+        trace_id="t1", span_id="s1", name="client.assign",
+        parent_id="p1", start_s=10.0, wall_s=0.5, attrs={"rows": 8},
+    )
+    again = Span.from_dict(json.loads(json.dumps(span.to_dict())))
+    assert again == span
+
+
+def test_sink_emits_and_loads(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    sink = TraceSink(path)
+    for i in range(3):
+        sink.emit(Span("t1", f"s{i}", "step", start_s=float(i)))
+    spans = load_spans(path)
+    assert [s.span_id for s in spans] == ["s0", "s1", "s2"]
+
+
+def test_load_skips_torn_lines_and_missing_file(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    sink = TraceSink(path)
+    sink.emit(Span("t1", "s1", "step"))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"trace_id": "t1", "span_')  # torn mid-write
+    assert [s.span_id for s in load_spans(path)] == ["s1"]
+    assert load_spans(tmp_path / "absent.jsonl") == []
+
+
+def test_sink_rotates_at_byte_budget(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    sink = TraceSink(path, max_bytes=300)
+    for i in range(20):
+        sink.emit(Span("t1", f"s{i:02}", "step"))
+    assert (tmp_path / "spans.jsonl.1").exists()
+    # Both files stay bounded and every line in them is whole.
+    kept = load_spans(path) + load_spans(tmp_path / "spans.jsonl.1")
+    assert 0 < len(kept) < 20
+
+
+def test_concurrent_writers_interleave_whole_lines(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    sink = TraceSink(path)
+
+    def work(tag: int) -> None:
+        for i in range(50):
+            sink.emit(Span("t1", f"{tag}-{i}", "step", attrs={"tag": tag}))
+
+    pool = [threading.Thread(target=work, args=(t,)) for t in range(4)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    spans = load_spans(path)
+    assert len(spans) == 200
+    assert len({s.span_id for s in spans}) == 200
+
+
+def test_start_span_requires_sink_and_trace_id(tmp_path):
+    sink = TraceSink(tmp_path / "s.jsonl")
+    assert start_span(None, "x", "t1") is None
+    assert start_span(sink, "x", None) is None
+    assert start_span(sink, "x", "") is None
+    span = start_span(sink, "x", "t1", "parent")
+    assert span is not None and span.span_id
+
+
+def test_open_span_context_records_error_and_finishes_once(tmp_path):
+    path = tmp_path / "s.jsonl"
+    sink = TraceSink(path)
+    try:
+        with start_span(sink, "boom", "t1") as span:
+            raise RuntimeError("nope")
+    except RuntimeError:
+        pass
+    span.finish()  # idempotent: no second emit
+    spans = load_spans(path)
+    assert len(spans) == 1
+    assert spans[0].attrs["error"] == "RuntimeError"
+    assert spans[0].wall_s >= 0
+
+
+def test_get_sink_reads_env_and_caches_per_path(tmp_path):
+    path = str(tmp_path / "env.jsonl")
+    assert get_sink({}) is None
+    sink = get_sink({SINK_ENV: path})
+    assert sink is not None and sink.path == path
+    assert get_sink({SINK_ENV: path}) is sink
+
+
+def test_render_tree_nests_children_and_promotes_orphans():
+    spans = [
+        Span("t1", "root", "client.assign", start_s=1.0, wall_s=0.4),
+        Span("t1", "lane0", "proxy.lane", parent_id="root", start_s=1.1,
+             wall_s=0.1, attrs={"worker": 0}),
+        Span("t1", "lane1", "proxy.lane", parent_id="root", start_s=1.2,
+             wall_s=0.1, attrs={"worker": 1, "replay": True}),
+        Span("t1", "srv", "server.assign", parent_id="lane0", start_s=1.15,
+             wall_s=0.05),
+        Span("t1", "lost", "server.assign", parent_id="gone", start_s=1.3),
+        Span("t2", "other", "client.assign", start_s=5.0, wall_s=0.1),
+    ]
+    text = render_trace_tree(spans)
+    assert "trace t1  (5 spans" in text
+    assert "trace t2  (1 span," in text
+    lines = text.splitlines()
+    lane0 = next(line for line in lines if "worker=0" in line)
+    assert "proxy.lane" in lane0
+    srv = next(line for line in lines if "server.assign" in line and "│" in line)
+    assert srv.index("server.assign") > lane0.index("proxy.lane")  # nested
+    assert any("replay=True" in line for line in lines)
+    # The orphan renders as a root, not silently dropped.
+    assert sum("server.assign" in line for line in lines) == 2
+
+    only_t2 = render_trace_tree(spans, trace_id="t2")
+    assert "trace t1" not in only_t2
+    missing = render_trace_tree(spans, trace_id="t3")
+    assert "no spans found" in missing

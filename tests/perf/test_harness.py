@@ -107,7 +107,12 @@ def test_bench_serve_measures_http_against_in_process(tmp_path):
     records = bench_serve((2_000,), (1,), repeats=1)
     validate_bench(bench_payload("serve", records))
     workloads = {r.workload for r in records}
-    assert workloads == {"assign_inprocess", "serve_http_npy", "serve_http_json"}
+    assert workloads == {
+        "assign_inprocess",
+        "serve_http_npy",
+        "serve_http_json",
+        "serve_http_npy_raw",
+    }
     assert all(r.rows_per_s > 0 for r in records)
     # The HTTP hop can only cost throughput, never create it.
     by_workload = {r.workload: r for r in records}
@@ -115,6 +120,9 @@ def test_bench_serve_measures_http_against_in_process(tmp_path):
         by_workload["serve_http_npy"].wall_s
         >= by_workload["assign_inprocess"].wall_s
     )
+    # The instrumented/raw pair feeds the observability overhead gate.
+    assert by_workload["serve_http_npy"].extra["obs_overhead_ratio"] > 0
+    assert by_workload["serve_http_npy_raw"].extra["instrumentation"] == "off"
 
 
 def test_bench_fleet_measures_processes_against_in_process(tmp_path):

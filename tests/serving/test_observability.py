@@ -1,0 +1,256 @@
+"""Telemetry exposition on the serving stack: ``/metrics`` on the
+assignment server and the proxy, ``/admin/metrics`` fleet aggregation,
+and the guarantee that ``/admin/status`` keeps its pre-telemetry shape.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import ClusterModel, RunConfig, fit
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.obs import PROMETHEUS_CONTENT_TYPE, parse_text
+from repro.serving import (
+    AssignmentServer,
+    FleetProxy,
+    FleetSupervisor,
+    ModelRegistry,
+    ServingClient,
+)
+from repro.serving.client import ServingClientError, ServingUnavailableError
+
+N, D, K = 160, 4, 3
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(23)
+    points = np.vstack(
+        [rng.normal(0, 1, (N // 2, D)), rng.normal(4, 1, (N - N // 2, D))]
+    )
+    probe = rng.normal(1.5, 2.0, (48, D))
+    return points, probe
+
+
+@pytest.fixture
+def served(tmp_path, data):
+    points, _ = data
+    model = fit(RunConfig(method="kmeans", k=K, max_iter=5), points)
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(model, label="obs")
+    server = AssignmentServer(registry=registry).start()
+    client = ServingClient(port=server.port)
+    yield registry, server, client, model
+    client.close()
+    server.stop()
+
+
+def _scrape(client: ServingClient, path: str = "/metrics"):
+    status, headers, payload = client.request_raw("GET", path)
+    assert status == 200
+    assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+    return {f.name: f for f in parse_text(payload.decode("utf-8"))}
+
+
+def test_server_metrics_parse_and_count_traffic(served, data):
+    _, _, client, _ = served
+    _, probe = data
+    client.assign(probe, npy=True)
+    client.assign(probe, npy=False)
+    client.healthz()
+    families = _scrape(client)
+
+    requests = families["repro_http_requests_total"]
+    assert requests.kind == "counter"
+    by_path = {}
+    for sample in requests.samples:
+        key = (sample.labels["path"], sample.labels["code"])
+        by_path[key] = by_path.get(key, 0) + sample.value
+    assert by_path[("/assign", "200")] == 2
+    assert by_path[("/healthz", "200")] == 1
+
+    latency = families["repro_assign_latency_seconds"]
+    assert latency.kind == "histogram"
+    counts = [
+        s.value for s in latency.samples if s.name.endswith("_count")
+    ]
+    assert sum(counts) == 2
+
+    rows = families["repro_assign_rows_total"]
+    assert sum(s.value for s in rows.samples) == 2 * probe.shape[0]
+    assert sum(s.value for s in families["repro_http_bytes_total"].samples) > 0
+
+
+def test_scrape_counter_is_monotone(served):
+    _, _, client, _ = served
+    first = _scrape(client)["repro_http_requests_total"]
+    again = _scrape(client)["repro_http_requests_total"]
+
+    def total(family):
+        return sum(
+            s.value for s in family.samples if s.labels["path"] == "/metrics"
+        )
+
+    assert total(again) == total(first) + 1
+
+
+def test_reload_counter_tracks_version_changes(served, data):
+    registry, _, client, _ = served
+    points, _ = data
+    families = _scrape(client)
+    before = sum(s.value for s in families["repro_model_reloads_total"].samples)
+    model = fit(RunConfig(method="kmeans", k=K, seed=1, max_iter=5), points)
+    registry.publish(model, label="obs-2")
+    client.request_raw("POST", "/reload", b"{}")
+    families = _scrape(client)
+    after = sum(s.value for s in families["repro_model_reloads_total"].samples)
+    assert after == before + 1
+
+
+def test_metrics_disabled_server_serves_empty_exposition(tmp_path, data):
+    points, probe = data
+    model = fit(RunConfig(method="kmeans", k=K, max_iter=5), points)
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(model, label="off")
+    with AssignmentServer(registry=registry, metrics=False) as server:
+        with ServingClient(port=server.port) as client:
+            client.assign(probe, npy=True)
+            status, _, payload = client.request_raw("GET", "/metrics")
+            assert status == 200
+            assert parse_text(payload.decode("utf-8")) == []
+
+
+def test_client_errors_carry_the_trace_id(served):
+    _, _, client, _ = served
+    bad_probe = np.zeros((4, D + 1))  # wrong width: the server says 400
+    with pytest.raises(ServingClientError, match=r"\[trace [0-9a-f]{32}\]"):
+        client.assign(bad_probe, npy=True)
+    assert client.last_trace_id  # the id in the message is queryable too
+    with ServingClient(port=1, reconnect_wait=0.01) as dead:
+        with pytest.raises(
+            ServingUnavailableError, match=r"\[trace [0-9a-f]{32}\]"
+        ):
+            dead.healthz()
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory, data):
+    points, _ = data
+    rng = np.random.default_rng(5)
+    model = ClusterModel(rng.normal(size=(K, D)) * 2, RunConfig(method="kmeans", k=K))
+    registry = ModelRegistry(tmp_path_factory.mktemp("registry"))
+    registry.publish(model, label="fleet-obs")
+    with FleetSupervisor(registry, workers=2, heartbeat_s=60.0) as supervisor:
+        yield supervisor, model
+
+
+def test_proxy_metrics_include_lane_and_breaker_series(fleet, data):
+    supervisor, _ = fleet
+    _, probe = data
+    with FleetProxy(supervisor) as proxy:
+        with ServingClient(url=proxy.url) as client:
+            client.assign(probe, npy=True)
+            client.healthz()
+            families = _scrape(client)
+    requests = families["repro_http_requests_total"]
+    paths = {s.labels["path"] for s in requests.samples}
+    assert {"/assign", "/healthz"} <= paths
+    lanes = families["repro_proxy_lane_requests_total"]
+    assert sum(s.value for s in lanes.samples) >= 1
+    assert all("target" in s.labels for s in lanes.samples)
+    # The breaker gauge is a live view over the same BreakerBoard that
+    # /admin/status serializes.
+    states = families["repro_breaker_state"]
+    assert all(s.labels["url"].startswith("http") for s in states.samples)
+    assert len(states.samples) >= 1
+
+
+def test_admin_metrics_aggregates_all_workers_with_labels(fleet, data):
+    supervisor, _ = fleet
+    _, probe = data
+    with FleetProxy(supervisor) as proxy:
+        with ServingClient(url=proxy.url) as client:
+            for _ in range(4):  # round-robin: both workers see traffic
+                client.assign(probe, npy=True)
+            families = _scrape(client, "/admin/metrics")
+    requests = families["repro_http_requests_total"]
+    workers = {s.labels["worker"] for s in requests.samples}
+    assert {"proxy", "0", "1"} <= workers
+    per_worker_assigns = {
+        w: sum(
+            s.value
+            for s in requests.samples
+            if s.labels["worker"] == w and s.labels["path"] == "/assign"
+        )
+        for w in ("0", "1")
+    }
+    assert all(count >= 1 for count in per_worker_assigns.values())
+    latency = families["repro_assign_latency_seconds"]
+    assert any(s.labels.get("worker") == "0" for s in latency.samples)
+
+
+def test_admin_status_shape_is_unchanged_by_telemetry(fleet):
+    supervisor, _ = fleet
+    with FleetProxy(supervisor) as proxy:
+        with ServingClient(url=proxy.url) as client:
+            client.healthz()  # populate the breaker board
+            status, _, payload = client.request_raw("GET", "/admin/status")
+    assert status == 200
+    body = json.loads(payload)
+    # Breakers stay a plain url -> state string map; no metrics keys
+    # leak into the admin JSON.
+    assert all(
+        isinstance(k, str) and isinstance(v, str)
+        for k, v in body["breakers"].items()
+    )
+    assert "metrics" not in body
+    for worker in body["workers"]:
+        assert "metrics" not in worker
+
+
+def test_fleet_status_cli_shows_per_worker_telemetry(fleet, data, capsys):
+    from repro.cli import main
+
+    supervisor, _ = fleet
+    _, probe = data
+    with FleetProxy(supervisor) as proxy:
+        with ServingClient(url=proxy.url) as client:
+            for _ in range(4):
+                client.assign(probe, npy=True)
+        assert main(["fleet", "status", "--url", proxy.url]) == 0
+    out = capsys.readouterr().out
+    header = next(line for line in out.splitlines() if "reqs" in line)
+    for column in ("errs", "p50ms", "p99ms"):
+        assert column in header
+    worker_rows = [
+        line.split() for line in out.splitlines()
+        if line.strip().startswith(("0 ", "1 "))
+    ]
+    assert len(worker_rows) == 2
+    reqs = {row[0]: int(row[header.split().index("reqs")]) for row in worker_rows}
+    assert all(count >= 1 for count in reqs.values())
+    p99_col = header.split().index("p99ms")
+    assert all(row[p99_col] != "-" for row in worker_rows)
+
+
+def test_fault_site_hits_appear_after_firing(fleet, data):
+    supervisor, model = fleet
+    _, probe = data
+    plan = FaultPlan(
+        [FaultEvent(site="proxy.lane0.frame", at=1, kind="disconnect")]
+    )
+    with FleetProxy(supervisor, fault_injector=FaultInjector(plan)) as proxy:
+        with ServingClient(url=proxy.url) as client:
+            response = client.assign_stream(probe, chunk_size=8)
+            np.testing.assert_array_equal(response.labels, model.predict(probe))
+            families = _scrape(client)
+    hits = families["repro_fault_site_hits_total"]
+    sites = {s.labels["site"]: s.value for s in hits.samples}
+    assert sites.get("proxy.lane0.frame", 0) >= 1
+    replays = families["repro_proxy_lane_replays_total"]
+    assert sum(s.value for s in replays.samples) >= 1
+    failures = families["repro_proxy_lane_failures_total"]
+    assert sum(s.value for s in failures.samples) >= 1
