@@ -55,7 +55,8 @@ def main() -> None:
     print("\nall backends produced bit-identical centers and assignments")
 
     # ----------------------------------------------------------------- #
-    # The remote stub: shards round-trip the serving wire format.        #
+    # Remote loopback: shards round-trip the serving wire format.        #
+    # (examples/remote_fit.py dispatches to live workers over HTTP.)     #
     # ----------------------------------------------------------------- #
     cats = [CategoricalSpec("gender", gender)]
     nums = [NumericSpec("age", age)]
@@ -68,7 +69,7 @@ def main() -> None:
     )
     assert np.array_equal(remote.labels, local.labels)
     print(
-        f"remote-stub round-tripped {backend.frames_encoded} frames "
+        f"remote loopback round-tripped {backend.frames_encoded} frames "
         f"({backend.bytes_encoded / 1e6:.1f} MB) through the wire codec — "
         "still bit-identical"
     )

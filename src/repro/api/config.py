@@ -22,7 +22,7 @@ from typing import Any
 ENGINES = ("sequential", "chunked", "minibatch")
 
 #: Valid training execution backends (mirrors ``repro.backend``).
-BACKENDS = ("local", "multiprocess", "remote-stub")
+BACKENDS = ("local", "multiprocess", "remote")
 
 
 @dataclass(frozen=True)
@@ -54,14 +54,20 @@ class RunConfig:
             ``"local"`` scores in a thread pool (default),
             ``"multiprocess"`` in worker processes over one
             shared-memory data placement (bit-identical results at
-            every worker count), ``"remote-stub"`` through the
-            multi-host wire-protocol sketch. A host-execution knob like
-            ``n_jobs`` — not persisted by ``ClusterModel.save``.
+            every worker count), ``"remote"`` over the serving fleet's
+            ``POST /score`` route (bit-identical too; loopback without
+            ``targets``). A host-execution knob like ``n_jobs`` — not
+            persisted by ``ClusterModel.save``.
         workers: worker count for *backend* — an integer >= 1, -1 or
             ``"auto"`` (one per usable CPU, honoring the
             ``REPRO_CORE_BUDGET`` env cap); ``None`` (default) inherits
             ``n_jobs``. Results are bit-identical for every value. Not
             persisted by ``ClusterModel.save``.
+        targets: fleet worker URLs for ``backend="remote"``
+            (``http://host:port`` or ``http+unix:///path``); ``None``
+            or empty runs the remote backend in loopback mode. Only
+            meaningful with the remote backend; rejected otherwise.
+            Not persisted by ``ClusterModel.save``.
         seed: RNG seed (one fit is fully deterministic given the seed).
         scale_features: z-score numeric features when fitting from a
             ``Dataset`` (True for Adult; False for embedding spaces).
@@ -78,6 +84,7 @@ class RunConfig:
     n_jobs: int = 1
     backend: str = "local"
     workers: int | str | None = None
+    targets: tuple[str, ...] | None = None
     seed: int = 0
     scale_features: bool = True
     sensitive: tuple[str, ...] | None = None
@@ -105,6 +112,12 @@ class RunConfig:
             raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
         if self.workers is not None:
             validate_workers(self.workers, field="workers")
+        if self.targets is not None:
+            object.__setattr__(self, "targets", tuple(str(t) for t in self.targets))
+            if self.targets and self.backend != "remote":
+                raise ValueError(
+                    f'targets= requires backend="remote", got backend={self.backend!r}'
+                )
         if self.sensitive is not None:
             object.__setattr__(self, "sensitive", tuple(str(s) for s in self.sensitive))
 
@@ -122,6 +135,8 @@ class RunConfig:
         data = asdict(self)
         if data["sensitive"] is not None:
             data["sensitive"] = list(data["sensitive"])
+        if data["targets"] is not None:
+            data["targets"] = list(data["targets"])
         return data
 
     @classmethod
@@ -136,6 +151,8 @@ class RunConfig:
         data = dict(data)
         if data.get("sensitive") is not None:
             data["sensitive"] = tuple(data["sensitive"])
+        if data.get("targets") is not None:
+            data["targets"] = tuple(data["targets"])
         return cls(**data)
 
     def to_json(self, *, indent: int | None = 2) -> str:

@@ -180,6 +180,7 @@ class ClusterModel:
         config.pop("n_jobs", None)
         config.pop("backend", None)
         config.pop("workers", None)
+        config.pop("targets", None)
         payload = {
             "format": ARTIFACT_FORMAT,
             "version": self.version,

@@ -84,6 +84,27 @@ def build_estimator(config: RunConfig) -> Any:
     return get_method(config.method).build(config)
 
 
+def _backend_args(cfg: RunConfig) -> dict[str, Any]:
+    """The ``backend=``/``workers=`` arguments estimators get from *cfg*.
+
+    Plain configs pass their spec string through untouched. A remote
+    config with targets needs a constructed
+    :class:`~repro.backend.remote.RemoteBackend` (the string spec alone
+    cannot carry URLs); estimators accept backend instances — with
+    ``workers`` folded in at construction, since an instance's width
+    cannot be overridden — so this is the one place fleet targets enter
+    the training path.
+    """
+    if cfg.backend == "remote" and cfg.targets:
+        from ..backend import RemoteBackend
+
+        return {
+            "backend": RemoteBackend(cfg.effective_workers, targets=cfg.targets),
+            "workers": None,
+        }
+    return {"backend": cfg.backend, "workers": cfg.workers}
+
+
 def _is_categorical(spec: Any) -> bool:
     from ..core.attributes import CategoricalSpec
 
@@ -110,9 +131,8 @@ register_method(
         engine=cfg.engine,
         chunk_size=cfg.chunk_size,
         n_jobs=cfg.n_jobs,
-        backend=cfg.backend,
-        workers=cfg.workers,
         seed=cfg.seed,
+        **_backend_args(cfg),
     ),
 )
 register_method(
@@ -123,9 +143,8 @@ register_method(
         lambda_=cfg.lambda_,
         max_iter=cfg.max_iter,
         n_jobs=cfg.n_jobs,
-        backend=cfg.backend,
-        workers=cfg.workers,
         seed=cfg.seed,
+        **_backend_args(cfg),
     ),
 )
 register_method(

@@ -4,10 +4,11 @@ Where a fit's shard scoring runs: the in-process thread pool
 (:class:`LocalBackend`, the default — zero behavior change), a process
 pool over one shared-memory data placement
 (:class:`MultiprocessBackend` — bit-identical to local at every worker
-count), or the multi-host sketch (:class:`RemoteBackend`) that reuses
-the serving wire format. See ``docs/architecture.md`` ("Training
-backends") and :func:`make_backend` for the string spec the API layer
-exposes as ``RunConfig(backend=..., workers=...)``.
+count), or the serving fleet over HTTP (:class:`RemoteBackend` —
+``POST /score`` per shard, loopback without targets, bit-identical
+too). See ``docs/architecture.md`` ("Training backends" / "Remote
+training") and :func:`make_backend` for the string spec the API layer
+exposes as ``RunConfig(backend=..., workers=..., targets=...)``.
 """
 
 from __future__ import annotations
@@ -17,7 +18,7 @@ from .multiprocess import MultiprocessBackend
 from .remote import RemoteBackend
 
 #: Valid ``backend=`` spec strings, in registry order.
-BACKEND_NAMES = ("local", "multiprocess", "remote-stub")
+BACKEND_NAMES = ("local", "multiprocess", "remote")
 
 _REGISTRY = {
     LocalBackend.name: LocalBackend,

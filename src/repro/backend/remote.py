@@ -1,25 +1,49 @@
-"""Remote backend stub: the multi-host protocol, minus the hosts.
+"""Remote training backend: shard scoring over the serving fleet.
 
-``RemoteBackend`` sketches how a fit would fan shards out to the
-serving fleet's worker plumbing. Each scoring round it encodes exactly
-what a remote scorer would need — the shard's row indices and labels
-plus the round's additive statistics — as a ``repro.serving.wire``
-stream (the same length-prefixed npy frame format the fleet already
-speaks), decodes it back as the peer would, and scores from the
-*decoded* arrays. The wire round trip is therefore load-bearing, not
-decorative: a fit through this backend proves the protocol carries
-everything needed for a bit-identical remote fit, and meters the bytes
-a real deployment would move.
+``RemoteBackend`` fans each scoring round's shards out to fleet workers
+over HTTP: every shard becomes one ``POST /score`` request (the
+:mod:`repro.serving.score` wire contract), the worker answers with the
+shard's ``(b, k)`` delta matrix, and the driver merges responses in
+shard order. Because shard partition and merge order are structural
+(:class:`~repro.backend.base.Backend`) and both ends score through the
+same :func:`repro.core.state.shard_move_deltas` expression sequence, a
+remote fit is bit-for-bit identical to :class:`LocalBackend` — the
+property tests in ``tests/backend/test_remote.py`` hold every method to
+that bar.
 
-Actual multi-host dispatch (HTTP POST per shard to ``targets`` — e.g.
-the worker URLs in a fleet's ``fleet.json``) is deliberately left as
-:meth:`dispatch` raising ``NotImplementedError``; the fleet's registry
-and transport are reused, only the server-side scoring endpoint is
-missing.
+Two payload modes:
+
+* **inline** (default): each request carries the shard's data rows and
+  the round's frozen statistics — workers need no local data.
+* **artifact** (``artifact_root=``): :meth:`start` publishes the fit's
+  static data once as a content-addressed artifact under the registry
+  the workers share; per round only indices, labels, and statistics
+  travel. This is what lets fits outgrow what the driver can ship per
+  round.
+
+Resilience: per-request deadline propagation (``X-Deadline-Ms``),
+seeded jittered backoff between failover attempts, and dead-target
+failover — a target that fails at the transport level
+(:class:`~repro.serving.client.ServingUnavailableError`, i.e. after the
+client's own reconnect retry) is marked dead for the rest of the fit
+and its shards move to the next live target from the round-robin
+:meth:`plan`. When every target is dead the fit aborts with a typed
+:class:`~repro.backend.base.BackendError`: a request may fail, it may
+never lie.
+
+With no targets the backend runs in **loopback** mode: payloads still
+round-trip the full wire codec, but :meth:`dispatch` hands them to an
+in-process :class:`~repro.serving.score.ShardScorer` — exactly the
+server's scoring path minus the socket. Loopback is how tier-1 tests
+prove driver↔server parity without spawning a fleet, and what
+``examples/distributed_fit.py`` meters.
 """
 
 from __future__ import annotations
 
+import random
+import threading
+import time
 from typing import Any, Sequence
 
 import numpy as np
@@ -27,24 +51,94 @@ import numpy as np
 from .base import Backend, BackendError
 
 
-class RemoteBackend(Backend):
-    """Wire-format round-trip scorer standing in for remote workers."""
+def _validate_targets(targets: Sequence[str]) -> tuple[str, ...]:
+    """Scheme, non-emptiness, and duplicate checks, at construction."""
+    validated: list[str] = []
+    for target in targets:
+        if not isinstance(target, str) or not target.strip():
+            raise ValueError(f"remote target must be a non-empty URL, got {target!r}")
+        target = target.strip().rstrip("/")
+        if not target.startswith(("http://", "http+unix://")):
+            raise ValueError(
+                f"remote target {target!r} must be an http:// or http+unix:// URL"
+            )
+        if target in validated:
+            raise ValueError(f"duplicate remote target {target!r}")
+        validated.append(target)
+    return tuple(validated)
 
-    name = "remote-stub"
+
+class RemoteBackend(Backend):
+    """Fleet-dispatching scoring backend (loopback without targets).
+
+    Args:
+        workers: concurrent in-flight shard requests (also the shard
+            count knob shared by every backend; the shard *partition*
+            never depends on it).
+        targets: fleet worker URLs (``http://host:port`` or
+            ``http+unix:///path``) — validated here, not at dispatch
+            time. Empty means loopback mode.
+        codec: wire compression for request frames.
+        artifact_root: a registry root shared with the workers; set,
+            it switches payloads to artifact mode (worker-side shard
+            loading). Loopback scores artifacts from the same root.
+        timeout: per-request socket timeout, seconds.
+        deadline_ms: per-request deadline budget, propagated as
+            ``X-Deadline-Ms`` and re-stamped with the remaining budget
+            on every retry.
+        backoff_seed: seeds the failover backoff jitter so chaos runs
+            replay exactly.
+        fault_injector: fires the ``backend.remote.dispatch`` site
+            before every dispatch (``refuse``/``disconnect`` simulate a
+            dead target, ``delay`` sleeps). Default: built from the
+            ``REPRO_FAULT_PLAN`` environment variable when set.
+    """
+
+    name = "remote"
 
     def __init__(
         self,
         workers: int | str | None = None,
         targets: Sequence[str] = (),
         codec: str = "identity",
+        *,
+        artifact_root: Any = None,
+        timeout: float = 30.0,
+        deadline_ms: float | None = None,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        backoff_seed: int = 0,
+        fault_injector: Any = None,
     ) -> None:
         super().__init__(workers)
-        self.targets = tuple(targets)
+        self.targets = _validate_targets(targets)
         self.codec = codec
-        #: Bytes a real deployment would have moved (requests only).
+        self.artifact_root = artifact_root
+        self.timeout = float(timeout)
+        self.deadline_ms = deadline_ms
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.backoff_seed = int(backoff_seed)
+        if fault_injector is None:
+            from ..faults.plan import FaultInjector
+
+            fault_injector = FaultInjector.from_env()
+        self.fault_injector = fault_injector
+        #: Bytes/frames shipped to scorers (requests only).
         self.bytes_encoded = 0
         self.frames_encoded = 0
+        #: Targets written off mid-fit, cumulative across fits — unlike
+        #: ``_dead`` this survives the engine's post-fit ``shutdown()``.
+        self.failovers = 0
         self._started = False
+        self._artifact: str | None = None
+        self._clients: dict[str, Any] = {}
+        #: One lock per target: a ServingClient owns a single HTTP
+        #: connection, so two pool threads failing over onto the same
+        #: target must take turns rather than interleave on the socket.
+        self._client_locks: dict[str, threading.Lock] = {}
+        self._dead: set[str] = set()
+        self._loopback: Any = None
 
     @classmethod
     def from_fleet_state(cls, fleet_state: dict[str, Any], **kwargs: Any) -> "RemoteBackend":
@@ -52,14 +146,46 @@ class RemoteBackend(Backend):
         targets = [w["url"] for w in fleet_state.get("workers", []) if w.get("url")]
         return cls(targets=targets, **kwargs)
 
+    # -- lifecycle ----------------------------------------------------- #
+
     def start(self, state: Any) -> None:
+        from ..serving.client import ServingClient
+        from ..serving.score import ShardScorer, publish_data_artifact
+
+        self.shutdown()  # reusable across fits: fresh placement each time
+        if self.artifact_root is not None:
+            self._artifact = publish_data_artifact(self.artifact_root, state)
+        for target in self.targets:
+            self._clients[target] = ServingClient(
+                url=target, timeout=self.timeout, backoff_seed=self.backoff_seed
+            )
+            self._client_locks[target] = threading.Lock()
+        if not self.targets:
+            self._loopback = ShardScorer(artifact_root=self.artifact_root)
+        self._rng = random.Random(self.backoff_seed)
         self._started = True
 
     def shutdown(self) -> None:
+        for client in self._clients.values():
+            client.close()
+        self._clients = {}
+        self._client_locks = {}
+        self._dead = set()
+        self._artifact = None
+        self._loopback = None
         self._started = False
 
+    # -- dispatch ------------------------------------------------------ #
+
     def plan(self, shards: Sequence[np.ndarray]) -> list[dict[str, Any]]:
-        """Round-robin shard→target placement a real dispatch would use."""
+        """Round-robin shard→target placement, exactly as dispatched.
+
+        Each entry's ``target`` is the shard's *primary* target;
+        :meth:`map_score` fails a shard over to the next live target in
+        the same rotation when the primary is dead. With no targets
+        every shard scores through the loopback scorer
+        (``target: None``).
+        """
         return [
             {
                 "shard": i,
@@ -69,51 +195,160 @@ class RemoteBackend(Backend):
             for i, shard in enumerate(shards)
         ]
 
-    def dispatch(self, target: str, payload: bytes) -> bytes:
-        """POST *payload* to a remote scoring endpoint. Not implemented:
+    def dispatch(self, target: str | None, payload: bytes) -> bytes:
+        """POST one encoded shard to *target*; returns the response body.
 
-        the fleet workers do not expose a ``/score`` route yet; when
-        they do, this is the only method a real ``RemoteBackend`` needs
-        to override (everything else — encoding, ordering, merging —
-        is already exercised by the stub's local round trip).
+        ``target=None`` is the loopback path: the payload still crosses
+        the full wire codec, scored by an in-process
+        :class:`~repro.serving.score.ShardScorer`.
+
+        Raises:
+            ServingUnavailableError: the target cannot be reached (the
+                caller's failover signal).
+            BackendError: the target answered but refused the request —
+                a protocol-level failure no other target would accept.
         """
-        raise NotImplementedError(
-            f"remote dispatch to {target!r} is sketched only; "
-            "fleet workers expose no scoring endpoint yet"
-        )
+        from ..serving.client import ServingClientError, ServingUnavailableError
+        from ..serving.server import STREAM_CONTENT_TYPE
+
+        if self.fault_injector is not None:
+            event = self.fault_injector.fire("backend.remote.dispatch")
+            if event is not None and event.kind in ("refuse", "disconnect"):
+                raise ServingUnavailableError(
+                    f"injected {event.kind} dispatching to {target or 'loopback'}"
+                )
+        if target is None:
+            return self._dispatch_loopback(payload)
+        client = self._clients.get(target)
+        if client is None:
+            raise BackendError(f"dispatch to unknown target {target!r} (not started?)")
+        try:
+            with self._client_locks[target]:
+                status, _, body = client.request_raw(
+                    "POST",
+                    "/score",
+                    payload,
+                    STREAM_CONTENT_TYPE,
+                    deadline_ms=self.deadline_ms,
+                )
+        except ServingUnavailableError:
+            raise
+        except ServingClientError as exc:
+            raise BackendError(f"/score on {target} failed: {exc}") from exc
+        if status != 200:
+            raise BackendError(f"/score on {target} answered HTTP {status}")
+        return body
+
+    def _dispatch_loopback(self, payload: bytes) -> bytes:
+        from ..serving.score import encode_score_response
+        from ..serving.wire import decode_stream
+
+        frames, _ = decode_stream(payload)
+        deltas, _ = self._loopback.score(frames)
+        return b"".join(encode_score_response(deltas, self.codec))
+
+    # -- scoring ------------------------------------------------------- #
 
     def map_score(
         self, state: Any, shards: Sequence[np.ndarray], lambda_: float
     ) -> list[np.ndarray]:
         if not self._started:
             raise BackendError("RemoteBackend.map_score before start()")
-        from ..serving.wire import decode_stream, encode_stream
+        from concurrent.futures import ThreadPoolExecutor
 
-        stats = state.export_scoring_stats()
-        stat_arrays = [
-            np.asarray(stats["sums"]),
-            np.asarray(stats["sum_sqnorm"]),
-            np.asarray(stats["sizes_f"]),
-            *[np.asarray(a) for a in stats["cat_counts"]],
-            *[np.asarray(a) for a in stats["cat_h"]],
-            *[np.asarray(a) for a in stats["num_d"]],
-        ]
+        from ..serving.score import encode_score_request, request_frame_count
+
         lam = float(lambda_)
-        parts: list[np.ndarray] = []
+        k = int(state.k)
+        mode = "inline" if self._artifact is None else "artifact"
+        frames_per_request = request_frame_count(
+            mode, len(state.categorical_specs), len(state.numeric_specs)
+        )
+        payloads: list[bytes] = []
         for shard in shards:
-            request = [
-                np.asarray(shard, dtype=np.int64),
-                np.asarray(state.labels[shard], dtype=np.int64),
-                np.asarray([lam], dtype=np.float64),
-                *stat_arrays,
-            ]
-            payload = encode_stream(request, codec=self.codec)
+            payload = encode_score_request(
+                state, shard, lam, codec=self.codec, artifact=self._artifact
+            )
             self.bytes_encoded += len(payload)
-            self.frames_encoded += len(request)
-            decoded, _ = decode_stream(payload)
-            if len(decoded) != len(request):  # pragma: no cover - wire bug guard
-                raise BackendError("remote-stub wire round trip dropped frames")
-            # Score from the decoded arrays, as the remote peer would.
-            indices = np.asarray(decoded[0])
-            parts.append(state.batch_move_deltas(indices, float(decoded[2][0])))
-        return parts
+            self.frames_encoded += frames_per_request
+            payloads.append(payload)
+        plan = self.plan(shards)
+
+        def score_one(i: int) -> np.ndarray:
+            return self._score_with_failover(
+                plan[i]["target"], payloads[i], rows=int(shards[i].shape[0]), k=k
+            )
+
+        if not self.targets:
+            return [score_one(i) for i in range(len(shards))]
+        width = max(1, min(self.workers, len(self.targets)))
+        with ThreadPoolExecutor(
+            max_workers=width, thread_name_prefix="repro-remote"
+        ) as pool:
+            # Executor.map preserves submission order: shard order in,
+            # shard order out, whatever target scored what.
+            return list(pool.map(score_one, range(len(shards))))
+
+    def _score_with_failover(
+        self, primary: str | None, payload: bytes, *, rows: int, k: int
+    ) -> np.ndarray:
+        from ..serving.client import ServingUnavailableError
+        from ..serving.resilience import backoff_delays
+        from ..serving.score import decode_score_response
+
+        if primary is None:
+            try:
+                raw = self.dispatch(None, payload)
+            except ServingUnavailableError as exc:
+                # Loopback has nowhere to fail over to; keep the caller's
+                # contract typed (a fit aborts, it never silently lies).
+                raise BackendError(f"loopback scoring unavailable: {exc}") from exc
+            return np.array(decode_score_response(raw, rows=rows, k=k))
+        # Rotate the target list so each shard starts at its planned
+        # primary and fails over along the same round-robin order.
+        start = self.targets.index(primary)
+        rotation = [
+            self.targets[(start + off) % len(self.targets)]
+            for off in range(len(self.targets))
+        ]
+        delays = backoff_delays(
+            base=self.backoff_base, cap=self.backoff_cap, rng=self._rng
+        )
+        last_error: Exception | None = None
+        for target in rotation:
+            if target in self._dead:
+                continue
+            try:
+                raw = self.dispatch(target, payload)
+            except ServingUnavailableError as exc:
+                # Transport-dead after the client's own reconnect retry:
+                # write the target off for this fit and move on.
+                if target not in self._dead:
+                    self._dead.add(target)
+                    self.failovers += 1
+                last_error = exc
+                time.sleep(next(delays))
+                continue
+            return np.array(decode_score_response(raw, rows=rows, k=k))
+        raise BackendError(
+            f"all {len(self.targets)} remote targets are dead "
+            f"(last error: {last_error}); the fit cannot continue "
+            "bit-identically and was aborted"
+        )
+
+    # -- introspection ------------------------------------------------- #
+
+    def describe(self) -> dict[str, Any]:
+        info = super().describe()
+        info["targets"] = len(self.targets)
+        info["payload"] = "inline" if self.artifact_root is None else "artifact"
+        info["failovers"] = self.failovers
+        if self._artifact is not None:
+            info["artifact"] = self._artifact
+        return info
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RemoteBackend(workers={self.workers}, "
+            f"targets={len(self.targets)}, codec={self.codec!r})"
+        )

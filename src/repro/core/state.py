@@ -64,6 +64,86 @@ class _NumericState:
     weight: float
 
 
+def shard_move_deltas(
+    xb: np.ndarray,
+    x2: np.ndarray,
+    cur: np.ndarray,
+    sums: np.ndarray,
+    sum_sqnorm: np.ndarray,
+    sizes_f: np.ndarray,
+    cats: list[tuple[np.ndarray, np.ndarray, float, np.ndarray, np.ndarray, float]],
+    nums: list[tuple[np.ndarray, float, np.ndarray]],
+    lambda_: float,
+    n2: float,
+) -> np.ndarray:
+    """Pure-function core of :meth:`ClusterState.batch_move_deltas`.
+
+    Every scoring path in the system — in-process, multiprocess workers,
+    and the fleet ``/score`` route — must funnel through this one
+    expression sequence so their float operation order is identical and
+    remote fits stay bit-for-bit equal to local ones.
+
+    Args:
+        xb: shard rows of the point matrix, shape ``(b, d)``.
+        x2: shard rows of the squared norms, shape ``(b,)``.
+        cur: current cluster of each shard row, shape ``(b,)``.
+        sums: frozen per-cluster sums ``S``, shape ``(k, d)``.
+        sum_sqnorm: frozen ``‖S_C‖²``, shape ``(k,)``.
+        sizes_f: frozen cluster sizes as float64, shape ``(k,)``.
+        cats: per categorical attribute, the tuple
+            ``(codes_b, p, p2, counts, h, norm)`` with ``codes_b`` already
+            gathered for the shard rows.
+        nums: per numeric attribute, the tuple ``(y, weight, d)`` with
+            ``y`` the gathered centered values.
+        lambda_: fairness trade-off.
+        n2: dataset ``n²`` as float (see :class:`ClusterState`).
+
+    Returns:
+        ``(b, k)`` matrix of objective deltas.
+    """
+    k = sums.shape[0]
+    b = xb.shape[0]
+    rows = np.arange(b)
+    m = sizes_f
+
+    dots = xb @ sums.T  # (b, k)
+    delta_in = (
+        x2[:, None]
+        + (sum_sqnorm / np.where(m > 0, m, 1.0))[None, :]
+        - (sum_sqnorm[None, :] + 2.0 * dots + x2[:, None]) / (m + 1.0)[None, :]
+    )
+    delta_in = np.where(m[None, :] > 0, delta_in, 0.0)
+
+    m_cur = m[cur]
+    dots_cur = dots[rows, cur]
+    s2_minus = sum_sqnorm[cur] - 2.0 * dots_cur + x2
+    delta_out = np.where(
+        m_cur <= 1.0,
+        0.0,
+        -x2 - s2_minus / np.maximum(m_cur - 1.0, 1.0) + sum_sqnorm[cur] / np.maximum(m_cur, 1.0),
+    )
+
+    fair_in = np.zeros((b, k), dtype=np.float64)
+    fair_out = np.zeros(b, dtype=np.float64)
+    for codes_b, p, p2, counts, h, norm in cats:
+        p_j = p[codes_b]  # (b,)
+        self_term = 1.0 - 2.0 * p_j + p2  # (b,)
+        # gap[r, c] = (counts[c, j_r] − m_c p_{j_r}) − (h_c − m_c P2)
+        gap = counts[:, codes_b].T - m[None, :] * p_j[:, None] - (
+            h[None, :] - m[None, :] * p2
+        )
+        fair_in += norm * (2.0 * gap + self_term[:, None])
+        fair_out += norm * (-2.0 * gap[rows, cur] + self_term)
+    for y, weight, d in nums:
+        fair_in += weight * (y[:, None] * (2.0 * d[None, :] + y[:, None]))
+        fair_out += weight * (-y * (2.0 * d[cur] - y))
+
+    deltas = delta_in + delta_out[:, None]
+    deltas += (lambda_ / n2) * (fair_in + fair_out[:, None])
+    deltas[rows, cur] = 0.0
+    return deltas
+
+
 class ClusterState:
     """Mutable clustering state with O(1)-amortized move deltas.
 
@@ -180,6 +260,31 @@ class ClusterState:
             "cat_counts": [cat.counts for cat in self._cat],
             "cat_h": [cat.h for cat in self._cat],
             "num_d": [num.d for num in self._num],
+        }
+
+    def export_shard_inline(self, indices: np.ndarray) -> dict[str, object]:
+        """Everything a *stateless* remote scorer needs for *indices*.
+
+        The self-contained sibling of :meth:`export_scoring_stats`: the
+        shard's data rows are gathered here so the peer needs no copy of
+        the static data at all — it feeds the returned arrays straight
+        into :func:`shard_move_deltas`. This is the payload of the fleet
+        ``/score`` route's inline mode.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        return {
+            "xb": self.points[indices],
+            "x2": self.point_sqnorm[indices],
+            "cur": self.labels[indices],
+            "sums": self.sums,
+            "sum_sqnorm": self.sum_sqnorm,
+            "sizes_f": self._sizes_f,
+            "cats": [
+                (cat.spec.codes[indices], cat.p, cat.p2, cat.counts, cat.h, cat.norm)
+                for cat in self._cat
+            ],
+            "nums": [(num.centered[indices], num.weight, num.d) for num in self._num],
+            "n2": self._n2,
         }
 
     def install_scoring_stats(self, stats: dict[str, object]) -> None:
@@ -316,55 +421,25 @@ class ClusterState:
         a batch, decisions are made against a stale snapshot and applied
         together.
         """
-        indices = np.asarray(indices, dtype=np.int64)
-        xb = self.points[indices]  # (b, d)
-        x2 = self.point_sqnorm[indices]  # (b,)
-        cur = self.labels[indices]  # (b,)
-        b = indices.shape[0]
-        rows = np.arange(b)
-        m = self._sizes_f
-
         # Divisors are clamped to >= 1 everywhere, so no errstate guards
         # are needed (this is a hot call for the chunked/mini-batch
         # sweeps, where small batches make fixed overhead visible).
-        dots = xb @ self.sums.T  # (b, k)
-        delta_in = (
-            x2[:, None]
-            + (self.sum_sqnorm / np.where(m > 0, m, 1.0))[None, :]
-            - (self.sum_sqnorm[None, :] + 2.0 * dots + x2[:, None]) / (m + 1.0)[None, :]
+        indices = np.asarray(indices, dtype=np.int64)
+        return shard_move_deltas(
+            self.points[indices],
+            self.point_sqnorm[indices],
+            self.labels[indices],
+            self.sums,
+            self.sum_sqnorm,
+            self._sizes_f,
+            [
+                (cat.spec.codes[indices], cat.p, cat.p2, cat.counts, cat.h, cat.norm)
+                for cat in self._cat
+            ],
+            [(num.centered[indices], num.weight, num.d) for num in self._num],
+            float(lambda_),
+            self._n2,
         )
-        delta_in = np.where(m[None, :] > 0, delta_in, 0.0)
-
-        m_cur = m[cur]
-        dots_cur = dots[rows, cur]
-        s2_minus = self.sum_sqnorm[cur] - 2.0 * dots_cur + x2
-        delta_out = np.where(
-            m_cur <= 1.0,
-            0.0,
-            -x2 - s2_minus / np.maximum(m_cur - 1.0, 1.0) + self.sum_sqnorm[cur] / np.maximum(m_cur, 1.0),
-        )
-
-        fair_in = np.zeros((b, self.k), dtype=np.float64)
-        fair_out = np.zeros(b, dtype=np.float64)
-        for cat in self._cat:
-            j = cat.spec.codes[indices]  # (b,)
-            p_j = cat.p[j]  # (b,)
-            self_term = 1.0 - 2.0 * p_j + cat.p2  # (b,)
-            # gap[r, c] = (counts[c, j_r] − m_c p_{j_r}) − (h_c − m_c P2)
-            gap = cat.counts[:, j].T - m[None, :] * p_j[:, None] - (
-                cat.h[None, :] - m[None, :] * cat.p2
-            )
-            fair_in += cat.norm * (2.0 * gap + self_term[:, None])
-            fair_out += cat.norm * (-2.0 * gap[rows, cur] + self_term)
-        for num in self._num:
-            y = num.centered[indices]  # (b,)
-            fair_in += num.weight * (y[:, None] * (2.0 * num.d[None, :] + y[:, None]))
-            fair_out += num.weight * (-y * (2.0 * num.d[cur] - y))
-
-        deltas = delta_in + delta_out[:, None]
-        deltas += (lambda_ / self._n2) * (fair_in + fair_out[:, None])
-        deltas[rows, cur] = 0.0
-        return deltas
 
     def batch_move_deltas_cols(
         self, indices: np.ndarray, clusters: np.ndarray, lambda_: float

@@ -902,7 +902,16 @@ class FleetSupervisor:
                 "proxy_url": proxy_url,
                 "pid": os.getpid(),
                 "workers": [
-                    {"index": w.index, "port": w.port, "pid": w.pid, "uds": w.uds}
+                    # "url" is what RemoteBackend.from_fleet_state reads;
+                    # recording it here is what makes a fleet a usable
+                    # set of training targets, not just serving workers.
+                    {
+                        "index": w.index,
+                        "port": w.port,
+                        "pid": w.pid,
+                        "uds": w.uds,
+                        "url": w.url,
+                    }
                     for w in self._workers
                 ],
             }

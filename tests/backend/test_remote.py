@@ -1,0 +1,398 @@
+"""RemoteBackend + ``POST /score``: bit-identity, failover, fault dichotomy.
+
+The remote backend's correctness bar is the same structural one the
+multiprocess backend answers to — shard partition and merge order never
+depend on placement — so every test compares whole fits (labels,
+centers, *and* objective history) against the local thread-pool run
+with ``np.array_equal``, never ``allclose``. On top of that, the fault
+tests hold dispatch to the chaos dichotomy: under a dead or refusing
+target a fit either completes bit-identically via failover or aborts
+with a typed :class:`~repro.backend.BackendError` — it never completes
+with different numbers.
+
+Loopback tests (no sockets) and in-process HTTP server tests run in the
+default tier-1 lane; tests that spawn real fleet worker *processes* are
+marked ``slow``/``fleet`` and run in the nightly lane.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import METHOD_REGISTRY, ClusterModel, RunConfig, fit
+from repro.backend import BackendError, RemoteBackend
+from repro.core import CategoricalSpec, FairKM, MiniBatchFairKM, NumericSpec
+from repro.faults.plan import FaultEvent, FaultInjector, FaultPlan
+from repro.serving.registry import ModelRegistry
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _problem(n, dim=5, seed=0, n_values=3):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, dim))
+    cats = [CategoricalSpec("g", rng.integers(0, n_values, n), n_values=n_values)]
+    nums = [NumericSpec("z", rng.normal(size=n))]
+    return points, cats, nums
+
+
+def _minibatch_fit(backend, points, cats, nums, *, k=3, seed=0, batch=600):
+    return MiniBatchFairKM(
+        k, batch_size=batch, seed=seed, max_iter=5, backend=backend
+    ).fit(points, categorical=cats, numeric=nums)
+
+
+def _identical(a, b):
+    return (
+        np.array_equal(a.labels, b.labels)
+        and np.array_equal(a.centers, b.centers)
+        and np.array_equal(
+            np.asarray(a.objective_history), np.asarray(b.objective_history)
+        )
+    )
+
+
+@pytest.fixture
+def live_pair(tmp_path):
+    """Two in-process ``/score``-capable servers sharing one registry."""
+    from repro.serving.server import AssignmentServer
+
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(
+        ClusterModel(np.zeros((2, 3)), RunConfig(method="kmeans", k=2)),
+        label="remote-test",
+    )
+    servers = [AssignmentServer(registry=registry).start() for _ in range(2)]
+    try:
+        yield servers, registry
+    finally:
+        for server in servers:
+            server.stop()
+
+
+# --------------------------------------------------------------------- #
+# Construction-time target validation                                     #
+# --------------------------------------------------------------------- #
+
+
+def test_empty_target_is_rejected_at_construction():
+    with pytest.raises(ValueError, match="non-empty URL"):
+        RemoteBackend(targets=("",))
+    with pytest.raises(ValueError, match="non-empty URL"):
+        RemoteBackend(targets=("http://ok:1", "   "))
+
+
+def test_non_http_scheme_is_rejected_at_construction():
+    with pytest.raises(ValueError, match="http:// or http\\+unix:// URL"):
+        RemoteBackend(targets=("ftp://host:21",))
+    with pytest.raises(ValueError, match="http:// or http\\+unix:// URL"):
+        RemoteBackend(targets=("host:8000",))
+
+
+def test_duplicate_targets_are_rejected_even_after_normalization():
+    with pytest.raises(ValueError, match="duplicate remote target"):
+        RemoteBackend(targets=("http://a:1", "http://a:1"))
+    # A trailing slash is the same worker, not a second one.
+    with pytest.raises(ValueError, match="duplicate remote target"):
+        RemoteBackend(targets=("http://a:1", "http://a:1/"))
+
+
+def test_targets_are_normalized_and_order_preserving():
+    backend = RemoteBackend(targets=(" http://a:1/ ", "http+unix:///tmp/w.sock"))
+    assert backend.targets == ("http://a:1", "http+unix:///tmp/w.sock")
+
+
+def test_saved_artifacts_never_persist_targets(tmp_path):
+    """Like backend/workers, targets is a host-execution knob: a model
+    trained remotely must load on hosts that can't reach that fleet."""
+    import json
+
+    cfg = RunConfig(
+        method="minibatch_fairkm", k=2, backend="remote",
+        targets=("http://127.0.0.1:1",),
+    )
+    path = ClusterModel(np.zeros((2, 3)), cfg).save(tmp_path / "m")
+    payload = json.loads((path / "model.json").read_text())
+    assert "targets" not in payload["config"]
+    loaded = ClusterModel.load(path)
+    assert loaded.config.targets is None
+    assert loaded.config.backend == "local"
+
+
+# --------------------------------------------------------------------- #
+# Lifecycle                                                               #
+# --------------------------------------------------------------------- #
+
+
+def test_shutdown_is_idempotent_like_the_other_backends():
+    backend = RemoteBackend()
+    backend.shutdown()  # before any start: a no-op, not an error
+    points, cats, nums = _problem(620)
+    result = _minibatch_fit(backend, points, cats, nums)
+    assert result.n_iter >= 1
+    # The engine's finally already shut the backend down; again is fine.
+    backend.shutdown()
+    backend.shutdown()
+
+
+def test_backend_restarts_cleanly_across_fits():
+    points, cats, nums = _problem(620)
+    backend = RemoteBackend(2)
+    runs = [_minibatch_fit(backend, points, cats, nums) for _ in range(2)]
+    assert _identical(runs[0], runs[1])
+
+
+def test_map_score_before_start_is_a_typed_error():
+    from repro.core.state import ClusterState
+
+    points, cats, nums = _problem(100)
+    state = ClusterState(points, np.zeros(100, dtype=np.int64), 2, cats, nums)
+    with pytest.raises(BackendError, match="start"):
+        RemoteBackend(2).map_score(state, [np.arange(100)], 1.0)
+
+
+# --------------------------------------------------------------------- #
+# Bit-identity: the property battery                                      #
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def remote_problems(draw):
+    seed = draw(st.integers(0, 1000))
+    n = draw(st.integers(560, 900))  # > MIN_SHARD so batches really shard
+    k = draw(st.integers(2, 5))
+    workers = draw(st.sampled_from(WORKER_COUNTS))
+    return seed, n, k, workers
+
+
+@given(remote_problems())
+@settings(max_examples=5, deadline=None)
+def test_remote_fit_is_bit_identical_on_both_payload_paths(problem):
+    seed, n, k, workers = problem
+    points, cats, nums = _problem(n, seed=seed)
+    batch = max(520, n - 40)
+
+    def run(backend):
+        return MiniBatchFairKM(
+            k, batch_size=batch, seed=seed, max_iter=5, backend=backend
+        ).fit(points, categorical=cats, numeric=nums)
+
+    local = run("local")
+    inline = run(RemoteBackend(workers))
+    assert _identical(local, inline)
+    with tempfile.TemporaryDirectory(prefix="repro-remote-artifact-") as tmp:
+        artifact = run(RemoteBackend(workers, artifact_root=Path(tmp)))
+    assert _identical(local, artifact)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("method", sorted(METHOD_REGISTRY))
+def test_every_registered_method_is_remote_invariant(method, workers):
+    # Engine-family methods route shard scoring through the backend; the
+    # combinatorial baselines never touch it — either way the contract
+    # is the same: the backend spec may not change a single bit.
+    engine_family = method in ("fairkm", "minibatch_fairkm")
+    n = 700 if engine_family else 90
+    points, cats, nums = _problem(n, n_values=2)
+    sensitive = {"g": cats[0].codes}
+    base_cfg = RunConfig(method=method, k=3, seed=0, max_iter=5)
+    if method == "minibatch_fairkm":
+        base_cfg = base_cfg.with_overrides(chunk_size=600)
+    elif method == "fairkm":
+        base_cfg = base_cfg.with_overrides(engine="chunked")
+    local = fit(base_cfg, points, sensitive=sensitive)
+    remote = fit(
+        base_cfg.with_overrides(backend="remote", workers=workers),
+        points,
+        sensitive=sensitive,
+    )
+    assert np.array_equal(local.centers, remote.centers)
+    assert np.array_equal(local.assign(points), remote.assign(points))
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("payload", ("inline", "artifact"))
+def test_fairkm_chunked_is_bit_identical_on_both_payload_paths(
+    tmp_path, workers, payload
+):
+    points, cats, nums = _problem(700)
+    root = tmp_path / "artifacts" if payload == "artifact" else None
+
+    def run(backend):
+        return FairKM(
+            3, max_iter=5, seed=0, engine="chunked", backend=backend
+        ).fit(points, categorical=cats, numeric=nums)
+
+    local = run(None)
+    remote = run(RemoteBackend(workers, artifact_root=root))
+    assert _identical(local, remote)
+
+
+# --------------------------------------------------------------------- #
+# Live HTTP: real servers, real dispatch                                  #
+# --------------------------------------------------------------------- #
+
+
+def test_http_fit_is_bit_identical_inline_and_artifact(live_pair):
+    servers, registry = live_pair
+    targets = tuple(s.url for s in servers)
+    points, cats, nums = _problem(700)
+    local = _minibatch_fit("local", points, cats, nums)
+
+    inline_backend = RemoteBackend(2, targets=targets)
+    assert _identical(local, _minibatch_fit(inline_backend, points, cats, nums))
+    assert inline_backend.bytes_encoded > 0
+
+    # Artifact mode: the data ships once into the registry the workers
+    # share; per round only indices + statistics travel.
+    artifact_backend = RemoteBackend(
+        2, targets=targets, artifact_root=registry.root
+    )
+    assert _identical(
+        local, _minibatch_fit(artifact_backend, points, cats, nums)
+    )
+    assert artifact_backend.bytes_encoded < inline_backend.bytes_encoded
+
+
+def test_dead_target_mid_fit_fails_over_bit_identically(live_pair):
+    servers, _ = live_pair
+    targets = tuple(s.url for s in servers)
+    points, cats, nums = _problem(900)
+    local = _minibatch_fit("local", points, cats, nums)
+
+    killed = []
+
+    class Sabotaged(RemoteBackend):
+        def map_score(self, state, shards, lambda_):
+            parts = super().map_score(state, shards, lambda_)
+            if not killed:
+                servers[0].stop()  # a worker dies between rounds
+                killed.append(True)
+            return parts
+
+    backend = Sabotaged(2, targets=targets)
+    remote = _minibatch_fit(backend, points, cats, nums)
+    assert _identical(local, remote)
+    assert backend.failovers == 1  # written off once, not retried
+
+
+def test_all_targets_dead_raises_typed_backend_error(live_pair):
+    servers, _ = live_pair
+    targets = tuple(s.url for s in servers)
+    for server in servers:
+        server.stop()
+    points, cats, nums = _problem(600)
+    with pytest.raises(BackendError, match="remote targets are dead"):
+        _minibatch_fit(RemoteBackend(2, targets=targets), points, cats, nums)
+
+
+def test_http_score_route_rejects_garbage_with_400(live_pair):
+    from repro.serving.client import ServingClient
+    from repro.serving.server import STREAM_CONTENT_TYPE
+
+    servers, _ = live_pair
+    with ServingClient(url=servers[0].url) as client:
+        status, _, _ = client.request_raw(
+            "POST", "/score", b"not a stream", STREAM_CONTENT_TYPE
+        )
+        assert status == 400
+        # And the worker survives to serve the next request.
+        status, _, _ = client.request_raw("GET", "/healthz")
+        assert status == 200
+
+
+# --------------------------------------------------------------------- #
+# Injected faults: the dispatch dichotomy                                 #
+# --------------------------------------------------------------------- #
+
+
+def test_injected_dispatch_refuse_fails_over_bit_identically(live_pair):
+    servers, _ = live_pair
+    targets = tuple(s.url for s in servers)
+    points, cats, nums = _problem(700)
+    local = _minibatch_fit("local", points, cats, nums)
+    plan = FaultPlan([FaultEvent("backend.remote.dispatch", 0, "refuse")])
+    backend = RemoteBackend(
+        2, targets=targets, fault_injector=FaultInjector(plan)
+    )
+    remote = _minibatch_fit(backend, points, cats, nums)
+    assert _identical(local, remote)
+    assert backend.failovers == 1  # the refused target was written off
+
+
+def test_injected_server_score_refuse_is_survived(live_pair):
+    from repro.serving.server import AssignmentServer
+
+    servers, registry = live_pair
+    # A third worker whose first /score request is severed mid-read: the
+    # client's transparent reconnect retry absorbs it, so the fit never
+    # even needs failover.
+    plan = FaultPlan([FaultEvent("server.score", 0, "refuse")])
+    flaky = AssignmentServer(
+        registry=registry, fault_injector=FaultInjector(plan)
+    ).start()
+    try:
+        points, cats, nums = _problem(700)
+        local = _minibatch_fit("local", points, cats, nums)
+        remote = _minibatch_fit(
+            RemoteBackend(2, targets=(flaky.url,)), points, cats, nums
+        )
+        assert _identical(local, remote)
+    finally:
+        flaky.stop()
+
+
+def test_refusing_every_dispatch_is_a_typed_abort_never_a_wrong_fit():
+    points, cats, nums = _problem(600)
+    plan = FaultPlan.from_seed(
+        0, site="backend.remote.dispatch", length=4096, rates={"refuse": 1.0}
+    )
+    backend = RemoteBackend(fault_injector=FaultInjector(plan))
+    with pytest.raises(BackendError, match="loopback scoring unavailable"):
+        _minibatch_fit(backend, points, cats, nums)
+
+
+# --------------------------------------------------------------------- #
+# Real fleet processes (nightly lane)                                     #
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.slow
+@pytest.mark.fleet
+def test_fit_through_a_real_fleet_is_bit_identical(tmp_path):
+    from repro.serving.fleet import FleetSupervisor
+
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(
+        ClusterModel(np.zeros((2, 3)), RunConfig(method="kmeans", k=2)),
+        label="remote-test",
+    )
+    points, cats, nums = _problem(900)
+    local = _minibatch_fit("local", points, cats, nums)
+    supervisor = FleetSupervisor(
+        registry, workers=2, state_dir=tmp_path / "fleet"
+    ).start()
+    try:
+        targets = tuple(url for _, url in supervisor.target_urls())
+        assert len(targets) == 2
+        backend = RemoteBackend(2, targets=targets)
+        remote = _minibatch_fit(backend, points, cats, nums)
+        assert _identical(local, remote)
+    finally:
+        supervisor.stop()
+
+
+@pytest.mark.slow
+@pytest.mark.fleet
+def test_chaos_remote_fit_soak_obeys_the_dichotomy():
+    from repro.faults.chaos import run_remote_fit_soak
+
+    report = run_remote_fit_soak(seed=0, workers=2, rows=1_200)
+    assert report.outcome in ("identical", "backend_error")
+    assert report.ok

@@ -180,6 +180,8 @@ def test_bench_backend_measures_multiprocess_against_local():
     assert ("backend_local_fit", 1) in by_key
     assert ("backend_multiprocess_fit", 1) in by_key
     assert ("backend_multiprocess_fit", 2) in by_key
+    assert ("backend_remote_fit", 1) in by_key
+    assert ("backend_remote_fit", 2) in by_key
     assert all(r.rows_per_s > 0 for r in records)
     # speedup is anchored at the single-process *local* fit, the
     # question the suite answers — not each workload's own baseline.
@@ -187,4 +189,4 @@ def test_bench_backend_measures_multiprocess_against_local():
     assert local.speedup == 1.0
     for r in records:
         assert r.extra["cpu_count"] >= 1
-        assert r.extra["backend"] in ("local", "multiprocess")
+        assert r.extra["backend"] in ("local", "multiprocess", "remote")
